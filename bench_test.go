@@ -1,0 +1,302 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section VII), one benchmark per artifact, plus micro-benchmarks of the
+// hot paths. Each figure benchmark runs the corresponding experiment at
+// quick scale so the whole suite completes in minutes; use
+// `go run ./cmd/lightor-bench -scale default` for the paper-scale numbers
+// recorded in EXPERIMENTS.md.
+package lightor_test
+
+import (
+	"testing"
+
+	"lightor"
+	"lightor/internal/chat"
+	"lightor/internal/core"
+	"lightor/internal/experiments"
+	"lightor/internal/sim"
+	"lightor/internal/stats"
+	"lightor/internal/text"
+)
+
+func benchConfig() experiments.Config { return experiments.Quick() }
+
+// reportPrecision attaches a headline metric to the benchmark output so
+// regressions in quality (not just speed) are visible.
+func reportPrecision(b *testing.B, name string, v float64) {
+	b.ReportMetric(v, name)
+}
+
+func BenchmarkFigure2a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure2a(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPrecision(b, "delay_s", r.Delay)
+	}
+}
+
+func BenchmarkFigure2b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure2b(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPrecision(b, "hl_windows", float64(r.Highlights))
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure3(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPrecision(b, "typeII_median_s", r.TypeIIMedian)
+	}
+}
+
+func BenchmarkFigure6a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure6a(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		full := r.Curves[2]
+		reportPrecision(b, "full_P@10", full.Y[full.Len()-1])
+	}
+}
+
+func BenchmarkFigure6b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure6b(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPrecision(b, "P@10_1video", r.Curve.Y[0])
+	}
+}
+
+func BenchmarkFigure7a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure7a(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPrecision(b, "lightor_P@10", r.Lightor.Y[r.Lightor.Len()-1])
+	}
+}
+
+func BenchmarkFigure7b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure7b(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPrecision(b, "learned_c_s", r.Curve.Y[r.Curve.Len()-1])
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure8(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := r.LightorStart.Len() - 1
+		reportPrecision(b, "start_P_final", r.LightorStart.Y[last])
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure9(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPrecision(b, "frac_above_500", r.FractionAbove500Chats)
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure10(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPrecision(b, "lightor1_P@10", r.Lightor1.Y[r.Lightor1.Len()-1])
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure11(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPrecision(b, "lightor_dota_P@10", r.LightorDota.Y[r.LightorDota.Len()-1])
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPrecision(b, "speedup_x", r.SpeedupFactor())
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Ablations(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPrecision(b, "full_startP", r.Rows[0].StartP)
+	}
+}
+
+func BenchmarkClassifierAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ClassifierAccuracy(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPrecision(b, "learned_acc", r.LearnedAccuracy)
+	}
+}
+
+func BenchmarkWindowSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.WindowSweep(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPrecision(b, "P@10_w25", r.Curve.Y[1])
+	}
+}
+
+func BenchmarkDeltaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.DeltaSweep(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPrecision(b, "P@10_d120", r.Curve.Y[2])
+	}
+}
+
+func BenchmarkOnlineVsOffline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.OnlineVsOffline(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPrecision(b, "online_P", r.OnlinePrecision)
+	}
+}
+
+// --- Micro-benchmarks of the hot paths ---
+
+func benchVideoData(b *testing.B) sim.VideoData {
+	b.Helper()
+	rng := stats.NewRand(1)
+	data := sim.GenerateDataset(rng, sim.Dota2Profile(), 1)
+	return data[0]
+}
+
+func trainedDetector(b *testing.B) (*lightor.Detector, sim.VideoData) {
+	b.Helper()
+	rng := stats.NewRand(2)
+	data := sim.GenerateDataset(rng, sim.Dota2Profile(), 2)
+	det := lightor.New(lightor.Options{})
+	d := data[0]
+	msgs := d.Chat.Log.Messages()
+	windows := det.Windows(msgs, d.Video.Duration)
+	labels := make([]int, len(windows))
+	for i, w := range windows {
+		for _, bu := range d.Chat.Bursts {
+			if bu.Peak >= w.Start && bu.Peak < w.End {
+				labels[i] = 1
+				break
+			}
+		}
+	}
+	if err := det.Train([]lightor.TrainingVideo{
+		det.NewTrainingVideo(msgs, d.Video.Duration, labels, d.Video.Highlights),
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return det, data[1]
+}
+
+func BenchmarkInitializerDetect(b *testing.B) {
+	det, target := trainedDetector(b)
+	msgs := target.Chat.Log.Messages()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.DetectRedDots(msgs, target.Video.Duration, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtractorStep(b *testing.B) {
+	d := benchVideoData(b)
+	ext := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	rng := stats.NewRand(3)
+	h := d.Video.Highlights[0]
+	plays := sim.SimulateCrowd(rng, 50, d.Video, h.Start-5, h, sim.DefaultViewerBehavior())
+	seed := core.Interval{Start: h.Start - 5, End: h.Start + 25}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ext.Step(seed, plays)
+	}
+}
+
+func BenchmarkMessageSimilarity(b *testing.B) {
+	d := benchVideoData(b)
+	ws := chat.SlidingWindows(d.Chat.Log, d.Video.Duration, 25, 25)
+	// Pick the busiest window for a realistic worst case.
+	busiest := ws[0]
+	for _, w := range ws {
+		if w.Count() > busiest.Count() {
+			busiest = w
+		}
+	}
+	texts := busiest.Texts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		text.MessageSimilarity(texts)
+	}
+}
+
+func BenchmarkChatGeneration(b *testing.B) {
+	rng := stats.NewRand(4)
+	p := sim.Dota2Profile()
+	v := sim.GenerateVideo(rng, p, "bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.GenerateChat(rng, v, p)
+	}
+}
+
+func BenchmarkSlidingWindows(b *testing.B) {
+	d := benchVideoData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chat.SlidingWindows(d.Chat.Log, d.Video.Duration, 25, 25)
+	}
+}
+
+func BenchmarkCrowdSimulation(b *testing.B) {
+	d := benchVideoData(b)
+	rng := stats.NewRand(5)
+	h := d.Video.Highlights[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.SimulateCrowd(rng, 10, d.Video, h.Start-5, h, sim.DefaultViewerBehavior())
+	}
+}

@@ -1,0 +1,144 @@
+// Command lightor-server runs the LIGHTOR back-end web service of Section
+// VI (Figure 5): the browser-extension front end fetches red dots from it
+// and reports viewer interactions back.
+//
+// For a self-contained demo it also starts a simulated Twitch API, crawls
+// a batch of simulated recorded videos through the real crawler stack, and
+// trains the detector on simulated labeled data:
+//
+//	lightor-server -addr :8080 -game dota2 -channels 2 -videos 3
+//
+// Endpoints:
+//
+//	GET  /healthz
+//	GET  /api/highlights?video=ID&k=5
+//	POST /api/interactions?video=ID     (JSON array of player events)
+//	POST /api/refine?video=ID
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"lightor/internal/core"
+	"lightor/internal/platform"
+	"lightor/internal/sim"
+	"lightor/internal/stats"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "service listen address")
+	game := flag.String("game", "dota2", "game profile for the demo data (dota2|lol)")
+	channels := flag.Int("channels", 2, "simulated channels")
+	videos := flag.Int("videos", 3, "videos per simulated channel")
+	trainN := flag.Int("train", 3, "simulated labeled training videos")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	storePath := flag.String("store", "", "optional store snapshot path: loaded at start, saved on SIGINT/SIGTERM")
+	flag.Parse()
+
+	var profile sim.Profile
+	switch *game {
+	case "dota2":
+		profile = sim.Dota2Profile()
+	case "lol":
+		profile = sim.LoLProfile()
+	default:
+		log.Fatalf("unknown game %q", *game)
+	}
+
+	rng := stats.NewRand(*seed)
+
+	// Train the detector.
+	trainData := sim.GenerateDataset(rng, profile, *trainN)
+	init := core.NewInitializer(core.DefaultInitializerConfig())
+	tvs := make([]core.TrainingVideo, len(trainData))
+	for i, d := range trainData {
+		ws := init.Windows(d.Chat.Log, d.Video.Duration)
+		tvs[i] = core.TrainingVideo{
+			Log:        d.Chat.Log,
+			Duration:   d.Video.Duration,
+			Labels:     sim.LabelWindows(ws, d.Chat.Bursts),
+			Highlights: d.Video.Highlights,
+		}
+	}
+	if err := init.Train(tvs); err != nil {
+		log.Fatalf("training: %v", err)
+	}
+	log.Printf("detector trained on %d videos (delay c = %ds)", *trainN, init.DelayC())
+
+	// Stand up the simulated platform and crawl it.
+	tw := platform.NewSimTwitch()
+	for c := 0; c < *channels; c++ {
+		channel := fmt.Sprintf("channel%02d", c)
+		for v := 0; v < *videos; v++ {
+			vid := sim.GenerateVideo(rng, profile, fmt.Sprintf("c%dv%d", c, v))
+			cr := sim.GenerateChat(rng, vid, profile)
+			tw.AddVideo(platform.TwitchVideo{
+				ID:       vid.ID,
+				Channel:  channel,
+				Duration: vid.Duration,
+				Viewers:  stats.IntBetween(rng, 200, 5000),
+			}, cr.Log)
+		}
+	}
+	apiSrv := httptest.NewServer(tw.Handler())
+	defer apiSrv.Close()
+	log.Printf("simulated platform API at %s", apiSrv.URL)
+
+	store := platform.NewStore()
+	if *storePath != "" {
+		if f, err := os.Open(*storePath); err == nil {
+			loaded, err := platform.LoadStore(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("loading store snapshot: %v", err)
+			}
+			store = loaded
+			log.Printf("restored store snapshot with %d videos", len(store.VideoIDs()))
+		}
+	}
+	crawler := &platform.Crawler{BaseURL: apiSrv.URL, Store: store}
+	chans, err := crawler.Channels()
+	if err != nil {
+		log.Fatalf("listing channels: %v", err)
+	}
+	n, err := crawler.CrawlChannels(chans)
+	if err != nil {
+		log.Fatalf("crawling: %v", err)
+	}
+	log.Printf("crawled %d videos: %v", n, store.VideoIDs())
+
+	svc := &platform.Service{
+		Store:       store,
+		Initializer: init,
+		Extractor:   core.NewExtractor(core.DefaultExtractorConfig(), nil),
+		Crawler:     crawler,
+	}
+
+	if *storePath != "" {
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigs
+			f, err := os.Create(*storePath)
+			if err != nil {
+				log.Fatalf("saving store snapshot: %v", err)
+			}
+			if err := store.Save(f); err != nil {
+				log.Fatalf("saving store snapshot: %v", err)
+			}
+			f.Close()
+			log.Printf("store snapshot saved to %s", *storePath)
+			os.Exit(0)
+		}()
+	}
+
+	log.Printf("LIGHTOR service listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, svc.Handler()))
+}

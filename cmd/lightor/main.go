@@ -1,0 +1,311 @@
+// Command lightor is the command-line interface to the LIGHTOR highlight
+// extractor:
+//
+//	lightor train    -game dota2 -videos 5 -out model.json
+//	    train a detector on simulated labeled videos and save the model
+//	lightor detect   -model model.json -chat chat.jsonl -duration 3600 -k 5
+//	    place red dots on a recorded video from its chat log
+//	    (-format irc accepts "[h:mm:ss] <user> message" exports)
+//	lightor extract  -model model.json -chat chat.jsonl -events events.jsonl
+//	    refine highlight boundaries from logged interaction events
+//	lightor simulate -game dota2 -chat chat.jsonl -truth truth.json -events events.jsonl
+//	    generate a synthetic recorded video's chat log plus ground truth
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"lightor"
+	"lightor/internal/sim"
+	"lightor/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = runTrain(os.Args[2:])
+	case "detect":
+		err = runDetect(os.Args[2:])
+	case "extract":
+		err = runExtract(os.Args[2:])
+	case "simulate":
+		err = runSimulate(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lightor:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: lightor <command> [flags]
+
+commands:
+  train     train a detector on simulated labeled videos, save the model
+  detect    place red dots on a video from its chat log
+  extract   refine highlight boundaries from logged interaction events
+  simulate  generate a synthetic chat log + ground truth`)
+}
+
+func profileFor(game string) (sim.Profile, error) {
+	switch game {
+	case "dota2":
+		return sim.Dota2Profile(), nil
+	case "lol":
+		return sim.LoLProfile(), nil
+	default:
+		return sim.Profile{}, fmt.Errorf("unknown game %q (want dota2 or lol)", game)
+	}
+}
+
+func runTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	game := fs.String("game", "dota2", "game profile for training data (dota2|lol)")
+	videos := fs.Int("videos", 5, "number of simulated labeled training videos")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	out := fs.String("out", "model.json", "output model path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := profileFor(*game)
+	if err != nil {
+		return err
+	}
+	data := sim.GenerateDataset(stats.NewRand(*seed), p, *videos)
+	det := lightor.New(lightor.Options{})
+	train := make([]lightor.TrainingVideo, len(data))
+	for i, d := range data {
+		msgs := d.Chat.Log.Messages()
+		windows := det.Windows(msgs, d.Video.Duration)
+		labels := make([]int, len(windows))
+		for wi, w := range windows {
+			for _, b := range d.Chat.Bursts {
+				if b.Peak >= w.Start && b.Peak < w.End {
+					labels[wi] = 1
+					break
+				}
+			}
+		}
+		train[i] = det.NewTrainingVideo(msgs, d.Video.Duration, labels, d.Video.Highlights)
+	}
+	if err := det.Train(train); err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := det.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("trained on %d %s videos (learned delay c = %ds), model saved to %s\n",
+		*videos, *game, det.DelaySeconds(), *out)
+	return nil
+}
+
+func runDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "trained model path")
+	chatPath := fs.String("chat", "", "chat log path")
+	format := fs.String("format", "jsonl", "chat log format: jsonl | irc")
+	duration := fs.Float64("duration", 0, "video duration in seconds")
+	k := fs.Int("k", 5, "number of red dots")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *chatPath == "" {
+		return fmt.Errorf("detect: -chat is required")
+	}
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	det, err := lightor.Load(mf, lightor.Options{})
+	if err != nil {
+		return err
+	}
+	messages, err := readChat(*chatPath, *format)
+	if err != nil {
+		return err
+	}
+	d := *duration
+	if d == 0 && len(messages) > 0 {
+		d = messages[len(messages)-1].Time + 60
+		fmt.Fprintf(os.Stderr, "detect: no -duration given, assuming %.0fs from the chat log\n", d)
+	}
+	dots, err := det.DetectRedDots(messages, d, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-4s  %-10s  %-10s  %s\n", "#", "red dot", "peak", "score")
+	for i, dot := range dots {
+		fmt.Printf("%-4d  %-10s  %-10s  %.3f\n",
+			i+1, fmtTime(dot.Time), fmtTime(dot.Peak), dot.Score)
+	}
+	return nil
+}
+
+func runExtract(args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "trained model path")
+	chatPath := fs.String("chat", "", "chat log path (JSON lines)")
+	eventsPath := fs.String("events", "", "interaction event log path (JSON lines)")
+	duration := fs.Float64("duration", 0, "video duration in seconds")
+	k := fs.Int("k", 5, "number of highlights")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *chatPath == "" || *eventsPath == "" {
+		return fmt.Errorf("extract: -chat and -events are required")
+	}
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	det, err := lightor.Load(mf, lightor.Options{})
+	if err != nil {
+		return err
+	}
+	cf, err := os.Open(*chatPath)
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	messages, err := lightor.ReadChatJSONL(cf)
+	if err != nil {
+		return err
+	}
+	ef, err := os.Open(*eventsPath)
+	if err != nil {
+		return err
+	}
+	defer ef.Close()
+	events, err := lightor.ReadEventsJSONL(ef)
+	if err != nil {
+		return err
+	}
+	d := *duration
+	if d == 0 && len(messages) > 0 {
+		d = messages[len(messages)-1].Time + 60
+	}
+	source := lightor.StaticPlays(lightor.Sessionize(events))
+	highlights, err := det.ExtractHighlights(messages, d, *k, source)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-4s  %-10s  %-22s  %s\n", "#", "red dot", "boundary", "iterations")
+	for i, h := range highlights {
+		fmt.Printf("%-4d  %-10s  %-22s  %d\n",
+			i+1, fmtTime(h.Dot.Time), h.Boundary.String(), len(h.Trace))
+	}
+	return nil
+}
+
+func runSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	game := fs.String("game", "dota2", "game profile (dota2|lol)")
+	seed := fs.Int64("seed", 42, "simulation seed")
+	chatPath := fs.String("chat", "chat.jsonl", "output chat log path")
+	truthPath := fs.String("truth", "", "optional ground-truth JSON output path")
+	eventsPath := fs.String("events", "", "optional viewer interaction-event JSON-lines output path")
+	viewers := fs.Int("viewers", 10, "simulated viewers per highlight for -events")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := profileFor(*game)
+	if err != nil {
+		return err
+	}
+	rng := stats.NewRand(*seed)
+	v := sim.GenerateVideo(rng, p, "cli")
+	cr := sim.GenerateChat(rng, v, p)
+
+	f, err := os.Create(*chatPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := lightor.WriteChatJSONL(f, cr.Log.Messages()); err != nil {
+		return err
+	}
+	fmt.Printf("simulated %s video: %.0fs, %d highlights, %d chat messages -> %s\n",
+		*game, v.Duration, len(v.Highlights), cr.Log.Len(), *chatPath)
+
+	if *truthPath != "" {
+		tf, err := os.Create(*truthPath)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		enc := json.NewEncoder(tf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Duration   float64            `json:"duration"`
+			Highlights []lightor.Interval `json:"highlights"`
+		}{v.Duration, v.Highlights}); err != nil {
+			return err
+		}
+		fmt.Printf("ground truth -> %s\n", *truthPath)
+	}
+
+	if *eventsPath != "" {
+		// Viewers react to red dots near each true highlight (as a deployed
+		// detector would place them), producing the interaction log that
+		// `lightor extract` consumes.
+		var events []lightor.Event
+		for hi, h := range v.Highlights {
+			dot := stats.Clamp(h.Start+stats.Normal(rng, 0, 8), 0, v.Duration)
+			for w := 0; w < *viewers; w++ {
+				user := fmt.Sprintf("viewer-h%d-%02d", hi, w)
+				events = append(events, sim.SimulateViewer(rng, user, v, dot, h, sim.DefaultViewerBehavior())...)
+			}
+		}
+		ef, err := os.Create(*eventsPath)
+		if err != nil {
+			return err
+		}
+		defer ef.Close()
+		if err := lightor.WriteEventsJSONL(ef, events); err != nil {
+			return err
+		}
+		fmt.Printf("%d interaction events from %d viewers/highlight -> %s\n",
+			len(events), *viewers, *eventsPath)
+	}
+	return nil
+}
+
+// readChat loads a chat log in the requested format.
+func readChat(path, format string) ([]lightor.Message, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch format {
+	case "jsonl":
+		return lightor.ReadChatJSONL(f)
+	case "irc":
+		return lightor.ReadChatIRC(f)
+	default:
+		return nil, fmt.Errorf("unknown chat format %q (want jsonl or irc)", format)
+	}
+}
+
+func fmtTime(s float64) string {
+	m := int(s) / 60
+	return fmt.Sprintf("%d:%05.2f", m, s-float64(m*60))
+}

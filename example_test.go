@@ -1,0 +1,44 @@
+package lightor_test
+
+import (
+	"fmt"
+
+	"lightor"
+)
+
+// The zero Options value gives the paper's defaults everywhere; building a
+// training video only needs the chat, the duration, per-window labels, and
+// the ground-truth spans.
+func ExampleNew() {
+	det := lightor.New(lightor.Options{})
+	windows := det.Windows([]lightor.Message{
+		{Time: 5, User: "a", Text: "hello"},
+		{Time: 30, User: "b", Text: "kill kill"},
+	}, 100)
+	fmt.Println(len(windows), "windows of", windows[0].Duration(), "seconds")
+	// Output: 4 windows of 25 seconds
+}
+
+// Raw player events sessionize into play(s, e) records: a span opens at
+// Play and closes at Pause, Seek, or Stop.
+func ExampleSessionize() {
+	plays := lightor.Sessionize([]lightor.Event{
+		{User: "alice", Seq: 0, Type: lightor.EventPlay, Pos: 100},
+		{User: "alice", Seq: 1, Type: lightor.EventSeek, Pos: 120},
+		{User: "alice", Seq: 2, Type: lightor.EventPlay, Pos: 90},
+		{User: "alice", Seq: 3, Type: lightor.EventStop, Pos: 115},
+	})
+	for _, p := range plays {
+		fmt.Printf("%s played [%.0f, %.0f]\n", p.User, p.Start, p.End)
+	}
+	// Output:
+	// alice played [100, 120]
+	// alice played [90, 115]
+}
+
+// StaticPlays adapts logged interaction data to the refinement loop.
+func ExampleStaticPlays() {
+	src := lightor.StaticPlays([]lightor.Play{{User: "u", Start: 95, End: 110}})
+	fmt.Println(len(src.Interactions(100)), "play near the red dot")
+	// Output: 1 play near the red dot
+}

@@ -1,0 +1,94 @@
+// Dota2 end-to-end: the full LIGHTOR pipeline on a simulated Dota2
+// channel — train the initializer, place red dots on held-out videos,
+// refine each dot against a simulated AMT worker pool, and score the
+// results against ground truth.
+//
+//	go run ./examples/dota2
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lightor"
+	"lightor/internal/crowd"
+	"lightor/internal/eval"
+	"lightor/internal/sim"
+	"lightor/internal/stats"
+)
+
+// poolSource adapts a crowd pool to the lightor.InteractionSource the
+// refinement loop pulls from: every call publishes a fresh AMT task at the
+// current red-dot position and collects ten worker responses.
+type poolSource struct {
+	pool  *crowd.Pool
+	video sim.Video
+}
+
+func (s *poolSource) Interactions(dot float64) []lightor.Play {
+	task, err := crowd.NewTask(s.video, dot)
+	if err != nil {
+		return nil
+	}
+	return crowd.Plays(s.pool.Collect(task, 10))
+}
+
+func main() {
+	rng := stats.NewRand(7)
+	profile := sim.Dota2Profile()
+	data := sim.GenerateDataset(rng, profile, 5)
+	train, tests := data[:2], data[2:]
+
+	det := lightor.New(lightor.Options{})
+	var labeled []lightor.TrainingVideo
+	for _, d := range train {
+		msgs := d.Chat.Log.Messages()
+		windows := det.Windows(msgs, d.Video.Duration)
+		labels := make([]int, len(windows))
+		for i, w := range windows {
+			for _, b := range d.Chat.Bursts {
+				if b.Peak >= w.Start && b.Peak < w.End {
+					labels[i] = 1
+					break
+				}
+			}
+		}
+		labeled = append(labeled, det.NewTrainingVideo(msgs, d.Video.Duration, labels, d.Video.Highlights))
+	}
+	if err := det.Train(labeled); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initializer trained on %d videos (delay c = %ds)\n", len(train), det.DelaySeconds())
+
+	pool := crowd.NewPool(99, 200)
+	fmt.Printf("worker pool: %d simulated AMT workers\n\n", pool.Size())
+
+	var startP, endP eval.Mean
+	for _, d := range tests {
+		src := &poolSource{pool: pool, video: d.Video}
+		highlights, err := det.ExtractHighlights(d.Chat.Log.Messages(), d.Video.Duration, 5, src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var starts, ends []float64
+		for _, h := range highlights {
+			starts = append(starts, h.Boundary.Start)
+			ends = append(ends, h.Boundary.End)
+		}
+		sp := eval.StartPrecisionAtK(starts, d.Video.Highlights, 5)
+		ep := eval.EndPrecisionAtK(ends, d.Video.Highlights, 5)
+		startP.Add(sp)
+		endP.Add(ep)
+
+		fmt.Printf("%s (%.0f min, %d true highlights)\n",
+			d.Video.ID, d.Video.Duration/60, len(d.Video.Highlights))
+		for i, h := range highlights {
+			iters := len(h.Trace)
+			fmt.Printf("  #%d  dot %7.1fs -> boundary %s  (%d iteration(s))\n",
+				i+1, h.Dot.Time, h.Boundary, iters)
+		}
+		fmt.Printf("  precision@5: start %.2f, end %.2f\n\n", sp, ep)
+	}
+	fmt.Printf("averages over %d test videos: start %.2f, end %.2f\n",
+		len(tests), startP.Value(), endP.Value())
+}

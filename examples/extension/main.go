@@ -1,0 +1,143 @@
+// Extension: the browser-extension deployment of Section VI, end to end
+// over real HTTP — a simulated Twitch API, the LIGHTOR crawler and back-end
+// service, and a front-end client that fetches red dots, reports viewer
+// interactions, and triggers refinement.
+//
+//	go run ./examples/extension
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"lightor/internal/core"
+	"lightor/internal/platform"
+	"lightor/internal/play"
+	"lightor/internal/sim"
+	"lightor/internal/stats"
+)
+
+func main() {
+	rng := stats.NewRand(11)
+	profile := sim.Dota2Profile()
+
+	// --- Back end: train the detector on simulated labeled videos.
+	trainData := sim.GenerateDataset(rng, profile, 2)
+	init := core.NewInitializer(core.DefaultInitializerConfig())
+	var tvs []core.TrainingVideo
+	for _, d := range trainData {
+		ws := init.Windows(d.Chat.Log, d.Video.Duration)
+		tvs = append(tvs, core.TrainingVideo{
+			Log:        d.Chat.Log,
+			Duration:   d.Video.Duration,
+			Labels:     sim.LabelWindows(ws, d.Chat.Bursts),
+			Highlights: d.Video.Highlights,
+		})
+	}
+	if err := init.Train(tvs); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Simulated Twitch: two recorded videos on one channel.
+	tw := platform.NewSimTwitch()
+	var videos []sim.Video
+	for i := 0; i < 2; i++ {
+		v := sim.GenerateVideo(rng, profile, fmt.Sprintf("v%d", i))
+		cr := sim.GenerateChat(rng, v, profile)
+		tw.AddVideo(platform.TwitchVideo{
+			ID: v.ID, Channel: "prostreamer", Duration: v.Duration, Viewers: 2500,
+		}, cr.Log)
+		videos = append(videos, v)
+	}
+	twitchSrv := httptest.NewServer(tw.Handler())
+	defer twitchSrv.Close()
+	fmt.Printf("simulated Twitch API: %s\n", twitchSrv.URL)
+
+	// --- Crawler: offline crawl of the channel list into the store.
+	store := platform.NewStore()
+	crawler := &platform.Crawler{BaseURL: twitchSrv.URL, Store: store}
+	channels, err := crawler.Channels()
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := crawler.CrawlChannels(channels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crawler stored %d videos: %v\n", n, store.VideoIDs())
+
+	// --- LIGHTOR service.
+	svc := &platform.Service{
+		Store:       store,
+		Initializer: init,
+		Extractor:   core.NewExtractor(core.DefaultExtractorConfig(), nil),
+		Crawler:     crawler,
+	}
+	apiSrv := httptest.NewServer(svc.Handler())
+	defer apiSrv.Close()
+	fmt.Printf("LIGHTOR service: %s\n\n", apiSrv.URL)
+
+	// --- Front end: a user opens the first recorded video.
+	target := videos[0]
+	resp, err := http.Get(apiSrv.URL + "/api/highlights?video=" + target.ID + "&k=5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var hl platform.HighlightsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hl); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("red dots rendered on the progress bar of %s:\n", target.ID)
+	for i, dot := range hl.Dots {
+		fmt.Printf("  #%d at %7.1fs (score %.3f)\n", i+1, dot.Time, dot.Score)
+	}
+
+	// --- Viewers click the dots; the extension logs their interactions.
+	viewerRng := stats.NewRand(23)
+	var events []play.Event
+	for _, dot := range hl.Dots {
+		h, ok := sim.NearestHighlight(target, dot.Time)
+		if !ok {
+			continue
+		}
+		for v := 0; v < 10; v++ {
+			user := fmt.Sprintf("viewer%02d", v)
+			events = append(events, sim.SimulateViewer(viewerRng, user, target, dot.Time, h, sim.DefaultViewerBehavior())...)
+		}
+	}
+	body, err := json.Marshal(events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err = http.Post(apiSrv.URL+"/api/interactions?video="+target.ID, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("\nlogged %d interaction events from 10 viewers per dot\n", len(events))
+
+	// --- Back end refines boundaries from the logged interactions.
+	resp, err = http.Post(apiSrv.URL+"/api/refine?video="+target.ID, "application/json", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var refined platform.HighlightsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&refined); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+
+	fmt.Println("\nrefined boundaries:")
+	for i, b := range refined.Boundaries {
+		good := ""
+		if core.IsGoodStartAmong(b.Start, target.Highlights) {
+			good = "  <- good start"
+		}
+		fmt.Printf("  #%d %s%s\n", i+1, b, good)
+	}
+}

@@ -1,0 +1,90 @@
+// Live: online highlight detection while the stream is still running.
+// A trained detector consumes a simulated broadcast's chat in real-time
+// order and drops red dots minutes after each highlight happens — no
+// recording needed. (The paper's future-work deployment, Section IX.)
+//
+//	go run ./examples/live
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lightor"
+	"lightor/internal/sim"
+	"lightor/internal/stats"
+)
+
+func main() {
+	rng := stats.NewRand(10)
+	profile := sim.Dota2Profile()
+	data := sim.GenerateDataset(rng, profile, 3)
+
+	// Train offline on two archived videos.
+	det := lightor.New(lightor.Options{})
+	var labeled []lightor.TrainingVideo
+	for _, d := range data[:2] {
+		msgs := d.Chat.Log.Messages()
+		windows := det.Windows(msgs, d.Video.Duration)
+		labels := make([]int, len(windows))
+		for i, w := range windows {
+			for _, b := range d.Chat.Bursts {
+				if b.Peak >= w.Start && b.Peak < w.End {
+					labels[i] = 1
+					break
+				}
+			}
+		}
+		labeled = append(labeled, det.NewTrainingVideo(msgs, d.Video.Duration, labels, d.Video.Highlights))
+	}
+	if err := det.Train(labeled); err != nil {
+		log.Fatal(err)
+	}
+
+	// Go live on the third video.
+	live := data[2]
+	session, err := det.NewOnlineSession(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LIVE: %s (%.0f min broadcast, %d highlights will happen)\n\n",
+		live.Video.ID, live.Video.Duration/60, len(live.Video.Highlights))
+
+	emit := func(dots []lightor.RedDot, clock float64) {
+		for _, d := range dots {
+			verdict := "  (miss)"
+			if h, ok := sim.NearestHighlight(live.Video, d.Time); ok &&
+				d.Time >= h.Start-10 && d.Time <= h.End {
+				verdict = ""
+			}
+			fmt.Printf("[stream %6.0fs] red dot at %6.0fs (score %.2f, %.0fs after the moment)%s\n",
+				clock, d.Time, d.Score, clock-d.Time, verdict)
+		}
+	}
+	for _, m := range live.Chat.Log.Messages() {
+		dots, err := session.Feed(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(dots, m.Time)
+	}
+	emit(session.Flush(), live.Video.Duration)
+
+	all := session.Emitted()
+	good := 0
+	for _, d := range all {
+		if h, ok := sim.NearestHighlight(live.Video, d.Time); ok &&
+			d.Time >= h.Start-10 && d.Time <= h.End {
+			good++
+		}
+	}
+	fmt.Printf("\nstream ended: %d red dots emitted live, %d good (%.0f%%)\n",
+		len(all), good, 100*float64(good)/float64(max(len(all), 1)))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,66 @@
+// Quickstart: train a detector on one simulated labeled video, then place
+// red dots on a fresh video and compare them with the ground truth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lightor"
+	"lightor/internal/sim"
+	"lightor/internal/stats"
+)
+
+func main() {
+	rng := stats.NewRand(4)
+	profile := sim.Dota2Profile()
+	data := sim.GenerateDataset(rng, profile, 2)
+	trainVideo, testVideo := data[0], data[1]
+
+	det := lightor.New(lightor.Options{})
+
+	// Label the training video's chat windows: a window is positive when
+	// its messages react to a highlight. (With real data this labeling is
+	// the only manual step — and one video is enough.)
+	msgs := trainVideo.Chat.Log.Messages()
+	windows := det.Windows(msgs, trainVideo.Video.Duration)
+	labels := make([]int, len(windows))
+	for i, w := range windows {
+		for _, b := range trainVideo.Chat.Bursts {
+			if b.Peak >= w.Start && b.Peak < w.End {
+				labels[i] = 1
+				break
+			}
+		}
+	}
+	err := det.Train([]lightor.TrainingVideo{
+		det.NewTrainingVideo(msgs, trainVideo.Video.Duration, labels, trainVideo.Video.Highlights),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on 1 labeled video; learned reaction delay c = %ds\n\n", det.DelaySeconds())
+
+	// Detect the top-5 highlights of the unseen video from chat alone.
+	dots, err := det.DetectRedDots(testVideo.Chat.Log.Messages(), testVideo.Video.Duration, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("top-5 red dots on %s (%.0fs, %d true highlights):\n\n",
+		testVideo.Video.ID, testVideo.Video.Duration, len(testVideo.Video.Highlights))
+	fmt.Printf("%-4s %-10s %-8s %-22s %s\n", "#", "red dot", "score", "nearest highlight", "verdict")
+	good := 0
+	for i, dot := range dots {
+		h, _ := sim.NearestHighlight(testVideo.Video, dot.Time)
+		verdict := "MISS"
+		if dot.Time >= h.Start-10 && dot.Time <= h.End {
+			verdict = "GOOD (within [start-10s, end])"
+			good++
+		}
+		fmt.Printf("%-4d %-10.1f %-8.3f %-22s %s\n", i+1, dot.Time, dot.Score, h.String(), verdict)
+	}
+	fmt.Printf("\nprecision@5 (start) = %d/5\n", good)
+}

@@ -1,0 +1,60 @@
+// Refinement: watch the Highlight Extractor converge. A red dot is
+// deliberately placed AFTER the highlight's end (Type I) and the extractor
+// walks it back, iteration by iteration, until the crowd's play data
+// certifies it as Type II and the medians lock the boundary in.
+//
+//	go run ./examples/refinement
+package main
+
+import (
+	"fmt"
+
+	"lightor"
+	"lightor/internal/crowd"
+	"lightor/internal/sim"
+)
+
+type poolSource struct {
+	pool  *crowd.Pool
+	video sim.Video
+}
+
+func (s *poolSource) Interactions(dot float64) []lightor.Play {
+	task, err := crowd.NewTask(s.video, dot)
+	if err != nil {
+		return nil
+	}
+	return crowd.Plays(s.pool.Collect(task, 10))
+}
+
+func main() {
+	// One highlight at [1990, 2005]; the red dot starts 35 s past its end.
+	video := sim.Video{
+		ID:         "dota2-demo",
+		Duration:   3600,
+		Highlights: []sim.Interval{{Start: 1990, End: 2005}},
+	}
+	badDot := lightor.RedDot{Time: video.Highlights[0].End + 35, Score: 0.9}
+
+	det := lightor.New(lightor.Options{})
+	// Refinement needs no training — only the extractor runs here.
+	src := &poolSource{pool: crowd.NewPool(3, 100), video: video}
+
+	fmt.Printf("true highlight: %s\n", video.Highlights[0])
+	fmt.Printf("initial red dot: %.1fs (Type I: %.1fs past the highlight's end)\n\n",
+		badDot.Time, badDot.Time-video.Highlights[0].End)
+
+	result := det.RefineHighlight(badDot, src)
+	fmt.Printf("%-5s %-10s %-8s %-8s %s\n", "iter", "dot (s)", "plays", "class", "refined boundary")
+	for _, step := range result.Trace {
+		fmt.Printf("%-5d %-10.1f %-8d %-8s %s\n",
+			step.Iteration, step.Dot, step.Plays, step.Class, step.Refined)
+	}
+
+	h := video.Highlights[0]
+	fmt.Printf("\nfinal boundary: %s\n", result.Boundary)
+	fmt.Printf("start error: %+.1fs (good if within [-10, +%.0f])\n",
+		result.Boundary.Start-h.Start, h.Duration())
+	fmt.Printf("end error:   %+.1fs (good if within [-%.0f, +10])\n",
+		result.Boundary.End-h.End, h.Duration())
+}

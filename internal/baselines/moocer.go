@@ -1,0 +1,48 @@
+package baselines
+
+import (
+	"lightor/internal/core"
+	"lightor/internal/play"
+	"lightor/internal/stats"
+)
+
+// Moocer implements the play-histogram method of Kim et al. (L@S 2014) as
+// described in Section VII-C: every play record votes +1 over the seconds
+// it covers, the histogram is smoothed, local maxima become highlights,
+// and each highlight spans the turning points on either side of its
+// maximum.
+type Moocer struct {
+	// Smoothing is the moving-average window in 1 s bins (default 15).
+	Smoothing int
+}
+
+// NewMoocer returns a Moocer detector with defaults.
+func NewMoocer() *Moocer {
+	return &Moocer{Smoothing: 15}
+}
+
+// Detect derives up to k highlight intervals from play records.
+func (m *Moocer) Detect(plays []play.Play, duration float64, k int) []core.Interval {
+	if k <= 0 || duration <= 0 {
+		return nil
+	}
+	bins := int(duration)
+	if bins < 1 {
+		bins = 1
+	}
+	h := stats.NewHistogram(0, duration, bins)
+	for _, p := range plays {
+		h.AddRange(p.Start, p.End, 1)
+	}
+	smoothed := stats.MovingAverage(h.Counts(), m.Smoothing)
+	peaks := stats.SeparatedMaxima(smoothed, k, m.Smoothing, 1e-9)
+	out := make([]core.Interval, 0, len(peaks))
+	for _, p := range peaks {
+		left, right := stats.TurningPoints(smoothed, p)
+		out = append(out, core.Interval{
+			Start: h.BinCenter(left),
+			End:   h.BinCenter(right),
+		})
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package baselines
+
+import (
+	"lightor/internal/core"
+	"lightor/internal/play"
+	"lightor/internal/stats"
+)
+
+// SocialSkip implements the interaction-histogram method of Chorianopoulos
+// (2013) as described in Section VII-C: Seek Backward jumps vote +1 over
+// the skipped range (the viewer wanted to re-watch it), Seek Forward jumps
+// vote −1 (the viewer skipped it as boring). The histogram is smoothed,
+// local maxima become highlights, and each highlight spans ±10 s around
+// its maximum.
+type SocialSkip struct {
+	// Smoothing is the moving-average window in 1 s bins (default 15).
+	Smoothing int
+	// HalfSpan is the fixed half-width of an emitted highlight
+	// (default 10).
+	HalfSpan float64
+}
+
+// NewSocialSkip returns a SocialSkip detector with defaults.
+func NewSocialSkip() *SocialSkip {
+	return &SocialSkip{Smoothing: 15, HalfSpan: 10}
+}
+
+// Detect derives up to k highlight intervals from raw interaction events.
+// Only seek transitions contribute, per the original design.
+func (s *SocialSkip) Detect(events []play.Event, duration float64, k int) []core.Interval {
+	if k <= 0 || duration <= 0 {
+		return nil
+	}
+	bins := int(duration)
+	if bins < 1 {
+		bins = 1
+	}
+	h := stats.NewHistogram(0, duration, bins)
+
+	// Reconstruct seek jumps. In the event encoding (see play.Sessionize),
+	// EventSeek carries the position the playhead LEFT (the origin), and
+	// the next EventPlay carries where it LANDED (the target).
+	byUser := map[string][]play.Event{}
+	for _, e := range events {
+		byUser[e.User] = append(byUser[e.User], e)
+	}
+	for _, evs := range byUser {
+		for i := 0; i < len(evs)-1; i++ {
+			if evs[i].Type != play.EventSeek || evs[i+1].Type != play.EventPlay {
+				continue
+			}
+			from := evs[i].Pos
+			to := evs[i+1].Pos
+			if to < from {
+				// Seek backward: the range [to, from] interested the viewer.
+				h.AddRange(to, from, +1)
+			} else if to > from {
+				// Seek forward: the range [from, to] bored the viewer.
+				h.AddRange(from, to, -1)
+			}
+		}
+	}
+
+	smoothed := stats.MovingAverage(h.Counts(), s.Smoothing)
+	peaks := stats.SeparatedMaxima(smoothed, k, int(2*s.HalfSpan), 1e-9)
+	out := make([]core.Interval, 0, len(peaks))
+	for _, p := range peaks {
+		center := h.BinCenter(p)
+		out = append(out, core.Interval{
+			Start: center - s.HalfSpan,
+			End:   center + s.HalfSpan,
+		})
+	}
+	return out
+}

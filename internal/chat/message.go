@@ -1,0 +1,92 @@
+// Package chat models time-stamped live-chat logs: the implicit feedback
+// stream the Highlight Initializer consumes. It provides the message type,
+// log containers, JSON-lines and CSV codecs, and sliding-window
+// construction (Algorithm 1, line 1 of the LIGHTOR paper).
+package chat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Message is one chat message with its offset (in seconds) from the start
+// of the recorded video. Live platforms archive chat with exactly this
+// alignment, which is what makes chat usable as implicit crowd feedback.
+type Message struct {
+	Time float64 `json:"time"` // seconds from video start
+	User string  `json:"user"`
+	Text string  `json:"text"`
+}
+
+// Log is a chat log sorted by timestamp.
+type Log struct {
+	messages []Message
+}
+
+// NewLog builds a Log from messages, copying and sorting them by time
+// (stable, so same-timestamp messages keep their arrival order).
+func NewLog(messages []Message) *Log {
+	ms := make([]Message, len(messages))
+	copy(ms, messages)
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].Time < ms[j].Time })
+	return &Log{messages: ms}
+}
+
+// Len returns the number of messages.
+func (l *Log) Len() int { return len(l.messages) }
+
+// Messages returns the sorted messages. Callers must not modify the slice.
+func (l *Log) Messages() []Message { return l.messages }
+
+// At returns message i.
+func (l *Log) At(i int) Message { return l.messages[i] }
+
+// Between returns the messages with Time in [from, to).
+func (l *Log) Between(from, to float64) []Message {
+	lo := sort.Search(len(l.messages), func(i int) bool {
+		return l.messages[i].Time >= from
+	})
+	hi := sort.Search(len(l.messages), func(i int) bool {
+		return l.messages[i].Time >= to
+	})
+	return l.messages[lo:hi]
+}
+
+// CountBetween returns the number of messages with Time in [from, to).
+func (l *Log) CountBetween(from, to float64) int {
+	return len(l.Between(from, to))
+}
+
+// Duration returns the timestamp of the last message, a lower bound on the
+// video duration when none is recorded separately.
+func (l *Log) Duration() float64 {
+	if len(l.messages) == 0 {
+		return 0
+	}
+	return l.messages[len(l.messages)-1].Time
+}
+
+// RatePerHour returns messages per hour over the given video duration.
+// The applicability study (Figure 9a) keys on this: LIGHTOR wants at least
+// 500 chats/hour.
+func (l *Log) RatePerHour(videoDuration float64) float64 {
+	if videoDuration <= 0 {
+		return 0
+	}
+	return float64(len(l.messages)) / (videoDuration / 3600)
+}
+
+// Validate checks that all message timestamps are non-negative and within
+// the video duration (when positive).
+func (l *Log) Validate(videoDuration float64) error {
+	for i, m := range l.messages {
+		if m.Time < 0 {
+			return fmt.Errorf("chat: message %d has negative timestamp %g", i, m.Time)
+		}
+		if videoDuration > 0 && m.Time > videoDuration {
+			return fmt.Errorf("chat: message %d at %gs is beyond video duration %gs",
+				i, m.Time, videoDuration)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package chat
+
+import (
+	"testing"
+)
+
+func msgs(times ...float64) []Message {
+	out := make([]Message, len(times))
+	for i, t := range times {
+		out[i] = Message{Time: t, User: "u", Text: "hi"}
+	}
+	return out
+}
+
+func TestNewLogSortsByTime(t *testing.T) {
+	l := NewLog(msgs(5, 1, 3))
+	got := l.Messages()
+	if got[0].Time != 1 || got[1].Time != 3 || got[2].Time != 5 {
+		t.Errorf("not sorted: %v", got)
+	}
+}
+
+func TestNewLogStableOnTies(t *testing.T) {
+	in := []Message{
+		{Time: 2, User: "a"},
+		{Time: 2, User: "b"},
+	}
+	l := NewLog(in)
+	if l.At(0).User != "a" || l.At(1).User != "b" {
+		t.Error("tie order not preserved")
+	}
+}
+
+func TestNewLogCopiesInput(t *testing.T) {
+	in := msgs(1, 2)
+	l := NewLog(in)
+	in[0].Time = 99
+	if l.At(0).Time == 99 {
+		t.Error("Log aliased caller's slice")
+	}
+}
+
+func TestBetween(t *testing.T) {
+	l := NewLog(msgs(0, 10, 20, 30, 40))
+	got := l.Between(10, 30)
+	if len(got) != 2 || got[0].Time != 10 || got[1].Time != 20 {
+		t.Errorf("Between(10,30) = %v", got)
+	}
+	if n := l.CountBetween(0, 100); n != 5 {
+		t.Errorf("CountBetween full = %d, want 5", n)
+	}
+	if n := l.CountBetween(41, 100); n != 0 {
+		t.Errorf("CountBetween empty = %d, want 0", n)
+	}
+}
+
+func TestDuration(t *testing.T) {
+	if d := NewLog(nil).Duration(); d != 0 {
+		t.Errorf("empty Duration = %g", d)
+	}
+	if d := NewLog(msgs(3, 7)).Duration(); d != 7 {
+		t.Errorf("Duration = %g, want 7", d)
+	}
+}
+
+func TestRatePerHour(t *testing.T) {
+	l := NewLog(msgs(1, 2, 3, 4, 5))
+	if r := l.RatePerHour(3600); r != 5 {
+		t.Errorf("RatePerHour = %g, want 5", r)
+	}
+	if r := l.RatePerHour(1800); r != 10 {
+		t.Errorf("RatePerHour half hour = %g, want 10", r)
+	}
+	if r := l.RatePerHour(0); r != 0 {
+		t.Errorf("RatePerHour zero duration = %g, want 0", r)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := NewLog(msgs(1, 2)).Validate(10); err != nil {
+		t.Errorf("valid log rejected: %v", err)
+	}
+	if err := NewLog(msgs(-1)).Validate(10); err == nil {
+		t.Error("negative timestamp accepted")
+	}
+	if err := NewLog(msgs(11)).Validate(10); err == nil {
+		t.Error("timestamp beyond duration accepted")
+	}
+	if err := NewLog(msgs(11)).Validate(0); err != nil {
+		t.Errorf("duration 0 should skip upper check: %v", err)
+	}
+}

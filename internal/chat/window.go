@@ -1,0 +1,101 @@
+package chat
+
+// Window is a time interval [Start, End) over a chat log together with the
+// messages that fall inside it. The Highlight Initializer scores windows,
+// not individual messages.
+type Window struct {
+	Start, End float64
+	Messages   []Message
+}
+
+// Count returns the number of messages in the window.
+func (w Window) Count() int { return len(w.Messages) }
+
+// Texts returns the message texts, the form the feature extractors consume.
+func (w Window) Texts() []string {
+	out := make([]string, len(w.Messages))
+	for i, m := range w.Messages {
+		out[i] = m.Text
+	}
+	return out
+}
+
+// Overlaps reports whether two windows share any time span.
+func (w Window) Overlaps(o Window) bool {
+	return w.Start < o.End && o.Start < w.End
+}
+
+// SlidingWindows generates candidate windows of the given size over
+// [0, videoLen) at the given stride, then resolves overlaps by keeping the
+// window with more messages (Algorithm 1, line 1: "When two sliding windows
+// have an overlap, we keep the one with more messages"). A stride equal to
+// size yields the non-overlapping tiling used in the paper's analysis; a
+// smaller stride lets windows align to bursts before resolution.
+//
+// It panics on non-positive size or stride — those are configuration bugs,
+// not data conditions.
+func SlidingWindows(log *Log, videoLen, size, stride float64) []Window {
+	if size <= 0 {
+		panic("chat: window size must be positive")
+	}
+	if stride <= 0 {
+		panic("chat: window stride must be positive")
+	}
+	var candidates []Window
+	for start := 0.0; start < videoLen; start += stride {
+		end := start + size
+		if end > videoLen {
+			end = videoLen
+		}
+		candidates = append(candidates, Window{
+			Start:    start,
+			End:      end,
+			Messages: log.Between(start, end),
+		})
+		if end == videoLen {
+			break
+		}
+	}
+	if stride >= size {
+		return candidates // already disjoint
+	}
+	// Greedy overlap resolution: take windows in descending message count;
+	// a window survives only if it does not overlap an already-kept one.
+	order := make([]int, len(candidates))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by count descending, index ascending for determinism.
+	for a := 1; a < len(order); a++ {
+		for b := a; b > 0; b-- {
+			ci, cj := candidates[order[b]], candidates[order[b-1]]
+			if ci.Count() > cj.Count() ||
+				(ci.Count() == cj.Count() && order[b] < order[b-1]) {
+				order[b], order[b-1] = order[b-1], order[b]
+			} else {
+				break
+			}
+		}
+	}
+	var kept []Window
+	for _, i := range order {
+		w := candidates[i]
+		ok := true
+		for _, k := range kept {
+			if w.Overlaps(k) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, w)
+		}
+	}
+	// Restore chronological order.
+	for a := 1; a < len(kept); a++ {
+		for b := a; b > 0 && kept[b].Start < kept[b-1].Start; b-- {
+			kept[b], kept[b-1] = kept[b-1], kept[b]
+		}
+	}
+	return kept
+}

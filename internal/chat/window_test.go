@@ -1,0 +1,139 @@
+package chat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSlidingWindowsTiling(t *testing.T) {
+	l := NewLog(msgs(5, 30, 55, 80))
+	ws := SlidingWindows(l, 100, 25, 25)
+	if len(ws) != 4 {
+		t.Fatalf("window count = %d, want 4", len(ws))
+	}
+	for i, w := range ws {
+		if w.Start != float64(i)*25 || w.End != float64(i+1)*25 {
+			t.Errorf("window %d = [%g, %g)", i, w.Start, w.End)
+		}
+		if w.Count() != 1 {
+			t.Errorf("window %d has %d messages, want 1", i, w.Count())
+		}
+	}
+}
+
+func TestSlidingWindowsPartialTail(t *testing.T) {
+	l := NewLog(msgs(105))
+	ws := SlidingWindows(l, 110, 25, 25)
+	last := ws[len(ws)-1]
+	if last.End != 110 {
+		t.Errorf("tail window end = %g, want 110 (clamped)", last.End)
+	}
+	if last.Count() != 1 {
+		t.Errorf("tail window lost its message")
+	}
+}
+
+func TestSlidingWindowsOverlapResolution(t *testing.T) {
+	// Messages clustered at 30-40; stride 10 < size 25 creates overlapping
+	// candidates. The kept windows must be disjoint and the busiest window
+	// must survive.
+	l := NewLog(msgs(30, 31, 32, 33, 34, 35, 36, 37, 38, 39, 90))
+	ws := SlidingWindows(l, 120, 25, 10)
+	for i := 0; i < len(ws); i++ {
+		for j := i + 1; j < len(ws); j++ {
+			if ws[i].Overlaps(ws[j]) {
+				t.Fatalf("windows %d and %d overlap: [%g,%g) [%g,%g)",
+					i, j, ws[i].Start, ws[i].End, ws[j].Start, ws[j].End)
+			}
+		}
+	}
+	best := 0
+	for _, w := range ws {
+		if w.Count() > best {
+			best = w.Count()
+		}
+	}
+	if best != 10 {
+		t.Errorf("busiest kept window has %d messages, want 10", best)
+	}
+}
+
+func TestSlidingWindowsChronologicalOrder(t *testing.T) {
+	l := NewLog(msgs(10, 50, 90))
+	ws := SlidingWindows(l, 100, 25, 10)
+	for i := 1; i < len(ws); i++ {
+		if ws[i].Start < ws[i-1].Start {
+			t.Fatal("windows not in chronological order")
+		}
+	}
+}
+
+func TestSlidingWindowsPanicsOnBadConfig(t *testing.T) {
+	l := NewLog(nil)
+	for _, c := range []struct{ size, stride float64 }{{0, 1}, {1, 0}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("size=%g stride=%g did not panic", c.size, c.stride)
+				}
+			}()
+			SlidingWindows(l, 100, c.size, c.stride)
+		}()
+	}
+}
+
+func TestWindowTexts(t *testing.T) {
+	w := Window{Messages: []Message{{Text: "a"}, {Text: "b"}}}
+	got := w.Texts()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Texts = %v", got)
+	}
+}
+
+func TestWindowOverlaps(t *testing.T) {
+	a := Window{Start: 0, End: 10}
+	cases := []struct {
+		b    Window
+		want bool
+	}{
+		{Window{Start: 5, End: 15}, true},
+		{Window{Start: 10, End: 20}, false}, // touching, half-open
+		{Window{Start: -5, End: 0}, false},
+		{Window{Start: 2, End: 3}, true},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("Overlaps([%g,%g)) = %v, want %v", c.b.Start, c.b.End, got, c.want)
+		}
+	}
+}
+
+// Property: kept windows are always pairwise disjoint and every message in
+// a kept window actually lies inside it.
+func TestSlidingWindowsInvariants(t *testing.T) {
+	f := func(rawTimes []uint16, strideSel uint8) bool {
+		times := make([]Message, len(rawTimes))
+		for i, rt := range rawTimes {
+			times[i] = Message{Time: float64(rt % 1000)}
+		}
+		l := NewLog(times)
+		stride := float64(strideSel%20) + 5 // 5..24
+		ws := SlidingWindows(l, 1000, 25, stride)
+		for i := range ws {
+			for j := i + 1; j < len(ws); j++ {
+				if ws[i].Overlaps(ws[j]) {
+					return false
+				}
+			}
+			for _, m := range ws[i].Messages {
+				if m.Time < ws[i].Start || m.Time >= ws[i].End {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"fmt"
+
+	"lightor/internal/ml"
+	"lightor/internal/play"
+	"lightor/internal/stats"
+)
+
+// ExtractorConfig carries the Highlight Extractor's tunables with the
+// paper's defaults (Section V).
+type ExtractorConfig struct {
+	// Delta is the play-association window around a red dot: only plays
+	// intersecting [dot−Δ, dot+Δ] are considered (default 60).
+	Delta float64
+	// MinPlaySeconds drops too-short plays — quick "is this interesting?"
+	// probes (default 5).
+	MinPlaySeconds float64
+	// MaxPlaySeconds drops too-long plays — viewers watching the whole
+	// stream rather than the highlight (default 120).
+	MaxPlaySeconds float64
+	// MoveBack is m: how far a Type I red dot moves backward per iteration
+	// (default 20).
+	MoveBack float64
+	// Epsilon is the convergence threshold on the red dot's movement
+	// (default 3).
+	Epsilon float64
+	// MaxIterations bounds the refinement loop (default 10).
+	MaxIterations int
+	// DefaultSpan seeds the highlight's end position before any play data
+	// arrives: end = start + DefaultSpan (default 30).
+	DefaultSpan float64
+}
+
+// DefaultExtractorConfig returns the paper's settings.
+func DefaultExtractorConfig() ExtractorConfig {
+	return ExtractorConfig{
+		Delta:          60,
+		MinPlaySeconds: 5,
+		MaxPlaySeconds: 120,
+		MoveBack:       20,
+		Epsilon:        3,
+		MaxIterations:  10,
+		DefaultSpan:    30,
+	}
+}
+
+func (c *ExtractorConfig) fillDefaults() {
+	d := DefaultExtractorConfig()
+	if c.Delta == 0 {
+		c.Delta = d.Delta
+	}
+	if c.MinPlaySeconds == 0 {
+		c.MinPlaySeconds = d.MinPlaySeconds
+	}
+	if c.MaxPlaySeconds == 0 {
+		c.MaxPlaySeconds = d.MaxPlaySeconds
+	}
+	if c.MoveBack == 0 {
+		c.MoveBack = d.MoveBack
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = d.Epsilon
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = d.MaxIterations
+	}
+	if c.DefaultSpan == 0 {
+		c.DefaultSpan = d.DefaultSpan
+	}
+}
+
+// TypeClass is the relative position of a red dot and its highlight's end.
+type TypeClass int
+
+const (
+	// TypeI: the red dot is after the end of the highlight — viewers
+	// missed it and their plays scatter (Figure 3a).
+	TypeI TypeClass = iota
+	// TypeII: the red dot is before the end of the highlight — viewers
+	// watch it and their plays cluster (Figure 3b).
+	TypeII
+)
+
+// String implements fmt.Stringer.
+func (t TypeClass) String() string {
+	if t == TypeI {
+		return "Type I"
+	}
+	return "Type II"
+}
+
+// TypeFeatures are the classification features of Section V-C: how the
+// observed plays sit relative to the red dot.
+type TypeFeatures struct {
+	After  int // plays starting at or after the dot
+	Before int // plays ending before the dot
+	Across int // plays starting before and ending after the dot
+}
+
+// Total returns the number of plays observed.
+func (f TypeFeatures) Total() int { return f.After + f.Before + f.Across }
+
+// ExtractTypeFeatures computes the relative-position features of plays
+// around a red dot.
+func ExtractTypeFeatures(plays []play.Play, dot float64) TypeFeatures {
+	var f TypeFeatures
+	for _, p := range plays {
+		switch {
+		case p.Start >= dot:
+			f.After++
+		case p.End < dot:
+			f.Before++
+		default:
+			f.Across++
+		}
+	}
+	return f
+}
+
+// TypeClassifier decides Type I vs Type II from play features.
+type TypeClassifier interface {
+	Classify(f TypeFeatures) TypeClass
+}
+
+// RuleTypeClassifier is the interpretable default: if more than Threshold
+// of the plays sit before or across the dot, viewers were hunting backward
+// for a missed highlight — Type I. Figure 4's idealized geometry (Type II
+// has zero plays before/across the dot) motivates the rule; the threshold
+// absorbs probe-play noise.
+type RuleTypeClassifier struct {
+	// Threshold is the Type I cutoff on (before+across)/total
+	// (default 0.2).
+	Threshold float64
+}
+
+// Classify implements TypeClassifier. With no plays at all it returns
+// Type I: no evidence of anyone watching a highlight at the dot.
+func (r RuleTypeClassifier) Classify(f TypeFeatures) TypeClass {
+	th := r.Threshold
+	if th == 0 {
+		th = 0.2
+	}
+	total := f.Total()
+	if total == 0 {
+		return TypeI
+	}
+	frac := float64(f.Before+f.Across) / float64(total)
+	if frac > th {
+		return TypeI
+	}
+	return TypeII
+}
+
+// LearnedTypeClassifier wraps a logistic-regression model over the
+// normalized (after, before, across) fractions. The paper reports ~80%
+// accuracy for its learned classifier; TrainTypeClassifier reproduces it
+// from labeled dot placements.
+type LearnedTypeClassifier struct {
+	model *ml.LogisticRegression
+}
+
+// TrainTypeClassifier fits a classifier from labeled samples. Labels use 1
+// for Type II (the positive, "dot is usable" class) and 0 for Type I.
+func TrainTypeClassifier(features []TypeFeatures, labels []TypeClass) (*LearnedTypeClassifier, error) {
+	if len(features) != len(labels) {
+		return nil, fmt.Errorf("core: %d feature rows but %d labels", len(features), len(labels))
+	}
+	X := make([][]float64, len(features))
+	y := make([]int, len(labels))
+	for i, f := range features {
+		X[i] = typeFeatureVector(f)
+		if labels[i] == TypeII {
+			y[i] = 1
+		}
+	}
+	model := &ml.LogisticRegression{}
+	if err := model.Fit(X, y); err != nil {
+		return nil, fmt.Errorf("core: fitting type classifier: %w", err)
+	}
+	return &LearnedTypeClassifier{model: model}, nil
+}
+
+// Classify implements TypeClassifier.
+func (c *LearnedTypeClassifier) Classify(f TypeFeatures) TypeClass {
+	p, err := c.model.PredictProba(typeFeatureVector(f))
+	if err != nil || p < 0.5 {
+		return TypeI
+	}
+	return TypeII
+}
+
+func typeFeatureVector(f TypeFeatures) []float64 {
+	total := float64(f.Total())
+	if total == 0 {
+		return []float64{0, 0, 0}
+	}
+	return []float64{
+		float64(f.After) / total,
+		float64(f.Before) / total,
+		float64(f.Across) / total,
+	}
+}
+
+// Extractor implements Algorithm 2's filtering → classification →
+// aggregation dataflow plus the iterative refinement loop.
+type Extractor struct {
+	cfg        ExtractorConfig
+	classifier TypeClassifier
+}
+
+// NewExtractor builds an extractor. A nil classifier selects the rule-based
+// default.
+func NewExtractor(cfg ExtractorConfig, classifier TypeClassifier) *Extractor {
+	cfg.fillDefaults()
+	if classifier == nil {
+		classifier = RuleTypeClassifier{}
+	}
+	return &Extractor{cfg: cfg, classifier: classifier}
+}
+
+// Config returns the effective configuration.
+func (e *Extractor) Config() ExtractorConfig { return e.cfg }
+
+// Filter implements the distance and duration filtering of Section V-C:
+// keep plays near the red dot, drop too-short plays (probes) and too-long
+// plays (stream binges). Graph-outlier removal happens later, inside the
+// aggregation stage: removing non-overlapping plays before classification
+// would erase exactly the before-the-dot evidence the Type I/II classifier
+// reads (a tight after-dot cluster always dominates the overlap graph).
+// The returned slice is freshly allocated.
+func (e *Extractor) Filter(plays []play.Play, dot float64) []play.Play {
+	near := play.Near(plays, dot, e.cfg.Delta)
+	kept := near[:0:0] // new backing array, same type
+	for _, p := range near {
+		d := p.Duration()
+		if d < e.cfg.MinPlaySeconds || d > e.cfg.MaxPlaySeconds {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return kept
+}
+
+// RemoveOutliers removes graph outliers: plays that do not overlap the
+// most-connected play (Section V-C's third filter). It robustifies the
+// median aggregation against stray plays far from the consensus span.
+func (e *Extractor) RemoveOutliers(plays []play.Play) []play.Play {
+	return removeGraphOutliers(plays)
+}
+
+// removeGraphOutliers builds the overlap graph over plays, finds the
+// highest-degree node o (ties break to the earliest play for determinism),
+// and keeps o plus its neighbors (Section V-C).
+func removeGraphOutliers(plays []play.Play) []play.Play {
+	n := len(plays)
+	if n <= 2 {
+		return plays
+	}
+	adj := make([][]bool, n)
+	degree := make([]int, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if plays[i].Overlaps(plays[j]) {
+				adj[i][j], adj[j][i] = true, true
+				degree[i]++
+				degree[j]++
+			}
+		}
+	}
+	center := 0
+	for i := 1; i < n; i++ {
+		if degree[i] > degree[center] {
+			center = i
+		}
+	}
+	var kept []play.Play
+	for i := 0; i < n; i++ {
+		if i == center || adj[center][i] {
+			kept = append(kept, plays[i])
+		}
+	}
+	return kept
+}
+
+// StepResult records one refinement iteration for diagnostics and the
+// iteration-series experiments (Figure 8).
+type StepResult struct {
+	Iteration int
+	Dot       float64   // red dot used this iteration
+	Plays     int       // plays surviving the filter
+	Class     TypeClass // classifier verdict
+	Refined   Interval  // highlight boundary after aggregation
+	Converged bool
+}
+
+// Step runs one iteration of Algorithm 2's body over already-collected
+// plays: filter, classify, aggregate. h.Start acts as the red dot.
+func (e *Extractor) Step(h Interval, plays []play.Play) StepResult {
+	dot := h.Start
+	filtered := e.Filter(plays, dot)
+	f := ExtractTypeFeatures(filtered, dot)
+	class := e.classifier.Classify(f)
+
+	res := StepResult{Dot: dot, Plays: len(filtered), Class: class}
+	if class == TypeII {
+		// Drop plays that end before the dot and graph outliers, then take
+		// medians.
+		var kept []play.Play
+		for _, p := range e.RemoveOutliers(filtered) {
+			if p.End >= dot {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			// Classifier said usable but every play preceded the dot;
+			// treat as no movement rather than inventing a boundary.
+			res.Refined = h
+			res.Converged = true
+			return res
+		}
+		start := stats.Median(play.Starts(kept))
+		end := stats.Median(play.Ends(kept))
+		if end <= start {
+			end = start + e.cfg.DefaultSpan
+		}
+		res.Refined = Interval{Start: start, End: end}
+		res.Converged = abs(start-dot) < e.cfg.Epsilon
+	} else {
+		// Type I: move the dot backward by m and try again.
+		start := dot - e.cfg.MoveBack
+		if start < 0 {
+			start = 0
+		}
+		res.Refined = Interval{Start: start, End: h.End}
+		res.Converged = false
+	}
+	return res
+}
+
+// InteractionSource supplies fresh play data for a red dot position. In
+// production this is the platform's interaction log; in experiments it is
+// the simulated crowd.
+type InteractionSource interface {
+	Interactions(dot float64) []play.Play
+}
+
+// Refine runs the full iterative loop of Algorithm 2: collect interactions
+// at the current dot, step, and repeat until the dot converges or the
+// iteration budget is exhausted. It returns the refined boundary and the
+// per-iteration trace.
+func (e *Extractor) Refine(h Interval, source InteractionSource) (Interval, []StepResult) {
+	if h.End <= h.Start {
+		h.End = h.Start + e.cfg.DefaultSpan
+	}
+	var trace []StepResult
+	for iter := 0; iter < e.cfg.MaxIterations; iter++ {
+		plays := source.Interactions(h.Start)
+		res := e.Step(h, plays)
+		res.Iteration = iter
+		trace = append(trace, res)
+		h = res.Refined
+		if res.Converged {
+			break
+		}
+	}
+	return h, trace
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"testing"
+
+	"lightor/internal/play"
+)
+
+func TestExtractTypeFeatures(t *testing.T) {
+	plays := []play.Play{
+		{Start: 105, End: 120}, // after dot
+		{Start: 80, End: 95},   // before dot
+		{Start: 95, End: 110},  // across dot
+		{Start: 100, End: 115}, // starts exactly at dot → after
+	}
+	f := ExtractTypeFeatures(plays, 100)
+	if f.After != 2 || f.Before != 1 || f.Across != 1 {
+		t.Errorf("features = %+v, want After=2 Before=1 Across=1", f)
+	}
+	if f.Total() != 4 {
+		t.Errorf("Total = %d, want 4", f.Total())
+	}
+}
+
+func TestRuleTypeClassifier(t *testing.T) {
+	c := RuleTypeClassifier{}
+	// Figure 4's idealized Type II: all plays at/after the dot.
+	if got := c.Classify(TypeFeatures{After: 10}); got != TypeII {
+		t.Errorf("all-after = %v, want Type II", got)
+	}
+	// Figure 4's idealized Type I: plays scattered before/across.
+	if got := c.Classify(TypeFeatures{After: 3, Before: 4, Across: 3}); got != TypeI {
+		t.Errorf("scattered = %v, want Type I", got)
+	}
+	// A single stray probe play should not flip a healthy Type II.
+	if got := c.Classify(TypeFeatures{After: 9, Before: 1}); got != TypeII {
+		t.Errorf("one stray probe = %v, want Type II", got)
+	}
+	// No plays at all: nothing supports the dot.
+	if got := c.Classify(TypeFeatures{}); got != TypeI {
+		t.Errorf("no plays = %v, want Type I", got)
+	}
+}
+
+func TestLearnedTypeClassifier(t *testing.T) {
+	var features []TypeFeatures
+	var labels []TypeClass
+	// Synthetic labeled set mirroring the geometry: Type II is
+	// after-dominated, Type I is spread out.
+	for i := 0; i < 30; i++ {
+		features = append(features, TypeFeatures{After: 8 + i%3, Before: i % 2, Across: 0})
+		labels = append(labels, TypeII)
+		features = append(features, TypeFeatures{After: 3, Before: 4 + i%3, Across: 2 + i%2})
+		labels = append(labels, TypeI)
+	}
+	c, err := TrainTypeClassifier(features, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, f := range features {
+		if c.Classify(f) == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(features)); acc < 0.9 {
+		t.Errorf("training accuracy = %g, want >= 0.9", acc)
+	}
+}
+
+func TestTrainTypeClassifierErrors(t *testing.T) {
+	if _, err := TrainTypeClassifier([]TypeFeatures{{}}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := TrainTypeClassifier(nil, nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestFilterDropsShortLongAndFar(t *testing.T) {
+	e := NewExtractor(ExtractorConfig{}, nil)
+	dot := 1000.0
+	plays := []play.Play{
+		{User: "keep1", Start: 995, End: 1015},  // good
+		{User: "keep2", Start: 1000, End: 1020}, // good
+		{User: "short", Start: 1001, End: 1003}, // 2s probe
+		{User: "long", Start: 950, End: 1200},   // 250s binge
+		{User: "far", Start: 200, End: 220},     // unrelated
+	}
+	got := e.Filter(plays, dot)
+	if len(got) != 2 {
+		t.Fatalf("Filter kept %d plays: %v", len(got), got)
+	}
+	for _, p := range got {
+		if p.User != "keep1" && p.User != "keep2" {
+			t.Errorf("unexpected survivor %q", p.User)
+		}
+	}
+}
+
+func TestRemoveOutliersDropsIsolatedPlay(t *testing.T) {
+	e := NewExtractor(ExtractorConfig{}, nil)
+	plays := []play.Play{
+		{User: "a", Start: 990, End: 1010},
+		{User: "b", Start: 995, End: 1015},
+		{User: "c", Start: 992, End: 1012},
+		// Overlaps nothing: isolated.
+		{User: "outlier", Start: 1040, End: 1055},
+	}
+	got := e.RemoveOutliers(plays)
+	if len(got) != 3 {
+		t.Fatalf("RemoveOutliers kept %d plays: %v", len(got), got)
+	}
+	for _, p := range got {
+		if p.User == "outlier" {
+			t.Error("graph outlier survived")
+		}
+	}
+}
+
+func TestRemoveOutliersKeepsTinyGroups(t *testing.T) {
+	e := NewExtractor(ExtractorConfig{}, nil)
+	plays := []play.Play{
+		{Start: 990, End: 1010},
+		{Start: 1040, End: 1055},
+	}
+	if got := e.RemoveOutliers(plays); len(got) != 2 {
+		t.Errorf("groups of ≤2 should skip outlier removal, kept %d", len(got))
+	}
+}
+
+func TestFilterDoesNotRemoveGraphOutliers(t *testing.T) {
+	// Classification needs the scattered plays; outlier removal belongs to
+	// the aggregation stage only.
+	e := NewExtractor(ExtractorConfig{}, nil)
+	plays := []play.Play{
+		{User: "cluster1", Start: 1000, End: 1020},
+		{User: "cluster2", Start: 1002, End: 1022},
+		{User: "scattered", Start: 950, End: 960},
+	}
+	if got := e.Filter(plays, 1000); len(got) != 3 {
+		t.Errorf("Filter dropped scattered play needed by classifier: kept %d", len(got))
+	}
+}
+
+func TestStepTypeIIAggregatesWithMedian(t *testing.T) {
+	e := NewExtractor(ExtractorConfig{}, nil)
+	h := Interval{Start: 1985, End: 2015}
+	// Cluster of plays voting start≈1990, end≈2008.
+	plays := []play.Play{
+		{Start: 1988, End: 2006},
+		{Start: 1990, End: 2008},
+		{Start: 1991, End: 2009},
+		{Start: 1992, End: 2010},
+		{Start: 1989, End: 2007},
+	}
+	res := e.Step(h, plays)
+	if res.Class != TypeII {
+		t.Fatalf("class = %v, want Type II", res.Class)
+	}
+	if res.Refined.Start != 1990 {
+		t.Errorf("refined start = %g, want median 1990", res.Refined.Start)
+	}
+	if res.Refined.End != 2008 {
+		t.Errorf("refined end = %g, want median 2008", res.Refined.End)
+	}
+}
+
+func TestStepTypeIIDropsPlaysEndingBeforeDot(t *testing.T) {
+	e := NewExtractor(ExtractorConfig{}, nil)
+	h := Interval{Start: 2000, End: 2030}
+	plays := []play.Play{
+		{Start: 2000, End: 2020},
+		{Start: 2001, End: 2021},
+		{Start: 2002, End: 2022},
+		{Start: 2003, End: 2023},
+		{Start: 2004, End: 2024},
+		{Start: 2005, End: 2025},
+		{Start: 2006, End: 2026},
+		{Start: 2007, End: 2027},
+		{Start: 2008, End: 2028},
+		{Start: 1985, End: 1995}, // ends before dot: must not vote
+	}
+	res := e.Step(h, plays)
+	if res.Class != TypeII {
+		t.Fatalf("class = %v, want Type II", res.Class)
+	}
+	if res.Refined.Start < 2000 {
+		t.Errorf("pre-dot play influenced the median: start = %g", res.Refined.Start)
+	}
+}
+
+func TestStepTypeIMovesBack(t *testing.T) {
+	e := NewExtractor(ExtractorConfig{}, nil)
+	h := Interval{Start: 2030, End: 2060}
+	// Scattered search plays: several before/across the dot.
+	plays := []play.Play{
+		{Start: 2000, End: 2012},
+		{Start: 1995, End: 2008},
+		{Start: 2025, End: 2040},
+		{Start: 2031, End: 2041},
+	}
+	res := e.Step(h, plays)
+	if res.Class != TypeI {
+		t.Fatalf("class = %v, want Type I", res.Class)
+	}
+	if res.Refined.Start != 2010 { // moved back by m=20
+		t.Errorf("refined start = %g, want 2010", res.Refined.Start)
+	}
+	if res.Converged {
+		t.Error("Type I step must not converge")
+	}
+}
+
+func TestStepClampsAtZero(t *testing.T) {
+	e := NewExtractor(ExtractorConfig{}, nil)
+	h := Interval{Start: 5, End: 35}
+	res := e.Step(h, nil) // no plays → Type I → move back
+	if res.Refined.Start != 0 {
+		t.Errorf("start = %g, want clamped 0", res.Refined.Start)
+	}
+}
+
+// scriptedSource replays predetermined play batches per call.
+type scriptedSource struct {
+	batches [][]play.Play
+	call    int
+}
+
+func (s *scriptedSource) Interactions(dot float64) []play.Play {
+	if s.call >= len(s.batches) {
+		return nil
+	}
+	b := s.batches[s.call]
+	s.call++
+	return b
+}
+
+func TestRefineConvergesOnStableClusters(t *testing.T) {
+	e := NewExtractor(ExtractorConfig{}, nil)
+	cluster := []play.Play{
+		{Start: 1990, End: 2008},
+		{Start: 1991, End: 2009},
+		{Start: 1992, End: 2010},
+		{Start: 1989, End: 2007},
+		{Start: 1990, End: 2008},
+	}
+	src := &scriptedSource{batches: [][]play.Play{cluster, cluster, cluster, cluster}}
+	got, trace := e.Refine(Interval{Start: 1992, End: 2022}, src)
+	if got.Start != 1990.5 && got.Start != 1990 {
+		t.Errorf("refined start = %g, want ~1990", got.Start)
+	}
+	last := trace[len(trace)-1]
+	if !last.Converged {
+		t.Error("refinement did not converge on a stable cluster")
+	}
+	if len(trace) > 3 {
+		t.Errorf("took %d iterations on stable data", len(trace))
+	}
+}
+
+func TestRefineRespectsIterationBudget(t *testing.T) {
+	e := NewExtractor(ExtractorConfig{MaxIterations: 4}, nil)
+	// Source that always returns nothing: every step is Type I.
+	src := &scriptedSource{batches: [][]play.Play{nil, nil, nil, nil, nil, nil}}
+	_, trace := e.Refine(Interval{Start: 500, End: 530}, src)
+	if len(trace) != 4 {
+		t.Errorf("iterations = %d, want 4", len(trace))
+	}
+}
+
+func TestRefineSeedsMissingEnd(t *testing.T) {
+	e := NewExtractor(ExtractorConfig{MaxIterations: 1}, nil)
+	src := &scriptedSource{}
+	got, _ := e.Refine(Interval{Start: 100, End: 100}, src)
+	if got.End <= got.Start-20 {
+		t.Errorf("degenerate seed not repaired: %+v", got)
+	}
+}
+
+func TestTypeClassString(t *testing.T) {
+	if TypeI.String() != "Type I" || TypeII.String() != "Type II" {
+		t.Error("TypeClass String wrong")
+	}
+}

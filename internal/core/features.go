@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"lightor/internal/chat"
+	"lightor/internal/text"
+)
+
+// Features holds the three general (domain-independent) chat features of a
+// sliding window (Section IV-C2):
+//
+//   - Num: message count — excitement produces a burst;
+//   - Len: average message length in words — excited messages are short;
+//   - Sim: message similarity — excited messages converge on a topic.
+type Features struct {
+	Num, Len, Sim float64
+}
+
+// WindowFeatures extracts the raw (unnormalized) features of a window.
+func WindowFeatures(w chat.Window) Features {
+	f := Features{Num: float64(w.Count())}
+	if w.Count() == 0 {
+		return f
+	}
+	var words float64
+	for _, m := range w.Messages {
+		words += float64(text.WordCount(m.Text))
+	}
+	f.Len = words / float64(w.Count())
+	f.Sim = text.MessageSimilarity(w.Texts())
+	return f
+}
+
+// FeatureSet selects which features the prediction model uses. The paper's
+// feature-ablation experiment (Figure 6a) compares the three prefixes.
+type FeatureSet int
+
+const (
+	// FeaturesNum uses message number only — the naive signal.
+	FeaturesNum FeatureSet = iota
+	// FeaturesNumLen adds average message length.
+	FeaturesNumLen
+	// FeaturesFull uses number, length, and similarity (the default).
+	FeaturesFull
+)
+
+// String implements fmt.Stringer.
+func (fs FeatureSet) String() string {
+	switch fs {
+	case FeaturesNum:
+		return "msg num"
+	case FeaturesNumLen:
+		return "msg num + msg len"
+	case FeaturesFull:
+		return "msg num + msg len + msg sim"
+	default:
+		return fmt.Sprintf("FeatureSet(%d)", int(fs))
+	}
+}
+
+// Dim returns the number of features in the set.
+func (fs FeatureSet) Dim() int {
+	switch fs {
+	case FeaturesNum:
+		return 1
+	case FeaturesNumLen:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Vector projects the feature struct onto the selected subset, in the
+// canonical (num, len, sim) order.
+func (fs FeatureSet) Vector(f Features) []float64 {
+	switch fs {
+	case FeaturesNum:
+		return []float64{f.Num}
+	case FeaturesNumLen:
+		return []float64{f.Num, f.Len}
+	default:
+		return []float64{f.Num, f.Len, f.Sim}
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"lightor/internal/chat"
+)
+
+func window(texts ...string) chat.Window {
+	w := chat.Window{Start: 0, End: 25}
+	for i, txt := range texts {
+		w.Messages = append(w.Messages, chat.Message{Time: float64(i), Text: txt})
+	}
+	return w
+}
+
+func TestWindowFeaturesEmpty(t *testing.T) {
+	f := WindowFeatures(chat.Window{Start: 0, End: 25})
+	if f.Num != 0 || f.Len != 0 || f.Sim != 0 {
+		t.Errorf("empty window features = %+v, want zeros", f)
+	}
+}
+
+func TestWindowFeaturesCounts(t *testing.T) {
+	f := WindowFeatures(window("nice kill", "wow"))
+	if f.Num != 2 {
+		t.Errorf("Num = %g, want 2", f.Num)
+	}
+	if f.Len != 1.5 { // (2 words + 1 word) / 2
+		t.Errorf("Len = %g, want 1.5", f.Len)
+	}
+}
+
+func TestWindowFeaturesSimilarityOrdering(t *testing.T) {
+	hype := WindowFeatures(window("kill kill", "kill wow", "kill", "wow kill"))
+	chatter := WindowFeatures(window(
+		"anyone know what patch this is",
+		"my internet keeps dropping today",
+		"what do you think about the music",
+		"first time here love the channel",
+	))
+	if hype.Sim <= chatter.Sim {
+		t.Errorf("hype sim %g should exceed chatter sim %g", hype.Sim, chatter.Sim)
+	}
+	if hype.Len >= chatter.Len {
+		t.Errorf("hype len %g should be below chatter len %g", hype.Len, chatter.Len)
+	}
+}
+
+func TestFeatureSetVector(t *testing.T) {
+	f := Features{Num: 1, Len: 2, Sim: 3}
+	if v := FeaturesNum.Vector(f); len(v) != 1 || v[0] != 1 {
+		t.Errorf("FeaturesNum vector = %v", v)
+	}
+	if v := FeaturesNumLen.Vector(f); len(v) != 2 || v[1] != 2 {
+		t.Errorf("FeaturesNumLen vector = %v", v)
+	}
+	if v := FeaturesFull.Vector(f); len(v) != 3 || v[2] != 3 {
+		t.Errorf("FeaturesFull vector = %v", v)
+	}
+}
+
+func TestFeatureSetDimAndString(t *testing.T) {
+	if FeaturesNum.Dim() != 1 || FeaturesNumLen.Dim() != 2 || FeaturesFull.Dim() != 3 {
+		t.Error("Dim wrong")
+	}
+	for _, fs := range []FeatureSet{FeaturesNum, FeaturesNumLen, FeaturesFull, FeatureSet(9)} {
+		if fs.String() == "" {
+			t.Errorf("empty String for %d", int(fs))
+		}
+	}
+}

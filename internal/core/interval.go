@@ -1,0 +1,59 @@
+// Package core implements the LIGHTOR paper's primary contribution: the
+// Highlight Initializer (Section IV), which predicts approximate highlight
+// positions from time-stamped chat, and the Highlight Extractor (Section V),
+// which refines those positions from noisy viewer play data through a
+// filtering → classification → aggregation dataflow.
+package core
+
+import "fmt"
+
+// Interval is a closed time span [Start, End] in video seconds. Highlights,
+// red-dot targets, and extractor outputs are all intervals.
+type Interval struct {
+	Start, End float64
+}
+
+// Duration returns End − Start.
+func (iv Interval) Duration() float64 { return iv.End - iv.Start }
+
+// Contains reports whether x lies inside the interval (inclusive).
+func (iv Interval) Contains(x float64) bool { return iv.Start <= x && x <= iv.End }
+
+// String renders the interval for logs and experiment output.
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%.1fs, %.1fs]", iv.Start, iv.End)
+}
+
+// StartTolerance is how early a red dot may be relative to the highlight
+// start and still count as good: people accept up to 10 seconds of delay
+// before losing patience (Section IV-A).
+const StartTolerance = 10.0
+
+// IsGoodRedDot reports whether dot is a good red dot for highlight h:
+// not after the highlight's end, and no more than StartTolerance seconds
+// before its start (r ∈ [s−10, e], Section IV-A).
+func IsGoodRedDot(dot float64, h Interval) bool {
+	return dot >= h.Start-StartTolerance && dot <= h.End
+}
+
+// IsGoodStartAmong reports whether dot is a good start position for any of
+// the highlights — the Video Precision@K (start) correctness predicate.
+func IsGoodStartAmong(dot float64, highlights []Interval) bool {
+	for _, h := range highlights {
+		if IsGoodRedDot(dot, h) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsGoodEndAmong reports whether e is a correct end position: within
+// [s, e+10] of some highlight (Section VII-A, Video Precision@K (end)).
+func IsGoodEndAmong(end float64, highlights []Interval) bool {
+	for _, h := range highlights {
+		if end >= h.Start && end <= h.End+StartTolerance {
+			return true
+		}
+	}
+	return false
+}

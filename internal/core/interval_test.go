@@ -1,0 +1,72 @@
+package core
+
+import "testing"
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{Start: 10, End: 25}
+	if iv.Duration() != 15 {
+		t.Errorf("Duration = %g", iv.Duration())
+	}
+	if !iv.Contains(10) || !iv.Contains(25) || iv.Contains(9.9) || iv.Contains(25.1) {
+		t.Error("Contains boundaries wrong")
+	}
+	if iv.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestIsGoodRedDot(t *testing.T) {
+	h := Interval{Start: 1990, End: 2005}
+	cases := []struct {
+		dot  float64
+		want bool
+	}{
+		{2000, true},    // inside
+		{1990, true},    // at start
+		{2005, true},    // at end
+		{1980, true},    // exactly 10s early
+		{1979.9, false}, // too early
+		{2005.1, false}, // after end — viewers would miss it
+		{2100, false},   // far away (paper's bad example)
+	}
+	for _, c := range cases {
+		if got := IsGoodRedDot(c.dot, h); got != c.want {
+			t.Errorf("IsGoodRedDot(%g) = %v, want %v", c.dot, got, c.want)
+		}
+	}
+}
+
+func TestIsGoodStartAmong(t *testing.T) {
+	hs := []Interval{{Start: 100, End: 120}, {Start: 500, End: 520}}
+	if !IsGoodStartAmong(95, hs) {
+		t.Error("95 should match the first highlight (within 10s before)")
+	}
+	if !IsGoodStartAmong(510, hs) {
+		t.Error("510 should match the second highlight")
+	}
+	if IsGoodStartAmong(300, hs) {
+		t.Error("300 matches nothing")
+	}
+	if IsGoodStartAmong(300, nil) {
+		t.Error("no highlights should never match")
+	}
+}
+
+func TestIsGoodEndAmong(t *testing.T) {
+	hs := []Interval{{Start: 100, End: 120}}
+	cases := []struct {
+		end  float64
+		want bool
+	}{
+		{120, true},  // exact
+		{130, true},  // within +10
+		{131, false}, // too late
+		{100, true},  // at start (within [s, e+10])
+		{99, false},  // before start
+	}
+	for _, c := range cases {
+		if got := IsGoodEndAmong(c.end, hs); got != c.want {
+			t.Errorf("IsGoodEndAmong(%g) = %v, want %v", c.end, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"lightor/internal/chat"
+)
+
+// OnlineDetector runs the Highlight Initializer over a LIVE chat stream:
+// messages arrive in timestamp order and red dots are emitted as soon as
+// they are final, while the broadcast is still running. This is the
+// deployment direction the paper sketches in its future work (Section IX):
+// the same trained model, applied before the recording is even complete.
+//
+// Finalization rule: a window's dot can be emitted once the stream clock
+// has passed the window's end by the separation distance δ — at that point
+// no unseen message can create a better-scoring window close enough to
+// displace it. Feature normalization uses the running min/max over the
+// windows seen so far, so very early windows score against little context
+// (a warm-up effect the tests quantify).
+type OnlineDetector struct {
+	init *Initializer
+	// Threshold is the minimum model probability for a window to produce
+	// a red dot.
+	threshold float64
+	// Warmup holds back emissions until the stream clock passes this many
+	// seconds, giving the running normalization enough context to tell a
+	// real burst from early chatter. Windows closed during warm-up are
+	// still scored and emitted once it ends. Default 300 s; settable via
+	// SetWarmup before the first Feed.
+	warmup float64
+
+	now      float64
+	pending  []onlineWindow // closed windows awaiting finalization
+	current  *chat.Window   // window being filled
+	mins     []float64      // running feature minima
+	maxs     []float64      // running feature maxima
+	haveNorm bool
+	emitted  []RedDot
+}
+
+type onlineWindow struct {
+	win   chat.Window
+	feats []float64
+	done  bool
+}
+
+// NewOnlineDetector wraps a trained initializer for streaming use.
+// threshold ≤ 0 defaults to 0.5.
+func NewOnlineDetector(init *Initializer, threshold float64) (*OnlineDetector, error) {
+	if init == nil || init.model == nil {
+		return nil, errors.New("core: OnlineDetector needs a trained initializer")
+	}
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	return &OnlineDetector{init: init, threshold: threshold, warmup: 300}, nil
+}
+
+// SetWarmup overrides the warm-up horizon in seconds (0 disables it).
+// Call it before the first Feed.
+func (o *OnlineDetector) SetWarmup(seconds float64) { o.warmup = seconds }
+
+// Feed consumes the next chat message (timestamps must be non-decreasing)
+// and returns any red dots finalized by the stream advancing. It returns
+// an error on out-of-order input — live chat is inherently ordered, so
+// disorder means the caller's plumbing is broken.
+func (o *OnlineDetector) Feed(m chat.Message) ([]RedDot, error) {
+	if m.Time < o.now {
+		return nil, errors.New("core: OnlineDetector messages must arrive in time order")
+	}
+	o.now = m.Time
+	size := o.init.cfg.WindowSize
+
+	// Close any windows the clock has passed.
+	for o.current != nil && m.Time >= o.current.End {
+		o.closeCurrent()
+	}
+	if o.current == nil {
+		start := math.Floor(m.Time/size) * size
+		o.current = &chat.Window{Start: start, End: start + size}
+	}
+	o.current.Messages = append(o.current.Messages, m)
+	return o.collect(), nil
+}
+
+// Advance moves the stream clock without a message (heartbeats during
+// quiet periods) and returns any newly finalized dots.
+func (o *OnlineDetector) Advance(now float64) []RedDot {
+	if now <= o.now {
+		return nil
+	}
+	o.now = now
+	for o.current != nil && now >= o.current.End {
+		o.closeCurrent()
+	}
+	return o.collect()
+}
+
+// Flush ends the stream: every remaining window finalizes immediately.
+func (o *OnlineDetector) Flush() []RedDot {
+	if o.current != nil {
+		o.closeCurrent()
+	}
+	o.now = math.Inf(1)
+	return o.collect()
+}
+
+// Emitted returns all dots emitted so far, in emission order.
+func (o *OnlineDetector) Emitted() []RedDot {
+	out := make([]RedDot, len(o.emitted))
+	copy(out, o.emitted)
+	return out
+}
+
+func (o *OnlineDetector) closeCurrent() {
+	w := *o.current
+	o.current = nil
+	feats := o.init.cfg.Features.Vector(WindowFeatures(w))
+	if o.mins == nil {
+		o.mins = append([]float64(nil), feats...)
+		o.maxs = append([]float64(nil), feats...)
+	} else {
+		for j, f := range feats {
+			if f < o.mins[j] {
+				o.mins[j] = f
+			}
+			if f > o.maxs[j] {
+				o.maxs[j] = f
+			}
+		}
+	}
+	o.haveNorm = true
+	o.pending = append(o.pending, onlineWindow{win: w, feats: feats})
+	// Advance the clock past any gap the closed window leaves.
+	nextStart := w.End
+	size := o.init.cfg.WindowSize
+	if o.now >= nextStart+size {
+		// A quiet stretch: materialize empty windows so local-maximum
+		// comparisons see them (they score ~0 and finalize trivially).
+		for start := nextStart; start+size <= o.now; start += size {
+			empty := chat.Window{Start: start, End: start + size}
+			o.pending = append(o.pending, onlineWindow{
+				win:   empty,
+				feats: o.init.cfg.Features.Vector(WindowFeatures(empty)),
+			})
+		}
+	}
+}
+
+// score normalizes with the running min/max and applies the model.
+func (o *OnlineDetector) score(feats []float64) float64 {
+	row := make([]float64, len(feats))
+	for j, f := range feats {
+		span := o.maxs[j] - o.mins[j]
+		if span > 0 {
+			row[j] = (f - o.mins[j]) / span
+		}
+	}
+	p, err := o.init.model.PredictProba(row)
+	if err != nil {
+		return 0
+	}
+	return p
+}
+
+// collect finalizes pending windows once the clock has passed their end by
+// δ, emitting a dot for each window that clears the threshold and is the
+// best-scoring window within its δ-neighborhood.
+func (o *OnlineDetector) collect() []RedDot {
+	if !o.haveNorm {
+		return nil
+	}
+	delta := o.init.cfg.MinSeparation
+	var newDots []RedDot
+	for i := range o.pending {
+		pw := &o.pending[i]
+		if pw.done || o.now < pw.win.End+delta || o.now < o.warmup {
+			continue
+		}
+		s := o.score(pw.feats)
+		if s < o.threshold {
+			pw.done = true
+			continue
+		}
+		// Compare against every neighbor within δ (all of them are closed,
+		// because the clock is ≥ this window's end + δ and neighbors start
+		// within δ of it).
+		best := true
+		for j := range o.pending {
+			if j == i {
+				continue
+			}
+			nb := &o.pending[j]
+			if math.Abs(nb.win.Start-pw.win.Start) > delta {
+				continue
+			}
+			ns := o.score(nb.feats)
+			if ns > s || (ns == s && j < i) {
+				best = false
+				break
+			}
+		}
+		// Respect separation against already-emitted dots.
+		if best {
+			peak := o.init.windowPeak(pw.win)
+			dot := peak - float64(o.init.delayC)
+			if dot < 0 {
+				dot = 0
+			}
+			for _, e := range o.emitted {
+				if math.Abs(e.Time-dot) <= delta {
+					best = false
+					break
+				}
+			}
+			if best {
+				rd := RedDot{
+					Time:   dot,
+					Peak:   peak,
+					Window: Interval{Start: pw.win.Start, End: pw.win.End},
+					Score:  s,
+				}
+				o.emitted = append(o.emitted, rd)
+				newDots = append(newDots, rd)
+			}
+		}
+		pw.done = true
+	}
+	// Drop fully processed prefix to keep memory proportional to the
+	// active horizon, not the stream length.
+	firstLive := 0
+	for firstLive < len(o.pending) && o.pending[firstLive].done &&
+		o.now >= o.pending[firstLive].win.End+2*delta {
+		firstLive++
+	}
+	if firstLive > 0 {
+		o.pending = append([]onlineWindow(nil), o.pending[firstLive:]...)
+	}
+	return newDots
+}

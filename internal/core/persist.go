@@ -1,0 +1,65 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"lightor/internal/ml"
+)
+
+// initializerModel is the serialized form of a trained Initializer. Only
+// the prediction model's coefficients and the learned delay need to
+// persist — feature scaling is refit per video at detection time.
+type initializerModel struct {
+	Version int               `json:"version"`
+	Config  InitializerConfig `json:"config"`
+	Weights []float64         `json:"weights"`
+	Bias    float64           `json:"bias"`
+	DelayC  int               `json:"delay_c"`
+}
+
+const modelVersion = 1
+
+// Save writes the trained model as JSON. It fails on an untrained
+// initializer: persisting an unusable model is always a bug.
+func (in *Initializer) Save(w io.Writer) error {
+	if in.model == nil {
+		return fmt.Errorf("core: cannot save an untrained initializer")
+	}
+	m := initializerModel{
+		Version: modelVersion,
+		Config:  in.cfg,
+		Weights: in.model.Weights,
+		Bias:    in.model.Bias,
+		DelayC:  in.delayC,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("core: encoding model: %w", err)
+	}
+	return nil
+}
+
+// LoadInitializer reads a model saved by Save.
+func LoadInitializer(r io.Reader) (*Initializer, error) {
+	var m initializerModel
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if m.Version != modelVersion {
+		return nil, fmt.Errorf("core: unsupported model version %d", m.Version)
+	}
+	if len(m.Weights) == 0 {
+		return nil, fmt.Errorf("core: model has no weights")
+	}
+	if want := m.Config.Features.Dim(); len(m.Weights) != want {
+		return nil, fmt.Errorf("core: model has %d weights but feature set %q needs %d",
+			len(m.Weights), m.Config.Features, want)
+	}
+	in := NewInitializer(m.Config)
+	in.model = &ml.LogisticRegression{Weights: m.Weights, Bias: m.Bias}
+	in.delayC = m.DelayC
+	return in, nil
+}

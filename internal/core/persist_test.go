@@ -1,0 +1,75 @@
+package core_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lightor/internal/core"
+	"lightor/internal/sim"
+	"lightor/internal/stats"
+)
+
+func TestInitializerSaveLoadRoundTrip(t *testing.T) {
+	rng := stats.NewRand(200)
+	data := sim.GenerateDataset(rng, sim.Dota2Profile(), 3)
+	init := core.NewInitializer(core.DefaultInitializerConfig())
+	if err := init.Train(trainingVideos(t, init, data[:1])); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := init.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.LoadInitializer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.DelayC() != init.DelayC() {
+		t.Errorf("delay differs after round trip: %d vs %d", loaded.DelayC(), init.DelayC())
+	}
+
+	// Predictions must be identical.
+	target := data[2]
+	a, err := init.Detect(target.Chat.Log, target.Video.Duration, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Detect(target.Chat.Log, target.Video.Duration, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("dot counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("dot %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSaveUntrainedFails(t *testing.T) {
+	init := core.NewInitializer(core.InitializerConfig{})
+	var buf bytes.Buffer
+	if err := init.Save(&buf); err == nil {
+		t.Error("saving untrained initializer accepted")
+	}
+}
+
+func TestLoadInitializerRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "certainly not json",
+		"wrong version": `{"version": 99, "weights": [1,2,3]}`,
+		"no weights":    `{"version": 1, "weights": []}`,
+		"dim mismatch":  `{"version": 1, "weights": [1], "config": {"Features": 2}}`,
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := core.LoadInitializer(strings.NewReader(in)); err == nil {
+				t.Error("accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"lightor/internal/chat"
+)
+
+// HighlightResult is one extracted highlight: where the initializer put the
+// red dot, the boundary the extractor converged to, and the refinement
+// trace.
+type HighlightResult struct {
+	Dot      RedDot
+	Boundary Interval
+	Trace    []StepResult
+}
+
+// Workflow is the end-to-end LIGHTOR pipeline of Figure 1: the Highlight
+// Initializer proposes red dots from chat, the Highlight Extractor refines
+// each against viewer interaction data.
+type Workflow struct {
+	Initializer *Initializer
+	Extractor   *Extractor
+}
+
+// NewWorkflow assembles a pipeline from a trained initializer and an
+// extractor.
+func NewWorkflow(init *Initializer, ext *Extractor) *Workflow {
+	return &Workflow{Initializer: init, Extractor: ext}
+}
+
+// Run extracts the top-k highlights of a video: red dots come from the
+// chat log; each dot is then refined against the interaction source until
+// convergence. Results keep the initializer's score order.
+func (wf *Workflow) Run(log *chat.Log, duration float64, k int, source InteractionSource) ([]HighlightResult, error) {
+	if wf.Initializer == nil || wf.Extractor == nil {
+		return nil, fmt.Errorf("core: workflow needs both components (init=%v, ext=%v)",
+			wf.Initializer != nil, wf.Extractor != nil)
+	}
+	dots, err := wf.Initializer.Detect(log, duration, k)
+	if err != nil {
+		return nil, fmt.Errorf("core: initializer: %w", err)
+	}
+	results := make([]HighlightResult, 0, len(dots))
+	for _, dot := range dots {
+		seed := Interval{Start: dot.Time, End: dot.Time + wf.Extractor.Config().DefaultSpan}
+		boundary, trace := wf.Extractor.Refine(seed, source)
+		results = append(results, HighlightResult{Dot: dot, Boundary: boundary, Trace: trace})
+	}
+	return results, nil
+}

@@ -1,0 +1,109 @@
+// Package crowd simulates the Amazon Mechanical Turk side of the paper's
+// evaluation: publishing one task per red dot, collecting a batch of worker
+// responses per iteration, and feeding the resulting interaction data back
+// to the Highlight Extractor. The paper recruited 492 workers and gathered
+// 10 responses per task per iteration (Section VII-C); this package
+// reproduces that loop with simulated viewers.
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lightor/internal/play"
+	"lightor/internal/sim"
+	"lightor/internal/stats"
+)
+
+// Task asks workers to watch a video around one red dot.
+type Task struct {
+	ID    string
+	Video sim.Video
+	Dot   float64
+	// Target is the ground-truth highlight the dot approximates; the
+	// simulated workers need it to behave like humans who can see the
+	// video content. Real deployments obviously do not have this field —
+	// it drives the simulation, never the extractor.
+	Target sim.Interval
+}
+
+// Response is one worker's interaction record for a task.
+type Response struct {
+	TaskID string
+	Worker string
+	Events []play.Event
+}
+
+// Pool is a simulated worker pool with stable per-worker behaviour.
+type Pool struct {
+	rng      *rand.Rand
+	workers  []workerProfile
+	nextTask int
+}
+
+type workerProfile struct {
+	name     string
+	behavior sim.ViewerBehavior
+}
+
+// NewPool creates a pool of n workers with individually perturbed
+// behaviour profiles around the defaults, seeded deterministically.
+func NewPool(seed int64, n int) *Pool {
+	rng := stats.NewRand(seed)
+	workers := make([]workerProfile, n)
+	for i := range workers {
+		b := sim.DefaultViewerBehavior()
+		// Workers differ in patience and thoroughness.
+		b.SkipAheadProb = stats.Clamp(b.SkipAheadProb+stats.Normal(rng, 0, 0.1), 0.4, 0.95)
+		b.CheckProb = stats.Clamp(b.CheckProb+stats.Normal(rng, 0, 0.08), 0, 0.6)
+		b.StartOffsetMean = stats.Clamp(b.StartOffsetMean+stats.Normal(rng, 0, 1.5), 3, 12)
+		workers[i] = workerProfile{
+			name:     fmt.Sprintf("worker%04d", i),
+			behavior: b,
+		}
+	}
+	return &Pool{rng: rng, workers: workers}
+}
+
+// Size returns the number of workers in the pool.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// NewTask builds a task for a red dot on a video, targeting the nearest
+// ground-truth highlight (what a human viewer would lock onto).
+func NewTask(v sim.Video, dot float64) (Task, error) {
+	h, ok := sim.NearestHighlight(v, dot)
+	if !ok {
+		return Task{}, fmt.Errorf("crowd: video %s has no highlights to target", v.ID)
+	}
+	return Task{
+		ID:     fmt.Sprintf("%s@%.0f", v.ID, dot),
+		Video:  v,
+		Dot:    dot,
+		Target: h,
+	}, nil
+}
+
+// Collect publishes the task to the pool and returns responses from n
+// randomly drawn workers (without replacement when n ≤ pool size).
+func (p *Pool) Collect(task Task, n int) []Response {
+	if n > len(p.workers) {
+		n = len(p.workers)
+	}
+	perm := p.rng.Perm(len(p.workers))[:n]
+	out := make([]Response, 0, n)
+	for _, wi := range perm {
+		w := p.workers[wi]
+		events := sim.SimulateViewer(p.rng, w.name, task.Video, task.Dot, task.Target, w.behavior)
+		out = append(out, Response{TaskID: task.ID, Worker: w.name, Events: events})
+	}
+	return out
+}
+
+// Plays flattens responses into sessionized play records.
+func Plays(responses []Response) []play.Play {
+	var events []play.Event
+	for _, r := range responses {
+		events = append(events, r.Events...)
+	}
+	return play.Sessionize(events)
+}

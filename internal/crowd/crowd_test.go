@@ -1,0 +1,104 @@
+package crowd
+
+import (
+	"testing"
+
+	"lightor/internal/sim"
+)
+
+func testVideo() sim.Video {
+	return sim.Video{
+		ID:         "dota2-t",
+		Duration:   3600,
+		Highlights: []sim.Interval{{Start: 1990, End: 2005}},
+	}
+}
+
+func TestNewPoolDeterministic(t *testing.T) {
+	a := NewPool(1, 50)
+	b := NewPool(1, 50)
+	task, err := NewTask(testVideo(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := a.Collect(task, 10)
+	rb := b.Collect(task, 10)
+	if len(ra) != len(rb) {
+		t.Fatal("same seed pools differ")
+	}
+	for i := range ra {
+		if ra[i].Worker != rb[i].Worker || len(ra[i].Events) != len(rb[i].Events) {
+			t.Fatal("same seed pools produced different responses")
+		}
+	}
+}
+
+func TestNewTaskTargetsNearestHighlight(t *testing.T) {
+	task, err := NewTask(testVideo(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Target.Start != 1990 {
+		t.Errorf("target = %+v, want the 1990 highlight", task.Target)
+	}
+}
+
+func TestNewTaskNoHighlights(t *testing.T) {
+	if _, err := NewTask(sim.Video{ID: "empty", Duration: 100}, 50); err == nil {
+		t.Error("expected error for highlight-free video")
+	}
+}
+
+func TestCollectRespectsN(t *testing.T) {
+	pool := NewPool(2, 100)
+	task, err := NewTask(testVideo(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.Collect(task, 10); len(got) != 10 {
+		t.Errorf("responses = %d, want 10", len(got))
+	}
+	// Requesting more than the pool yields the whole pool.
+	if got := pool.Collect(task, 500); len(got) != 100 {
+		t.Errorf("responses = %d, want 100", len(got))
+	}
+}
+
+func TestCollectDrawsDistinctWorkers(t *testing.T) {
+	pool := NewPool(3, 30)
+	task, err := NewTask(testVideo(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, r := range pool.Collect(task, 30) {
+		if seen[r.Worker] {
+			t.Fatalf("worker %s responded twice in one batch", r.Worker)
+		}
+		seen[r.Worker] = true
+	}
+}
+
+func TestPlaysFlattens(t *testing.T) {
+	pool := NewPool(4, 20)
+	task, err := NewTask(testVideo(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	responses := pool.Collect(task, 10)
+	plays := Plays(responses)
+	if len(plays) == 0 {
+		t.Fatal("no plays from 10 responses")
+	}
+	for _, p := range plays {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("invalid play: %v", err)
+		}
+	}
+}
+
+func TestPoolSize(t *testing.T) {
+	if got := NewPool(5, 42).Size(); got != 42 {
+		t.Errorf("Size = %d, want 42", got)
+	}
+}

@@ -1,0 +1,111 @@
+// Package eval implements the paper's evaluation metrics (Section VII-A):
+// Chat Precision@K over predicted sliding windows, and Video Precision@K
+// over predicted start and end positions, plus small helpers for averaging
+// across test videos.
+package eval
+
+import (
+	"fmt"
+
+	"lightor/internal/core"
+)
+
+// PrecisionAtK returns the fraction of correct entries among the first k
+// (or among all entries when fewer than k exist). With no entries it
+// returns 0 — an empty answer earns no credit.
+func PrecisionAtK(correct []bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	n := len(correct)
+	if n > k {
+		n = k
+	}
+	if n == 0 {
+		return 0
+	}
+	hits := 0
+	for _, c := range correct[:n] {
+		if c {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n)
+}
+
+// StartPrecisionAtK evaluates predicted start positions (best first)
+// against ground-truth highlights: position x is correct when
+// x ∈ [s−10, e] for some highlight [s, e].
+func StartPrecisionAtK(starts []float64, highlights []core.Interval, k int) float64 {
+	correct := make([]bool, len(starts))
+	for i, s := range starts {
+		correct[i] = core.IsGoodStartAmong(s, highlights)
+	}
+	return PrecisionAtK(correct, k)
+}
+
+// EndPrecisionAtK evaluates predicted end positions (best first): position
+// y is correct when y ∈ [s, e+10] for some highlight [s, e].
+func EndPrecisionAtK(ends []float64, highlights []core.Interval, k int) float64 {
+	correct := make([]bool, len(ends))
+	for i, e := range ends {
+		correct[i] = core.IsGoodEndAmong(e, highlights)
+	}
+	return PrecisionAtK(correct, k)
+}
+
+// ChatPrecisionAtK evaluates predicted windows (best first) against
+// per-window ground truth labels: predictedIdx lists window indices in
+// rank order, labels holds 1 for windows that discuss a highlight.
+func ChatPrecisionAtK(predictedIdx []int, labels []int, k int) float64 {
+	correct := make([]bool, len(predictedIdx))
+	for i, idx := range predictedIdx {
+		correct[i] = idx >= 0 && idx < len(labels) && labels[idx] == 1
+	}
+	return PrecisionAtK(correct, k)
+}
+
+// Mean accumulates values and reports their average; experiments use it to
+// average per-video precision over a test set.
+type Mean struct {
+	sum float64
+	n   int
+}
+
+// Add records one value.
+func (m *Mean) Add(v float64) {
+	m.sum += v
+	m.n++
+}
+
+// Value returns the running mean, or 0 with no observations.
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// N returns the number of observations.
+func (m *Mean) N() int { return m.n }
+
+// String renders the mean for experiment output.
+func (m *Mean) String() string {
+	return fmt.Sprintf("%.3f (n=%d)", m.Value(), m.n)
+}
+
+// Series is a named sequence of (x, y) points — one curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds a point to the series.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }

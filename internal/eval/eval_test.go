@@ -1,0 +1,92 @@
+package eval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lightor/internal/core"
+)
+
+func TestPrecisionAtK(t *testing.T) {
+	correct := []bool{true, false, true, true}
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{1, 1},
+		{2, 0.5},
+		{4, 0.75},
+		{10, 0.75}, // fewer than k entries: divide by what exists
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := PrecisionAtK(correct, c.k); got != c.want {
+			t.Errorf("PrecisionAtK(k=%d) = %g, want %g", c.k, got, c.want)
+		}
+	}
+	if got := PrecisionAtK(nil, 5); got != 0 {
+		t.Errorf("empty precision = %g, want 0", got)
+	}
+}
+
+func TestStartAndEndPrecisionAtK(t *testing.T) {
+	hs := []core.Interval{{Start: 100, End: 120}}
+	starts := []float64{95, 300, 110}
+	if got := StartPrecisionAtK(starts, hs, 3); got != 2.0/3 {
+		t.Errorf("start precision = %g, want 2/3", got)
+	}
+	ends := []float64{125, 90, 120}
+	if got := EndPrecisionAtK(ends, hs, 3); got != 2.0/3 {
+		t.Errorf("end precision = %g, want 2/3", got)
+	}
+}
+
+func TestChatPrecisionAtK(t *testing.T) {
+	labels := []int{0, 1, 1, 0}
+	predicted := []int{1, 0, 2}
+	if got := ChatPrecisionAtK(predicted, labels, 3); got != 2.0/3 {
+		t.Errorf("chat precision = %g, want 2/3", got)
+	}
+	// Out-of-range indices count as wrong, not panic.
+	if got := ChatPrecisionAtK([]int{99, -1}, labels, 2); got != 0 {
+		t.Errorf("out-of-range precision = %g, want 0", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 || m.N() != 0 {
+		t.Error("zero Mean should report 0")
+	}
+	m.Add(1)
+	m.Add(2)
+	m.Add(3)
+	if m.Value() != 2 || m.N() != 3 {
+		t.Errorf("Mean = %g (n=%d), want 2 (3)", m.Value(), m.N())
+	}
+	if m.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "test"
+	s.Append(1, 0.5)
+	s.Append(2, 0.7)
+	if s.Len() != 2 || s.X[1] != 2 || s.Y[1] != 0.7 {
+		t.Errorf("series = %+v", s)
+	}
+}
+
+// Property: precision is always in [0, 1] and monotone in added correct
+// prefix entries.
+func TestPrecisionRangeProperty(t *testing.T) {
+	f := func(correct []bool, k uint8) bool {
+		p := PrecisionAtK(correct, int(k))
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lightor/internal/baselines"
+	"lightor/internal/core"
+	"lightor/internal/eval"
+	"lightor/internal/sim"
+	"lightor/internal/stats"
+)
+
+// Fig10Result reproduces Figure 10: LIGHTOR trained on a single labeled
+// LoL video against Chat-LSTM trained on 1 video (a) and on the full
+// training set (b), evaluated on held-out LoL videos.
+type Fig10Result struct {
+	Lightor1    eval.Series // LIGHTOR, 1 labeled video
+	ChatLSTM1   eval.Series // Chat-LSTM, 1 labeled video
+	ChatLSTMAll eval.Series // Chat-LSTM, full training set (paper: 123)
+	TrainSize   int
+}
+
+// Figure10 runs the training-size comparison on LoL data.
+func Figure10(cfg Config) (*Fig10Result, error) {
+	train, test := cfg.lolData()
+	res := &Fig10Result{TrainSize: len(train)}
+
+	init, err := trainInitializer(core.FeaturesFull, train[:1])
+	if err != nil {
+		return nil, fmt.Errorf("fig10 lightor: %w", err)
+	}
+	res.Lightor1, err = startPrecisionCurve(lightorStarts(init), test, cfg.KMax)
+	if err != nil {
+		return nil, err
+	}
+	res.Lightor1.Name = "Lightor (1 labeled video)"
+
+	rng := stats.NewRand(cfg.Seed + 10)
+	one := baselines.TrainChatLSTM(cfg.LSTM, lstmVideos(rng, train[:1], false, 0))
+	res.ChatLSTM1, err = startPrecisionCurve(func(d sim.VideoData, k int) ([]float64, error) {
+		return one.Detect(d.Chat.Log, d.Video.Duration, k), nil
+	}, test, cfg.KMax)
+	if err != nil {
+		return nil, err
+	}
+	res.ChatLSTM1.Name = "Chat-LSTM (1 labeled video)"
+
+	all := baselines.TrainChatLSTM(cfg.LSTM, lstmVideos(rng, train, false, 0))
+	res.ChatLSTMAll, err = startPrecisionCurve(func(d sim.VideoData, k int) ([]float64, error) {
+		return all.Detect(d.Chat.Log, d.Video.Duration, k), nil
+	}, test, cfg.KMax)
+	if err != nil {
+		return nil, err
+	}
+	res.ChatLSTMAll.Name = fmt.Sprintf("Chat-LSTM (%d labeled videos)", len(train))
+	return res, nil
+}
+
+// Render prints both panels.
+func (r *Fig10Result) Render() string {
+	return renderSeries("Figure 10(a): trained on 1 video each (LoL)",
+		"k", []eval.Series{r.Lightor1, r.ChatLSTM1}) +
+		"\n" +
+		renderSeries(fmt.Sprintf("Figure 10(b): Lightor@1 vs Chat-LSTM@%d (LoL)", r.TrainSize),
+			"k", []eval.Series{r.Lightor1, r.ChatLSTMAll})
+}
+
+// Fig11Result reproduces Figure 11: model generalization. Both systems are
+// trained on LoL and evaluated on LoL and on Dota2; LIGHTOR's generic
+// features transfer, Chat-LSTM's character patterns do not.
+type Fig11Result struct {
+	LightorLoL   eval.Series
+	LightorDota  eval.Series
+	ChatLSTMLoL  eval.Series
+	ChatLSTMDota eval.Series
+}
+
+// Figure11 runs the cross-domain evaluation.
+func Figure11(cfg Config) (*Fig11Result, error) {
+	lolTrain, lolTest := cfg.lolData()
+	_, dotaTest := cfg.dotaData()
+	res := &Fig11Result{}
+
+	init, err := trainInitializer(core.FeaturesFull, lolTrain[:1])
+	if err != nil {
+		return nil, fmt.Errorf("fig11 lightor: %w", err)
+	}
+	res.LightorLoL, err = startPrecisionCurve(lightorStarts(init), lolTest, cfg.KMax)
+	if err != nil {
+		return nil, err
+	}
+	res.LightorLoL.Name = "LoL"
+	res.LightorDota, err = startPrecisionCurve(lightorStarts(init), dotaTest, cfg.KMax)
+	if err != nil {
+		return nil, err
+	}
+	res.LightorDota.Name = "Dota2"
+
+	rng := stats.NewRand(cfg.Seed + 11)
+	lstm := baselines.TrainChatLSTM(cfg.LSTM, lstmVideos(rng, lolTrain, false, 0))
+	detect := func(d sim.VideoData, k int) ([]float64, error) {
+		return lstm.Detect(d.Chat.Log, d.Video.Duration, k), nil
+	}
+	res.ChatLSTMLoL, err = startPrecisionCurve(detect, lolTest, cfg.KMax)
+	if err != nil {
+		return nil, err
+	}
+	res.ChatLSTMLoL.Name = "LoL"
+	res.ChatLSTMDota, err = startPrecisionCurve(detect, dotaTest, cfg.KMax)
+	if err != nil {
+		return nil, err
+	}
+	res.ChatLSTMDota.Name = "Dota2"
+	return res, nil
+}
+
+// Render prints both panels.
+func (r *Fig11Result) Render() string {
+	return renderSeries("Figure 11(a): Lightor trained on LoL, tested on LoL and Dota2",
+		"k", []eval.Series{r.LightorLoL, r.LightorDota}) +
+		"\n" +
+		renderSeries("Figure 11(b): Chat-LSTM trained on LoL, tested on LoL and Dota2",
+			"k", []eval.Series{r.ChatLSTMLoL, r.ChatLSTMDota})
+}

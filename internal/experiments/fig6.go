@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lightor/internal/core"
+	"lightor/internal/eval"
+)
+
+// Fig6aResult reproduces Figure 6(a): Chat Precision@K of the prediction
+// stage for the three nested feature sets, k = 1..KMax, averaged over the
+// Dota2 test videos.
+type Fig6aResult struct {
+	Curves []eval.Series // one per feature set, paper order
+}
+
+// Figure6a trains one model per feature set on the Dota2 training split
+// and evaluates Chat Precision@K on the test split.
+func Figure6a(cfg Config) (*Fig6aResult, error) {
+	train, test := cfg.dotaData()
+	res := &Fig6aResult{}
+	for _, fs := range []core.FeatureSet{core.FeaturesNum, core.FeaturesNumLen, core.FeaturesFull} {
+		init, err := trainInitializer(fs, train)
+		if err != nil {
+			return nil, fmt.Errorf("fig6a (%s): %w", fs, err)
+		}
+		s, err := chatPrecisionCurve(init, test, cfg.KMax)
+		if err != nil {
+			return nil, fmt.Errorf("fig6a (%s): %w", fs, err)
+		}
+		s.Name = fs.String()
+		res.Curves = append(res.Curves, s)
+	}
+	return res, nil
+}
+
+// Render prints the three curves.
+func (r *Fig6aResult) Render() string {
+	return renderSeries("Figure 6(a): Chat Precision@K by feature set", "k", r.Curves)
+}
+
+// Fig6bResult reproduces Figure 6(b): Chat Precision@10 as the number of
+// training videos grows from 1 to DotaTrain.
+type Fig6bResult struct {
+	Curve eval.Series
+}
+
+// Figure6b sweeps the training size with the full feature set.
+func Figure6b(cfg Config) (*Fig6bResult, error) {
+	train, test := cfg.dotaData()
+	res := &Fig6bResult{}
+	res.Curve.Name = fmt.Sprintf("Chat Precision@%d", cfg.KMax)
+	for n := 1; n <= len(train); n++ {
+		init, err := trainInitializer(core.FeaturesFull, train[:n])
+		if err != nil {
+			return nil, fmt.Errorf("fig6b (n=%d): %w", n, err)
+		}
+		var mean eval.Mean
+		for _, d := range test {
+			ws, top, err := init.TopWindows(d.Chat.Log, d.Video.Duration, cfg.KMax)
+			if err != nil {
+				return nil, err
+			}
+			labels := labelsFor(d, ws)
+			mean.Add(eval.ChatPrecisionAtK(top, labels, cfg.KMax))
+		}
+		res.Curve.Append(float64(n), mean.Value())
+	}
+	return res, nil
+}
+
+// Render prints the training-size sweep.
+func (r *Fig6bResult) Render() string {
+	return renderSeries("Figure 6(b): effect of training size on Chat Precision@10",
+		"# training videos", []eval.Series{r.Curve})
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lightor/internal/baselines"
+	"lightor/internal/core"
+	"lightor/internal/eval"
+	"lightor/internal/sim"
+)
+
+// Fig7aResult reproduces Figure 7(a): Video Precision@K (start) of the
+// adjustment stage against Toretter and the Ideal curve (the chat
+// precision of the same model — what a perfect adjustment would achieve).
+type Fig7aResult struct {
+	Toretter eval.Series
+	Lightor  eval.Series
+	Ideal    eval.Series
+}
+
+// Figure7a trains LIGHTOR on the Dota2 training split and compares start
+// precision against Toretter on the test split.
+func Figure7a(cfg Config) (*Fig7aResult, error) {
+	train, test := cfg.dotaData()
+	init, err := trainInitializer(core.FeaturesFull, train)
+	if err != nil {
+		return nil, fmt.Errorf("fig7a: %w", err)
+	}
+
+	res := &Fig7aResult{}
+	res.Lightor, err = startPrecisionCurve(lightorStarts(init), test, cfg.KMax)
+	if err != nil {
+		return nil, fmt.Errorf("fig7a lightor: %w", err)
+	}
+	res.Lightor.Name = "Lightor"
+
+	tor := baselines.NewToretter()
+	res.Toretter, err = startPrecisionCurve(func(d sim.VideoData, k int) ([]float64, error) {
+		return tor.Detect(d.Chat.Log, d.Video.Duration, k), nil
+	}, test, cfg.KMax)
+	if err != nil {
+		return nil, fmt.Errorf("fig7a toretter: %w", err)
+	}
+	res.Toretter.Name = "Toretter"
+
+	// Ideal: every correctly-predicted window yields a good dot, i.e. the
+	// chat-precision curve of the same model (the paper's framing).
+	res.Ideal, err = chatPrecisionCurve(init, test, cfg.KMax)
+	if err != nil {
+		return nil, fmt.Errorf("fig7a ideal: %w", err)
+	}
+	res.Ideal.Name = "Ideal"
+	return res, nil
+}
+
+// Render prints the three curves.
+func (r *Fig7aResult) Render() string {
+	return renderSeries("Figure 7(a): Video Precision@K (start) — adjustment stage",
+		"k", []eval.Series{r.Toretter, r.Lightor, r.Ideal})
+}
+
+// Fig7bResult reproduces Figure 7(b): the learned adjustment constant c as
+// the number of training videos grows — it should stay in a tight band.
+type Fig7bResult struct {
+	Curve eval.Series // x = training videos, y = learned c (seconds)
+}
+
+// Figure7b sweeps the training size and records the learned constant.
+func Figure7b(cfg Config) (*Fig7bResult, error) {
+	train, _ := cfg.dotaData()
+	res := &Fig7bResult{}
+	res.Curve.Name = "constant c (s)"
+	for n := 1; n <= len(train); n++ {
+		init, err := trainInitializer(core.FeaturesFull, train[:n])
+		if err != nil {
+			return nil, fmt.Errorf("fig7b (n=%d): %w", n, err)
+		}
+		res.Curve.Append(float64(n), float64(init.DelayC()))
+	}
+	return res, nil
+}
+
+// Render prints the constant-stability sweep.
+func (r *Fig7bResult) Render() string {
+	return renderSeries("Figure 7(b): learned adjustment constant vs training size",
+		"# training videos", []eval.Series{r.Curve})
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lightor/internal/baselines"
+	"lightor/internal/core"
+	"lightor/internal/crowd"
+	"lightor/internal/eval"
+	"lightor/internal/play"
+	"lightor/internal/sim"
+)
+
+// Fig8Result reproduces Figure 8: Video Precision@K (start and end) of the
+// Highlight Extractor over crowd iterations, against SocialSkip and MOOCer
+// applied to the first iteration's interaction data (they are not
+// iterative, matching the paper's protocol).
+type Fig8Result struct {
+	LightorStart, LightorEnd       eval.Series
+	SocialSkipStart, SocialSkipEnd eval.Series
+	MoocerStart, MoocerEnd         eval.Series
+}
+
+// Figure8 trains the initializer on the Dota2 split, places DotsPerVideo
+// red dots on each of ExtractVideos held-out videos, and refines them with
+// simulated AMT crowds, measuring precision after every iteration.
+func Figure8(cfg Config) (*Fig8Result, error) {
+	train, test := cfg.dotaData()
+	if len(test) < cfg.ExtractVideos {
+		return nil, fmt.Errorf("fig8: need %d test videos, have %d", cfg.ExtractVideos, len(test))
+	}
+	init, err := trainInitializer(core.FeaturesFull, train)
+	if err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
+	ext := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	pool := crowd.NewPool(cfg.Seed+7, cfg.PoolWorkers)
+
+	// Per-dot refinement state.
+	type dotState struct {
+		video sim.VideoData
+		h     core.Interval
+		done  bool
+	}
+	var states []*dotState
+	// First-iteration events per video, for the non-iterative baselines.
+	firstIterEvents := map[string][]play.Event{}
+
+	for _, d := range test[:cfg.ExtractVideos] {
+		dots, err := init.Detect(d.Chat.Log, d.Video.Duration, cfg.DotsPerVideo)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 detect on %s: %w", d.Video.ID, err)
+		}
+		for _, dot := range dots {
+			states = append(states, &dotState{
+				video: d,
+				h:     core.Interval{Start: dot.Time, End: dot.Time + ext.Config().DefaultSpan},
+			})
+		}
+	}
+	if len(states) == 0 {
+		return nil, fmt.Errorf("fig8: no red dots to refine")
+	}
+
+	res := &Fig8Result{}
+	res.LightorStart.Name, res.LightorEnd.Name = "Lightor", "Lightor"
+	res.SocialSkipStart.Name, res.SocialSkipEnd.Name = "SocialSkip", "SocialSkip"
+	res.MoocerStart.Name, res.MoocerEnd.Name = "MOOCer", "MOOCer"
+
+	for iter := 1; iter <= cfg.Iterations; iter++ {
+		for _, st := range states {
+			if st.done {
+				continue
+			}
+			task, err := crowd.NewTask(st.video.Video, st.h.Start)
+			if err != nil {
+				return nil, fmt.Errorf("fig8 task: %w", err)
+			}
+			responses := pool.Collect(task, cfg.ResponsesPerTask)
+			if iter == 1 {
+				for _, r := range responses {
+					firstIterEvents[st.video.Video.ID] = append(firstIterEvents[st.video.Video.ID], r.Events...)
+				}
+			}
+			step := ext.Step(st.h, crowd.Plays(responses))
+			st.h = step.Refined
+			if step.Converged {
+				st.done = true
+			}
+		}
+		// Precision over all dots after this iteration.
+		var startMean, endMean eval.Mean
+		perVideo := map[string][]*dotState{}
+		for _, st := range states {
+			perVideo[st.video.Video.ID] = append(perVideo[st.video.Video.ID], st)
+		}
+		for _, group := range perVideo {
+			var starts, ends []float64
+			var hs []core.Interval
+			for _, st := range group {
+				starts = append(starts, st.h.Start)
+				ends = append(ends, st.h.End)
+				hs = st.video.Video.Highlights
+			}
+			startMean.Add(eval.StartPrecisionAtK(starts, hs, len(starts)))
+			endMean.Add(eval.EndPrecisionAtK(ends, hs, len(ends)))
+		}
+		res.LightorStart.Append(float64(iter), startMean.Value())
+		res.LightorEnd.Append(float64(iter), endMean.Value())
+	}
+
+	// Baselines on first-iteration data.
+	ss := baselines.NewSocialSkip()
+	mo := baselines.NewMoocer()
+	var ssStart, ssEnd, moStart, moEnd eval.Mean
+	for _, d := range test[:cfg.ExtractVideos] {
+		events := firstIterEvents[d.Video.ID]
+		hs := d.Video.Highlights
+		k := cfg.DotsPerVideo
+
+		ssIvs := ss.Detect(events, d.Video.Duration, k)
+		moIvs := mo.Detect(play.Sessionize(events), d.Video.Duration, k)
+		ssStart.Add(eval.StartPrecisionAtK(intervalStarts(ssIvs), hs, k))
+		ssEnd.Add(eval.EndPrecisionAtK(intervalEnds(ssIvs), hs, k))
+		moStart.Add(eval.StartPrecisionAtK(intervalStarts(moIvs), hs, k))
+		moEnd.Add(eval.EndPrecisionAtK(intervalEnds(moIvs), hs, k))
+	}
+	for iter := 1; iter <= cfg.Iterations; iter++ {
+		res.SocialSkipStart.Append(float64(iter), ssStart.Value())
+		res.SocialSkipEnd.Append(float64(iter), ssEnd.Value())
+		res.MoocerStart.Append(float64(iter), moStart.Value())
+		res.MoocerEnd.Append(float64(iter), moEnd.Value())
+	}
+	return res, nil
+}
+
+// Render prints the start and end precision series.
+func (r *Fig8Result) Render() string {
+	return renderSeries("Figure 8(a): Video Precision@K (start) over iterations",
+		"iteration", []eval.Series{r.LightorStart, r.SocialSkipStart, r.MoocerStart}) +
+		"\n" +
+		renderSeries("Figure 8(b): Video Precision@K (end) over iterations",
+			"iteration", []eval.Series{r.LightorEnd, r.SocialSkipEnd, r.MoocerEnd})
+}
+
+func intervalStarts(ivs []core.Interval) []float64 {
+	out := make([]float64, len(ivs))
+	for i, iv := range ivs {
+		out[i] = iv.Start
+	}
+	return out
+}
+
+func intervalEnds(ivs []core.Interval) []float64 {
+	out := make([]float64, len(ivs))
+	for i, iv := range ivs {
+		out[i] = iv.End
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lightor/internal/sim"
+	"lightor/internal/stats"
+)
+
+// Fig9Result reproduces Figure 9: cumulative distributions of chat volume
+// and viewer counts across the recorded videos of the top channels, and
+// the applicability fractions the paper quotes (Section VII-D).
+type Fig9Result struct {
+	Videos int
+	// FractionAbove500Chats is the share of videos with > 500 chats/hour
+	// (LIGHTOR's Highlight Initializer requirement). Paper: > 80%.
+	FractionAbove500Chats float64
+	// FractionAbove100Viewers is the share of videos with > 100 viewers
+	// (Highlight Extractor requirement). Paper: 100%.
+	FractionAbove100Viewers float64
+	ChatCDF                 *stats.ECDF
+	ViewerCDF               *stats.ECDF
+}
+
+// Figure9 crawls the simulated platform's top channels through the real
+// HTTP crawler stack and computes the distributions.
+func Figure9(cfg Config) (*Fig9Result, error) {
+	rng := stats.NewRand(cfg.Seed + 9)
+	vs := sim.GenerateChannelStats(rng, cfg.Channels, cfg.VideosPerChannel)
+	if len(vs) == 0 {
+		return nil, fmt.Errorf("fig9: no videos crawled")
+	}
+	var chats, viewers []float64
+	for _, v := range vs {
+		chats = append(chats, v.ChatsPerHour)
+		viewers = append(viewers, v.Viewers)
+	}
+	res := &Fig9Result{
+		Videos:    len(vs),
+		ChatCDF:   stats.NewECDF(chats),
+		ViewerCDF: stats.NewECDF(viewers),
+	}
+	res.FractionAbove500Chats = res.ChatCDF.AtLeast(500)
+	res.FractionAbove100Viewers = res.ViewerCDF.AtLeast(100)
+	return res, nil
+}
+
+// Render prints CDF samples at the paper's x-axis points plus the headline
+// fractions.
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	var rows [][]string
+	for _, x := range []float64{100, 500, 1000, 5000, 10000, 25000} {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", x),
+			fmt.Sprintf("%.2f", r.ChatCDF.At(x)),
+			fmt.Sprintf("%.2f", r.ViewerCDF.At(x)),
+		})
+	}
+	b.WriteString(renderTable(
+		fmt.Sprintf("Figure 9: applicability CDFs over %d recorded videos", r.Videos),
+		[]string{"x", "P(chats/hour ≤ x)", "P(viewers ≤ x)"},
+		rows,
+	))
+	fmt.Fprintf(&b, "videos with > 500 chats/hour: %.0f%% (paper: >80%%)\n", r.FractionAbove500Chats*100)
+	fmt.Fprintf(&b, "videos with > 100 viewers:    %.0f%% (paper: 100%%)\n", r.FractionAbove100Viewers*100)
+	return b.String()
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"lightor/internal/baselines"
+	"lightor/internal/chat"
+	"lightor/internal/core"
+	"lightor/internal/eval"
+	"lightor/internal/sim"
+	"lightor/internal/stats"
+)
+
+// labelsFor produces the ground-truth window labels of a simulated video.
+func labelsFor(d sim.VideoData, ws []chat.Window) []int {
+	return sim.LabelWindows(ws, d.Chat.Bursts)
+}
+
+// trainingVideos converts simulated videos (with burst ground truth) into
+// the initializer's labeled-video form: the simulated analog of the paper's
+// human window labeling.
+func trainingVideos(init *core.Initializer, data []sim.VideoData) []core.TrainingVideo {
+	out := make([]core.TrainingVideo, len(data))
+	for i, d := range data {
+		ws := init.Windows(d.Chat.Log, d.Video.Duration)
+		out[i] = core.TrainingVideo{
+			Log:        d.Chat.Log,
+			Duration:   d.Video.Duration,
+			Labels:     sim.LabelWindows(ws, d.Chat.Bursts),
+			Highlights: d.Video.Highlights,
+		}
+	}
+	return out
+}
+
+// trainInitializer builds and trains an initializer with the given feature
+// set on a slice of simulated videos.
+func trainInitializer(features core.FeatureSet, data []sim.VideoData) (*core.Initializer, error) {
+	cfg := core.DefaultInitializerConfig()
+	cfg.Features = features
+	init := core.NewInitializer(cfg)
+	if err := init.Train(trainingVideos(init, data)); err != nil {
+		return nil, fmt.Errorf("training initializer: %w", err)
+	}
+	return init, nil
+}
+
+// lstmVideos converts simulated videos to the LSTM baselines' training
+// form; withFrames adds simulated visual features for Joint-LSTM.
+func lstmVideos(rng *rand.Rand, data []sim.VideoData, withFrames bool, frameDim int) []baselines.ChatVideo {
+	out := make([]baselines.ChatVideo, len(data))
+	for i, d := range data {
+		cv := baselines.ChatVideo{
+			Log:        d.Chat.Log,
+			Duration:   d.Video.Duration,
+			Highlights: d.Video.Highlights,
+		}
+		if withFrames {
+			cv.Frames = sim.FrameFeatures(rng, d.Video, frameDim)
+		}
+		out[i] = cv
+	}
+	return out
+}
+
+// chatPrecisionCurve evaluates Chat Precision@K for k = 1..kMax of a
+// trained initializer, averaged over test videos. The separation-greedy
+// top-k selection is prefix-nested (top-k is the first k of top-kMax), so
+// each video is scored once.
+func chatPrecisionCurve(init *core.Initializer, test []sim.VideoData, kMax int) (eval.Series, error) {
+	perVideo := make([][]float64, 0, len(test)) // precision at k=1..kMax
+	for _, d := range test {
+		ws, top, err := init.TopWindows(d.Chat.Log, d.Video.Duration, kMax)
+		if err != nil {
+			return eval.Series{}, err
+		}
+		labels := sim.LabelWindows(ws, d.Chat.Bursts)
+		row := make([]float64, kMax)
+		for k := 1; k <= kMax; k++ {
+			row[k-1] = eval.ChatPrecisionAtK(top, labels, k)
+		}
+		perVideo = append(perVideo, row)
+	}
+	return averageCurve(perVideo, kMax), nil
+}
+
+// startPrecisionCurve evaluates Video Precision@K (start) of a detector
+// function for k = 1..kMax, averaged over test videos. The detector is
+// called once per video with kMax; precision at smaller k uses prefixes
+// (all our detectors produce nested, best-first rankings).
+func startPrecisionCurve(detect func(d sim.VideoData, k int) ([]float64, error), test []sim.VideoData, kMax int) (eval.Series, error) {
+	perVideo := make([][]float64, 0, len(test))
+	for _, d := range test {
+		starts, err := detect(d, kMax)
+		if err != nil {
+			return eval.Series{}, err
+		}
+		row := make([]float64, kMax)
+		for k := 1; k <= kMax; k++ {
+			row[k-1] = eval.StartPrecisionAtK(starts, d.Video.Highlights, k)
+		}
+		perVideo = append(perVideo, row)
+	}
+	return averageCurve(perVideo, kMax), nil
+}
+
+// averageCurve averages per-video precision rows into one series.
+func averageCurve(perVideo [][]float64, kMax int) eval.Series {
+	var s eval.Series
+	for k := 1; k <= kMax; k++ {
+		var mean eval.Mean
+		for _, row := range perVideo {
+			mean.Add(row[k-1])
+		}
+		s.Append(float64(k), mean.Value())
+	}
+	return s
+}
+
+// lightorStarts adapts a trained initializer to the detector-function form.
+func lightorStarts(init *core.Initializer) func(d sim.VideoData, k int) ([]float64, error) {
+	return func(d sim.VideoData, k int) ([]float64, error) {
+		dots, err := init.Detect(d.Chat.Log, d.Video.Duration, k)
+		if err != nil {
+			return nil, err
+		}
+		starts := make([]float64, len(dots))
+		for i, dot := range dots {
+			starts[i] = dot.Time
+		}
+		return starts, nil
+	}
+}
+
+// renderTable lays out rows under headers with aligned columns.
+func renderTable(title string, headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// renderSeries lays a set of curves out as one table with X in the first
+// column.
+func renderSeries(title, xLabel string, series []eval.Series) string {
+	headers := []string{xLabel}
+	for _, s := range series {
+		headers = append(headers, s.Name)
+	}
+	n := 0
+	for _, s := range series {
+		if s.Len() > n {
+			n = s.Len()
+		}
+	}
+	rows := make([][]string, n)
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(headers))
+		x := ""
+		if len(series) > 0 && i < series[0].Len() {
+			x = trimFloat(series[0].X[i])
+		}
+		row = append(row, x)
+		for _, s := range series {
+			if i < s.Len() {
+				row = append(row, fmt.Sprintf("%.3f", s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		rows[i] = row
+	}
+	return renderTable(title, headers, rows)
+}
+
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%.1f", x)
+}
+
+// datasetPair generates the Dota2 train/test split for an experiment.
+func (c Config) dotaData() (train, test []sim.VideoData) {
+	rng := stats.NewRand(c.Seed)
+	all := sim.GenerateDataset(rng, sim.Dota2Profile(), c.DotaTrain+c.DotaTest)
+	return all[:c.DotaTrain], all[c.DotaTrain:]
+}
+
+// lolData generates the LoL train/test split.
+func (c Config) lolData() (train, test []sim.VideoData) {
+	rng := stats.NewRand(c.Seed + 1)
+	all := sim.GenerateDataset(rng, sim.LoLProfile(), c.LoLTrain+c.LoLTest)
+	return all[:c.LoLTrain], all[c.LoLTrain:]
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lightor/internal/core"
+	"lightor/internal/eval"
+)
+
+// OnlineResult compares live (streaming) detection against the offline
+// detector on the same test videos — an extension beyond the paper, in the
+// direction its future work sketches (Section IX): highlight positions
+// available while the broadcast is still running.
+type OnlineResult struct {
+	OfflinePrecision float64 // Video Precision@K (start), offline Detect
+	OnlinePrecision  float64 // precision of dots emitted by the stream end
+	OnlineDots       float64 // mean dots emitted per video
+	MeanLagSeconds   float64 // mean delay between a dot's position and its emission
+	K                int
+}
+
+// OnlineVsOffline trains one initializer, then runs it both ways over the
+// Dota2 test videos.
+func OnlineVsOffline(cfg Config) (*OnlineResult, error) {
+	train, test := cfg.dotaData()
+	if len(test) > cfg.ExtractVideos*2 {
+		test = test[:cfg.ExtractVideos*2]
+	}
+	init, err := trainInitializer(core.FeaturesFull, train)
+	if err != nil {
+		return nil, fmt.Errorf("online: %w", err)
+	}
+	const k = 10
+	res := &OnlineResult{K: k}
+
+	var offline, online, dots, lag eval.Mean
+	for _, d := range test {
+		// Offline reference.
+		offDots, err := init.Detect(d.Chat.Log, d.Video.Duration, k)
+		if err != nil {
+			return nil, err
+		}
+		starts := make([]float64, len(offDots))
+		for i, dot := range offDots {
+			starts[i] = dot.Time
+		}
+		offline.Add(eval.StartPrecisionAtK(starts, d.Video.Highlights, k))
+
+		// Live pass over the same chat.
+		od, err := core.NewOnlineDetector(init, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		var emitClock []float64
+		for _, m := range d.Chat.Log.Messages() {
+			newDots, err := od.Feed(m)
+			if err != nil {
+				return nil, err
+			}
+			for range newDots {
+				emitClock = append(emitClock, m.Time)
+			}
+		}
+		final := od.Flush()
+		for range final {
+			emitClock = append(emitClock, d.Video.Duration)
+		}
+		emitted := od.Emitted()
+		good := 0
+		for i, dot := range emitted {
+			if core.IsGoodStartAmong(dot.Time, d.Video.Highlights) {
+				good++
+			}
+			if i < len(emitClock) {
+				lag.Add(emitClock[i] - dot.Time)
+			}
+		}
+		if len(emitted) > 0 {
+			online.Add(float64(good) / float64(len(emitted)))
+		} else {
+			online.Add(0)
+		}
+		dots.Add(float64(len(emitted)))
+	}
+	res.OfflinePrecision = offline.Value()
+	res.OnlinePrecision = online.Value()
+	res.OnlineDots = dots.Value()
+	res.MeanLagSeconds = lag.Value()
+	return res, nil
+}
+
+// Render prints the comparison.
+func (r *OnlineResult) Render() string {
+	rows := [][]string{
+		{"offline Detect", fmt.Sprintf("%.3f", r.OfflinePrecision), "-", "-"},
+		{"online stream", fmt.Sprintf("%.3f", r.OnlinePrecision),
+			fmt.Sprintf("%.1f", r.OnlineDots),
+			fmt.Sprintf("%.0fs", r.MeanLagSeconds)},
+	}
+	return renderTable(
+		fmt.Sprintf("Online vs offline detection (Video Precision@%d start)", r.K),
+		[]string{"mode", "precision", "dots/video", "mean emission lag"},
+		rows,
+	)
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lightor/internal/baselines"
+	"lightor/internal/core"
+	"lightor/internal/crowd"
+	"lightor/internal/eval"
+	"lightor/internal/sim"
+	"lightor/internal/stats"
+)
+
+// Table1Result reproduces Table I: the end-to-end comparison of LIGHTOR
+// (1 labeled LoL video + crowd interactions) against Joint-LSTM (full LoL
+// training set with chat and simulated visual features), both evaluated on
+// Dota2 videos at k = 5.
+type Table1Result struct {
+	LightorStartP, LightorEndP float64
+	LightorTrainTime           time.Duration
+	JointStartP, JointEndP     float64
+	JointTrainTime             time.Duration
+	TrainVideos                int
+	K                          int
+}
+
+// Table1 runs the end-to-end comparison.
+func Table1(cfg Config) (*Table1Result, error) {
+	lolTrain, _ := cfg.lolData()
+	_, dotaTest := cfg.dotaData()
+	if len(dotaTest) > cfg.ExtractVideos {
+		dotaTest = dotaTest[:cfg.ExtractVideos]
+	}
+	const k = 5
+	res := &Table1Result{TrainVideos: len(lolTrain), K: k}
+
+	// --- LIGHTOR: train on one labeled LoL video, measure wall time.
+	start := time.Now()
+	init, err := trainInitializer(core.FeaturesFull, lolTrain[:1])
+	if err != nil {
+		return nil, fmt.Errorf("table1 lightor: %w", err)
+	}
+	res.LightorTrainTime = time.Since(start)
+
+	// End-to-end on Dota2: detect dots, refine each with crowd iterations.
+	ext := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	pool := crowd.NewPool(cfg.Seed+13, cfg.PoolWorkers)
+	var startMean, endMean eval.Mean
+	for _, d := range dotaTest {
+		dots, err := init.Detect(d.Chat.Log, d.Video.Duration, k)
+		if err != nil {
+			return nil, fmt.Errorf("table1 detect: %w", err)
+		}
+		var starts, ends []float64
+		for _, dot := range dots {
+			h := core.Interval{Start: dot.Time, End: dot.Time + ext.Config().DefaultSpan}
+			for iter := 0; iter < cfg.Iterations; iter++ {
+				task, err := crowd.NewTask(d.Video, h.Start)
+				if err != nil {
+					return nil, fmt.Errorf("table1 task: %w", err)
+				}
+				step := ext.Step(h, crowd.Plays(pool.Collect(task, cfg.ResponsesPerTask)))
+				h = step.Refined
+				if step.Converged {
+					break
+				}
+			}
+			starts = append(starts, h.Start)
+			ends = append(ends, h.End)
+		}
+		startMean.Add(eval.StartPrecisionAtK(starts, d.Video.Highlights, k))
+		endMean.Add(eval.EndPrecisionAtK(ends, d.Video.Highlights, k))
+	}
+	res.LightorStartP = startMean.Value()
+	res.LightorEndP = endMean.Value()
+
+	// --- Joint-LSTM: train on the full LoL set with frames, measure time.
+	rng := stats.NewRand(cfg.Seed + 14)
+	videos := lstmVideos(rng, lolTrain, true, cfg.LSTM.FrameDim)
+	start = time.Now()
+	joint := baselines.TrainJointLSTM(cfg.LSTM, videos)
+	res.JointTrainTime = time.Since(start)
+
+	var jStart, jEnd eval.Mean
+	for _, d := range dotaTest {
+		frames := sim.FrameFeatures(rng, d.Video, cfg.LSTM.FrameDim)
+		ivs := joint.DetectIntervals(d.Chat.Log, frames, d.Video.Duration, k)
+		jStart.Add(eval.StartPrecisionAtK(intervalStarts(ivs), d.Video.Highlights, k))
+		jEnd.Add(eval.EndPrecisionAtK(intervalEnds(ivs), d.Video.Highlights, k))
+	}
+	res.JointStartP = jStart.Value()
+	res.JointEndP = jEnd.Value()
+	return res, nil
+}
+
+// SpeedupFactor returns how many times faster LIGHTOR trained.
+func (r *Table1Result) SpeedupFactor() float64 {
+	if r.LightorTrainTime <= 0 {
+		return 0
+	}
+	return float64(r.JointTrainTime) / float64(r.LightorTrainTime)
+}
+
+// Render prints the paper-style comparison table.
+func (r *Table1Result) Render() string {
+	rows := [][]string{
+		{
+			"LIGHTOR",
+			fmt.Sprintf("%.3f", r.LightorStartP),
+			fmt.Sprintf("%.3f", r.LightorEndP),
+			r.LightorTrainTime.String(),
+		},
+		{
+			fmt.Sprintf("Joint-LSTM (%d videos)", r.TrainVideos),
+			fmt.Sprintf("%.3f", r.JointStartP),
+			fmt.Sprintf("%.3f", r.JointEndP),
+			r.JointTrainTime.String(),
+		},
+	}
+	out := renderTable(
+		fmt.Sprintf("Table I: end-to-end comparison on Dota2 (k=%d)", r.K),
+		[]string{"system", "Precision@K (start)", "Precision@K (end)", "training time"},
+		rows,
+	)
+	return out + fmt.Sprintf("LIGHTOR trained %.0fx faster\n", r.SpeedupFactor())
+}

@@ -1,0 +1,145 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LogisticRegression is a binary classifier trained with full-batch
+// gradient descent and L2 regularization. It is deliberately simple — the
+// Highlight Initializer combines only three features, and the paper shows a
+// linear model is enough (Section IV-B).
+type LogisticRegression struct {
+	// Weights holds one coefficient per feature; Bias is the intercept.
+	Weights []float64
+	Bias    float64
+
+	// Training hyperparameters. Zero values are replaced by defaults in Fit.
+	LearningRate float64 // default 0.5
+	Epochs       int     // default 500
+	L2           float64 // default 1e-4
+}
+
+// Sigmoid is the logistic function 1/(1+e^-z), numerically stabilized.
+func Sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+func (m *LogisticRegression) defaults() {
+	if m.LearningRate == 0 {
+		m.LearningRate = 0.5
+	}
+	if m.Epochs == 0 {
+		m.Epochs = 500
+	}
+	if m.L2 == 0 {
+		m.L2 = 1e-4
+	}
+}
+
+// Fit trains the model on X (rows of features, already scaled) and binary
+// labels y. It returns an error on shape mismatches or empty input.
+func (m *LogisticRegression) Fit(X [][]float64, y []int) error {
+	if len(X) == 0 {
+		return errors.New("ml: LogisticRegression.Fit on empty training set")
+	}
+	if len(X) != len(y) {
+		return fmt.Errorf("ml: %d rows but %d labels", len(X), len(y))
+	}
+	dim := len(X[0])
+	for i, row := range X {
+		if len(row) != dim {
+			return fmt.Errorf("ml: ragged row %d: len %d, want %d", i, len(row), dim)
+		}
+		if y[i] != 0 && y[i] != 1 {
+			return fmt.Errorf("ml: label %d at row %d is not binary", y[i], i)
+		}
+	}
+	m.defaults()
+	m.Weights = make([]float64, dim)
+	m.Bias = 0
+
+	n := float64(len(X))
+	grad := make([]float64, dim)
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		var gradBias float64
+		for i, row := range X {
+			err := m.probability(row) - float64(y[i])
+			for j, x := range row {
+				grad[j] += err * x
+			}
+			gradBias += err
+		}
+		for j := range m.Weights {
+			g := grad[j]/n + m.L2*m.Weights[j]
+			m.Weights[j] -= m.LearningRate * g
+		}
+		m.Bias -= m.LearningRate * gradBias / n
+	}
+	return nil
+}
+
+func (m *LogisticRegression) probability(row []float64) float64 {
+	z := m.Bias
+	for j, w := range m.Weights {
+		z += w * row[j]
+	}
+	return Sigmoid(z)
+}
+
+// PredictProba returns P(y=1 | row). It returns an error if the model has
+// not been fitted or the row has the wrong dimensionality.
+func (m *LogisticRegression) PredictProba(row []float64) (float64, error) {
+	if m.Weights == nil {
+		return 0, errors.New("ml: LogisticRegression used before Fit")
+	}
+	if len(row) != len(m.Weights) {
+		return 0, fmt.Errorf("ml: row has %d features, model has %d", len(row), len(m.Weights))
+	}
+	return m.probability(row), nil
+}
+
+// Predict returns the hard 0/1 label at the 0.5 threshold.
+func (m *LogisticRegression) Predict(row []float64) (int, error) {
+	p, err := m.PredictProba(row)
+	if err != nil {
+		return 0, err
+	}
+	if p >= 0.5 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// Loss returns the L2-regularized mean cross-entropy of the model on (X, y).
+// Exposed for tests and training diagnostics.
+func (m *LogisticRegression) Loss(X [][]float64, y []int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	var loss float64
+	for i, row := range X {
+		p := m.probability(row)
+		// Clamp to avoid log(0) on saturated predictions.
+		p = math.Min(math.Max(p, 1e-12), 1-1e-12)
+		if y[i] == 1 {
+			loss -= math.Log(p)
+		} else {
+			loss -= math.Log(1 - p)
+		}
+	}
+	loss /= float64(len(X))
+	var reg float64
+	for _, w := range m.Weights {
+		reg += w * w
+	}
+	return loss + 0.5*m.L2*reg
+}

@@ -1,0 +1,79 @@
+package ml
+
+import "fmt"
+
+// ConfusionMatrix tallies binary classification outcomes.
+type ConfusionMatrix struct {
+	TP, FP, TN, FN int
+}
+
+// Observe records one (predicted, actual) pair.
+func (c *ConfusionMatrix) Observe(predicted, actual int) {
+	switch {
+	case predicted == 1 && actual == 1:
+		c.TP++
+	case predicted == 1 && actual == 0:
+		c.FP++
+	case predicted == 0 && actual == 0:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+// Accuracy returns (TP+TN)/total, or 0 with no observations.
+func (c *ConfusionMatrix) Accuracy() float64 {
+	total := c.TP + c.FP + c.TN + c.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// Precision returns TP/(TP+FP), or 0 when nothing was predicted positive.
+func (c *ConfusionMatrix) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when there are no actual positives.
+func (c *ConfusionMatrix) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall, or 0 when both are 0.
+func (c *ConfusionMatrix) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix compactly for logs and experiment output.
+func (c *ConfusionMatrix) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d acc=%.3f p=%.3f r=%.3f",
+		c.TP, c.FP, c.TN, c.FN, c.Accuracy(), c.Precision(), c.Recall())
+}
+
+// Evaluate runs a fitted classifier over the rows of X and tallies outcomes
+// against y.
+func Evaluate(m *LogisticRegression, X [][]float64, y []int) (*ConfusionMatrix, error) {
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("ml: %d rows but %d labels", len(X), len(y))
+	}
+	var cm ConfusionMatrix
+	for i, row := range X {
+		pred, err := m.Predict(row)
+		if err != nil {
+			return nil, err
+		}
+		cm.Observe(pred, y[i])
+	}
+	return &cm, nil
+}

@@ -1,0 +1,132 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCharVocab(t *testing.T) {
+	v := NewCharVocab([]string{"abc", "bcd"})
+	if v.Len() != 5 { // unknown + a b c d
+		t.Errorf("vocab len = %d, want 5", v.Len())
+	}
+	enc := v.Encode("abz", 0)
+	if len(enc) != 3 {
+		t.Fatalf("encoded len = %d", len(enc))
+	}
+	if enc[2] != 0 {
+		t.Errorf("unknown rune should map to 0, got %d", enc[2])
+	}
+	if enc[0] == 0 || enc[1] == 0 {
+		t.Error("known runes must not map to the unknown slot")
+	}
+}
+
+func TestCharVocabTruncation(t *testing.T) {
+	v := NewCharVocab([]string{"abcdef"})
+	if got := v.Encode("abcdef", 3); len(got) != 3 {
+		t.Errorf("truncated len = %d, want 3", len(got))
+	}
+	if got := v.Encode("abcdef", 0); len(got) != 6 {
+		t.Errorf("untruncated len = %d, want 6", len(got))
+	}
+}
+
+// The classifier must learn a trivially separable character task: strings of
+// 'a's are positive, strings of 'b's are negative.
+func TestSeqClassifierLearnsToyTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vocab := NewCharVocab([]string{"ab"})
+	c := NewSeqClassifier(rng, vocab.Len(), 8, 1, 0.05)
+
+	pos := vocab.Encode("aaaaaaaa", 0)
+	neg := vocab.Encode("bbbbbbbb", 0)
+	seqs := [][]int{pos, neg}
+	labels := []int{1, 0}
+
+	var first, last float64
+	for epoch := 0; epoch < 150; epoch++ {
+		loss := c.TrainBatch(seqs, labels)
+		if epoch == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first {
+		t.Errorf("loss did not decrease: %g -> %g", first, last)
+	}
+	if p := c.PredictProba(pos); p < 0.8 {
+		t.Errorf("P(positive) = %g, want > 0.8", p)
+	}
+	if p := c.PredictProba(neg); p > 0.2 {
+		t.Errorf("P(negative) = %g, want < 0.2", p)
+	}
+}
+
+func TestSeqClassifierEmptyBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewSeqClassifier(rng, 4, 4, 1, 0.01)
+	if loss := c.TrainBatch(nil, nil); loss != 0 {
+		t.Errorf("empty batch loss = %g, want 0", loss)
+	}
+}
+
+func TestJointClassifierLearnsFrameSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := NewJointClassifier(rng, 3, 2, 8, 1, 0.05)
+
+	// Chat is uninformative (same sequence); frames carry the label.
+	chat := []int{1, 2, 1}
+	posFrames := [][]float64{{1, 0}, {1, 0}, {1, 0}}
+	negFrames := [][]float64{{0, 1}, {0, 1}, {0, 1}}
+
+	chatSeqs := [][]int{chat, chat}
+	frameSeqs := [][][]float64{posFrames, negFrames}
+	labels := []int{1, 0}
+
+	for epoch := 0; epoch < 200; epoch++ {
+		c.TrainBatch(chatSeqs, frameSeqs, labels)
+	}
+	if p := c.PredictProba(chat, posFrames); p < 0.8 {
+		t.Errorf("P(pos frames) = %g, want > 0.8", p)
+	}
+	if p := c.PredictProba(chat, negFrames); p > 0.2 {
+		t.Errorf("P(neg frames) = %g, want < 0.2", p)
+	}
+}
+
+func TestJointClassifierEmptyBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewJointClassifier(rng, 4, 2, 4, 1, 0.01)
+	if loss := c.TrainBatch(nil, nil, nil); loss != 0 {
+		t.Errorf("empty batch loss = %g, want 0", loss)
+	}
+}
+
+func TestBCE(t *testing.T) {
+	if bce(0.5, 1) <= 0 {
+		t.Error("bce must be positive for imperfect predictions")
+	}
+	if bce(1, 1) > 1e-10 {
+		t.Errorf("bce(1,1) = %g, want ~0", bce(1, 1))
+	}
+	// Saturated wrong prediction must be finite (clamped).
+	if v := bce(0, 1); v > 30 {
+		t.Errorf("bce(0,1) = %g, should be clamped near -log(1e-12)", v)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	got := concat([]float64{1, 2}, []float64{3})
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("concat = %v", got)
+	}
+	// Must not alias the first argument's backing array.
+	a := make([]float64, 2, 8)
+	a[0], a[1] = 1, 2
+	out := concat(a, []float64{9})
+	out[0] = 100
+	if a[0] == 100 {
+		t.Error("concat aliased its input")
+	}
+}

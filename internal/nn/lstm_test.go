@@ -1,0 +1,198 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLSTMForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLSTM(rng, 5, 3)
+	h, cache := l.ForwardIndices([]int{0, 2, 4})
+	if len(h) != 3 {
+		t.Fatalf("hidden size = %d, want 3", len(h))
+	}
+	if len(cache.steps) != 3 {
+		t.Fatalf("cache steps = %d, want 3", len(cache.steps))
+	}
+}
+
+func TestLSTMEmptySequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLSTM(rng, 5, 3)
+	h, cache := l.ForwardIndices(nil)
+	for _, v := range h {
+		if v != 0 {
+			t.Error("empty sequence should yield zero state")
+		}
+	}
+	// Backward through an empty cache must not panic.
+	l.Backward(cache, []float64{1, 1, 1})
+}
+
+func TestLSTMHiddenBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewLSTM(rng, 4, 6)
+	seq := make([]int, 100)
+	for i := range seq {
+		seq[i] = rng.Intn(4)
+	}
+	h, _ := l.ForwardIndices(seq)
+	for _, v := range h {
+		if math.Abs(v) > 1 {
+			t.Errorf("|h| = %g exceeds 1 (h = o·tanh(c) is bounded)", v)
+		}
+	}
+}
+
+func TestLSTMForwardDeterministic(t *testing.T) {
+	l1 := NewLSTM(rand.New(rand.NewSource(7)), 4, 5)
+	l2 := NewLSTM(rand.New(rand.NewSource(7)), 4, 5)
+	seq := []int{1, 2, 3, 0, 2}
+	h1, _ := l1.ForwardIndices(seq)
+	h2, _ := l2.ForwardIndices(seq)
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatal("same seed, same input, different output")
+		}
+	}
+}
+
+func TestLSTMIndexVsOneHotVecEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l := NewLSTM(rng, 6, 4)
+	seq := []int{3, 1, 5, 0}
+	hIdx, _ := l.ForwardIndices(seq)
+	vecs := make([][]float64, len(seq))
+	for i, idx := range seq {
+		v := make([]float64, 6)
+		v[idx] = 1
+		vecs[i] = v
+	}
+	hVec, _ := l.ForwardVecs(vecs)
+	for i := range hIdx {
+		if math.Abs(hIdx[i]-hVec[i]) > 1e-12 {
+			t.Fatalf("index path diverges from one-hot path at %d: %g vs %g",
+				i, hIdx[i], hVec[i])
+		}
+	}
+}
+
+// numericalGrad estimates dLoss/dParam by central differences.
+func numericalGrad(param []float64, i int, loss func() float64) float64 {
+	const eps = 1e-5
+	orig := param[i]
+	param[i] = orig + eps
+	up := loss()
+	param[i] = orig - eps
+	down := loss()
+	param[i] = orig
+	return (up - down) / (2 * eps)
+}
+
+// TestLSTMGradientCheck verifies the analytic BPTT gradients against
+// numerical differentiation on a tiny model. This is the strongest
+// correctness guarantee for the backward pass.
+func TestLSTMGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l := NewLSTM(rng, 3, 2)
+	head := NewDense(rng, 2)
+	seq := []int{0, 2, 1, 1, 0}
+	y := 1.0
+
+	loss := func() float64 {
+		h, _ := l.ForwardIndices(seq)
+		p := sigmoid(head.Forward(h))
+		return bce(p, y)
+	}
+
+	// Analytic gradients.
+	l.ZeroGrads()
+	head.ZeroGrads()
+	h, cache := l.ForwardIndices(seq)
+	p := sigmoid(head.Forward(h))
+	dh := head.Backward(h, p-y)
+	l.Backward(cache, dh)
+
+	check := func(name string, data, grad []float64) {
+		for i := range data {
+			want := numericalGrad(data, i, loss)
+			got := grad[i]
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Errorf("%s[%d]: analytic %g, numeric %g", name, i, got, want)
+			}
+		}
+	}
+	check("Wx", l.Wx.Data, l.dWx.Data)
+	check("Wh", l.Wh.Data, l.dWh.Data)
+	check("B", l.B, l.dB)
+	check("head.W", head.W, head.dW)
+	check("head.B", head.B, head.dB)
+}
+
+// TestLSTMGradientCheckDenseInput repeats the gradient check through the
+// dense-vector input path, including dx.
+func TestLSTMGradientCheckDenseInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	l := NewLSTM(rng, 3, 2)
+	head := NewDense(rng, 2)
+	seq := [][]float64{
+		{0.5, -0.2, 0.1},
+		{-0.3, 0.8, 0.4},
+		{0.1, 0.1, -0.7},
+	}
+	y := 0.0
+
+	loss := func() float64 {
+		h, _ := l.ForwardVecs(seq)
+		p := sigmoid(head.Forward(h))
+		return bce(p, y)
+	}
+
+	l.ZeroGrads()
+	head.ZeroGrads()
+	h, cache := l.ForwardVecs(seq)
+	p := sigmoid(head.Forward(h))
+	dh := head.Backward(h, p-y)
+	dxs := l.Backward(cache, dh)
+
+	check := func(name string, data, grad []float64) {
+		for i := range data {
+			want := numericalGrad(data, i, loss)
+			got := grad[i]
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Errorf("%s[%d]: analytic %g, numeric %g", name, i, got, want)
+			}
+		}
+	}
+	check("Wx", l.Wx.Data, l.dWx.Data)
+	check("Wh", l.Wh.Data, l.dWh.Data)
+	check("B", l.B, l.dB)
+
+	// dx check: perturb the input vectors.
+	for ti := range seq {
+		for j := range seq[ti] {
+			want := numericalGrad(seq[ti], j, loss)
+			got := dxs[ti][j]
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Errorf("dx[%d][%d]: analytic %g, numeric %g", ti, j, got, want)
+			}
+		}
+	}
+}
+
+func TestAdamReducesLossOnQuadratic(t *testing.T) {
+	// Minimize (x-3)^2 with Adam: gradient = 2(x-3).
+	x := []float64{0}
+	g := []float64{0}
+	params := []Param{{Data: x, Grad: g}}
+	opt := NewAdam(0.1)
+	for i := 0; i < 500; i++ {
+		g[0] = 2 * (x[0] - 3)
+		opt.Step(params)
+	}
+	if math.Abs(x[0]-3) > 0.05 {
+		t.Errorf("Adam converged to %g, want ~3", x[0])
+	}
+}

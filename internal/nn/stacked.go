@@ -1,0 +1,80 @@
+package nn
+
+import "math/rand"
+
+// StackedLSTM chains several LSTM layers: layer l+1 consumes layer l's
+// per-step hidden states. The paper's Chat-LSTM is a 3-layer stack; the
+// baselines default to one layer for speed, but the substrate supports the
+// full depth.
+type StackedLSTM struct {
+	Layers []*LSTM
+}
+
+// NewStackedLSTM builds a stack of the given depth. The first layer maps
+// inDim inputs to hidden; deeper layers map hidden to hidden.
+func NewStackedLSTM(rng *rand.Rand, inDim, hidden, depth int) *StackedLSTM {
+	if depth < 1 {
+		depth = 1
+	}
+	layers := make([]*LSTM, depth)
+	layers[0] = NewLSTM(rng, inDim, hidden)
+	for i := 1; i < depth; i++ {
+		layers[i] = NewLSTM(rng, hidden, hidden)
+	}
+	return &StackedLSTM{Layers: layers}
+}
+
+// ForwardIndices runs the stack over one-hot indices and returns the top
+// layer's final hidden state plus per-layer caches for Backward.
+func (s *StackedLSTM) ForwardIndices(seq []int) ([]float64, []*LSTMCache) {
+	caches := make([]*LSTMCache, len(s.Layers))
+	h, cache := s.Layers[0].ForwardIndices(seq)
+	caches[0] = cache
+	for i := 1; i < len(s.Layers); i++ {
+		h, cache = s.Layers[i].ForwardVecs(caches[i-1].Outputs())
+		caches[i] = cache
+	}
+	return h, caches
+}
+
+// ForwardVecs runs the stack over dense input vectors.
+func (s *StackedLSTM) ForwardVecs(seq [][]float64) ([]float64, []*LSTMCache) {
+	caches := make([]*LSTMCache, len(s.Layers))
+	h, cache := s.Layers[0].ForwardVecs(seq)
+	caches[0] = cache
+	for i := 1; i < len(s.Layers); i++ {
+		h, cache = s.Layers[i].ForwardVecs(caches[i-1].Outputs())
+		caches[i] = cache
+	}
+	return h, caches
+}
+
+// Backward propagates the loss gradient on the top layer's final hidden
+// state down the whole stack, accumulating every layer's parameter
+// gradients.
+func (s *StackedLSTM) Backward(caches []*LSTMCache, dhFinal []float64) {
+	top := len(s.Layers) - 1
+	dxs := s.Layers[top].Backward(caches[top], dhFinal)
+	for i := top - 1; i >= 0; i-- {
+		dxs = s.Layers[i].BackwardSeq(caches[i], dxs)
+	}
+}
+
+// Params exposes every layer's parameter/gradient pairs.
+func (s *StackedLSTM) Params() []Param {
+	var out []Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrads clears all layers' gradients.
+func (s *StackedLSTM) ZeroGrads() {
+	for _, l := range s.Layers {
+		l.ZeroGrads()
+	}
+}
+
+// Hidden returns the width of the top layer's state.
+func (s *StackedLSTM) Hidden() int { return s.Layers[len(s.Layers)-1].Hidden }

@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStackedLSTMShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewStackedLSTM(rng, 5, 4, 3)
+	if len(s.Layers) != 3 {
+		t.Fatalf("depth = %d, want 3", len(s.Layers))
+	}
+	h, caches := s.ForwardIndices([]int{0, 2, 4, 1})
+	if len(h) != 4 {
+		t.Errorf("hidden = %d, want 4", len(h))
+	}
+	if len(caches) != 3 {
+		t.Errorf("caches = %d, want 3", len(caches))
+	}
+	if s.Hidden() != 4 {
+		t.Errorf("Hidden() = %d", s.Hidden())
+	}
+}
+
+func TestStackedDepthOneMatchesSingleLSTM(t *testing.T) {
+	a := NewStackedLSTM(rand.New(rand.NewSource(5)), 4, 3, 1)
+	b := NewLSTM(rand.New(rand.NewSource(5)), 4, 3)
+	seq := []int{1, 3, 0, 2}
+	ha, _ := a.ForwardIndices(seq)
+	hb, _ := b.ForwardIndices(seq)
+	for i := range ha {
+		if ha[i] != hb[i] {
+			t.Fatal("depth-1 stack diverges from a plain LSTM")
+		}
+	}
+}
+
+func TestStackedMinimumDepth(t *testing.T) {
+	s := NewStackedLSTM(rand.New(rand.NewSource(1)), 3, 2, 0)
+	if len(s.Layers) != 1 {
+		t.Errorf("depth 0 should clamp to 1, got %d", len(s.Layers))
+	}
+}
+
+// Gradient check through a 2-layer stack: the strongest guarantee that
+// BackwardSeq's per-step gradient injection is correct.
+func TestStackedLSTMGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := NewStackedLSTM(rng, 3, 2, 2)
+	head := NewDense(rng, 2)
+	seq := []int{0, 2, 1, 1}
+	y := 1.0
+
+	loss := func() float64 {
+		h, _ := s.ForwardIndices(seq)
+		p := sigmoid(head.Forward(h))
+		return bce(p, y)
+	}
+
+	s.ZeroGrads()
+	head.ZeroGrads()
+	h, caches := s.ForwardIndices(seq)
+	p := sigmoid(head.Forward(h))
+	dh := head.Backward(h, p-y)
+	s.Backward(caches, dh)
+
+	check := func(name string, data, grad []float64) {
+		for i := range data {
+			want := numericalGrad(data, i, loss)
+			got := grad[i]
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Errorf("%s[%d]: analytic %g, numeric %g", name, i, got, want)
+			}
+		}
+	}
+	for li, l := range s.Layers {
+		check("Wx"+string(rune('0'+li)), l.Wx.Data, l.dWx.Data)
+		check("Wh"+string(rune('0'+li)), l.Wh.Data, l.dWh.Data)
+		check("B"+string(rune('0'+li)), l.B, l.dB)
+	}
+}
+
+func TestStackedParamsCount(t *testing.T) {
+	s := NewStackedLSTM(rand.New(rand.NewSource(2)), 3, 2, 3)
+	if got := len(s.Params()); got != 9 { // 3 tensors per layer
+		t.Errorf("params = %d, want 9", got)
+	}
+}
+
+func TestCacheOutputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewLSTM(rng, 3, 2)
+	h, cache := l.ForwardIndices([]int{0, 1, 2})
+	outs := cache.Outputs()
+	if len(outs) != 3 {
+		t.Fatalf("outputs = %d, want 3", len(outs))
+	}
+	for i := range h {
+		if outs[2][i] != h[i] {
+			t.Error("final output does not match returned hidden state")
+		}
+	}
+}

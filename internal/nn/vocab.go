@@ -1,0 +1,46 @@
+package nn
+
+// CharVocab maps runes to dense indices for character-level models.
+// Index 0 is reserved for unknown characters, so encoding never fails on
+// unseen input (a Dota2 emote the LoL-trained model never saw, say).
+type CharVocab struct {
+	index map[rune]int
+	runes []rune
+}
+
+// NewCharVocab builds a vocabulary from a corpus of strings.
+func NewCharVocab(corpus []string) *CharVocab {
+	v := &CharVocab{
+		index: map[rune]int{},
+		runes: []rune{0}, // slot 0 = unknown
+	}
+	for _, s := range corpus {
+		for _, r := range s {
+			if _, ok := v.index[r]; !ok {
+				v.index[r] = len(v.runes)
+				v.runes = append(v.runes, r)
+			}
+		}
+	}
+	return v
+}
+
+// Len returns the vocabulary size including the unknown slot.
+func (v *CharVocab) Len() int { return len(v.runes) }
+
+// Encode converts a string to character indices, truncating to maxLen
+// (maxLen <= 0 means no truncation). Unknown runes map to index 0.
+func (v *CharVocab) Encode(s string, maxLen int) []int {
+	var out []int
+	for _, r := range s {
+		if maxLen > 0 && len(out) >= maxLen {
+			break
+		}
+		if i, ok := v.index[r]; ok {
+			out = append(out, i)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"lightor/internal/chat"
+	"lightor/internal/core"
+	"lightor/internal/play"
+)
+
+// storeSnapshot is the JSON form of a Store: everything needed to restart
+// the service without re-crawling or re-collecting interactions.
+type storeSnapshot struct {
+	Version int                     `json:"version"`
+	Videos  []videoSnapshot         `json:"videos"`
+	Events  map[string][]play.Event `json:"events"`
+}
+
+type videoSnapshot struct {
+	ID         string          `json:"id"`
+	Duration   float64         `json:"duration"`
+	Chat       []chat.Message  `json:"chat"`
+	RedDots    []core.RedDot   `json:"red_dots,omitempty"`
+	Boundaries []core.Interval `json:"boundaries,omitempty"`
+}
+
+const storeVersion = 1
+
+// Save writes the full store state as JSON.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := storeSnapshot{
+		Version: storeVersion,
+		Events:  map[string][]play.Event{},
+	}
+	for _, id := range s.videoIDsLocked() {
+		rec := s.videos[id]
+		vs := videoSnapshot{
+			ID:         rec.ID,
+			Duration:   rec.Duration,
+			RedDots:    rec.RedDots,
+			Boundaries: rec.Boundaries,
+		}
+		if rec.Chat != nil {
+			vs.Chat = rec.Chat.Messages()
+		}
+		snap.Videos = append(snap.Videos, vs)
+	}
+	for id, evs := range s.events {
+		snap.Events[id] = evs
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("platform: encoding store: %w", err)
+	}
+	return nil
+}
+
+// LoadStore reads a snapshot written by Save into a fresh Store.
+func LoadStore(r io.Reader) (*Store, error) {
+	var snap storeSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("platform: decoding store: %w", err)
+	}
+	if snap.Version != storeVersion {
+		return nil, fmt.Errorf("platform: unsupported store version %d", snap.Version)
+	}
+	s := NewStore()
+	for _, vs := range snap.Videos {
+		rec := VideoRecord{
+			ID:         vs.ID,
+			Duration:   vs.Duration,
+			RedDots:    vs.RedDots,
+			Boundaries: vs.Boundaries,
+		}
+		if vs.Chat != nil {
+			rec.Chat = chat.NewLog(vs.Chat)
+		}
+		if err := s.PutVideo(rec); err != nil {
+			return nil, err
+		}
+	}
+	for id, evs := range snap.Events {
+		if err := s.LogEvents(id, evs); err != nil {
+			return nil, fmt.Errorf("platform: restoring events for %q: %w", id, err)
+		}
+	}
+	return s, nil
+}
+
+// videoIDsLocked returns sorted IDs; the caller must hold at least a read
+// lock.
+func (s *Store) videoIDsLocked() []string {
+	ids := make([]string, 0, len(s.videos))
+	for id := range s.videos {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,265 @@
+package platform
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"lightor/internal/chat"
+	"lightor/internal/core"
+	"lightor/internal/play"
+	"lightor/internal/sim"
+	"lightor/internal/stats"
+)
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore()
+	if err := s.PutVideo(VideoRecord{}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	log := chat.NewLog([]chat.Message{{Time: 1, Text: "hi"}})
+	if err := s.PutVideo(VideoRecord{ID: "v1", Duration: 100, Chat: log}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasChat("v1") {
+		t.Error("HasChat(v1) = false")
+	}
+	if s.HasChat("v2") {
+		t.Error("HasChat(v2) = true")
+	}
+	rec, ok := s.Video("v1")
+	if !ok || rec.Duration != 100 {
+		t.Errorf("Video(v1) = %+v, %v", rec, ok)
+	}
+	if ids := s.VideoIDs(); len(ids) != 1 || ids[0] != "v1" {
+		t.Errorf("VideoIDs = %v", ids)
+	}
+}
+
+func TestStoreRedDotsAndEvents(t *testing.T) {
+	s := NewStore()
+	if err := s.SetRedDots("nope", nil); err == nil {
+		t.Error("SetRedDots on unknown video accepted")
+	}
+	if err := s.LogEvents("nope", nil); err == nil {
+		t.Error("LogEvents on unknown video accepted")
+	}
+	if err := s.PutVideo(VideoRecord{ID: "v1", Duration: 100}); err != nil {
+		t.Fatal(err)
+	}
+	dots := []core.RedDot{{Time: 50, Score: 0.9}}
+	if err := s.SetRedDots("v1", dots); err != nil {
+		t.Fatal(err)
+	}
+	events := []play.Event{
+		{User: "u", Seq: 0, Type: play.EventPlay, Pos: 48},
+		{User: "u", Seq: 1, Type: play.EventStop, Pos: 70},
+	}
+	if err := s.LogEvents("v1", events); err != nil {
+		t.Fatal(err)
+	}
+	plays := s.Plays("v1")
+	if len(plays) != 1 || plays[0].Start != 48 {
+		t.Errorf("Plays = %v", plays)
+	}
+	// Returned slices must be copies.
+	got := s.Events("v1")
+	got[0].Pos = 999
+	if s.Events("v1")[0].Pos == 999 {
+		t.Error("Events returned aliased storage")
+	}
+}
+
+func TestSimTwitchAndCrawler(t *testing.T) {
+	tw := NewSimTwitch()
+	log := chat.NewLog([]chat.Message{
+		{Time: 1, User: "a", Text: "hello"},
+		{Time: 2, User: "b", Text: "nice kill"},
+	})
+	tw.AddVideo(TwitchVideo{ID: "vid1", Channel: "chan1", Duration: 600, Viewers: 1200}, log)
+	tw.AddVideo(TwitchVideo{ID: "vid2", Channel: "chan1", Duration: 900, Viewers: 800}, chat.NewLog(nil))
+
+	srv := httptest.NewServer(tw.Handler())
+	defer srv.Close()
+
+	store := NewStore()
+	crawler := &Crawler{BaseURL: srv.URL, Store: store}
+
+	channels, err := crawler.Channels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(channels) != 1 || channels[0] != "chan1" {
+		t.Fatalf("channels = %v", channels)
+	}
+
+	n, err := crawler.CrawlChannels(channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("crawled = %d, want 2", n)
+	}
+	rec, ok := store.Video("vid1")
+	if !ok || rec.Chat.Len() != 2 {
+		t.Errorf("vid1 not stored correctly: %+v", rec)
+	}
+
+	// Re-crawl is a no-op.
+	n, err = crawler.CrawlChannels(channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("re-crawl fetched %d videos, want 0", n)
+	}
+}
+
+func TestCrawlerErrors(t *testing.T) {
+	tw := NewSimTwitch()
+	srv := httptest.NewServer(tw.Handler())
+	defer srv.Close()
+	crawler := &Crawler{BaseURL: srv.URL, Store: NewStore()}
+	if _, err := crawler.Videos("ghost"); err == nil {
+		t.Error("unknown channel accepted")
+	}
+	if err := crawler.CrawlVideo(TwitchVideo{ID: "ghost"}); err == nil {
+		t.Error("unknown video accepted")
+	}
+}
+
+// trainedInitializer builds a minimal trained initializer for service tests.
+func trainedInitializer(t *testing.T) (*core.Initializer, sim.VideoData) {
+	t.Helper()
+	rng := stats.NewRand(42)
+	data := sim.GenerateDataset(rng, sim.Dota2Profile(), 2)
+	init := core.NewInitializer(core.DefaultInitializerConfig())
+	train := data[0]
+	ws := init.Windows(train.Chat.Log, train.Video.Duration)
+	err := init.Train([]core.TrainingVideo{{
+		Log:        train.Chat.Log,
+		Duration:   train.Video.Duration,
+		Labels:     sim.LabelWindows(ws, train.Chat.Bursts),
+		Highlights: train.Video.Highlights,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return init, data[1]
+}
+
+func TestServiceEndToEnd(t *testing.T) {
+	init, target := trainedInitializer(t)
+	store := NewStore()
+	if err := store.PutVideo(VideoRecord{
+		ID:       target.Video.ID,
+		Duration: target.Video.Duration,
+		Chat:     target.Chat.Log,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	svc := &Service{
+		Store:       store,
+		Initializer: init,
+		Extractor:   core.NewExtractor(core.DefaultExtractorConfig(), nil),
+	}
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// Health check.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	// Fetch highlights.
+	resp, err = http.Get(srv.URL + "/api/highlights?video=" + target.Video.ID + "&k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr HighlightsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(hr.Dots) == 0 {
+		t.Fatal("no red dots served")
+	}
+
+	// Report interactions of simulated viewers around the first dot.
+	rng := stats.NewRand(7)
+	h, _ := sim.NearestHighlight(target.Video, hr.Dots[0].Time)
+	var events []play.Event
+	for i := 0; i < 10; i++ {
+		events = append(events, sim.SimulateViewer(rng, "u", target.Video, hr.Dots[0].Time, h, sim.DefaultViewerBehavior())...)
+	}
+	body, err := json.Marshal(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(srv.URL+"/api/interactions?video="+target.Video.ID, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("interactions status = %d", resp.StatusCode)
+	}
+
+	// Trigger refinement.
+	resp, err = http.Post(srv.URL+"/api/refine?video="+target.Video.ID, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refined HighlightsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&refined); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(refined.Boundaries) != len(hr.Dots) {
+		t.Errorf("boundaries = %d, want %d", len(refined.Boundaries), len(hr.Dots))
+	}
+}
+
+func TestServiceErrorPaths(t *testing.T) {
+	init, _ := trainedInitializer(t)
+	svc := &Service{
+		Store:       NewStore(),
+		Initializer: init,
+		Extractor:   core.NewExtractor(core.DefaultExtractorConfig(), nil),
+	}
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	cases := []struct {
+		method, path string
+		wantStatus   int
+	}{
+		{"GET", "/api/highlights", http.StatusBadRequest},
+		{"GET", "/api/highlights?video=ghost", http.StatusNotFound},
+		{"GET", "/api/highlights?video=ghost&k=bogus", http.StatusBadRequest},
+		{"POST", "/api/interactions", http.StatusBadRequest},
+		{"POST", "/api/refine", http.StatusBadRequest},
+		{"POST", "/api/refine?video=ghost", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, srv.URL+c.path, bytes.NewReader([]byte("[]")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s %s = %d, want %d", c.method, c.path, resp.StatusCode, c.wantStatus)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"lightor/internal/core"
+	"lightor/internal/play"
+)
+
+// Service is the LIGHTOR back end of Figure 5: it serves red dots to the
+// browser-extension front end, logs the interaction data the front end
+// reports, and refines highlight boundaries from that data.
+//
+//	GET  /healthz                         → 200 ok
+//	GET  /api/highlights?video=ID&k=5     → {"dots":[...], "boundaries":[...]}
+//	POST /api/interactions?video=ID       → body: JSON array of play events
+//	POST /api/refine?video=ID             → re-run the extractor on logged data
+type Service struct {
+	Store       *Store
+	Initializer *core.Initializer
+	Extractor   *core.Extractor
+	// Crawler, when set, fetches chat on demand for unknown videos (the
+	// online crawling mode of Section VI-A).
+	Crawler *Crawler
+	// DefaultK is the number of red dots served when the request does not
+	// specify k (default 5).
+	DefaultK int
+}
+
+// HighlightsResponse is the payload of GET /api/highlights.
+type HighlightsResponse struct {
+	VideoID    string          `json:"video_id"`
+	Dots       []core.RedDot   `json:"dots"`
+	Boundaries []core.Interval `json:"boundaries,omitempty"`
+}
+
+// Handler returns the HTTP handler implementing the service API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /api/highlights", s.handleHighlights)
+	mux.HandleFunc("POST /api/interactions", s.handleInteractions)
+	mux.HandleFunc("POST /api/refine", s.handleRefine)
+	return mux
+}
+
+func (s *Service) defaultK() int {
+	if s.DefaultK > 0 {
+		return s.DefaultK
+	}
+	return 5
+}
+
+func (s *Service) handleHighlights(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("video")
+	if id == "" {
+		http.Error(w, "missing video parameter", http.StatusBadRequest)
+		return
+	}
+	k := s.defaultK()
+	if kq := r.URL.Query().Get("k"); kq != "" {
+		parsed, err := strconv.Atoi(kq)
+		if err != nil || parsed <= 0 {
+			http.Error(w, "invalid k", http.StatusBadRequest)
+			return
+		}
+		k = parsed
+	}
+
+	rec, ok := s.Store.Video(id)
+	if !ok || rec.Chat == nil {
+		// Online crawling (Section VI-A): when a viewer opens a video the
+		// store has never seen, fetch its chat from the platform API on
+		// the fly.
+		if s.Crawler == nil {
+			http.Error(w, fmt.Sprintf("video %q not crawled", id), http.StatusNotFound)
+			return
+		}
+		tv, err := s.Crawler.LookupVideo(id)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("video %q unknown to the platform: %v", id, err), http.StatusNotFound)
+			return
+		}
+		if err := s.Crawler.CrawlVideo(tv); err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		rec, ok = s.Store.Video(id)
+		if !ok || rec.Chat == nil {
+			http.Error(w, fmt.Sprintf("video %q could not be crawled", id), http.StatusNotFound)
+			return
+		}
+	}
+	if len(rec.RedDots) < k {
+		dots, err := s.Initializer.Detect(rec.Chat, rec.Duration, k)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if err := s.Store.SetRedDots(id, dots); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		rec.RedDots = dots
+	}
+	dots := rec.RedDots
+	if len(dots) > k {
+		dots = dots[:k]
+	}
+	writeJSON(w, HighlightsResponse{VideoID: id, Dots: dots, Boundaries: rec.Boundaries})
+}
+
+func (s *Service) handleInteractions(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("video")
+	if id == "" {
+		http.Error(w, "missing video parameter", http.StatusBadRequest)
+		return
+	}
+	var events []play.Event
+	if err := json.NewDecoder(r.Body).Decode(&events); err != nil {
+		http.Error(w, fmt.Sprintf("bad interaction payload: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := s.Store.LogEvents(id, events); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// storePlaySource feeds the extractor from the store's logged events.
+type storePlaySource struct {
+	plays []play.Play
+}
+
+func (s storePlaySource) Interactions(dot float64) []play.Play { return s.plays }
+
+func (s *Service) handleRefine(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("video")
+	if id == "" {
+		http.Error(w, "missing video parameter", http.StatusBadRequest)
+		return
+	}
+	rec, ok := s.Store.Video(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown video %q", id), http.StatusNotFound)
+		return
+	}
+	plays := s.Store.Plays(id)
+	src := storePlaySource{plays: plays}
+	boundaries := make([]core.Interval, 0, len(rec.RedDots))
+	dots := append([]core.RedDot(nil), rec.RedDots...)
+	for i, dot := range dots {
+		seed := core.Interval{Start: dot.Time, End: dot.Time + s.Extractor.Config().DefaultSpan}
+		// One Step per refine call: the service refines incrementally as
+		// interaction data accumulates, rather than looping on a fixed
+		// snapshot.
+		res := s.Extractor.Step(seed, src.plays)
+		boundaries = append(boundaries, res.Refined)
+		dots[i].Time = res.Refined.Start
+	}
+	if err := s.Store.SetBoundaries(id, boundaries); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if err := s.Store.SetRedDots(id, dots); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, HighlightsResponse{VideoID: id, Dots: dots, Boundaries: boundaries})
+}

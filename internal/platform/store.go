@@ -1,0 +1,132 @@
+// Package platform implements the deployment substrate of Section VI: the
+// storage layer, the web crawler against a (simulated) Twitch API, and the
+// back-end web service that powers the browser extension — red dots out,
+// interaction logs in.
+package platform
+
+import (
+	"fmt"
+	"sync"
+
+	"lightor/internal/chat"
+	"lightor/internal/core"
+	"lightor/internal/play"
+)
+
+// VideoRecord is the stored state of one recorded video.
+type VideoRecord struct {
+	ID       string
+	Duration float64
+	Chat     *chat.Log
+	// RedDots holds the current (possibly refined) highlight positions.
+	RedDots []core.RedDot
+	// Boundaries holds extractor-refined spans, aligned with RedDots once
+	// refinement has run.
+	Boundaries []core.Interval
+}
+
+// Store is the thread-safe in-memory database backing the web service:
+// chat logs, red dots, and logged interaction events per video. A real
+// deployment would swap this for a persistent database behind the same
+// methods.
+type Store struct {
+	mu     sync.RWMutex
+	videos map[string]*VideoRecord
+	events map[string][]play.Event
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		videos: make(map[string]*VideoRecord),
+		events: make(map[string][]play.Event),
+	}
+}
+
+// PutVideo inserts or replaces a video record. The record is stored by
+// value semantics: callers must not mutate the chat log afterwards.
+func (s *Store) PutVideo(rec VideoRecord) error {
+	if rec.ID == "" {
+		return fmt.Errorf("platform: video record needs an ID")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := rec
+	s.videos[rec.ID] = &cp
+	return nil
+}
+
+// Video returns a copy of the record for id, or false when absent.
+func (s *Store) Video(id string) (VideoRecord, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.videos[id]
+	if !ok {
+		return VideoRecord{}, false
+	}
+	return *rec, true
+}
+
+// HasChat reports whether chat for the video has been crawled already.
+// A crawled-but-empty log still counts: re-crawling it would not produce
+// messages that do not exist.
+func (s *Store) HasChat(id string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.videos[id]
+	return ok && rec.Chat != nil
+}
+
+// SetRedDots records the current highlight positions for a video.
+func (s *Store) SetRedDots(id string, dots []core.RedDot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.videos[id]
+	if !ok {
+		return fmt.Errorf("platform: unknown video %q", id)
+	}
+	rec.RedDots = append([]core.RedDot(nil), dots...)
+	return nil
+}
+
+// SetBoundaries records extractor-refined highlight spans for a video.
+func (s *Store) SetBoundaries(id string, spans []core.Interval) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.videos[id]
+	if !ok {
+		return fmt.Errorf("platform: unknown video %q", id)
+	}
+	rec.Boundaries = append([]core.Interval(nil), spans...)
+	return nil
+}
+
+// LogEvents appends interaction events for a video.
+func (s *Store) LogEvents(id string, events []play.Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.videos[id]; !ok {
+		return fmt.Errorf("platform: unknown video %q", id)
+	}
+	s.events[id] = append(s.events[id], events...)
+	return nil
+}
+
+// Events returns a copy of all logged events for a video.
+func (s *Store) Events(id string) []play.Event {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]play.Event(nil), s.events[id]...)
+}
+
+// Plays sessionizes all logged events for a video into play records.
+func (s *Store) Plays(id string) []play.Play {
+	return play.Sessionize(s.Events(id))
+}
+
+// VideoIDs returns all stored video IDs, sorted.
+func (s *Store) VideoIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.videoIDsLocked()
+}

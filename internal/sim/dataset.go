@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lightor/internal/stats"
+)
+
+// VideoData bundles one simulated video with its chat log and ground truth.
+type VideoData struct {
+	Video Video
+	Chat  ChatResult
+}
+
+// GenerateDataset creates n videos with chat under the given profile.
+// Videos are generated from independent sub-seeds so that requesting a
+// larger dataset leaves the earlier videos unchanged — training-size sweeps
+// (Figure 6b, 7b) rely on this nesting property.
+func GenerateDataset(rng *rand.Rand, p Profile, n int) []VideoData {
+	out := make([]VideoData, n)
+	for i := range out {
+		sub := stats.NewRand(rng.Int63())
+		v := GenerateVideo(sub, p, fmt.Sprintf("v%03d", i))
+		out[i] = VideoData{Video: v, Chat: GenerateChat(sub, v, p)}
+	}
+	return out
+}
+
+// FrameFeatures simulates per-second visual feature vectors for the
+// Joint-LSTM baseline: dim-dimensional unit noise everywhere, with a weak
+// shift on a game-dependent subset of dimensions while visual effects are
+// on screen. Three realism constraints keep the baseline honest (the
+// paper's Joint-LSTM reaches ≈0.6 precision, not 1.0):
+//
+//   - the effects LAG the true highlight start by a few seconds and linger
+//     past its end (explosions, kill banners, replays);
+//   - DECOY effects fire outside highlights too — tower kills, shop
+//     screens, replays of old fights — so "effects on screen" does not
+//     imply "highlight" (the paper's §VIII observation that viewers get
+//     excited about clips unrelated to the main theme cuts the same way);
+//   - the per-video effect gain varies, so a model tuned on one channel's
+//     production style generalizes imperfectly;
+//   - LoL and Dota2 light up overlapping-but-different dimensions, so
+//     cross-game transfer is partial, as in Figure 11 and Table I.
+func FrameFeatures(rng *rand.Rand, v Video, dim int) [][]float64 {
+	lo, hi := 0, 3 // LoL-style effect channels
+	if v.Game == "dota2" {
+		lo, hi = 1, 4
+	}
+	gain := stats.Clamp(stats.Normal(rng, 1.0, 0.3), 0.4, 1.6)
+
+	// Effect spans: every highlight (lagged), plus ~1.5x as many decoys.
+	var effects []Interval
+	for _, h := range v.Highlights {
+		effects = append(effects, Interval{Start: h.Start + 3, End: h.End + 5})
+	}
+	nDecoys := len(v.Highlights) * 3 / 2
+	for d := 0; d < nDecoys && v.Duration > 140; d++ {
+		start := stats.Uniform(rng, 60, v.Duration-70)
+		effects = append(effects, Interval{Start: start, End: start + stats.Uniform(rng, 3, 12)})
+	}
+
+	n := int(v.Duration)
+	frames := make([][]float64, n)
+	for t := 0; t < n; t++ {
+		f := make([]float64, dim)
+		for d := range f {
+			f[d] = stats.Normal(rng, 0, 1)
+		}
+		ft := float64(t)
+		for _, e := range effects {
+			if e.Contains(ft) {
+				for d := lo; d < hi && d < dim; d++ {
+					f[d] += gain
+				}
+				break
+			}
+		}
+		frames[t] = f
+	}
+	return frames
+}
+
+// VideoStats summarizes one recorded video for the applicability study
+// (Figure 9): chat volume and audience size.
+type VideoStats struct {
+	Channel      string
+	ChatsPerHour float64
+	Viewers      float64
+}
+
+// GenerateChannelStats simulates crawling the most recent videos of the
+// top channels of a game. Chat volume and viewer counts follow heavy-tailed
+// log-normal distributions, matching the shape of the paper's Twitch crawl:
+// the bulk of popular-channel videos clear 500 chats/hour, and essentially
+// all clear 100 viewers.
+func GenerateChannelStats(rng *rand.Rand, channels, videosPerChannel int) []VideoStats {
+	var out []VideoStats
+	for c := 0; c < channels; c++ {
+		name := fmt.Sprintf("channel%02d", c)
+		// Channel popularity shifts both distributions coherently.
+		pop := stats.Normal(rng, 0, 0.5)
+		for v := 0; v < videosPerChannel; v++ {
+			out = append(out, VideoStats{
+				Channel:      name,
+				ChatsPerHour: stats.LogNormal(rng, 7.25+pop, 0.85),
+				Viewers:      150 + stats.LogNormal(rng, 7.5+pop, 1.0),
+			})
+		}
+	}
+	return out
+}

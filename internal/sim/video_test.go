@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+
+	"lightor/internal/stats"
+)
+
+func TestGenerateVideoShape(t *testing.T) {
+	rng := stats.NewRand(1)
+	for i := 0; i < 20; i++ {
+		v := GenerateVideo(rng, Dota2Profile(), "t")
+		if v.Duration < 1800 || v.Duration > 7200 {
+			t.Errorf("duration %g outside [1800, 7200]", v.Duration)
+		}
+		if len(v.Highlights) < 1 {
+			t.Fatal("video has no highlights")
+		}
+		for _, h := range v.Highlights {
+			if h.Duration() < 5 || h.Duration() > 50 {
+				t.Errorf("highlight length %g outside [5, 50]", h.Duration())
+			}
+			if h.Start < 0 || h.End > v.Duration {
+				t.Errorf("highlight [%g, %g] outside video", h.Start, h.End)
+			}
+		}
+	}
+}
+
+func TestGenerateVideoHighlightsSeparatedAndSorted(t *testing.T) {
+	rng := stats.NewRand(2)
+	v := GenerateVideo(rng, Dota2Profile(), "t")
+	for i := 1; i < len(v.Highlights); i++ {
+		prev, cur := v.Highlights[i-1], v.Highlights[i]
+		if cur.Start < prev.Start {
+			t.Fatal("highlights not sorted")
+		}
+		if cur.Start-prev.End < 150 {
+			t.Errorf("highlights too close: %g", cur.Start-prev.End)
+		}
+	}
+}
+
+func TestGenerateVideoDeterministic(t *testing.T) {
+	a := GenerateVideo(stats.NewRand(7), LoLProfile(), "x")
+	b := GenerateVideo(stats.NewRand(7), LoLProfile(), "x")
+	if a.Duration != b.Duration || len(a.Highlights) != len(b.Highlights) {
+		t.Fatal("same seed produced different videos")
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Start: 10, End: 20}
+	if iv.Duration() != 10 {
+		t.Errorf("Duration = %g", iv.Duration())
+	}
+	if !iv.Contains(10) || !iv.Contains(20) || iv.Contains(21) || iv.Contains(9) {
+		t.Error("Contains boundaries wrong")
+	}
+}
+
+func TestProfilesDiffer(t *testing.T) {
+	d, l := Dota2Profile(), LoLProfile()
+	if d.Game == l.Game {
+		t.Error("profiles share a game name")
+	}
+	shared := 0
+	for _, w := range d.ExcitedVocab {
+		for _, x := range l.ExcitedVocab {
+			if w == x {
+				shared++
+			}
+		}
+	}
+	if shared == len(d.ExcitedVocab) {
+		t.Error("profiles share the entire excited vocabulary; generalization experiments need differing domains")
+	}
+}
+
+func TestNearestHighlight(t *testing.T) {
+	v := Video{Highlights: []Interval{{Start: 100, End: 120}, {Start: 500, End: 520}}}
+	h, ok := NearestHighlight(v, 130)
+	if !ok || h.Start != 100 {
+		t.Errorf("NearestHighlight(130) = %+v, %v", h, ok)
+	}
+	h, _ = NearestHighlight(v, 490)
+	if h.Start != 500 {
+		t.Errorf("NearestHighlight(490) = %+v", h)
+	}
+	h, _ = NearestHighlight(v, 110) // inside the first
+	if h.Start != 100 {
+		t.Errorf("NearestHighlight(inside) = %+v", h)
+	}
+	if _, ok := NearestHighlight(Video{}, 5); ok {
+		t.Error("empty video should report no highlight")
+	}
+}

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lightor/internal/play"
+	"lightor/internal/stats"
+)
+
+// ViewerBehavior parameterizes the simulated crowd around one red dot.
+// Defaults (DefaultViewerBehavior) are tuned so the play-start offset
+// distributions match Figure 3: near-normal with median 5–10 s for Type II
+// dots, near-uniform over [−40, +20] s for Type I dots.
+type ViewerBehavior struct {
+	// SkipAheadProb is the chance a Type II viewer seeks past the dull
+	// lead-in to just after the highlight's real start.
+	SkipAheadProb float64
+	// StartOffsetMean/Std shape where skipping viewers land relative to the
+	// highlight start ("the most exciting part usually happens a few
+	// seconds after its start point").
+	StartOffsetMean, StartOffsetStd float64
+	// EndOffsetStd shapes where viewers stop relative to the highlight end.
+	EndOffsetStd float64
+	// CheckProb is the chance of an extra short "is this interesting?"
+	// probe play near the dot.
+	CheckProb float64
+	// LongWatchProb is the chance a viewer keeps watching far past the
+	// highlight (filtered as "too long" by the extractor).
+	LongWatchProb float64
+	// WanderProb is the chance a viewer's attention span, not the
+	// highlight's end, decides where they stop — the "casual viewing is
+	// unpredictable" behaviour the paper calls out (Section II). Wandering
+	// plays blur histogram-based detectors; the extractor's median
+	// aggregation shrugs them off.
+	WanderProb float64
+	// SearchBackSpan is how far before the dot Type I viewers scrub while
+	// hunting for the missed highlight.
+	SearchBackSpan float64
+}
+
+// DefaultViewerBehavior returns the tuned behaviour profile.
+func DefaultViewerBehavior() ViewerBehavior {
+	return ViewerBehavior{
+		SkipAheadProb:   0.75,
+		StartOffsetMean: 7,
+		StartOffsetStd:  3.5,
+		EndOffsetStd:    4,
+		CheckProb:       0.25,
+		LongWatchProb:   0.1,
+		WanderProb:      0.3,
+		SearchBackSpan:  40,
+	}
+}
+
+// SimulateViewer generates the raw player events of one viewer who clicks
+// the red dot at position dot, where h is the highlight the dot was meant
+// to mark. The viewer's behaviour depends on the dot/highlight geometry:
+//
+//   - dot ≤ h.End (Type II): the viewer sees the highlight. Most seek past
+//     the lead-in and land a few seconds after h.Start, watching until
+//     roughly h.End.
+//   - dot > h.End (Type I): the viewer missed the highlight. They probe
+//     forward briefly, scrub backward over [dot−SearchBackSpan, dot], or
+//     give up — short scattered plays, many ending before the dot.
+func SimulateViewer(rng *rand.Rand, user string, v Video, dot float64, h Interval, b ViewerBehavior) []play.Event {
+	var events []play.Event
+	seq := 0
+	emit := func(t play.EventType, pos float64) {
+		events = append(events, play.Event{
+			User: user,
+			Seq:  seq,
+			Type: t,
+			Pos:  stats.Clamp(pos, 0, v.Duration),
+		})
+		seq++
+	}
+
+	// Optional probe BEFORE settling in: the viewer pokes at a nearby spot
+	// for a second or two, then jumps to the dot. The jump shows up as a
+	// Seek→Play pair — exactly the random-vote noise that makes seek-based
+	// detectors unreliable on casual viewing data (Section II).
+	if stats.Bernoulli(rng, b.CheckProb) {
+		pos := dot + stats.Uniform(rng, -30, 30)
+		emit(play.EventPlay, pos)
+		emit(play.EventSeek, pos+stats.Uniform(rng, 1, 4))
+	}
+
+	// A highlight more than ~45 s past the dot is effectively invisible: no
+	// viewer sits through that much dull lead-in, so the session looks like
+	// a fruitless browse (the false-positive-dot case, e.g. a bot burst the
+	// initializer mistook for a highlight).
+	const reachAhead = 45.0
+	if dot <= h.End && h.Start-dot <= reachAhead {
+		// Type II: the dot is usable.
+		if stats.Bernoulli(rng, b.SkipAheadProb) {
+			// Probe from the dot for a moment, then seek to the action.
+			probeEnd := dot + stats.Uniform(rng, 1, 3)
+			target := h.Start + stats.Normal(rng, b.StartOffsetMean, b.StartOffsetStd)
+			if target < dot {
+				target = dot
+			}
+			emit(play.EventPlay, dot)
+			emit(play.EventSeek, probeEnd)
+			emit(play.EventPlay, target)
+		} else {
+			start := dot
+			if start < h.Start-15 {
+				// Even patient viewers will not sit through a long lead-in.
+				start = h.Start - stats.Uniform(rng, 5, 15)
+			}
+			emit(play.EventPlay, start)
+		}
+		end := h.End + stats.Normal(rng, 2, b.EndOffsetStd)
+		if stats.Bernoulli(rng, b.WanderProb) {
+			// Attention span ends wherever it ends.
+			end = events[len(events)-1].Pos + stats.Uniform(rng, 8, 60)
+		}
+		if stats.Bernoulli(rng, b.LongWatchProb) {
+			end = h.End + stats.Uniform(rng, 60, 200) // keeps watching the stream
+		}
+		if end <= events[len(events)-1].Pos {
+			end = events[len(events)-1].Pos + 1
+		}
+		emit(play.EventStop, end)
+	} else {
+		// Type I: the dot points past the highlight.
+		r := rng.Float64()
+		switch {
+		case r < 0.5:
+			// Scrub backward hunting for the highlight: 1–3 short probes.
+			probes := stats.IntBetween(rng, 1, 3)
+			for i := 0; i < probes; i++ {
+				start := stats.Uniform(rng, dot-b.SearchBackSpan, dot+5)
+				length := stats.Uniform(rng, 3, 15)
+				emit(play.EventPlay, start)
+				emit(play.EventSeek, start+length)
+			}
+			emit(play.EventStop, events[len(events)-1].Pos)
+		case r < 0.8:
+			// Probe forward from the dot, then give up.
+			emit(play.EventPlay, dot)
+			emit(play.EventStop, dot+stats.Uniform(rng, 3, 10))
+		default:
+			// Watch from the dot for a while before leaving.
+			emit(play.EventPlay, dot)
+			emit(play.EventStop, dot+stats.Uniform(rng, 10, 30))
+		}
+	}
+
+	return events
+}
+
+// SimulateCrowd runs n viewers against one red dot and returns their
+// sessionized play records. User IDs are deterministic per call.
+func SimulateCrowd(rng *rand.Rand, n int, v Video, dot float64, h Interval, b ViewerBehavior) []play.Play {
+	var events []play.Event
+	for i := 0; i < n; i++ {
+		user := fmt.Sprintf("worker%03d", i)
+		events = append(events, SimulateViewer(rng, user, v, dot, h, b)...)
+	}
+	return play.Sessionize(events)
+}
+
+// NearestHighlight returns the highlight whose span is closest to the
+// position x (distance 0 when x falls inside a highlight). The second
+// return is false when the video has no highlights.
+func NearestHighlight(v Video, x float64) (Interval, bool) {
+	if len(v.Highlights) == 0 {
+		return Interval{}, false
+	}
+	best := v.Highlights[0]
+	bestDist := intervalDistance(best, x)
+	for _, h := range v.Highlights[1:] {
+		if d := intervalDistance(h, x); d < bestDist {
+			best, bestDist = h, d
+		}
+	}
+	return best, true
+}
+
+func intervalDistance(h Interval, x float64) float64 {
+	switch {
+	case x < h.Start:
+		return h.Start - x
+	case x > h.End:
+		return x - h.End
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"testing"
+
+	"lightor/internal/play"
+	"lightor/internal/stats"
+)
+
+func crowdVideo() Video {
+	return Video{
+		ID:         "t",
+		Duration:   3600,
+		Highlights: []Interval{{Start: 1990, End: 2005}},
+	}
+}
+
+func TestSimulateCrowdTypeIIOffsets(t *testing.T) {
+	// Dot placed just before the highlight start: Type II. Play starts
+	// should concentrate a few seconds after the true start (Figure 3b).
+	rng := stats.NewRand(1)
+	v := crowdVideo()
+	h := v.Highlights[0]
+	dot := h.Start - 5
+	plays := SimulateCrowd(rng, 200, v, dot, h, DefaultViewerBehavior())
+	if len(plays) == 0 {
+		t.Fatal("no plays generated")
+	}
+	// Consider only substantial plays (the main viewing spans).
+	var offsets []float64
+	for _, p := range plays {
+		if p.Duration() >= 8 && p.Duration() <= 60 {
+			offsets = append(offsets, p.Start-h.Start)
+		}
+	}
+	if len(offsets) < 50 {
+		t.Fatalf("too few main plays: %d", len(offsets))
+	}
+	med := stats.Median(offsets)
+	if med < 0 || med > 12 {
+		t.Errorf("Type II start-offset median = %g, want ~5-10", med)
+	}
+}
+
+func TestSimulateCrowdTypeISpread(t *testing.T) {
+	// Dot placed after the highlight end: Type I. Starts spread widely and
+	// a meaningful share of plays end before the dot (the backward search).
+	rng := stats.NewRand(2)
+	v := crowdVideo()
+	h := v.Highlights[0]
+	dot := h.End + 15
+	plays := SimulateCrowd(rng, 200, v, dot, h, DefaultViewerBehavior())
+	if len(plays) == 0 {
+		t.Fatal("no plays generated")
+	}
+	var starts []float64
+	endBefore := 0
+	for _, p := range plays {
+		starts = append(starts, p.Start)
+		if p.End < dot {
+			endBefore++
+		}
+	}
+	if spread := stats.Stddev(starts); spread < 8 {
+		t.Errorf("Type I starts too concentrated: stddev = %g", spread)
+	}
+	if endBefore == 0 {
+		t.Error("Type I crowd produced no plays ending before the dot")
+	}
+}
+
+func TestTypeIIHasFewPlaysBeforeDot(t *testing.T) {
+	// The extractor's classifier depends on this asymmetry (Figure 4).
+	rng := stats.NewRand(3)
+	v := crowdVideo()
+	h := v.Highlights[0]
+	dotII := h.Start - 5
+	dotI := h.End + 15
+	countBefore := func(dot float64) int {
+		plays := SimulateCrowd(rng, 150, v, dot, h, DefaultViewerBehavior())
+		n := 0
+		for _, p := range plays {
+			if p.End < dot {
+				n++
+			}
+		}
+		return n
+	}
+	beforeII := countBefore(dotII)
+	beforeI := countBefore(dotI)
+	if beforeI <= beforeII {
+		t.Errorf("Type I should have more plays before the dot: I=%d II=%d", beforeI, beforeII)
+	}
+}
+
+func TestSimulateViewerEventsValid(t *testing.T) {
+	rng := stats.NewRand(4)
+	v := crowdVideo()
+	h := v.Highlights[0]
+	for i := 0; i < 100; i++ {
+		dot := h.Start - 20 + float64(i) // sweep across both types
+		events := SimulateViewer(rng, "u", v, dot, h, DefaultViewerBehavior())
+		if len(events) == 0 {
+			t.Fatal("viewer produced no events")
+		}
+		for _, e := range events {
+			if e.Pos < 0 || e.Pos > v.Duration {
+				t.Fatalf("event position %g outside video", e.Pos)
+			}
+		}
+		for _, p := range play.Sessionize(events) {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("invalid play: %v", err)
+			}
+		}
+	}
+}
+
+func TestSimulateCrowdDeterministic(t *testing.T) {
+	v := crowdVideo()
+	h := v.Highlights[0]
+	a := SimulateCrowd(stats.NewRand(5), 20, v, 2000, h, DefaultViewerBehavior())
+	b := SimulateCrowd(stats.NewRand(5), 20, v, 2000, h, DefaultViewerBehavior())
+	if len(a) != len(b) {
+		t.Fatal("same seed produced different crowds")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different plays")
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFAt(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); got != c.want {
+			t.Errorf("At(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestECDFAtLeast(t *testing.T) {
+	e := NewECDF([]float64{100, 600, 800, 2000})
+	if got := e.AtLeast(500); got != 0.75 {
+		t.Errorf("AtLeast(500) = %g, want 0.75", got)
+	}
+	if got := e.AtLeast(100); got != 1 {
+		t.Errorf("AtLeast(100) = %g, want 1", got)
+	}
+	if got := e.AtLeast(5000); got != 0 {
+		t.Errorf("AtLeast(5000) = %g, want 0", got)
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if e.At(3) != 0 || e.AtLeast(3) != 0 || e.Len() != 0 {
+		t.Error("empty ECDF should report zeros")
+	}
+}
+
+func TestECDFDoesNotAliasInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	e := NewECDF(in)
+	in[0] = 100
+	if e.AtLeast(50) != 0 {
+		t.Error("ECDF aliased caller's slice")
+	}
+}
+
+// Property: At is monotone non-decreasing and bounded in [0,1], and
+// At(x) + AtLeast(x) >= 1 (they overlap exactly on ties at x).
+func TestECDFProperties(t *testing.T) {
+	f := func(sample []float64, x1, x2 float64) bool {
+		e := NewECDF(sample)
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		a1, a2 := e.At(x1), e.At(x2)
+		if a1 > a2 || a1 < 0 || a2 > 1 {
+			return false
+		}
+		if len(sample) > 0 && e.At(x1)+e.AtLeast(x1) < 1-1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDensityHistogram(t *testing.T) {
+	xs := []float64{0.5, 0.5, 1.5, 5}
+	centers, density := DensityHistogram(xs, 0, 2, 2)
+	if len(centers) != 2 || centers[0] != 0.5 || centers[1] != 1.5 {
+		t.Fatalf("centers = %v", centers)
+	}
+	// 3 points inside; bin width 1. Densities: 2/3 and 1/3.
+	if !almostEqual(density[0], 2.0/3, 1e-12) || !almostEqual(density[1], 1.0/3, 1e-12) {
+		t.Errorf("density = %v, want [0.667 0.333]", density)
+	}
+	// Integral over the histogram should be ~1 for the in-range mass.
+	if !almostEqual(density[0]*1+density[1]*1, 1, 1e-12) {
+		t.Errorf("density does not integrate to 1")
+	}
+}
+
+func TestDensityHistogramEmpty(t *testing.T) {
+	_, density := DensityHistogram(nil, 0, 1, 4)
+	for _, d := range density {
+		if d != 0 {
+			t.Errorf("density of empty sample = %v", density)
+		}
+	}
+}

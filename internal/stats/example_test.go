@@ -1,0 +1,39 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"lightor/internal/stats"
+)
+
+// Median is the extractor's aggregation primitive: one wild outlier cannot
+// drag the boundary.
+func ExampleMedian() {
+	fmt.Println(stats.Median([]float64{1990, 1991, 1992, 2500}))
+	// Output: 1991.5
+}
+
+// Histograms accept range votes: a play record votes for every second it
+// covers, which is how the MOOCer baseline builds its curve.
+func ExampleHistogram_AddRange() {
+	h := stats.NewHistogram(0, 10, 10)
+	h.AddRange(2, 5, 1)
+	h.AddRange(3, 6, 1)
+	fmt.Println(h.Counts())
+	// Output: [0 0 1 2 2 2 1 0 0 0]
+}
+
+// ECDFs answer the applicability questions of Figure 9 directly.
+func ExampleECDF_AtLeast() {
+	e := stats.NewECDF([]float64{200, 600, 900, 1500})
+	fmt.Printf("%.2f of videos clear 500 chats/hour\n", e.AtLeast(500))
+	// Output: 0.75 of videos clear 500 chats/hour
+}
+
+// SeparatedMaxima enforces the red-dot separation rule δ while picking
+// peaks tallest-first.
+func ExampleSeparatedMaxima() {
+	curve := []float64{0, 9, 0, 8, 0, 0, 0, 7, 0}
+	fmt.Println(stats.SeparatedMaxima(curve, 2, 3, 0.5))
+	// Output: [1 7]
+}

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-width binning of a numeric range. It is the shared
+// substrate for the chat-rate curves of the Highlight Initializer (Figure 2a)
+// and for the interaction histograms built by the SocialSkip and MOOCer
+// baselines (Section VII-C), which add +1/-1 weight over *ranges* of bins.
+type Histogram struct {
+	lo, hi float64 // covered range [lo, hi)
+	width  float64 // width of each bin
+	counts []float64
+}
+
+// NewHistogram creates a histogram over [lo, hi) with the given number of
+// bins. It panics if hi ≤ lo or bins < 1, because a degenerate histogram is
+// always a programming error in this codebase.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: NewHistogram range [%g, %g) is empty", lo, hi))
+	}
+	if bins < 1 {
+		panic(fmt.Sprintf("stats: NewHistogram needs at least 1 bin, got %d", bins))
+	}
+	return &Histogram{
+		lo:     lo,
+		hi:     hi,
+		width:  (hi - lo) / float64(bins),
+		counts: make([]float64, bins),
+	}
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 { return h.width }
+
+// Lo returns the inclusive lower bound of the histogram range.
+func (h *Histogram) Lo() float64 { return h.lo }
+
+// Hi returns the exclusive upper bound of the histogram range.
+func (h *Histogram) Hi() float64 { return h.hi }
+
+// BinIndex returns the bin holding x, clamped into the valid range so that
+// x == hi lands in the final bin. The boolean reports whether x fell inside
+// [lo, hi].
+func (h *Histogram) BinIndex(x float64) (int, bool) {
+	ok := x >= h.lo && x < h.hi
+	i := int((x - h.lo) / h.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	return i, ok
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.lo + (float64(i)+0.5)*h.width
+}
+
+// Add records a single observation at x with weight 1. Observations outside
+// [lo, hi) are dropped silently, mirroring how chat messages outside the
+// video duration are ignored.
+func (h *Histogram) Add(x float64) { h.AddWeighted(x, 1) }
+
+// AddWeighted records an observation at x with the given weight (which may
+// be negative — SocialSkip subtracts weight for Seek Forward jumps).
+func (h *Histogram) AddWeighted(x, w float64) {
+	if i, ok := h.BinIndex(x); ok {
+		h.counts[i] += w
+	}
+}
+
+// AddRange adds weight w to every bin overlapping [from, to). This is how
+// play records vote for every second of video they cover.
+func (h *Histogram) AddRange(from, to, w float64) {
+	if to < from {
+		from, to = to, from
+	}
+	from = math.Max(from, h.lo)
+	to = math.Min(to, h.hi)
+	if to <= from {
+		return
+	}
+	start, _ := h.BinIndex(from)
+	// BinIndex clamps, so derive the end bin directly and cap it.
+	end := int((to - h.lo) / h.width)
+	if end >= len(h.counts) {
+		end = len(h.counts) - 1
+	}
+	for i := start; i <= end; i++ {
+		h.counts[i] += w
+	}
+}
+
+// Counts returns a copy of the per-bin weights.
+func (h *Histogram) Counts() []float64 {
+	out := make([]float64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Count returns the weight in bin i.
+func (h *Histogram) Count(i int) float64 { return h.counts[i] }
+
+// Total returns the sum of all bin weights.
+func (h *Histogram) Total() float64 { return Sum(h.counts) }
+
+// Smoothed returns the bin weights smoothed with a centered moving average
+// of the given window (see MovingAverage).
+func (h *Histogram) Smoothed(window int) []float64 {
+	return MovingAverage(h.counts, window)
+}
+
+// PeakBin returns the index of the heaviest bin after smoothing with the
+// given window, i.e. the "peak" the naive implementation of the Highlight
+// Initializer would select (Section IV-C1).
+func (h *Histogram) PeakBin(window int) int {
+	return ArgMax(h.Smoothed(window))
+}
+
+// PeakPosition returns the x position of the heaviest smoothed bin.
+func (h *Histogram) PeakPosition(window int) float64 {
+	return h.BinCenter(h.PeakBin(window))
+}

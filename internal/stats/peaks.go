@@ -1,0 +1,95 @@
+package stats
+
+// LocalMaxima returns the indices of strict local maxima of xs, in
+// descending order of height. A plateau counts once, at its first index.
+// minHeight filters out maxima below that value; use math.Inf(-1) (or simply
+// 0 for non-negative curves) to keep everything.
+//
+// SocialSkip and MOOCer both reduce their interaction histograms to local
+// maxima of a smoothed curve (Section VII-C), so they share this routine.
+func LocalMaxima(xs []float64, minHeight float64) []int {
+	var peaks []int
+	n := len(xs)
+	for i := 0; i < n; i++ {
+		if xs[i] < minHeight {
+			continue
+		}
+		// Walk left over any plateau: xs[i] must exceed the previous
+		// distinct value (or be at the boundary).
+		j := i - 1
+		for j >= 0 && xs[j] == xs[i] {
+			j--
+		}
+		if j >= 0 && xs[j] >= xs[i] {
+			continue
+		}
+		if j == i-1 && i > 0 && xs[i-1] == xs[i] {
+			// Interior of a plateau already counted at its first index.
+			continue
+		}
+		// Walk right over the plateau.
+		k := i + 1
+		for k < n && xs[k] == xs[i] {
+			k++
+		}
+		if k < n && xs[k] >= xs[i] {
+			// Rising edge of a larger hill, not a maximum.
+			i = k - 1
+			continue
+		}
+		peaks = append(peaks, i)
+		i = k - 1
+	}
+	// Sort by height descending, stable on index for determinism.
+	for a := 1; a < len(peaks); a++ {
+		for b := a; b > 0 && xs[peaks[b]] > xs[peaks[b-1]]; b-- {
+			peaks[b], peaks[b-1] = peaks[b-1], peaks[b]
+		}
+	}
+	return peaks
+}
+
+// SeparatedMaxima returns up to k local-maxima indices of xs such that any
+// two selected indices are more than minGap apart, choosing taller peaks
+// first. This implements the red-dot separation constraint: two red dots
+// closer than δ are not useful to viewers (Section IV-A).
+func SeparatedMaxima(xs []float64, k int, minGap int, minHeight float64) []int {
+	candidates := LocalMaxima(xs, minHeight)
+	var out []int
+	for _, c := range candidates {
+		if len(out) == k {
+			break
+		}
+		ok := true
+		for _, s := range out {
+			d := c - s
+			if d < 0 {
+				d = -d
+			}
+			if d <= minGap {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TurningPoints returns, for the local maximum at index peak, the nearest
+// indices to the left and right where the curve stops decreasing (i.e. the
+// valley or shoulder on each side). MOOCer uses the two turning points
+// around each local maximum as the start and end of a highlight.
+func TurningPoints(xs []float64, peak int) (left, right int) {
+	left = peak
+	for left > 0 && xs[left-1] < xs[left] {
+		left--
+	}
+	right = peak
+	for right < len(xs)-1 && xs[right+1] < xs[right] {
+		right++
+	}
+	return left, right
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestLocalMaximaBasic(t *testing.T) {
+	//          0  1  2  3  4  5  6
+	xs := []float64{0, 3, 1, 5, 1, 2, 0}
+	got := LocalMaxima(xs, 0)
+	want := []int{3, 1, 5}
+	if len(got) != len(want) {
+		t.Fatalf("LocalMaxima = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("peak %d = %d, want %d (height order)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLocalMaximaPlateau(t *testing.T) {
+	xs := []float64{0, 2, 2, 2, 0}
+	got := LocalMaxima(xs, 0)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("plateau maxima = %v, want [1]", got)
+	}
+}
+
+func TestLocalMaximaRisingPlateauIsNotPeak(t *testing.T) {
+	xs := []float64{0, 2, 2, 3, 0}
+	got := LocalMaxima(xs, 0)
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("maxima = %v, want [3]", got)
+	}
+}
+
+func TestLocalMaximaBoundaries(t *testing.T) {
+	xs := []float64{5, 1, 4}
+	got := LocalMaxima(xs, 0)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("boundary maxima = %v, want [0 2]", got)
+	}
+}
+
+func TestLocalMaximaMinHeight(t *testing.T) {
+	xs := []float64{0, 3, 1, 5, 1}
+	got := LocalMaxima(xs, 4)
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("filtered maxima = %v, want [3]", got)
+	}
+}
+
+func TestLocalMaximaEmptyAndFlat(t *testing.T) {
+	if got := LocalMaxima(nil, 0); len(got) != 0 {
+		t.Errorf("maxima of empty = %v", got)
+	}
+	flat := []float64{2, 2, 2}
+	got := LocalMaxima(flat, 0)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("maxima of flat = %v, want [0]", got)
+	}
+}
+
+func TestSeparatedMaxima(t *testing.T) {
+	// Peaks at 10 (h=9), 12 (h=8), 40 (h=7). minGap=5 should drop index 12.
+	xs := make([]float64, 50)
+	xs[10] = 9
+	xs[12] = 8
+	xs[40] = 7
+	got := SeparatedMaxima(xs, 3, 5, 0.5)
+	if len(got) != 2 || got[0] != 10 || got[1] != 40 {
+		t.Errorf("SeparatedMaxima = %v, want [10 40]", got)
+	}
+}
+
+func TestSeparatedMaximaRespectsK(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := 10; i < 100; i += 20 {
+		xs[i] = float64(i)
+	}
+	got := SeparatedMaxima(xs, 2, 5, 0.5)
+	if len(got) != 2 {
+		t.Errorf("k not respected: %v", got)
+	}
+}
+
+func TestTurningPoints(t *testing.T) {
+	//              0  1  2  3  4  5  6
+	xs := []float64{5, 1, 3, 9, 4, 2, 8}
+	l, r := TurningPoints(xs, 3)
+	if l != 1 || r != 5 {
+		t.Errorf("TurningPoints = (%d,%d), want (1,5)", l, r)
+	}
+}
+
+func TestTurningPointsAtBoundary(t *testing.T) {
+	xs := []float64{9, 4, 2}
+	l, r := TurningPoints(xs, 0)
+	if l != 0 || r != 2 {
+		t.Errorf("TurningPoints = (%d,%d), want (0,2)", l, r)
+	}
+}

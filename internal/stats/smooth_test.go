@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMovingAverageIdentityWindow(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	got := MovingAverage(xs, 1)
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Errorf("window=1 changed value at %d: %g != %g", i, got[i], xs[i])
+		}
+	}
+	// Must be a copy, not an alias.
+	got[0] = 99
+	if xs[0] == 99 {
+		t.Error("MovingAverage aliased its input")
+	}
+}
+
+func TestMovingAverageCentered(t *testing.T) {
+	xs := []float64{0, 0, 9, 0, 0}
+	got := MovingAverage(xs, 3)
+	want := []float64{0, 3, 3, 3, 0}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("at %d: got %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMovingAverageEdges(t *testing.T) {
+	xs := []float64{6, 0, 0}
+	got := MovingAverage(xs, 3)
+	// At index 0 the window is clamped to [0,1]: mean(6,0)=3.
+	if !almostEqual(got[0], 3, 1e-12) {
+		t.Errorf("edge value = %g, want 3", got[0])
+	}
+}
+
+func TestMovingAverageEmpty(t *testing.T) {
+	if got := MovingAverage(nil, 5); len(got) != 0 {
+		t.Errorf("MovingAverage(nil) returned %v", got)
+	}
+}
+
+func TestGaussianSmoothNoop(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	got := GaussianSmooth(xs, 0)
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Errorf("sigma=0 changed value at %d", i)
+		}
+	}
+}
+
+func TestGaussianSmoothPreservesConstant(t *testing.T) {
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = 4
+	}
+	got := GaussianSmooth(xs, 2)
+	for i, g := range got {
+		if !almostEqual(g, 4, 1e-9) {
+			t.Errorf("constant curve changed at %d: %g", i, g)
+		}
+	}
+}
+
+func TestGaussianSmoothSpreadsImpulse(t *testing.T) {
+	xs := make([]float64, 21)
+	xs[10] = 1
+	got := GaussianSmooth(xs, 2)
+	if got[10] <= got[8] || got[8] <= got[5] {
+		t.Errorf("impulse response not monotone from peak: %v", got)
+	}
+	if got[10] >= 1 {
+		t.Errorf("peak not attenuated: %g", got[10])
+	}
+}
+
+// Property: a moving average never exceeds the range of its input.
+func TestMovingAverageBoundedProperty(t *testing.T) {
+	f := func(raw []float64, w uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		window := int(w%16) + 1
+		sm := MovingAverage(xs, window)
+		lo, hi := Min(xs), Max(xs)
+		for _, s := range sm {
+			if s < lo-1e-9 || s > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: smoothing preserves the total mass of a non-negative interior
+// impulse (Gaussian kernel is normalized away from the edges).
+func TestGaussianSmoothMassProperty(t *testing.T) {
+	xs := make([]float64, 101)
+	xs[50] = 7
+	got := GaussianSmooth(xs, 3)
+	if !almostEqual(Sum(got), 7, 1e-6) {
+		t.Errorf("mass not preserved: sum=%g, want 7", Sum(got))
+	}
+}

@@ -1,0 +1,169 @@
+package text
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryVector(t *testing.T) {
+	vocab := BuildVocabulary([]string{"nice kill wow"})
+	vec := BinaryVector(vocab, "kill kill nice")
+	want := []float64{1, 1, 0} // nice, kill present; wow absent
+	for i := range want {
+		if vec[i] != want[i] {
+			t.Errorf("vec[%d] = %g, want %g", i, vec[i], want[i])
+		}
+	}
+}
+
+func TestBinaryVectorUnknownWordsIgnored(t *testing.T) {
+	vocab := BuildVocabulary([]string{"alpha"})
+	vec := BinaryVector(vocab, "beta gamma")
+	if vec[0] != 0 {
+		t.Errorf("unknown words contaminated vector: %v", vec)
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %g, want 32", got)
+	}
+	if got := Norm([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm = %g, want 5", got)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine([]float64{1, 0}, []float64{1, 0}); got != 1 {
+		t.Errorf("identical cosine = %g, want 1", got)
+	}
+	if got := Cosine([]float64{1, 0}, []float64{0, 1}); got != 0 {
+		t.Errorf("orthogonal cosine = %g, want 0", got)
+	}
+	if got := Cosine([]float64{0, 0}, []float64{1, 1}); got != 0 {
+		t.Errorf("zero-vector cosine = %g, want 0", got)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	c := Centroid([][]float64{{1, 0}, {0, 1}})
+	if c[0] != 0.5 || c[1] != 0.5 {
+		t.Errorf("Centroid = %v, want [0.5 0.5]", c)
+	}
+	if got := Centroid(nil); got != nil {
+		t.Errorf("Centroid(nil) = %v, want nil", got)
+	}
+}
+
+func TestMessageSimilarityIdenticalMessages(t *testing.T) {
+	sim := MessageSimilarity([]string{"nice kill", "nice kill", "nice kill"})
+	if !almostEqual(sim, 1, 1e-12) {
+		t.Errorf("identical messages similarity = %g, want 1", sim)
+	}
+}
+
+func TestMessageSimilarityOrdering(t *testing.T) {
+	// Excited, overlapping messages should score higher than disjoint chatter.
+	excited := MessageSimilarity([]string{"kill", "kill wow", "kill nice", "wow kill"})
+	random := MessageSimilarity([]string{
+		"anyone know a good pizza place",
+		"my internet keeps dropping",
+		"what patch is this",
+		"lol streamer sounds tired today",
+	})
+	if excited <= random {
+		t.Errorf("excited=%g should exceed random=%g", excited, random)
+	}
+}
+
+func TestMessageSimilarityDegenerateInputs(t *testing.T) {
+	if got := MessageSimilarity(nil); got != 0 {
+		t.Errorf("similarity of no messages = %g, want 0", got)
+	}
+	if got := MessageSimilarity([]string{"solo"}); got != 0 {
+		t.Errorf("similarity of one message = %g, want 0", got)
+	}
+	if got := MessageSimilarity([]string{"!!!", "???"}); got != 0 {
+		t.Errorf("similarity of empty-token messages = %g, want 0", got)
+	}
+}
+
+func TestMessageSimilaritySizeNormalization(t *testing.T) {
+	// Two completely unrelated messages must score 0 after normalization,
+	// even though their raw cosine-to-centroid is ~0.71.
+	disjoint := []string{"alpha beta", "gamma delta"}
+	if got := MessageSimilarity(disjoint); got != 0 {
+		t.Errorf("disjoint messages similarity = %g, want 0", got)
+	}
+	raw, n := RawMessageSimilarity(disjoint)
+	if n != 2 {
+		t.Fatalf("n = %d, want 2", n)
+	}
+	if raw < 0.6 || raw > 0.8 {
+		t.Errorf("raw similarity of orthogonal pair = %g, want ~0.71", raw)
+	}
+}
+
+func TestMessageSimilarityNotSizeConfounded(t *testing.T) {
+	// A large hype burst must outscore a tiny unrelated window; the raw
+	// metric gets this backwards, the normalized one must not.
+	burst := make([]string, 40)
+	for i := range burst {
+		if i%2 == 0 {
+			burst[i] = "kill wow"
+		} else {
+			burst[i] = "kill nice"
+		}
+	}
+	small := []string{"pizza tonight", "internet lagging"}
+	if MessageSimilarity(burst) <= MessageSimilarity(small) {
+		t.Errorf("burst (%g) should outscore unrelated pair (%g)",
+			MessageSimilarity(burst), MessageSimilarity(small))
+	}
+}
+
+// Property: cosine similarity of binary vectors is within [0, 1].
+func TestCosineRangeProperty(t *testing.T) {
+	f := func(bitsA, bitsB []bool) bool {
+		n := len(bitsA)
+		if len(bitsB) < n {
+			n = len(bitsB)
+		}
+		if n == 0 {
+			return true
+		}
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if bitsA[i] {
+				a[i] = 1
+			}
+			if bitsB[i] {
+				b[i] = 1
+			}
+		}
+		c := Cosine(a, b)
+		return c >= 0 && c <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MessageSimilarity stays within [0, 1] for arbitrary strings.
+func TestMessageSimilarityRangeProperty(t *testing.T) {
+	f := func(msgs []string) bool {
+		s := MessageSimilarity(msgs)
+		return s >= 0 && s <= 1+1e-12 && !math.IsNaN(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}

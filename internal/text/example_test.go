@@ -1,0 +1,29 @@
+package text_test
+
+import (
+	"fmt"
+
+	"lightor/internal/text"
+)
+
+// Hype bursts converge on a topic; casual chatter does not. The similarity
+// feature quantifies the difference, normalized so window size cannot fake
+// agreement.
+func ExampleMessageSimilarity() {
+	hype := text.MessageSimilarity([]string{"kill kill", "kill wow", "wow kill", "kill"})
+	casual := text.MessageSimilarity([]string{
+		"anyone know what patch this is",
+		"my internet keeps dropping today",
+		"who wins this series",
+		"hello from europe",
+	})
+	fmt.Println(hype > 3*casual)
+	// Output: true
+}
+
+// Tokenize lowercases and keeps emote-like tokens — excited viewers spam
+// exactly those.
+func ExampleTokenize() {
+	fmt.Println(text.Tokenize("PogChamp!!! 👍 Nice KILL"))
+	// Output: [pogchamp 👍 nice kill]
+}

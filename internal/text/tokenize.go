@@ -1,0 +1,89 @@
+// Package text implements the lightweight text processing the Highlight
+// Initializer needs: tokenization, bag-of-words vectors, cosine similarity,
+// and the one-cluster k-means centroid used to compute the message-similarity
+// feature (Section IV-C2 of the LIGHTOR paper).
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits a chat message into lowercase word tokens. Tokens are
+// maximal runs of letters, digits, or symbol runes; this keeps emoji and
+// emote codes (e.g. "PogChamp", "👍") as tokens, which matters because
+// excited viewers spam exactly those.
+func Tokenize(s string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, strings.ToLower(b.String()))
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || unicode.IsSymbol(r) {
+			b.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// WordCount returns the number of word tokens in a message. The paper
+// defines message length as "the number of words in the message"
+// (Section IV-C2).
+func WordCount(s string) int {
+	return len(Tokenize(s))
+}
+
+// Vocabulary maps tokens to dense indices. A fresh vocabulary is built per
+// sliding window: message similarity only compares messages inside the same
+// window, so vocabularies never need to be shared or persisted.
+type Vocabulary struct {
+	index map[string]int
+	words []string
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{index: make(map[string]int)}
+}
+
+// Add inserts a token if absent and returns its index.
+func (v *Vocabulary) Add(token string) int {
+	if i, ok := v.index[token]; ok {
+		return i
+	}
+	i := len(v.words)
+	v.index[token] = i
+	v.words = append(v.words, token)
+	return i
+}
+
+// Index returns the index for token and whether it is present.
+func (v *Vocabulary) Index(token string) (int, bool) {
+	i, ok := v.index[token]
+	return i, ok
+}
+
+// Word returns the token at index i.
+func (v *Vocabulary) Word(i int) string { return v.words[i] }
+
+// Len returns the vocabulary size.
+func (v *Vocabulary) Len() int { return len(v.words) }
+
+// BuildVocabulary tokenizes every message and returns the vocabulary over
+// all tokens seen.
+func BuildVocabulary(messages []string) *Vocabulary {
+	v := NewVocabulary()
+	for _, m := range messages {
+		for _, tok := range Tokenize(m) {
+			v.Add(tok)
+		}
+	}
+	return v
+}

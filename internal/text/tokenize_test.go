@@ -1,0 +1,70 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want []string
+	}{
+		{"simple", "Nice kill", []string{"nice", "kill"}},
+		{"punctuation", "wow!!! that, was... great", []string{"wow", "that", "was", "great"}},
+		{"empty", "", nil},
+		{"spaces", "   ", nil},
+		{"digits", "gg 100 times", []string{"gg", "100", "times"}},
+		{"case-folding", "PogChamp KILL", []string{"pogchamp", "kill"}},
+		{"emoji", "👍 😄 nice", []string{"👍", "😄", "nice"}},
+		{"mixed-unicode", "日本語 chat", []string{"日本語", "chat"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+				t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	if got := WordCount("three word message"); got != 3 {
+		t.Errorf("WordCount = %d, want 3", got)
+	}
+	if got := WordCount(""); got != 0 {
+		t.Errorf("WordCount empty = %d, want 0", got)
+	}
+}
+
+func TestVocabulary(t *testing.T) {
+	v := NewVocabulary()
+	i := v.Add("kill")
+	j := v.Add("nice")
+	if i != 0 || j != 1 {
+		t.Errorf("Add returned (%d,%d), want (0,1)", i, j)
+	}
+	if again := v.Add("kill"); again != 0 {
+		t.Errorf("duplicate Add returned %d, want 0", again)
+	}
+	if v.Len() != 2 {
+		t.Errorf("Len = %d, want 2", v.Len())
+	}
+	if idx, ok := v.Index("nice"); !ok || idx != 1 {
+		t.Errorf("Index(nice) = (%d,%v)", idx, ok)
+	}
+	if _, ok := v.Index("missing"); ok {
+		t.Error("Index found missing word")
+	}
+	if v.Word(0) != "kill" {
+		t.Errorf("Word(0) = %q", v.Word(0))
+	}
+}
+
+func TestBuildVocabulary(t *testing.T) {
+	v := BuildVocabulary([]string{"nice kill", "kill kill wow"})
+	if v.Len() != 3 {
+		t.Errorf("vocab size = %d, want 3 (nice, kill, wow)", v.Len())
+	}
+}
