@@ -7,12 +7,17 @@
 package lightor_test
 
 import (
+	"context"
+	"fmt"
+	"sync"
 	"testing"
 
 	"lightor"
 	"lightor/internal/chat"
 	"lightor/internal/core"
+	"lightor/internal/engine"
 	"lightor/internal/experiments"
+	"lightor/internal/play"
 	"lightor/internal/sim"
 	"lightor/internal/stats"
 	"lightor/internal/text"
@@ -299,4 +304,137 @@ func BenchmarkCrowdSimulation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sim.SimulateCrowd(rng, 10, d.Video, h.Start-5, h, sim.DefaultViewerBehavior())
 	}
+}
+
+// --- Session-engine benchmarks: the streaming-first hot path. ---
+
+var (
+	benchEngineOnce sync.Once
+	benchEngineInit *core.Initializer
+	benchEngineData sim.VideoData
+	benchEngineErr  error
+)
+
+// benchTrainedEngine caches a trained initializer and a held-out simulated
+// video; training once keeps the per-benchmark setup off the clock.
+func benchTrainedEngine(b *testing.B) (*core.Initializer, sim.VideoData) {
+	b.Helper()
+	benchEngineOnce.Do(func() {
+		rng := stats.NewRand(42)
+		data := sim.GenerateDataset(rng, sim.Dota2Profile(), 2)
+		init := core.NewInitializer(core.DefaultInitializerConfig())
+		train := data[0]
+		ws := init.Windows(train.Chat.Log, train.Video.Duration)
+		benchEngineErr = init.Train([]core.TrainingVideo{{
+			Log:        train.Chat.Log,
+			Duration:   train.Video.Duration,
+			Labels:     sim.LabelWindows(ws, train.Chat.Bursts),
+			Highlights: train.Video.Highlights,
+		}})
+		benchEngineInit = init
+		benchEngineData = data[1]
+	})
+	if benchEngineErr != nil {
+		b.Fatal(benchEngineErr)
+	}
+	return benchEngineInit, benchEngineData
+}
+
+// BenchmarkEngineMultiChannelIngest measures live-chat throughput through
+// the session engine at increasing channel fan-in. Each iteration streams
+// one full simulated broadcast into every channel concurrently and flushes;
+// msgs/sec is the headline metric.
+func BenchmarkEngineMultiChannelIngest(b *testing.B) {
+	for _, channels := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("channels=%d", channels), func(b *testing.B) {
+			init, d := benchTrainedEngine(b)
+			msgs := d.Chat.Log.Messages()
+			eng, err := engine.New(init, core.NewExtractor(core.DefaultExtractorConfig(), nil), engine.Config{Warmup: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close(context.Background())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for c := 0; c < channels; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						id := fmt.Sprintf("i%d-c%d", i, c)
+						s, err := eng.Sessions().GetOrOpen(id)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						for j := 0; j < len(msgs); j += 64 {
+							end := j + 64
+							if end > len(msgs) {
+								end = len(msgs)
+							}
+							if err := s.Ingest(msgs[j:end]...); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+						if _, err := s.Flush(context.Background()); err != nil {
+							b.Error(err)
+						}
+						eng.Sessions().Remove(id)
+					}(c)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			total := float64(b.N) * float64(channels) * float64(len(msgs))
+			b.ReportMetric(total/b.Elapsed().Seconds(), "msgs/sec")
+		})
+	}
+}
+
+// BenchmarkRefineKDots compares the seed's serial per-dot refinement loop
+// (what Workflow.Run did) against the engine's per-dot fan-out on the same
+// k = 8 dots. The parallel path should approach a worker-count speedup.
+func BenchmarkRefineKDots(b *testing.B) {
+	init, d := benchTrainedEngine(b)
+	dots, err := init.Detect(d.Chat.Log, d.Video.Duration, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRand(7)
+	var plays []play.Play
+	for _, dot := range dots {
+		if h, ok := sim.NearestHighlight(d.Video, dot.Time); ok {
+			plays = append(plays, sim.SimulateCrowd(rng, 60, d.Video, dot.Time, h, sim.DefaultViewerBehavior())...)
+		}
+	}
+	src := lightor.StaticPlays(plays)
+	ext := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, dot := range dots {
+				seed := core.Interval{Start: dot.Time, End: dot.Time + ext.Config().DefaultSpan}
+				ext.Refine(seed, src)
+			}
+		}
+	})
+	b.Run("engine-parallel", func(b *testing.B) {
+		eng, err := engine.New(init, ext, engine.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close(context.Background())
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			job, err := eng.Refine().Enqueue("bench", dots, src, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Refine().Wait(ctx, job.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -1,6 +1,8 @@
 // Command lightor-server runs the LIGHTOR back-end web service of Section
-// VI (Figure 5): the browser-extension front end fetches red dots from it
-// and reports viewer interactions back.
+// VI (Figure 5), engine-backed: the browser-extension front end fetches
+// red dots from it and reports viewer interactions back, refinement runs
+// as background jobs, and live broadcast chat streams through the
+// concurrent session engine.
 //
 // For a self-contained demo it also starts a simulated Twitch API, crawls
 // a batch of simulated recorded videos through the real crawler stack, and
@@ -12,11 +14,22 @@
 //
 //	GET  /healthz
 //	GET  /api/highlights?video=ID&k=5
-//	POST /api/interactions?video=ID     (JSON array of player events)
-//	POST /api/refine?video=ID
+//	POST /api/interactions?video=ID            (JSON array of player events)
+//	POST /api/refine?video=ID                  (202: job enqueued)
+//	GET  /api/refine/status?job=ID
+//	POST /api/live/chat?channel=ID             (JSON array of chat messages)
+//	POST /api/live/advance?channel=ID&now=T
+//	GET  /api/live/dots?channel=ID&cursor=N
+//	DELETE /api/live/session?channel=ID        (end broadcast, flush, free slot)
+//
+// On SIGINT/SIGTERM the server drains gracefully: in-flight requests
+// finish, queued live chat is processed, background refinements complete,
+// and only then does the optional store snapshot get written.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -25,8 +38,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"lightor/internal/core"
+	"lightor/internal/engine"
 	"lightor/internal/platform"
 	"lightor/internal/sim"
 	"lightor/internal/stats"
@@ -39,6 +54,8 @@ func main() {
 	videos := flag.Int("videos", 3, "videos per simulated channel")
 	trainN := flag.Int("train", 3, "simulated labeled training videos")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "engine session/refine workers (0 = GOMAXPROCS)")
+	drainTimeout := flag.Duration("drain", 30*time.Second, "graceful-drain timeout on shutdown")
 	storePath := flag.String("store", "", "optional store snapshot path: loaded at start, saved on SIGINT/SIGTERM")
 	flag.Parse()
 
@@ -114,31 +131,53 @@ func main() {
 	}
 	log.Printf("crawled %d videos: %v", n, store.VideoIDs())
 
+	// The session engine: live-channel multiplexing and background
+	// refinement, shared by every handler.
+	eng, err := engine.New(init,
+		core.NewExtractor(core.DefaultExtractorConfig(), nil),
+		engine.Config{SessionWorkers: *workers, RefineWorkers: *workers})
+	if err != nil {
+		log.Fatalf("engine: %v", err)
+	}
+
 	svc := &platform.Service{
-		Store:       store,
-		Initializer: init,
-		Extractor:   core.NewExtractor(core.DefaultExtractorConfig(), nil),
-		Crawler:     crawler,
+		Store:   store,
+		Engine:  eng,
+		Crawler: crawler,
 	}
 
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	go func() {
+		log.Printf("LIGHTOR service listening on %s", *addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}()
+
+	// Graceful drain: stop accepting HTTP, drain the engine (queued live
+	// chat and in-flight refine jobs), then snapshot the store.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	<-sigs
+	log.Printf("shutting down: draining for up to %s", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := eng.Close(ctx); err != nil {
+		log.Printf("engine drain: %v", err)
+	}
 	if *storePath != "" {
-		sigs := make(chan os.Signal, 1)
-		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sigs
-			f, err := os.Create(*storePath)
-			if err != nil {
-				log.Fatalf("saving store snapshot: %v", err)
-			}
-			if err := store.Save(f); err != nil {
-				log.Fatalf("saving store snapshot: %v", err)
-			}
-			f.Close()
-			log.Printf("store snapshot saved to %s", *storePath)
-			os.Exit(0)
-		}()
+		f, err := os.Create(*storePath)
+		if err != nil {
+			log.Fatalf("saving store snapshot: %v", err)
+		}
+		if err := store.Save(f); err != nil {
+			log.Fatalf("saving store snapshot: %v", err)
+		}
+		f.Close()
+		log.Printf("store snapshot saved to %s", *storePath)
 	}
-
-	log.Printf("LIGHTOR service listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, svc.Handler()))
+	log.Printf("shutdown complete")
 }

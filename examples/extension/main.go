@@ -8,13 +8,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"time"
 
 	"lightor/internal/core"
+	"lightor/internal/engine"
 	"lightor/internal/platform"
 	"lightor/internal/play"
 	"lightor/internal/sim"
@@ -70,12 +73,16 @@ func main() {
 	}
 	fmt.Printf("crawler stored %d videos: %v\n", n, store.VideoIDs())
 
-	// --- LIGHTOR service.
+	// --- LIGHTOR service, backed by the concurrent session engine.
+	eng, err := engine.New(init, core.NewExtractor(core.DefaultExtractorConfig(), nil), engine.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close(context.Background())
 	svc := &platform.Service{
-		Store:       store,
-		Initializer: init,
-		Extractor:   core.NewExtractor(core.DefaultExtractorConfig(), nil),
-		Crawler:     crawler,
+		Store:   store,
+		Engine:  eng,
+		Crawler: crawler,
 	}
 	apiSrv := httptest.NewServer(svc.Handler())
 	defer apiSrv.Close()
@@ -121,16 +128,34 @@ func main() {
 	resp.Body.Close()
 	fmt.Printf("\nlogged %d interaction events from 10 viewers per dot\n", len(events))
 
-	// --- Back end refines boundaries from the logged interactions.
+	// --- Back end refines boundaries in the background: the refine call
+	// enqueues a job (202) and the client polls its status.
 	resp, err = http.Post(apiSrv.URL+"/api/refine?video="+target.ID, "application/json", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var refined platform.HighlightsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&refined); err != nil {
+	var job platform.RefineJobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
 		log.Fatal(err)
 	}
 	resp.Body.Close()
+	fmt.Printf("\nrefine job %s enqueued (status %q)\n", job.Job, job.Status)
+
+	var refined platform.RefineJobResponse
+	for {
+		resp, err = http.Get(apiSrv.URL + "/api/refine/status?job=" + job.Job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&refined); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		if refined.Status == engine.JobDone {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 
 	fmt.Println("\nrefined boundaries:")
 	for i, b := range refined.Boundaries {

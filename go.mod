@@ -1,0 +1,3 @@
+module lightor
+
+go 1.24

@@ -139,7 +139,15 @@ func (o *OnlineDetector) closeCurrent() {
 	if o.now >= nextStart+size {
 		// A quiet stretch: materialize empty windows so local-maximum
 		// comparisons see them (they score ~0 and finalize trivially).
-		for start := nextStart; start+size <= o.now; start += size {
+		// Cap the fill at 2δ past the closed window: emptier, farther
+		// windows can never change an emission decision, and an unbounded
+		// clock jump (a buggy or hostile Advance) must not allocate the
+		// whole gap.
+		limit := o.now
+		if cap := nextStart + 2*o.init.cfg.MinSeparation + size; limit > cap {
+			limit = cap
+		}
+		for start := nextStart; start+size <= limit; start += size {
 			empty := chat.Window{Start: start, End: start + size}
 			o.pending = append(o.pending, onlineWindow{
 				win:   empty,

@@ -1,0 +1,169 @@
+// Package engine is LIGHTOR's concurrent session engine: the streaming-first
+// runtime that multiplexes many live channels, refines highlight boundaries
+// in the background, and re-expresses batch detection as replay over the
+// same machinery.
+//
+// The paper's deployment (Section VI, Figure 5) and future-work direction
+// (Section IX) describe a platform serving many concurrent broadcasts. The
+// engine gives that platform its core primitives:
+//
+//   - SessionManager: one ordered mailbox per live channel in front of a
+//     core.OnlineDetector, drained by a bounded worker pool. Any number of
+//     producers may ingest concurrently; per-channel ordering is preserved
+//     because exactly one worker owns a mailbox at a time.
+//   - RefineQueue: Extractor.Refine as asynchronous background jobs with
+//     per-dot fan-out, so refining k red dots costs one dot's latency
+//     instead of k (the serial loop the legacy Workflow.Run ran).
+//   - Replay: ExtractHighlights feeds a recorded video through the same
+//     session mailbox machinery with a batch-detection backend, then fans
+//     refinement out through the queue — batch is now a mode of the
+//     streaming path, not a parallel implementation.
+//
+// Engine.Close drains everything gracefully: intake stops, queued chat and
+// in-flight refinements complete, workers exit.
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"lightor/internal/chat"
+	"lightor/internal/core"
+)
+
+// Config tunes the engine. The zero value picks sensible production
+// defaults.
+type Config struct {
+	// SessionWorkers is the size of the pool draining session mailboxes
+	// (default GOMAXPROCS).
+	SessionWorkers int
+	// RefineWorkers bounds concurrent per-dot refinements across all jobs
+	// (default GOMAXPROCS).
+	RefineWorkers int
+	// MaxSessions caps concurrently open sessions, live and replay
+	// combined (default 4096). Opening beyond the cap returns
+	// ErrTooManySessions — backpressure instead of unbounded memory when
+	// clients mint channel ids freely.
+	MaxSessions int
+	// Threshold is the online emission threshold (≤ 0 → OnlineDetector's
+	// default of 0.5).
+	Threshold float64
+	// Warmup overrides the online warm-up horizon in seconds. Zero (the
+	// zero value) keeps OnlineDetector's production default of 300 s;
+	// negative disables warm-up entirely (deterministic tests and
+	// benchmarks want this).
+	Warmup float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.SessionWorkers <= 0 {
+		c.SessionWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.RefineWorkers <= 0 {
+		c.RefineWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4096
+	}
+}
+
+// Engine owns the streaming runtime: live sessions and the refine queue.
+type Engine struct {
+	init *core.Initializer
+	ext  *core.Extractor
+
+	sessions *SessionManager
+	refine   *RefineQueue
+
+	mu       sync.Mutex
+	replaySe int // replay session id sequence
+	closed   bool
+}
+
+// New assembles an engine around a trained initializer and an extractor.
+func New(init *core.Initializer, ext *core.Extractor, cfg Config) (*Engine, error) {
+	if init == nil || ext == nil {
+		return nil, errors.New("engine: needs both an initializer and an extractor")
+	}
+	cfg.fillDefaults()
+	return &Engine{
+		init:     init,
+		ext:      ext,
+		sessions: newSessionManager(init, cfg.Threshold, cfg.Warmup, cfg.SessionWorkers, cfg.MaxSessions),
+		refine:   newRefineQueue(ext, cfg.RefineWorkers),
+	}, nil
+}
+
+// Sessions exposes the live-channel multiplexer.
+func (e *Engine) Sessions() *SessionManager { return e.sessions }
+
+// Refine exposes the background refinement queue.
+func (e *Engine) Refine() *RefineQueue { return e.refine }
+
+// Extractor returns the extractor the engine refines with.
+func (e *Engine) Extractor() *core.Extractor { return e.ext }
+
+// Initializer returns the trained initializer backing all sessions.
+func (e *Engine) Initializer() *core.Initializer { return e.init }
+
+// ExtractHighlights is the batch path expressed as replay: the recorded
+// chat log streams through a session mailbox exactly like live traffic,
+// with a backend that runs the initializer's full-context top-k detection
+// at flush; the resulting dots then refine in parallel on the queue.
+// Results keep the initializer's score order, matching the legacy serial
+// Workflow.Run output exactly.
+func (e *Engine) ExtractHighlights(ctx context.Context, log *chat.Log, duration float64, k int, source core.InteractionSource) ([]core.HighlightResult, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e.replaySe++
+	id := replayChannelID(e.replaySe)
+	e.mu.Unlock()
+
+	backend := &replayBackend{init: e.init, duration: duration, k: k}
+	s, err := e.sessions.open(id, backend)
+	if err != nil {
+		return nil, err
+	}
+	defer e.sessions.Remove(id)
+
+	if err := s.Ingest(log.Messages()...); err != nil {
+		return nil, err
+	}
+	dots, err := s.Flush(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Tracked so Engine.Close's drain waits for this fan-out like it does
+	// for enqueued jobs.
+	return e.refine.refineAllTracked(dots, source)
+}
+
+func replayChannelID(seq int) string {
+	// Distinct namespace so replay sessions can never collide with a live
+	// channel id taken from user input.
+	return "\x00replay/" + strconv.Itoa(seq)
+}
+
+// Close gracefully drains the engine: session intake stops, queued chat
+// finishes processing, in-flight refinements complete, and the worker
+// pools exit. A cancelled ctx abandons the drain and returns its error.
+func (e *Engine) Close(ctx context.Context) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+
+	if err := e.sessions.close(ctx); err != nil {
+		return err
+	}
+	return e.refine.close(ctx)
+}

@@ -1,0 +1,467 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"lightor/internal/chat"
+	"lightor/internal/core"
+)
+
+// Sentinel errors returned by the session layer.
+var (
+	// ErrClosed is returned once the manager (or a single session) has been
+	// closed: the engine is draining and accepts no new work.
+	ErrClosed = errors.New("engine: closed")
+	// ErrOutOfOrder is returned when a message's timestamp precedes the
+	// session's high-water mark. Live chat is inherently ordered, so
+	// disorder means the caller's plumbing is broken; the batch is rejected
+	// before it reaches the mailbox, leaving the session usable.
+	ErrOutOfOrder = errors.New("engine: message out of time order")
+	// ErrUnknownSession is returned when polling a channel that was never
+	// opened.
+	ErrUnknownSession = errors.New("engine: unknown session")
+	// ErrTooManySessions is returned when opening a channel would exceed
+	// the engine's session cap — backpressure against unbounded channel
+	// creation by misbehaving clients.
+	ErrTooManySessions = errors.New("engine: too many open sessions")
+)
+
+// sessionDetector is the per-session detection backend. Live sessions wrap
+// core.OnlineDetector; replay sessions accumulate the log and run the batch
+// initializer at flush, which is how batch extraction becomes "replay over
+// the streaming path" rather than a separate pipeline.
+type sessionDetector interface {
+	feed(m chat.Message) ([]core.RedDot, error)
+	advance(now float64) []core.RedDot
+	flush() ([]core.RedDot, error)
+}
+
+// onlineBackend adapts core.OnlineDetector to the sessionDetector shape.
+type onlineBackend struct{ od *core.OnlineDetector }
+
+func (b onlineBackend) feed(m chat.Message) ([]core.RedDot, error) { return b.od.Feed(m) }
+func (b onlineBackend) advance(now float64) []core.RedDot          { return b.od.Advance(now) }
+func (b onlineBackend) flush() ([]core.RedDot, error)              { return b.od.Flush(), nil }
+
+// replayBackend buffers the stream and runs batch top-k detection when the
+// stream ends. It sees exactly the same message sequence a live session
+// would, but normalizes features over the full log — the semantics of
+// Initializer.Detect, and therefore of the legacy Workflow.Run.
+type replayBackend struct {
+	init     *core.Initializer
+	duration float64
+	k        int
+	messages []chat.Message
+}
+
+func (b *replayBackend) feed(m chat.Message) ([]core.RedDot, error) {
+	b.messages = append(b.messages, m)
+	return nil, nil
+}
+
+func (b *replayBackend) advance(now float64) []core.RedDot { return nil }
+
+func (b *replayBackend) flush() ([]core.RedDot, error) {
+	return b.init.Detect(chat.NewLog(b.messages), b.duration, b.k)
+}
+
+// envelope is one unit of mailbox work: a message batch, a clock advance,
+// or a flush. Exactly one field set per kind.
+type envelope struct {
+	msgs    []chat.Message
+	advance float64
+	flush   bool
+	done    chan struct{} // non-nil for flush: closed when processed
+}
+
+// Session is one live channel's detection state: an ordered mailbox in
+// front of a detection backend. Any number of goroutines may enqueue work;
+// exactly one pool worker drains the mailbox at a time, so the backend
+// itself never sees concurrency and messages are processed in arrival
+// order.
+type Session struct {
+	channel string
+	mgr     *SessionManager
+
+	mu        sync.Mutex // guards queue, running, watermark, closed, emitted, err
+	queue     []envelope
+	running   bool
+	closed    bool
+	flushDone chan struct{} // non-nil once a flush is enqueued; closed when processed
+	watermark float64       // highest timestamp accepted so far
+	emitted   []core.RedDot
+	flushErr  error
+
+	detMu sync.Mutex // guards det across worker/flush handoffs
+	det   sessionDetector
+}
+
+// Channel returns the session's channel identifier.
+func (s *Session) Channel() string { return s.channel }
+
+// Ingest validates and enqueues a batch of live chat messages. Order is
+// checked against the session's high-water mark at enqueue time, so the
+// caller gets a synchronous ErrOutOfOrder instead of a poisoned mailbox;
+// the actual detection work happens on the manager's worker pool.
+func (s *Session) Ingest(msgs ...chat.Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	last := s.watermark
+	for _, m := range msgs {
+		if m.Time < last {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: %.3fs after %.3fs on channel %q",
+				ErrOutOfOrder, m.Time, last, s.channel)
+		}
+		last = m.Time
+	}
+	s.watermark = last
+	batch := make([]chat.Message, len(msgs))
+	copy(batch, msgs)
+	s.enqueueLocked(envelope{msgs: batch})
+	s.mu.Unlock()
+	return nil
+}
+
+// Advance moves the session clock during quiet periods so windows finalize
+// without requiring a message.
+func (s *Session) Advance(now float64) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if now > s.watermark {
+		s.watermark = now
+	}
+	s.enqueueLocked(envelope{advance: now})
+	s.mu.Unlock()
+	return nil
+}
+
+// Flush ends the stream: the session stops accepting work, all queued
+// envelopes are processed in order, and remaining windows finalize. It
+// blocks until the flush has been processed (or ctx expires) and returns
+// the session's full emission history. Flush is idempotent — concurrent
+// or repeated calls all wait for the same flush and see the same final
+// history. A session closed by the engine's drain (which processes queued
+// work but does not finalize) returns ErrClosed.
+func (s *Session) Flush(ctx context.Context) ([]core.RedDot, error) {
+	s.mu.Lock()
+	if s.flushDone == nil {
+		if s.closed {
+			s.mu.Unlock()
+			return nil, ErrClosed
+		}
+		s.closed = true
+		s.flushDone = make(chan struct{})
+		s.enqueueLocked(envelope{flush: true, done: s.flushDone})
+	}
+	done := s.flushDone
+	s.mu.Unlock()
+
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]core.RedDot(nil), s.emitted...), s.flushErr
+}
+
+// Dots returns the dots emitted since cursor (an offset into the emission
+// history; 0 means "from the beginning") together with the new cursor.
+// Pollers hand the cursor back on their next call to receive only fresh
+// dots.
+func (s *Session) Dots(cursor int) ([]core.RedDot, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor > len(s.emitted) {
+		cursor = len(s.emitted)
+	}
+	fresh := append([]core.RedDot(nil), s.emitted[cursor:]...)
+	return fresh, len(s.emitted)
+}
+
+// Pending returns the number of envelopes waiting in the mailbox.
+func (s *Session) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// enqueueLocked appends work and hands the session to the pool if no
+// worker currently owns it. Caller holds s.mu.
+func (s *Session) enqueueLocked(env envelope) {
+	s.queue = append(s.queue, env)
+	s.mgr.items.Add(1)
+	if !s.running {
+		s.running = true
+		s.mgr.dispatch(s)
+	}
+}
+
+// drain is run by exactly one pool worker at a time: it repeatedly swaps
+// out the queued envelopes and processes them in order, releasing
+// ownership only when the mailbox is observed empty under the lock.
+func (s *Session) drain() {
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 {
+			s.running = false
+			s.mu.Unlock()
+			return
+		}
+		batch := s.queue
+		s.queue = nil
+		s.mu.Unlock()
+		for _, env := range batch {
+			s.process(env)
+			s.mgr.items.Done()
+		}
+	}
+}
+
+func (s *Session) process(env envelope) {
+	s.detMu.Lock()
+	var dots []core.RedDot
+	var err error
+	switch {
+	case env.flush:
+		dots, err = s.det.flush()
+	case env.msgs != nil:
+		for _, m := range env.msgs {
+			var d []core.RedDot
+			d, err = s.det.feed(m)
+			dots = append(dots, d...)
+			if err != nil {
+				break
+			}
+		}
+	default:
+		dots = s.det.advance(env.advance)
+	}
+	s.detMu.Unlock()
+
+	s.mu.Lock()
+	s.emitted = append(s.emitted, dots...)
+	if err != nil && s.flushErr == nil {
+		s.flushErr = err
+	}
+	s.mu.Unlock()
+	if env.done != nil {
+		close(env.done)
+	}
+}
+
+// SessionManager multiplexes many live channels over a bounded worker
+// pool. Each channel gets an ordered mailbox (its Session); the pool
+// guarantees per-channel ordering by granting mailbox ownership to one
+// worker at a time while different channels progress in parallel.
+type SessionManager struct {
+	init        *core.Initializer
+	threshold   float64
+	warmup      float64
+	workers     int
+	maxSessions int
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	closed   bool
+
+	work     chan *Session
+	workerWG sync.WaitGroup
+	items    sync.WaitGroup // outstanding envelopes across all sessions
+}
+
+func newSessionManager(init *core.Initializer, threshold, warmup float64, workers, maxSessions int) *SessionManager {
+	m := &SessionManager{
+		init:        init,
+		threshold:   threshold,
+		warmup:      warmup,
+		workers:     workers,
+		maxSessions: maxSessions,
+		sessions:    make(map[string]*Session),
+		work:        make(chan *Session, 1024),
+	}
+	for i := 0; i < workers; i++ {
+		m.workerWG.Add(1)
+		go func() {
+			defer m.workerWG.Done()
+			for s := range m.work {
+				s.drain()
+			}
+		}()
+	}
+	return m
+}
+
+// dispatch hands a session to the pool. The work channel is generously
+// buffered and each session occupies at most one slot (ownership token),
+// but fall back to a goroutine rather than block an ingest caller if it
+// ever fills.
+func (m *SessionManager) dispatch(s *Session) {
+	select {
+	case m.work <- s:
+	default:
+		go func() { m.work <- s }()
+	}
+}
+
+// Open creates the live session for a channel, erroring if it already
+// exists. The detector must be trained.
+func (m *SessionManager) Open(channel string) (*Session, error) {
+	return m.open(channel, nil)
+}
+
+// GetOrOpen returns the existing session for a channel or opens a new one —
+// the idempotent form ingestion endpoints want.
+func (m *SessionManager) GetOrOpen(channel string) (*Session, error) {
+	m.mu.Lock()
+	if s, ok := m.sessions[channel]; ok {
+		m.mu.Unlock()
+		return s, nil
+	}
+	m.mu.Unlock()
+	s, err := m.open(channel, nil)
+	if errors.Is(err, errDuplicate) {
+		return m.GetOrOpen(channel)
+	}
+	return s, err
+}
+
+// Get returns the session for a channel, if any.
+func (m *SessionManager) Get(channel string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[channel]
+	return s, ok
+}
+
+// Channels returns the ids of all open sessions.
+func (m *SessionManager) Channels() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.sessions))
+	for id := range m.sessions {
+		out = append(out, id)
+	}
+	return out
+}
+
+var errDuplicate = errors.New("engine: session already open")
+
+func (m *SessionManager) open(channel string, det sessionDetector) (*Session, error) {
+	if channel == "" {
+		return nil, errors.New("engine: session needs a channel id")
+	}
+	if det == nil {
+		od, err := core.NewOnlineDetector(m.init, m.threshold)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case m.warmup > 0:
+			od.SetWarmup(m.warmup)
+		case m.warmup < 0:
+			od.SetWarmup(0) // explicitly disabled
+		}
+		// warmup == 0: keep OnlineDetector's 300 s default.
+		det = onlineBackend{od: od}
+	}
+	s := &Session{channel: channel, mgr: m, det: det}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := m.sessions[channel]; ok {
+		return nil, fmt.Errorf("%w: %q", errDuplicate, channel)
+	}
+	if len(m.sessions) >= m.maxSessions {
+		return nil, fmt.Errorf("%w (cap %d)", ErrTooManySessions, m.maxSessions)
+	}
+	m.sessions[channel] = s
+	return s, nil
+}
+
+// CloseSession ends one channel: its session flushes (remaining windows
+// finalize) and is removed from the manager, freeing its cap slot. The
+// final full emission history is returned. Use it when a broadcast ends —
+// or to recover a channel whose clock was poisoned by a bad Advance.
+// Concurrent calls for the same channel all wait for the one flush and
+// return the same complete history (Flush is idempotent); ErrClosed means
+// the engine itself is draining.
+func (m *SessionManager) CloseSession(ctx context.Context, channel string) ([]core.RedDot, error) {
+	s, ok := m.Get(channel)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, channel)
+	}
+	dots, err := s.Flush(ctx)
+	if err != nil {
+		return dots, err
+	}
+	m.Remove(channel)
+	return dots, nil
+}
+
+// Remove drops a finished session from the manager so the map tracks only
+// live channels. Flush the session first; queued work already handed to
+// the pool still completes.
+func (m *SessionManager) Remove(channel string) {
+	m.mu.Lock()
+	delete(m.sessions, channel)
+	m.mu.Unlock()
+}
+
+// close drains the manager: new ingest is rejected, every queued envelope
+// is processed, and the worker pool exits. Called via Engine.Close.
+func (m *SessionManager) close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	open := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		open = append(open, s)
+	}
+	m.mu.Unlock()
+
+	// Stop each session's intake; queued work remains valid.
+	for _, s := range open {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+	}
+
+	// Wait for mailboxes to empty.
+	drained := make(chan struct{})
+	go func() {
+		m.items.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		return fmt.Errorf("engine: drain interrupted: %w", ctx.Err())
+	}
+
+	close(m.work)
+	m.workerWG.Wait()
+	return nil
+}

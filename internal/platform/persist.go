@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 
 	"lightor/internal/chat"
 	"lightor/internal/core"
@@ -29,16 +28,19 @@ type videoSnapshot struct {
 
 const storeVersion = 1
 
-// Save writes the full store state as JSON.
+// Save writes the full store state as JSON. Each shard is locked only
+// while it is copied, so a snapshot is per-video (not cross-video)
+// consistent — the same guarantee serving reads get.
 func (s *Store) Save(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	snap := storeSnapshot{
 		Version: storeVersion,
 		Events:  map[string][]play.Event{},
 	}
-	for _, id := range s.videoIDsLocked() {
-		rec := s.videos[id]
+	for _, id := range s.VideoIDs() {
+		rec, ok := s.Video(id)
+		if !ok {
+			continue
+		}
 		vs := videoSnapshot{
 			ID:         rec.ID,
 			Duration:   rec.Duration,
@@ -49,9 +51,9 @@ func (s *Store) Save(w io.Writer) error {
 			vs.Chat = rec.Chat.Messages()
 		}
 		snap.Videos = append(snap.Videos, vs)
-	}
-	for id, evs := range s.events {
-		snap.Events[id] = evs
+		if evs := s.Events(id); len(evs) > 0 {
+			snap.Events[id] = evs
+		}
 	}
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(snap); err != nil {
@@ -90,15 +92,4 @@ func LoadStore(r io.Reader) (*Store, error) {
 		}
 	}
 	return s, nil
-}
-
-// videoIDsLocked returns sorted IDs; the caller must hold at least a read
-// lock.
-func (s *Store) videoIDsLocked() []string {
-	ids := make([]string, 0, len(s.videos))
-	for id := range s.videos {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	return ids
 }

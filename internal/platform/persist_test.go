@@ -87,10 +87,9 @@ func TestServiceOnDemandCrawl(t *testing.T) {
 
 	store := NewStore() // empty: nothing crawled offline
 	svc := &Service{
-		Store:       store,
-		Initializer: init,
-		Extractor:   core.NewExtractor(core.DefaultExtractorConfig(), nil),
-		Crawler:     &Crawler{BaseURL: twitchSrv.URL, Store: store},
+		Store:   store,
+		Engine:  testEngine(t, init),
+		Crawler: &Crawler{BaseURL: twitchSrv.URL, Store: store},
 	}
 	srv := httptest.NewServer(svc.Handler())
 	defer srv.Close()

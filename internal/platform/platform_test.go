@@ -2,17 +2,41 @@ package platform
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"sync"
 	"testing"
+	"time"
 
 	"lightor/internal/chat"
 	"lightor/internal/core"
+	"lightor/internal/engine"
 	"lightor/internal/play"
 	"lightor/internal/sim"
 	"lightor/internal/stats"
 )
+
+// testEngine builds an engine-backed test fixture and drains it on
+// cleanup.
+func testEngine(t *testing.T, init *core.Initializer) *engine.Engine {
+	t.Helper()
+	eng, err := engine.New(init, core.NewExtractor(core.DefaultExtractorConfig(), nil), engine.Config{Warmup: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := eng.Close(ctx); err != nil {
+			t.Errorf("engine close: %v", err)
+		}
+	})
+	return eng
+}
 
 func TestStoreBasics(t *testing.T) {
 	s := NewStore()
@@ -35,6 +59,64 @@ func TestStoreBasics(t *testing.T) {
 	}
 	if ids := s.VideoIDs(); len(ids) != 1 || ids[0] != "v1" {
 		t.Errorf("VideoIDs = %v", ids)
+	}
+}
+
+func TestStoreDeepCopySemantics(t *testing.T) {
+	s := NewStore()
+	dots := []core.RedDot{{Time: 50, Score: 0.9}}
+	spans := []core.Interval{{Start: 45, End: 60}}
+	if err := s.PutVideo(VideoRecord{ID: "v1", Duration: 100, RedDots: dots, Boundaries: spans}); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's slices after Put must not reach the store.
+	dots[0].Time = 999
+	spans[0].Start = 999
+	rec, _ := s.Video("v1")
+	if rec.RedDots[0].Time != 50 || rec.Boundaries[0].Start != 45 {
+		t.Errorf("PutVideo aliased caller slices: %+v", rec)
+	}
+	// Mutating a returned record must not reach the store either.
+	rec.RedDots[0].Time = 777
+	rec.Boundaries[0].End = 777
+	again, _ := s.Video("v1")
+	if again.RedDots[0].Time != 50 || again.Boundaries[0].End != 60 {
+		t.Errorf("Video returned aliased storage: %+v", again)
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	// Hammer the sharded store from many goroutines; run with -race.
+	s := NewStore()
+	const videos = 64
+	var wg sync.WaitGroup
+	for i := 0; i < videos; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("v%02d", i)
+			if err := s.PutVideo(VideoRecord{ID: id, Duration: 100}); err != nil {
+				t.Error(err)
+				return
+			}
+			for j := 0; j < 20; j++ {
+				if err := s.SetRedDots(id, []core.RedDot{{Time: float64(j)}}); err != nil {
+					t.Error(err)
+				}
+				if err := s.LogEvents(id, []play.Event{{User: "u", Seq: j, Type: play.EventPlay, Pos: float64(j)}}); err != nil {
+					t.Error(err)
+				}
+				rec, ok := s.Video(id)
+				if !ok || rec.ID != id {
+					t.Errorf("Video(%s) = %+v, %v", id, rec, ok)
+				}
+				s.Events(id)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(s.VideoIDs()); got != videos {
+		t.Errorf("VideoIDs = %d, want %d", got, videos)
 	}
 }
 
@@ -161,9 +243,8 @@ func TestServiceEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	svc := &Service{
-		Store:       store,
-		Initializer: init,
-		Extractor:   core.NewExtractor(core.DefaultExtractorConfig(), nil),
+		Store:  store,
+		Engine: testEngine(t, init),
 	}
 	srv := httptest.NewServer(svc.Handler())
 	defer srv.Close()
@@ -212,27 +293,183 @@ func TestServiceEndToEnd(t *testing.T) {
 		t.Fatalf("interactions status = %d", resp.StatusCode)
 	}
 
-	// Trigger refinement.
+	// Trigger refinement: the endpoint enqueues a background job and
+	// returns 202; the client polls the job until it completes.
 	resp, err = http.Post(srv.URL+"/api/refine?video="+target.Video.ID, "application/json", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var refined HighlightsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&refined); err != nil {
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("refine status = %d, want 202", resp.StatusCode)
+	}
+	var job RefineJobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+	if job.Job == "" {
+		t.Fatal("refine returned no job id")
+	}
+
+	var refined RefineJobResponse
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err = http.Get(srv.URL + "/api/refine/status?job=" + job.Job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&refined); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if refined.Status == engine.JobDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("refine job stuck in status %q", refined.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 	if len(refined.Boundaries) != len(hr.Dots) {
 		t.Errorf("boundaries = %d, want %d", len(refined.Boundaries), len(hr.Dots))
+	}
+
+	// The completed job also persisted refined state to the store.
+	rec, ok := store.Video(target.Video.ID)
+	if !ok || len(rec.Boundaries) != len(hr.Dots) {
+		t.Errorf("store boundaries = %d, want %d", len(rec.Boundaries), len(hr.Dots))
+	}
+}
+
+func TestServiceLiveEndpoints(t *testing.T) {
+	init, target := trainedInitializer(t)
+	svc := &Service{
+		Store:  NewStore(),
+		Engine: testEngine(t, init),
+	}
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	msgs := target.Chat.Log.Messages()
+	if len(msgs) < 100 {
+		t.Fatalf("simulated chat too small: %d messages", len(msgs))
+	}
+
+	post := func(path string, body []byte) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Stream the first half, then the second half, as a live channel.
+	half := len(msgs) / 2
+	for _, batch := range [][]chat.Message{msgs[:half], msgs[half:]} {
+		body, err := json.Marshal(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := post("/api/live/chat?channel=streamer", body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("live chat status = %d, want 202", resp.StatusCode)
+		}
+	}
+
+	// Past-the-end clock advance finalizes the remaining windows.
+	resp := post("/api/live/advance?channel=streamer&now=1e9", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("advance status = %d, want 202", resp.StatusCode)
+	}
+
+	// Poll until the asynchronous mailbox has drained and dots appear.
+	var dots LiveDotsResponse
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(srv.URL + "/api/live/dots?channel=streamer")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&dots); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if len(dots.Dots) > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(dots.Dots) == 0 {
+		t.Fatal("live session emitted no dots")
+	}
+
+	// Cursor-based polling returns only fresh dots: nothing new after the
+	// stream went quiet.
+	r, err := http.Get(srv.URL + "/api/live/dots?channel=streamer&cursor=" + strconv.Itoa(dots.Cursor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fresh LiveDotsResponse
+	if err := json.NewDecoder(r.Body).Decode(&fresh); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if len(fresh.Dots) != 0 {
+		t.Errorf("cursor poll returned %d stale dots", len(fresh.Dots))
+	}
+
+	// Out-of-order chat is rejected with 409 and does not kill the session.
+	body, err := json.Marshal([]chat.Message{{Time: 0, Text: "stale"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = post("/api/live/chat?channel=streamer", body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("out-of-order chat status = %d, want 409", resp.StatusCode)
+	}
+
+	// Closing the broadcast flushes, returns the emission history, and
+	// frees the channel for a fresh session with a reset clock.
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/api/live/session?channel=streamer", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var closed LiveDotsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&closed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(closed.Dots) == 0 {
+		t.Error("session close returned no emission history")
+	}
+	r2, err := http.Get(srv.URL + "/api/live/dots?channel=streamer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Errorf("dots after close = %d, want 404", r2.StatusCode)
+	}
+	resp = post("/api/live/chat?channel=streamer", body) // time 0 is valid again
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("re-ingest after close status = %d, want 202", resp.StatusCode)
 	}
 }
 
 func TestServiceErrorPaths(t *testing.T) {
 	init, _ := trainedInitializer(t)
 	svc := &Service{
-		Store:       NewStore(),
-		Initializer: init,
-		Extractor:   core.NewExtractor(core.DefaultExtractorConfig(), nil),
+		Store:  NewStore(),
+		Engine: testEngine(t, init),
 	}
 	srv := httptest.NewServer(svc.Handler())
 	defer srv.Close()
@@ -247,6 +484,15 @@ func TestServiceErrorPaths(t *testing.T) {
 		{"POST", "/api/interactions", http.StatusBadRequest},
 		{"POST", "/api/refine", http.StatusBadRequest},
 		{"POST", "/api/refine?video=ghost", http.StatusNotFound},
+		{"GET", "/api/refine/status", http.StatusBadRequest},
+		{"GET", "/api/refine/status?job=ghost", http.StatusNotFound},
+		{"POST", "/api/live/chat", http.StatusBadRequest},
+		{"POST", "/api/live/advance?channel=ghost&now=10", http.StatusNotFound},
+		{"POST", "/api/live/advance?channel=ghost&now=bogus", http.StatusBadRequest},
+		{"GET", "/api/live/dots", http.StatusBadRequest},
+		{"GET", "/api/live/dots?channel=ghost", http.StatusNotFound},
+		{"DELETE", "/api/live/session", http.StatusBadRequest},
+		{"DELETE", "/api/live/session?channel=ghost", http.StatusNotFound},
 	}
 	for _, c := range cases {
 		req, err := http.NewRequest(c.method, srv.URL+c.path, bytes.NewReader([]byte("[]")))

@@ -2,26 +2,36 @@ package platform
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 
+	"lightor/internal/chat"
 	"lightor/internal/core"
+	"lightor/internal/engine"
 	"lightor/internal/play"
 )
 
-// Service is the LIGHTOR back end of Figure 5: it serves red dots to the
-// browser-extension front end, logs the interaction data the front end
-// reports, and refines highlight boundaries from that data.
+// Service is the LIGHTOR back end of Figure 5, now engine-backed: it
+// serves red dots to the browser-extension front end, logs the interaction
+// data the front end reports, refines highlight boundaries in the
+// background, and multiplexes live broadcast chat through the session
+// engine.
 //
-//	GET  /healthz                         → 200 ok
-//	GET  /api/highlights?video=ID&k=5     → {"dots":[...], "boundaries":[...]}
-//	POST /api/interactions?video=ID       → body: JSON array of play events
-//	POST /api/refine?video=ID             → re-run the extractor on logged data
+//	GET  /healthz                          → 200 ok
+//	GET  /api/highlights?video=ID&k=5      → {"dots":[...], "boundaries":[...]}
+//	POST /api/interactions?video=ID        → body: JSON array of play events
+//	POST /api/refine?video=ID              → 202, enqueue background refinement
+//	GET  /api/refine/status?job=ID         → poll a refinement job
+//	POST /api/live/chat?channel=ID         → 202, ingest live chat messages
+//	POST /api/live/advance?channel=ID&now=T→ 202, advance a quiet stream's clock
+//	GET  /api/live/dots?channel=ID&cursor=N→ poll dots emitted since cursor
 type Service struct {
-	Store       *Store
-	Initializer *core.Initializer
-	Extractor   *core.Extractor
+	Store *Store
+	// Engine is the concurrent session engine every detection and
+	// refinement request routes through.
+	Engine *engine.Engine
 	// Crawler, when set, fetches chat on demand for unknown videos (the
 	// online crawling mode of Section VI-A).
 	Crawler *Crawler
@@ -37,6 +47,32 @@ type HighlightsResponse struct {
 	Boundaries []core.Interval `json:"boundaries,omitempty"`
 }
 
+// RefineJobResponse is the payload of POST /api/refine and
+// GET /api/refine/status: the job's current state, with boundaries once it
+// finishes.
+type RefineJobResponse struct {
+	Job        string           `json:"job"`
+	VideoID    string           `json:"video_id"`
+	Status     engine.JobStatus `json:"status"`
+	Dots       []core.RedDot    `json:"dots,omitempty"`
+	Boundaries []core.Interval  `json:"boundaries,omitempty"`
+}
+
+// LiveIngestResponse is the payload of POST /api/live/chat and /advance.
+type LiveIngestResponse struct {
+	Channel  string `json:"channel"`
+	Accepted int    `json:"accepted"`
+}
+
+// LiveDotsResponse is the payload of GET /api/live/dots. Cursor is an
+// offset into the channel's emission history; pass it back to receive only
+// dots emitted after this poll.
+type LiveDotsResponse struct {
+	Channel string        `json:"channel"`
+	Dots    []core.RedDot `json:"dots"`
+	Cursor  int           `json:"cursor"`
+}
+
 // Handler returns the HTTP handler implementing the service API.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -46,7 +82,20 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /api/highlights", s.handleHighlights)
 	mux.HandleFunc("POST /api/interactions", s.handleInteractions)
 	mux.HandleFunc("POST /api/refine", s.handleRefine)
+	mux.HandleFunc("GET /api/refine/status", s.handleRefineStatus)
+	mux.HandleFunc("POST /api/live/chat", s.handleLiveChat)
+	mux.HandleFunc("POST /api/live/advance", s.handleLiveAdvance)
+	mux.HandleFunc("GET /api/live/dots", s.handleLiveDots)
+	mux.HandleFunc("DELETE /api/live/session", s.handleLiveClose)
 	return mux
+}
+
+// writeJSONStatus writes a JSON body with an explicit status code; the
+// Content-Type header must be set before WriteHeader or it is lost.
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
 }
 
 func (s *Service) defaultK() int {
@@ -97,7 +146,7 @@ func (s *Service) handleHighlights(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if len(rec.RedDots) < k {
-		dots, err := s.Initializer.Detect(rec.Chat, rec.Duration, k)
+		dots, err := s.Engine.Initializer().Detect(rec.Chat, rec.Duration, k)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -133,13 +182,18 @@ func (s *Service) handleInteractions(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// storePlaySource feeds the extractor from the store's logged events.
-type storePlaySource struct {
-	plays []play.Play
-}
+// snapshotPlaySource feeds the extractor a per-job snapshot of the
+// video's sessionized plays. Reading the store once per job keeps the
+// fan-out's data fetch O(events) total instead of O(dots × iterations ×
+// events) — the same freshness the old synchronous handler had.
+type snapshotPlaySource []play.Play
 
-func (s storePlaySource) Interactions(dot float64) []play.Play { return s.plays }
+func (s snapshotPlaySource) Interactions(dot float64) []play.Play { return s }
 
+// handleRefine enqueues background refinement of a video's red dots and
+// returns 202 immediately. Refined dots and boundaries are persisted to
+// the store when the job completes; poll /api/refine/status (or re-fetch
+// /api/highlights) to observe them.
 func (s *Service) handleRefine(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("video")
 	if id == "" {
@@ -151,26 +205,177 @@ func (s *Service) handleRefine(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown video %q", id), http.StatusNotFound)
 		return
 	}
-	plays := s.Store.Plays(id)
-	src := storePlaySource{plays: plays}
-	boundaries := make([]core.Interval, 0, len(rec.RedDots))
-	dots := append([]core.RedDot(nil), rec.RedDots...)
-	for i, dot := range dots {
-		seed := core.Interval{Start: dot.Time, End: dot.Time + s.Extractor.Config().DefaultSpan}
-		// One Step per refine call: the service refines incrementally as
-		// interaction data accumulates, rather than looping on a fixed
-		// snapshot.
-		res := s.Extractor.Step(seed, src.plays)
-		boundaries = append(boundaries, res.Refined)
-		dots[i].Time = res.Refined.Start
+	store := s.Store
+	job, err := s.Engine.Refine().Enqueue(id, rec.RedDots,
+		snapshotPlaySource(store.Plays(id)),
+		func(done engine.RefineJob) {
+			dots := make([]core.RedDot, len(done.Results))
+			spans := make([]core.Interval, len(done.Results))
+			for i, res := range done.Results {
+				dots[i] = res.Dot
+				dots[i].Time = res.Boundary.Start
+				spans[i] = res.Boundary
+			}
+			// Best effort: the video can only vanish if the store was
+			// swapped out underneath a running service.
+			_ = store.SetRefined(id, dots, spans)
+		})
+	if errors.Is(err, engine.ErrClosed) {
+		http.Error(w, "service is draining", http.StatusServiceUnavailable)
+		return
 	}
-	if err := s.Store.SetBoundaries(id, boundaries); err != nil {
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	if err := s.Store.SetRedDots(id, dots); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	writeJSONStatus(w, http.StatusAccepted, refineResponse(job))
+}
+
+func (s *Service) handleRefineStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("job")
+	if id == "" {
+		http.Error(w, "missing job parameter", http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, HighlightsResponse{VideoID: id, Dots: dots, Boundaries: boundaries})
+	job, ok := s.Engine.Refine().Job(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown refine job %q", id), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, refineResponse(job))
+}
+
+func refineResponse(job engine.RefineJob) RefineJobResponse {
+	resp := RefineJobResponse{
+		Job:     job.ID,
+		VideoID: job.VideoID,
+		Status:  job.Status,
+		Dots:    job.Dots,
+	}
+	if job.Status == engine.JobDone {
+		resp.Boundaries = make([]core.Interval, len(job.Results))
+		for i, res := range job.Results {
+			resp.Dots[i].Time = res.Boundary.Start
+			resp.Boundaries[i] = res.Boundary
+		}
+	}
+	return resp
+}
+
+// handleLiveChat ingests a batch of live chat messages for a channel,
+// opening its session on first contact. The engine processes the batch
+// asynchronously; emitted dots surface on /api/live/dots.
+func (s *Service) handleLiveChat(w http.ResponseWriter, r *http.Request) {
+	channel := r.URL.Query().Get("channel")
+	if channel == "" {
+		http.Error(w, "missing channel parameter", http.StatusBadRequest)
+		return
+	}
+	var msgs []chat.Message
+	if err := json.NewDecoder(r.Body).Decode(&msgs); err != nil {
+		http.Error(w, fmt.Sprintf("bad chat payload: %v", err), http.StatusBadRequest)
+		return
+	}
+	sess, err := s.Engine.Sessions().GetOrOpen(channel)
+	if err != nil {
+		writeLiveError(w, err)
+		return
+	}
+	if err := sess.Ingest(msgs...); err != nil {
+		writeLiveError(w, err)
+		return
+	}
+	writeJSONStatus(w, http.StatusAccepted, LiveIngestResponse{Channel: channel, Accepted: len(msgs)})
+}
+
+// handleLiveAdvance moves a quiet channel's stream clock so pending
+// windows can finalize without chat traffic.
+func (s *Service) handleLiveAdvance(w http.ResponseWriter, r *http.Request) {
+	channel := r.URL.Query().Get("channel")
+	if channel == "" {
+		http.Error(w, "missing channel parameter", http.StatusBadRequest)
+		return
+	}
+	now, err := strconv.ParseFloat(r.URL.Query().Get("now"), 64)
+	if err != nil || now < 0 {
+		http.Error(w, "invalid now parameter", http.StatusBadRequest)
+		return
+	}
+	sess, ok := s.Engine.Sessions().Get(channel)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown channel %q", channel), http.StatusNotFound)
+		return
+	}
+	if err := sess.Advance(now); err != nil {
+		writeLiveError(w, err)
+		return
+	}
+	writeJSONStatus(w, http.StatusAccepted, LiveIngestResponse{Channel: channel})
+}
+
+// handleLiveClose ends a broadcast: the session flushes its remaining
+// windows and is removed, freeing its slot (and recovering channels whose
+// clock was poisoned by a stray advance). The response carries the
+// channel's full emission history.
+func (s *Service) handleLiveClose(w http.ResponseWriter, r *http.Request) {
+	channel := r.URL.Query().Get("channel")
+	if channel == "" {
+		http.Error(w, "missing channel parameter", http.StatusBadRequest)
+		return
+	}
+	dots, err := s.Engine.Sessions().CloseSession(r.Context(), channel)
+	if errors.Is(err, engine.ErrUnknownSession) {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		writeLiveError(w, err)
+		return
+	}
+	if dots == nil {
+		dots = []core.RedDot{}
+	}
+	writeJSON(w, LiveDotsResponse{Channel: channel, Dots: dots, Cursor: len(dots)})
+}
+
+func (s *Service) handleLiveDots(w http.ResponseWriter, r *http.Request) {
+	channel := r.URL.Query().Get("channel")
+	if channel == "" {
+		http.Error(w, "missing channel parameter", http.StatusBadRequest)
+		return
+	}
+	cursor := 0
+	if cq := r.URL.Query().Get("cursor"); cq != "" {
+		parsed, err := strconv.Atoi(cq)
+		if err != nil || parsed < 0 {
+			http.Error(w, "invalid cursor", http.StatusBadRequest)
+			return
+		}
+		cursor = parsed
+	}
+	sess, ok := s.Engine.Sessions().Get(channel)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown channel %q", channel), http.StatusNotFound)
+		return
+	}
+	dots, next := sess.Dots(cursor)
+	if dots == nil {
+		dots = []core.RedDot{}
+	}
+	writeJSON(w, LiveDotsResponse{Channel: channel, Dots: dots, Cursor: next})
+}
+
+// writeLiveError maps engine errors onto HTTP statuses: out-of-order chat
+// is the caller's bug (409), a draining engine is temporary (503).
+func writeLiveError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, engine.ErrOutOfOrder):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, engine.ErrClosed):
+		http.Error(w, "service is draining", http.StatusServiceUnavailable)
+	case errors.Is(err, engine.ErrTooManySessions):
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }

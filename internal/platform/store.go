@@ -6,6 +6,8 @@ package platform
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sort"
 	"sync"
 
 	"lightor/internal/chat"
@@ -17,7 +19,9 @@ import (
 type VideoRecord struct {
 	ID       string
 	Duration float64
-	Chat     *chat.Log
+	// Chat is treated as immutable once stored: chat.Log has no mutating
+	// methods, so sharing the pointer is safe.
+	Chat *chat.Log
 	// RedDots holds the current (possibly refined) highlight positions.
 	RedDots []core.RedDot
 	// Boundaries holds extractor-refined spans, aligned with RedDots once
@@ -25,63 +29,98 @@ type VideoRecord struct {
 	Boundaries []core.Interval
 }
 
-// Store is the thread-safe in-memory database backing the web service:
-// chat logs, red dots, and logged interaction events per video. A real
-// deployment would swap this for a persistent database behind the same
-// methods.
-type Store struct {
+// clone deep-copies the record's slices so the returned value shares no
+// mutable backing arrays with the store (or with the caller that put it).
+func (r VideoRecord) clone() VideoRecord {
+	cp := r
+	cp.RedDots = append([]core.RedDot(nil), r.RedDots...)
+	cp.Boundaries = append([]core.Interval(nil), r.Boundaries...)
+	return cp
+}
+
+// storeShards is the lock-shard count. Power of two, comfortably above
+// typical core counts, so concurrent request handlers touching different
+// videos almost never contend on the same mutex.
+const storeShards = 32
+
+// storeShard is one lock domain: a slice of the video and event maps.
+type storeShard struct {
 	mu     sync.RWMutex
 	videos map[string]*VideoRecord
 	events map[string][]play.Event
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{
-		videos: make(map[string]*VideoRecord),
-		events: make(map[string][]play.Event),
-	}
+// Store is the thread-safe in-memory database backing the web service:
+// chat logs, red dots, and logged interaction events per video. Keys are
+// sharded across independently locked maps, so the store scales with
+// concurrent handlers instead of serializing them on one mutex. All reads
+// return deep copies and all writes store deep copies — value semantics
+// hold even under concurrent mutation by callers. A real deployment would
+// swap this for a persistent database behind the same methods.
+type Store struct {
+	shards [storeShards]storeShard
 }
 
-// PutVideo inserts or replaces a video record. The record is stored by
-// value semantics: callers must not mutate the chat log afterwards.
+// NewStore returns an empty store.
+func NewStore() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].videos = make(map[string]*VideoRecord)
+		s.shards[i].events = make(map[string][]play.Event)
+	}
+	return s
+}
+
+func (s *Store) shard(id string) *storeShard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &s.shards[h.Sum32()%storeShards]
+}
+
+// PutVideo inserts or replaces a video record. The record is stored with
+// deep-copy semantics: the store keeps its own backing arrays for RedDots
+// and Boundaries, so the caller may keep mutating its slices freely.
 func (s *Store) PutVideo(rec VideoRecord) error {
 	if rec.ID == "" {
 		return fmt.Errorf("platform: video record needs an ID")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cp := rec
-	s.videos[rec.ID] = &cp
+	sh := s.shard(rec.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cp := rec.clone()
+	sh.videos[rec.ID] = &cp
 	return nil
 }
 
-// Video returns a copy of the record for id, or false when absent.
+// Video returns a deep copy of the record for id, or false when absent.
 func (s *Store) Video(id string) (VideoRecord, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rec, ok := s.videos[id]
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.videos[id]
 	if !ok {
 		return VideoRecord{}, false
 	}
-	return *rec, true
+	return rec.clone(), true
 }
 
 // HasChat reports whether chat for the video has been crawled already.
 // A crawled-but-empty log still counts: re-crawling it would not produce
 // messages that do not exist.
 func (s *Store) HasChat(id string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rec, ok := s.videos[id]
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.videos[id]
 	return ok && rec.Chat != nil
 }
 
 // SetRedDots records the current highlight positions for a video.
 func (s *Store) SetRedDots(id string, dots []core.RedDot) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.videos[id]
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, ok := sh.videos[id]
 	if !ok {
 		return fmt.Errorf("platform: unknown video %q", id)
 	}
@@ -91,9 +130,10 @@ func (s *Store) SetRedDots(id string, dots []core.RedDot) error {
 
 // SetBoundaries records extractor-refined highlight spans for a video.
 func (s *Store) SetBoundaries(id string, spans []core.Interval) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.videos[id]
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, ok := sh.videos[id]
 	if !ok {
 		return fmt.Errorf("platform: unknown video %q", id)
 	}
@@ -101,22 +141,39 @@ func (s *Store) SetBoundaries(id string, spans []core.Interval) error {
 	return nil
 }
 
-// LogEvents appends interaction events for a video.
-func (s *Store) LogEvents(id string, events []play.Event) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.videos[id]; !ok {
+// SetRefined records refined dots and their boundaries in one critical
+// section, so a concurrent reader never observes one without the other.
+func (s *Store) SetRefined(id string, dots []core.RedDot, spans []core.Interval) error {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, ok := sh.videos[id]
+	if !ok {
 		return fmt.Errorf("platform: unknown video %q", id)
 	}
-	s.events[id] = append(s.events[id], events...)
+	rec.RedDots = append([]core.RedDot(nil), dots...)
+	rec.Boundaries = append([]core.Interval(nil), spans...)
+	return nil
+}
+
+// LogEvents appends deep copies of interaction events for a video.
+func (s *Store) LogEvents(id string, events []play.Event) error {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.videos[id]; !ok {
+		return fmt.Errorf("platform: unknown video %q", id)
+	}
+	sh.events[id] = append(sh.events[id], events...)
 	return nil
 }
 
 // Events returns a copy of all logged events for a video.
 func (s *Store) Events(id string) []play.Event {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]play.Event(nil), s.events[id]...)
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return append([]play.Event(nil), sh.events[id]...)
 }
 
 // Plays sessionizes all logged events for a video into play records.
@@ -126,7 +183,15 @@ func (s *Store) Plays(id string) []play.Play {
 
 // VideoIDs returns all stored video IDs, sorted.
 func (s *Store) VideoIDs() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.videoIDsLocked()
+	var ids []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.videos {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(ids)
+	return ids
 }

@@ -21,16 +21,29 @@
 //	if err := det.Train(labeled); err != nil { ... }
 //	dots, err := det.DetectRedDots(messages, duration, 5)
 //
+// # Streaming
+//
+// Streaming is the primary code path: OnlineSession consumes live chat
+// message by message and emits red dots while the broadcast is still
+// running, and the internal session engine multiplexes many such sessions
+// over a worker pool for platform deployments (see cmd/lightor-server's
+// /api/live endpoints). Batch extraction is replay over the same engine:
+// ExtractHighlights streams the recorded log through a session and then
+// refines every red dot in parallel, so refining k dots costs roughly one
+// dot's latency instead of k.
+//
 // See examples/ for end-to-end programs, including the full crowd
 // refinement loop and the browser-extension web service.
 package lightor
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"lightor/internal/chat"
 	"lightor/internal/core"
+	"lightor/internal/engine"
 	"lightor/internal/play"
 )
 
@@ -218,10 +231,25 @@ func (d *Detector) RefineHighlight(dot RedDot, source InteractionSource) Highlig
 }
 
 // ExtractHighlights runs the full pipeline: red dots from chat, then
-// iterative boundary refinement against the interaction source.
+// iterative boundary refinement against the interaction source. It routes
+// through the concurrent session engine — the recorded log replays through
+// a streaming session and the k red dots refine in parallel — while
+// keeping the exact output (dots, order, and boundaries) of the original
+// serial workflow. Calls into source never overlap (it need not be safe
+// for concurrent use), but the parallel fan-out interleaves them across
+// dots in unspecified order; a stateful source sees a different call
+// sequence than the old serial loop did.
 func (d *Detector) ExtractHighlights(messages []Message, duration float64, k int, source InteractionSource) ([]Highlight, error) {
-	wf := core.NewWorkflow(d.init, d.ext)
-	return wf.Run(chat.NewLog(messages), duration, k, source)
+	eng, err := engine.New(d.init, d.ext, engine.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("lightor: %w", err)
+	}
+	defer eng.Close(context.Background())
+	results, err := eng.ExtractHighlights(context.Background(), chat.NewLog(messages), duration, k, source)
+	if err != nil {
+		return nil, fmt.Errorf("lightor: %w", err)
+	}
+	return results, nil
 }
 
 // OnlineSession is a live-stream detection session: feed it chat messages
