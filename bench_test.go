@@ -17,6 +17,8 @@ import (
 	"lightor/internal/core"
 	"lightor/internal/engine"
 	"lightor/internal/experiments"
+	"lightor/internal/perf"
+	"lightor/internal/perf/perfengine"
 	"lightor/internal/play"
 	"lightor/internal/sim"
 	"lightor/internal/stats"
@@ -216,7 +218,10 @@ func trainedDetector(b *testing.B) (*lightor.Detector, sim.VideoData) {
 	b.Helper()
 	rng := stats.NewRand(2)
 	data := sim.GenerateDataset(rng, sim.Dota2Profile(), 2)
-	det := lightor.New(lightor.Options{})
+	det, err := lightor.New(lightor.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	d := data[0]
 	msgs := d.Chat.Log.Messages()
 	windows := det.Windows(msgs, d.Video.Duration)
@@ -250,7 +255,10 @@ func BenchmarkInitializerDetect(b *testing.B) {
 
 func BenchmarkExtractorStep(b *testing.B) {
 	d := benchVideoData(b)
-	ext := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	ext, err := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
 	rng := stats.NewRand(3)
 	h := d.Video.Highlights[0]
 	plays := sim.SimulateCrowd(rng, 50, d.Video, h.Start-5, h, sim.DefaultViewerBehavior())
@@ -315,24 +323,13 @@ var (
 	benchEngineErr  error
 )
 
-// benchTrainedEngine caches a trained initializer and a held-out simulated
-// video; training once keeps the per-benchmark setup off the clock.
+// benchTrainedEngine caches the shared perf fixture (trained initializer +
+// held-out simulated video); training once keeps per-benchmark setup off
+// the clock.
 func benchTrainedEngine(b *testing.B) (*core.Initializer, sim.VideoData) {
 	b.Helper()
 	benchEngineOnce.Do(func() {
-		rng := stats.NewRand(42)
-		data := sim.GenerateDataset(rng, sim.Dota2Profile(), 2)
-		init := core.NewInitializer(core.DefaultInitializerConfig())
-		train := data[0]
-		ws := init.Windows(train.Chat.Log, train.Video.Duration)
-		benchEngineErr = init.Train([]core.TrainingVideo{{
-			Log:        train.Chat.Log,
-			Duration:   train.Video.Duration,
-			Labels:     sim.LabelWindows(ws, train.Chat.Bursts),
-			Highlights: train.Video.Highlights,
-		}})
-		benchEngineInit = init
-		benchEngineData = data[1]
+		benchEngineInit, benchEngineData, benchEngineErr = perf.TrainedFixture()
 	})
 	if benchEngineErr != nil {
 		b.Fatal(benchEngineErr)
@@ -340,55 +337,46 @@ func benchTrainedEngine(b *testing.B) (*core.Initializer, sim.VideoData) {
 	return benchEngineInit, benchEngineData
 }
 
+// BenchmarkOnlineFeed measures the per-message cost of the streaming hot
+// path after the PR-2 incremental refactor. The bodies live in
+// internal/perf so the CI zero-alloc gate and the -bench-json perf
+// artifact measure identical workloads.
+//
+//   - steady-state: a message landing in the open window with closed
+//     windows pending under the δ horizon — the dominant case, required to
+//     run at 0 allocs/op (features and the peak histogram accumulate in
+//     place; nothing is retained per message);
+//   - stream: a realistic advancing clock, so the amortized cost includes
+//     window closes, δ-finalization, and emissions.
+func BenchmarkOnlineFeed(b *testing.B) {
+	init, d := benchTrainedEngine(b)
+	msgs := d.Chat.Log.Messages()
+	b.Run("steady-state", perf.FeedSteadyState(init, msgs))
+	b.Run("stream", perf.FeedStream(init, msgs))
+}
+
+// BenchmarkOnlineWindowClose drives full window lifecycles (fill with n
+// messages, close, finalize) at increasing messages-per-window. Per-message
+// cost should stay roughly flat as n grows — the refactor made window close
+// O(1) and each feed O(tokens), where the batch-era path rebuilt the
+// vocabulary and dense vectors at close for an O(n²) total.
+func BenchmarkOnlineWindowClose(b *testing.B) {
+	init, d := benchTrainedEngine(b)
+	msgs := d.Chat.Log.Messages()
+	for _, n := range perf.WindowCloseSweep {
+		b.Run(fmt.Sprintf("msgs=%d", n), perf.WindowClose(init, msgs, n))
+	}
+}
+
 // BenchmarkEngineMultiChannelIngest measures live-chat throughput through
 // the session engine at increasing channel fan-in. Each iteration streams
 // one full simulated broadcast into every channel concurrently and flushes;
 // msgs/sec is the headline metric.
 func BenchmarkEngineMultiChannelIngest(b *testing.B) {
-	for _, channels := range []int{1, 8, 64} {
-		b.Run(fmt.Sprintf("channels=%d", channels), func(b *testing.B) {
-			init, d := benchTrainedEngine(b)
-			msgs := d.Chat.Log.Messages()
-			eng, err := engine.New(init, core.NewExtractor(core.DefaultExtractorConfig(), nil), engine.Config{Warmup: -1})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer eng.Close(context.Background())
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				var wg sync.WaitGroup
-				for c := 0; c < channels; c++ {
-					wg.Add(1)
-					go func(c int) {
-						defer wg.Done()
-						id := fmt.Sprintf("i%d-c%d", i, c)
-						s, err := eng.Sessions().GetOrOpen(id)
-						if err != nil {
-							b.Error(err)
-							return
-						}
-						for j := 0; j < len(msgs); j += 64 {
-							end := j + 64
-							if end > len(msgs) {
-								end = len(msgs)
-							}
-							if err := s.Ingest(msgs[j:end]...); err != nil {
-								b.Error(err)
-								return
-							}
-						}
-						if _, err := s.Flush(context.Background()); err != nil {
-							b.Error(err)
-						}
-						eng.Sessions().Remove(id)
-					}(c)
-				}
-				wg.Wait()
-			}
-			b.StopTimer()
-			total := float64(b.N) * float64(channels) * float64(len(msgs))
-			b.ReportMetric(total/b.Elapsed().Seconds(), "msgs/sec")
-		})
+	init, d := benchTrainedEngine(b)
+	msgs := d.Chat.Log.Messages()
+	for _, channels := range perfengine.IngestChannelSweep {
+		b.Run(fmt.Sprintf("channels=%d", channels), perfengine.MultiChannelIngest(init, msgs, channels, nil))
 	}
 }
 
@@ -409,7 +397,10 @@ func BenchmarkRefineKDots(b *testing.B) {
 		}
 	}
 	src := lightor.StaticPlays(plays)
-	ext := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	ext, err := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
 
 	b.Run("serial", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"lightor/internal/perf"
+	"lightor/internal/perf/perfengine"
+)
+
+// benchReport is the machine-readable perf snapshot written by
+// -bench-json. CI uploads it as an artifact per commit, seeding the
+// project's performance trajectory: per-message Feed cost on the streaming
+// hot path, window-close cost at increasing messages-per-window (which must
+// scale linearly), and multi-channel engine ingest throughput. Every
+// measurement body is shared with bench_test.go via internal/perf, so this
+// artifact and the CI bench smoke cannot measure different workloads.
+type benchReport struct {
+	GeneratedAt string      `json:"generated_at"`
+	GoVersion   string      `json:"go_version"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	Results     benchResult `json:"results"`
+}
+
+type benchResult struct {
+	// OnlineFeedSteadyState is the per-message cost of Feed when the
+	// message lands in the open window with pending windows live — the
+	// dominant case. AllocsPerOp must stay 0: the zero-alloc Feed contract.
+	OnlineFeedSteadyState opResult `json:"online_feed_steady_state"`
+	// WindowClose sweeps messages-per-window; NsPerMsg should stay roughly
+	// flat as MsgsPerWindow grows (linear total cost).
+	WindowClose []windowCloseResult `json:"window_close"`
+	// MultiChannelIngest is end-to-end session-engine throughput.
+	MultiChannelIngest []ingestResult `json:"multi_channel_ingest"`
+}
+
+type opResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type windowCloseResult struct {
+	MsgsPerWindow int     `json:"msgs_per_window"`
+	NsPerWindow   float64 `json:"ns_per_window"`
+	NsPerMsg      float64 `json:"ns_per_msg"`
+}
+
+type ingestResult struct {
+	Channels   int     `json:"channels"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+}
+
+// checkResult rejects the zero testing.BenchmarkResult a failed closure
+// produces (b.Fatal before any timed iteration yields N == 0), so a broken
+// benchmark surfaces as an error instead of a bogus perf record (0 ns/op
+// "passing" the zero-alloc contract, or a +Inf msgs/sec that json.Encode
+// then chokes on). Mid-ramp failures leave N > 0 — those are caught by the
+// perfengine.ErrSink the goroutine-spawning bodies write to.
+func checkResult(name string, r testing.BenchmarkResult) error {
+	if r.N <= 0 || r.T <= 0 {
+		return fmt.Errorf("bench-json: %s benchmark failed to produce a result", name)
+	}
+	return nil
+}
+
+// runBenchJSON measures the hot paths with testing.Benchmark and writes the
+// report to path.
+func runBenchJSON(path string) error {
+	init, d, err := perf.TrainedFixture()
+	if err != nil {
+		return fmt.Errorf("bench-json setup: %w", err)
+	}
+	msgs := d.Chat.Log.Messages()
+
+	report := benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	r := testing.Benchmark(perf.FeedSteadyState(init, msgs))
+	if err := checkResult("online_feed_steady_state", r); err != nil {
+		return err
+	}
+	report.Results.OnlineFeedSteadyState = opResult{
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+
+	for _, n := range perf.WindowCloseSweep {
+		r := testing.Benchmark(perf.WindowClose(init, msgs, n))
+		name := fmt.Sprintf("window_close/msgs=%d", n)
+		if err := checkResult(name, r); err != nil {
+			return err
+		}
+		report.Results.WindowClose = append(report.Results.WindowClose, windowCloseResult{
+			MsgsPerWindow: n,
+			NsPerWindow:   float64(r.NsPerOp()),
+			NsPerMsg:      float64(r.NsPerOp()) / float64(n),
+		})
+	}
+
+	for _, channels := range perfengine.IngestChannelSweep {
+		var sink perfengine.ErrSink
+		r := testing.Benchmark(perfengine.MultiChannelIngest(init, msgs, channels, &sink))
+		name := fmt.Sprintf("multi_channel_ingest/channels=%d", channels)
+		if err := sink.Err(); err != nil {
+			return fmt.Errorf("bench-json: %s failed mid-run: %w", name, err)
+		}
+		if err := checkResult(name, r); err != nil {
+			return err
+		}
+		perIter := float64(channels) * float64(len(msgs))
+		report.Results.MultiChannelIngest = append(report.Results.MultiChannelIngest, ingestResult{
+			Channels:   channels,
+			MsgsPerSec: perIter / (float64(r.NsPerOp()) / 1e9),
+		})
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench-json: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return fmt.Errorf("bench-json: encoding report: %w", err)
+	}
+	fmt.Printf("wrote %s (feed %.0f ns/op, %d allocs/op)\n",
+		path, report.Results.OnlineFeedSteadyState.NsPerOp,
+		report.Results.OnlineFeedSteadyState.AllocsPerOp)
+	return nil
+}

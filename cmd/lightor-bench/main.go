@@ -34,7 +34,15 @@ func wrap[T interface{ Render() string }](f func(experiments.Config) (T, error))
 func main() {
 	scale := flag.String("scale", "default", "experiment scale: default|quick")
 	run := flag.String("run", "all", "comma-separated experiment ids (fig2a,fig2b,fig3,fig6a,fig6b,fig7a,fig7b,fig8,fig9,fig10,fig11,table1,ablations,classifier,windows) or 'all'")
+	benchJSON := flag.String("bench-json", "", "write a machine-readable hot-path perf report (Feed ns/op + allocs/op, window-close cost, ingest msgs/sec) to this path and exit")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var cfg experiments.Config
 	switch *scale {

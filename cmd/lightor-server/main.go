@@ -73,7 +73,10 @@ func main() {
 
 	// Train the detector.
 	trainData := sim.GenerateDataset(rng, profile, *trainN)
-	init := core.NewInitializer(core.DefaultInitializerConfig())
+	init, err := core.NewInitializer(core.DefaultInitializerConfig())
+	if err != nil {
+		log.Fatalf("initializer: %v", err)
+	}
 	tvs := make([]core.TrainingVideo, len(trainData))
 	for i, d := range trainData {
 		ws := init.Windows(d.Chat.Log, d.Video.Duration)
@@ -133,8 +136,11 @@ func main() {
 
 	// The session engine: live-channel multiplexing and background
 	// refinement, shared by every handler.
-	eng, err := engine.New(init,
-		core.NewExtractor(core.DefaultExtractorConfig(), nil),
+	ext, err := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	if err != nil {
+		log.Fatalf("extractor: %v", err)
+	}
+	eng, err := engine.New(init, ext,
 		engine.Config{SessionWorkers: *workers, RefineWorkers: *workers})
 	if err != nil {
 		log.Fatalf("engine: %v", err)

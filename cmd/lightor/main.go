@@ -83,7 +83,10 @@ func runTrain(args []string) error {
 		return err
 	}
 	data := sim.GenerateDataset(stats.NewRand(*seed), p, *videos)
-	det := lightor.New(lightor.Options{})
+	det, err := lightor.New(lightor.Options{})
+	if err != nil {
+		return err
+	}
 	train := make([]lightor.TrainingVideo, len(data))
 	for i, d := range data {
 		msgs := d.Chat.Log.Messages()

@@ -10,7 +10,10 @@ import (
 // training video only needs the chat, the duration, per-window labels, and
 // the ground-truth spans.
 func ExampleNew() {
-	det := lightor.New(lightor.Options{})
+	det, err := lightor.New(lightor.Options{})
+	if err != nil {
+		panic(err)
+	}
 	windows := det.Windows([]lightor.Message{
 		{Time: 5, User: "a", Text: "hello"},
 		{Time: 30, User: "b", Text: "kill kill"},

@@ -39,7 +39,10 @@ func main() {
 	data := sim.GenerateDataset(rng, profile, 5)
 	train, tests := data[:2], data[2:]
 
-	det := lightor.New(lightor.Options{})
+	det, err := lightor.New(lightor.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	var labeled []lightor.TrainingVideo
 	for _, d := range train {
 		msgs := d.Chat.Log.Messages()

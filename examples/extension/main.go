@@ -30,7 +30,10 @@ func main() {
 
 	// --- Back end: train the detector on simulated labeled videos.
 	trainData := sim.GenerateDataset(rng, profile, 2)
-	init := core.NewInitializer(core.DefaultInitializerConfig())
+	init, err := core.NewInitializer(core.DefaultInitializerConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 	var tvs []core.TrainingVideo
 	for _, d := range trainData {
 		ws := init.Windows(d.Chat.Log, d.Video.Duration)
@@ -74,7 +77,11 @@ func main() {
 	fmt.Printf("crawler stored %d videos: %v\n", n, store.VideoIDs())
 
 	// --- LIGHTOR service, backed by the concurrent session engine.
-	eng, err := engine.New(init, core.NewExtractor(core.DefaultExtractorConfig(), nil), engine.Config{})
+	ext, err := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := engine.New(init, ext, engine.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -21,7 +21,10 @@ func main() {
 	data := sim.GenerateDataset(rng, profile, 3)
 
 	// Train offline on two archived videos.
-	det := lightor.New(lightor.Options{})
+	det, err := lightor.New(lightor.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	var labeled []lightor.TrainingVideo
 	for _, d := range data[:2] {
 		msgs := d.Chat.Log.Messages()

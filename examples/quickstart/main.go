@@ -19,7 +19,10 @@ func main() {
 	data := sim.GenerateDataset(rng, profile, 2)
 	trainVideo, testVideo := data[0], data[1]
 
-	det := lightor.New(lightor.Options{})
+	det, err := lightor.New(lightor.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Label the training video's chat windows: a window is positive when
 	// its messages react to a highlight. (With real data this labeling is
@@ -35,7 +38,7 @@ func main() {
 			}
 		}
 	}
-	err := det.Train([]lightor.TrainingVideo{
+	err = det.Train([]lightor.TrainingVideo{
 		det.NewTrainingVideo(msgs, trainVideo.Video.Duration, labels, trainVideo.Video.Highlights),
 	})
 	if err != nil {

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"lightor"
 	"lightor/internal/crowd"
@@ -36,7 +37,10 @@ func main() {
 	}
 	badDot := lightor.RedDot{Time: video.Highlights[0].End + 35, Score: 0.9}
 
-	det := lightor.New(lightor.Options{})
+	det, err := lightor.New(lightor.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	// Refinement needs no training — only the extractor runs here.
 	src := &poolSource{pool: crowd.NewPool(3, 100), video: video}
 

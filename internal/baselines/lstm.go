@@ -160,8 +160,9 @@ func TrainChatLSTM(cfg LSTMConfig, videos []ChatVideo) *ChatLSTM {
 // Detect scores frames of a test video and returns the top-k frame
 // positions subject to the separation constraint, best first.
 func (m *ChatLSTM) Detect(log *chat.Log, duration float64, k int) []float64 {
+	st := m.model.LSTM.NewInferState()
 	score := func(t float64) float64 {
-		return m.model.PredictProba(m.vocab.Encode(frameText(log, t, m.cfg.WindowSeconds), m.cfg.MaxChars))
+		return m.model.PredictProbaInto(st, m.vocab.Encode(frameText(log, t, m.cfg.WindowSeconds), m.cfg.MaxChars))
 	}
 	return topKFrames(m.cfg, duration, k, score)
 }
@@ -234,8 +235,9 @@ func (m *JointLSTM) DetectIntervals(log *chat.Log, frames [][]float64, duration 
 
 // DetectIntervals widens the chat-only model's detections the same way.
 func (m *ChatLSTM) DetectIntervals(log *chat.Log, duration float64, k int) []core.Interval {
+	st := m.model.LSTM.NewInferState()
 	score := func(t float64) float64 {
-		return m.model.PredictProba(m.vocab.Encode(frameText(log, t, m.cfg.WindowSeconds), m.cfg.MaxChars))
+		return m.model.PredictProbaInto(st, m.vocab.Encode(frameText(log, t, m.cfg.WindowSeconds), m.cfg.MaxChars))
 	}
 	tops := topKFrames(m.cfg, duration, k, score)
 	return widenFrames(m.cfg, tops, duration, score)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"lightor/internal/ml"
 	"lightor/internal/play"
@@ -44,6 +45,36 @@ func DefaultExtractorConfig() ExtractorConfig {
 		MaxIterations:  10,
 		DefaultSpan:    30,
 	}
+}
+
+// Validate rejects configurations with negative or non-finite tunables.
+// Zero values are fine — fillDefaults replaces them with the paper's
+// settings — but a negative Delta or MoveBack survives defaulting and would
+// silently disable play association or walk red dots forward.
+func (c ExtractorConfig) Validate() error {
+	fields := []struct {
+		name string
+		v    float64
+	}{
+		{"Delta", c.Delta},
+		{"MinPlaySeconds", c.MinPlaySeconds},
+		{"MaxPlaySeconds", c.MaxPlaySeconds},
+		{"MoveBack", c.MoveBack},
+		{"Epsilon", c.Epsilon},
+		{"DefaultSpan", c.DefaultSpan},
+	}
+	for _, f := range fields {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("core: %s must be finite, got %g", f.name, f.v)
+		}
+		if f.v < 0 {
+			return fmt.Errorf("core: %s must be non-negative, got %g", f.name, f.v)
+		}
+	}
+	if c.MaxIterations < 0 {
+		return fmt.Errorf("core: MaxIterations must be non-negative, got %d", c.MaxIterations)
+	}
+	return nil
 }
 
 func (c *ExtractorConfig) fillDefaults() {
@@ -211,13 +242,18 @@ type Extractor struct {
 }
 
 // NewExtractor builds an extractor. A nil classifier selects the rule-based
-// default.
-func NewExtractor(cfg ExtractorConfig, classifier TypeClassifier) *Extractor {
+// default. Like NewInitializer, it rejects out-of-range configurations —
+// a negative Delta or MoveBack would silently disable play association or
+// walk red dots forward.
+func NewExtractor(cfg ExtractorConfig, classifier TypeClassifier) (*Extractor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.fillDefaults()
 	if classifier == nil {
 		classifier = RuleTypeClassifier{}
 	}
-	return &Extractor{cfg: cfg, classifier: classifier}
+	return &Extractor{cfg: cfg, classifier: classifier}, nil
 }
 
 // Config returns the effective configuration.

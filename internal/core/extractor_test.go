@@ -78,7 +78,7 @@ func TestTrainTypeClassifierErrors(t *testing.T) {
 }
 
 func TestFilterDropsShortLongAndFar(t *testing.T) {
-	e := NewExtractor(ExtractorConfig{}, nil)
+	e := mustExtractor(t, ExtractorConfig{}, nil)
 	dot := 1000.0
 	plays := []play.Play{
 		{User: "keep1", Start: 995, End: 1015},  // good
@@ -99,7 +99,7 @@ func TestFilterDropsShortLongAndFar(t *testing.T) {
 }
 
 func TestRemoveOutliersDropsIsolatedPlay(t *testing.T) {
-	e := NewExtractor(ExtractorConfig{}, nil)
+	e := mustExtractor(t, ExtractorConfig{}, nil)
 	plays := []play.Play{
 		{User: "a", Start: 990, End: 1010},
 		{User: "b", Start: 995, End: 1015},
@@ -119,7 +119,7 @@ func TestRemoveOutliersDropsIsolatedPlay(t *testing.T) {
 }
 
 func TestRemoveOutliersKeepsTinyGroups(t *testing.T) {
-	e := NewExtractor(ExtractorConfig{}, nil)
+	e := mustExtractor(t, ExtractorConfig{}, nil)
 	plays := []play.Play{
 		{Start: 990, End: 1010},
 		{Start: 1040, End: 1055},
@@ -132,7 +132,7 @@ func TestRemoveOutliersKeepsTinyGroups(t *testing.T) {
 func TestFilterDoesNotRemoveGraphOutliers(t *testing.T) {
 	// Classification needs the scattered plays; outlier removal belongs to
 	// the aggregation stage only.
-	e := NewExtractor(ExtractorConfig{}, nil)
+	e := mustExtractor(t, ExtractorConfig{}, nil)
 	plays := []play.Play{
 		{User: "cluster1", Start: 1000, End: 1020},
 		{User: "cluster2", Start: 1002, End: 1022},
@@ -144,7 +144,7 @@ func TestFilterDoesNotRemoveGraphOutliers(t *testing.T) {
 }
 
 func TestStepTypeIIAggregatesWithMedian(t *testing.T) {
-	e := NewExtractor(ExtractorConfig{}, nil)
+	e := mustExtractor(t, ExtractorConfig{}, nil)
 	h := Interval{Start: 1985, End: 2015}
 	// Cluster of plays voting start≈1990, end≈2008.
 	plays := []play.Play{
@@ -167,7 +167,7 @@ func TestStepTypeIIAggregatesWithMedian(t *testing.T) {
 }
 
 func TestStepTypeIIDropsPlaysEndingBeforeDot(t *testing.T) {
-	e := NewExtractor(ExtractorConfig{}, nil)
+	e := mustExtractor(t, ExtractorConfig{}, nil)
 	h := Interval{Start: 2000, End: 2030}
 	plays := []play.Play{
 		{Start: 2000, End: 2020},
@@ -191,7 +191,7 @@ func TestStepTypeIIDropsPlaysEndingBeforeDot(t *testing.T) {
 }
 
 func TestStepTypeIMovesBack(t *testing.T) {
-	e := NewExtractor(ExtractorConfig{}, nil)
+	e := mustExtractor(t, ExtractorConfig{}, nil)
 	h := Interval{Start: 2030, End: 2060}
 	// Scattered search plays: several before/across the dot.
 	plays := []play.Play{
@@ -213,7 +213,7 @@ func TestStepTypeIMovesBack(t *testing.T) {
 }
 
 func TestStepClampsAtZero(t *testing.T) {
-	e := NewExtractor(ExtractorConfig{}, nil)
+	e := mustExtractor(t, ExtractorConfig{}, nil)
 	h := Interval{Start: 5, End: 35}
 	res := e.Step(h, nil) // no plays → Type I → move back
 	if res.Refined.Start != 0 {
@@ -237,7 +237,7 @@ func (s *scriptedSource) Interactions(dot float64) []play.Play {
 }
 
 func TestRefineConvergesOnStableClusters(t *testing.T) {
-	e := NewExtractor(ExtractorConfig{}, nil)
+	e := mustExtractor(t, ExtractorConfig{}, nil)
 	cluster := []play.Play{
 		{Start: 1990, End: 2008},
 		{Start: 1991, End: 2009},
@@ -260,7 +260,7 @@ func TestRefineConvergesOnStableClusters(t *testing.T) {
 }
 
 func TestRefineRespectsIterationBudget(t *testing.T) {
-	e := NewExtractor(ExtractorConfig{MaxIterations: 4}, nil)
+	e := mustExtractor(t, ExtractorConfig{MaxIterations: 4}, nil)
 	// Source that always returns nothing: every step is Type I.
 	src := &scriptedSource{batches: [][]play.Play{nil, nil, nil, nil, nil, nil}}
 	_, trace := e.Refine(Interval{Start: 500, End: 530}, src)
@@ -270,7 +270,7 @@ func TestRefineRespectsIterationBudget(t *testing.T) {
 }
 
 func TestRefineSeedsMissingEnd(t *testing.T) {
-	e := NewExtractor(ExtractorConfig{MaxIterations: 1}, nil)
+	e := mustExtractor(t, ExtractorConfig{MaxIterations: 1}, nil)
 	src := &scriptedSource{}
 	got, _ := e.Refine(Interval{Start: 100, End: 100}, src)
 	if got.End <= got.Start-20 {
@@ -282,4 +282,15 @@ func TestTypeClassString(t *testing.T) {
 	if TypeI.String() != "Type I" || TypeII.String() != "Type II" {
 		t.Error("TypeClass String wrong")
 	}
+}
+
+// mustExtractor builds an extractor or fails the test — NewExtractor
+// validates its config and returns an error since PR 2.
+func mustExtractor(t testing.TB, cfg ExtractorConfig, cls TypeClassifier) *Extractor {
+	t.Helper()
+	e, err := NewExtractor(cfg, cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
 }

@@ -1,0 +1,56 @@
+package core
+
+import "lightor/internal/text"
+
+// FeatureAccumulator computes a window's three chat features incrementally,
+// one message at a time, in O(tokens in the message) per update and O(1) at
+// close — the streaming counterpart of WindowFeatures, and since PR 2 the
+// single implementation behind it: the batch path replays each window's
+// messages through an accumulator, so batch and streaming features are
+// byte-identical by construction (the same float operations in the same
+// order), not merely approximately equal.
+//
+// Each message is tokenized exactly once: the similarity accumulator's scan
+// also yields the message's word count, which feeds the length feature.
+// Steady-state Add allocates nothing (see text.SimilarityAccumulator for
+// the precise contract); Reset reuses all internal buffers.
+type FeatureAccumulator struct {
+	sim   text.SimilarityAccumulator
+	n     int
+	words float64
+}
+
+// NewFeatureAccumulator returns a ready-to-use accumulator.
+func NewFeatureAccumulator() *FeatureAccumulator {
+	a := &FeatureAccumulator{}
+	a.Reset()
+	return a
+}
+
+// Reset clears the accumulator for a fresh window, keeping internal buffers.
+func (a *FeatureAccumulator) Reset() {
+	a.sim.Reset()
+	a.n = 0
+	a.words = 0
+}
+
+// Add folds one message text into the window.
+func (a *FeatureAccumulator) Add(message string) {
+	words := a.sim.Add(message)
+	a.n++
+	a.words += float64(words)
+}
+
+// Count returns the number of messages added since the last Reset.
+func (a *FeatureAccumulator) Count() int { return a.n }
+
+// Features returns the window's raw (unnormalized) feature values.
+func (a *FeatureAccumulator) Features() Features {
+	f := Features{Num: float64(a.n)}
+	if a.n == 0 {
+		return f
+	}
+	f.Len = a.words / float64(a.n)
+	f.Sim = a.sim.Similarity()
+	return f
+}

@@ -1,0 +1,189 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lightor/internal/chat"
+	"lightor/internal/core"
+	"lightor/internal/text"
+)
+
+const featTol = 1e-12
+
+// referenceWindowFeatures is the pre-PR-2, from-scratch implementation:
+// re-tokenize for the length feature, build a dense vocabulary and
+// bag-of-words vectors for the similarity feature. The incremental
+// FeatureAccumulator must agree with it to floating-point accuracy over any
+// message stream.
+func referenceWindowFeatures(w chat.Window) core.Features {
+	f := core.Features{Num: float64(w.Count())}
+	if w.Count() == 0 {
+		return f
+	}
+	var words float64
+	for _, m := range w.Messages {
+		words += float64(text.WordCount(m.Text))
+	}
+	f.Len = words / float64(w.Count())
+	f.Sim = text.MessageSimilarity(w.Texts())
+	return f
+}
+
+// randomChatWindow generates a window with adversarial shapes: empty,
+// single-message, unicode-heavy, duplicate-spam, and empty-string messages.
+func randomChatWindow(rng *rand.Rand, start, size float64) chat.Window {
+	pool := []string{
+		"gg", "wp", "PogChamp", "kill kill kill", "团战 开始 了", "すごい プレイ",
+		"café ñoño", "👍👍👍", "LUL", "clutch or kick", "", "?!...",
+		"Ω≈ç√ ∫˜µ", "ПОБЕДА", "🔥 insane 🔥", strings.Repeat("spam ", 30),
+	}
+	n := rng.Intn(30)
+	w := chat.Window{Start: start, End: start + size}
+	for i := 0; i < n; i++ {
+		w.Messages = append(w.Messages, chat.Message{
+			Time: start + rng.Float64()*size,
+			Text: pool[rng.Intn(len(pool))],
+		})
+	}
+	return w
+}
+
+// TestFeatureAccumulatorMatchesReference is the property-based differential
+// test guarding the text→core boundary: over randomized message streams the
+// incremental accumulator must match the from-scratch batch computation
+// within 1e-12 on every feature, including empty windows, single-message
+// windows, and unicode-heavy text.
+func TestFeatureAccumulatorMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	acc := core.NewFeatureAccumulator()
+	for trial := 0; trial < 300; trial++ {
+		w := randomChatWindow(rng, 0, 25)
+
+		acc.Reset()
+		for _, m := range w.Messages {
+			acc.Add(m.Text)
+		}
+		got := acc.Features()
+		want := referenceWindowFeatures(w)
+
+		if got.Num != want.Num {
+			t.Fatalf("trial %d: Num = %g, want %g", trial, got.Num, want.Num)
+		}
+		if math.Abs(got.Len-want.Len) > featTol {
+			t.Fatalf("trial %d: Len = %.15f, want %.15f", trial, got.Len, want.Len)
+		}
+		if math.Abs(got.Sim-want.Sim) > featTol {
+			t.Fatalf("trial %d: Sim = %.15f, want %.15f (Δ=%g)",
+				trial, got.Sim, want.Sim, got.Sim-want.Sim)
+		}
+	}
+}
+
+// TestWindowFeaturesIsAccumulator pins the stronger guarantee the refactor
+// is built on: batch WindowFeatures and a per-message accumulator are the
+// SAME code path, so their outputs are bit-identical (==, not ≈). This is
+// what makes streaming and replay produce identical dots.
+func TestWindowFeaturesIsAccumulator(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	acc := core.NewFeatureAccumulator()
+	for trial := 0; trial < 100; trial++ {
+		w := randomChatWindow(rng, float64(trial)*25, 25)
+		batch := core.WindowFeatures(w)
+
+		acc.Reset()
+		for _, m := range w.Messages {
+			acc.Add(m.Text)
+		}
+		streamed := acc.Features()
+		if batch != streamed {
+			t.Fatalf("trial %d: batch %+v != streamed %+v (must be bit-identical)",
+				trial, batch, streamed)
+		}
+	}
+}
+
+// TestFeatureAccumulatorQuickCheckStyle drives the accumulator with fully
+// random unicode strings (not a curated pool) to catch tokenizer-boundary
+// disagreements between the streaming and dense paths.
+func TestFeatureAccumulatorQuickCheckStyle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	runes := []rune("ab1 ?.,;👍🔥中日éÑ\t\n∑")
+	randString := func() string {
+		n := rng.Intn(24)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteRune(runes[rng.Intn(len(runes))])
+		}
+		return b.String()
+	}
+	acc := core.NewFeatureAccumulator()
+	for trial := 0; trial < 400; trial++ {
+		n := rng.Intn(12)
+		w := chat.Window{Start: 0, End: 25}
+		for i := 0; i < n; i++ {
+			w.Messages = append(w.Messages, chat.Message{Time: float64(i), Text: randString()})
+		}
+		acc.Reset()
+		for _, m := range w.Messages {
+			acc.Add(m.Text)
+		}
+		got := acc.Features()
+		want := referenceWindowFeatures(w)
+		if got.Num != want.Num || math.Abs(got.Len-want.Len) > featTol ||
+			math.Abs(got.Sim-want.Sim) > featTol {
+			t.Fatalf("trial %d: %+v, want %+v", trial, got, want)
+		}
+	}
+}
+
+// TestInitializerConfigValidation covers the satellite: negative or NaN
+// geometry must be rejected with a clear error instead of passing through.
+func TestInitializerConfigValidation(t *testing.T) {
+	bad := []core.InitializerConfig{
+		{WindowSize: -25},
+		{WindowStride: -5},
+		{MinSeparation: -120},
+		{WindowSize: math.NaN()},
+		{WindowSize: math.Inf(1)},
+		{DelayMax: -1},
+		{PeakSmoothing: -3},
+		{Features: core.FeatureSet(9)},
+	}
+	for i, cfg := range bad {
+		if _, err := core.NewInitializer(cfg); err == nil {
+			t.Errorf("case %d: invalid config %+v accepted", i, cfg)
+		}
+	}
+	// Zero values still mean "paper defaults".
+	init, err := core.NewInitializer(core.InitializerConfig{})
+	if err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if got := init.Config().WindowSize; got != 25 {
+		t.Errorf("default WindowSize = %g, want 25", got)
+	}
+}
+
+// TestExtractorConfigValidation mirrors the initializer check for the
+// extractor tunables exposed through lightor.Options.
+func TestExtractorConfigValidation(t *testing.T) {
+	bad := []core.ExtractorConfig{
+		{Delta: -60},
+		{MoveBack: -20},
+		{Epsilon: math.NaN()},
+		{MaxIterations: -1},
+		{MinPlaySeconds: -5},
+		{DefaultSpan: math.Inf(-1)},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config %+v accepted", i, cfg)
+		}
+	}
+	if err := (core.ExtractorConfig{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+}

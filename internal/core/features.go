@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"lightor/internal/chat"
-	"lightor/internal/text"
 )
 
 // Features holds the three general (domain-independent) chat features of a
@@ -17,19 +16,18 @@ type Features struct {
 	Num, Len, Sim float64
 }
 
-// WindowFeatures extracts the raw (unnormalized) features of a window.
+// WindowFeatures extracts the raw (unnormalized) features of a window. It
+// replays the window's messages, in order, through a FeatureAccumulator —
+// the same code path the streaming OnlineDetector feeds message by message —
+// so a window produces bit-identical features whether it was scored in
+// batch or live.
 func WindowFeatures(w chat.Window) Features {
-	f := Features{Num: float64(w.Count())}
-	if w.Count() == 0 {
-		return f
-	}
-	var words float64
+	var acc FeatureAccumulator
+	acc.Reset()
 	for _, m := range w.Messages {
-		words += float64(text.WordCount(m.Text))
+		acc.Add(m.Text)
 	}
-	f.Len = words / float64(w.Count())
-	f.Sim = text.MessageSimilarity(w.Texts())
-	return f
+	return acc.Features()
 }
 
 // FeatureSet selects which features the prediction model uses. The paper's
@@ -71,15 +69,26 @@ func (fs FeatureSet) Dim() int {
 	}
 }
 
+// maxFeatureDim is the largest FeatureSet dimensionality. Fixed-size
+// buffers on the online hot path (see onlineWindow) rely on it.
+const maxFeatureDim = 3
+
 // Vector projects the feature struct onto the selected subset, in the
 // canonical (num, len, sim) order.
 func (fs FeatureSet) Vector(f Features) []float64 {
+	return fs.AppendVector(nil, f)
+}
+
+// AppendVector appends the selected feature subset to dst and returns the
+// extended slice — the allocation-free form of Vector for callers that
+// reuse a buffer.
+func (fs FeatureSet) AppendVector(dst []float64, f Features) []float64 {
 	switch fs {
 	case FeaturesNum:
-		return []float64{f.Num}
+		return append(dst, f.Num)
 	case FeaturesNumLen:
-		return []float64{f.Num, f.Len}
+		return append(dst, f.Num, f.Len)
 	default:
-		return []float64{f.Num, f.Len, f.Sim}
+		return append(dst, f.Num, f.Len, f.Sim)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"lightor/internal/chat"
@@ -41,6 +42,43 @@ func DefaultInitializerConfig() InitializerConfig {
 		DelayMax:      60,
 		PeakSmoothing: 5,
 	}
+}
+
+// Validate checks an effective (post-default) configuration for values
+// that would silently produce degenerate window tilings or NaN features:
+// negative or non-finite sizes, strides, and separations. fillDefaults only
+// replaces zero values, so anything negative the caller wrote survives to
+// this check and is rejected with a clear error instead of corrupting the
+// pipeline downstream.
+func (c InitializerConfig) Validate() error {
+	checkPos := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: %s must be finite, got %g", name, v)
+		}
+		if v <= 0 {
+			return fmt.Errorf("core: %s must be positive, got %g", name, v)
+		}
+		return nil
+	}
+	if err := checkPos("WindowSize", c.WindowSize); err != nil {
+		return err
+	}
+	if err := checkPos("WindowStride", c.WindowStride); err != nil {
+		return err
+	}
+	if err := checkPos("MinSeparation", c.MinSeparation); err != nil {
+		return err
+	}
+	if c.Features < FeaturesNum || c.Features > FeaturesFull {
+		return fmt.Errorf("core: unknown feature set %d", int(c.Features))
+	}
+	if c.DelayMax < 0 {
+		return fmt.Errorf("core: DelayMax must be non-negative, got %d", c.DelayMax)
+	}
+	if c.PeakSmoothing < 1 {
+		return fmt.Errorf("core: PeakSmoothing must be at least 1, got %d", c.PeakSmoothing)
+	}
+	return nil
 }
 
 func (c *InitializerConfig) fillDefaults() {
@@ -97,10 +135,15 @@ type Initializer struct {
 }
 
 // NewInitializer returns an untrained initializer with the given config
-// (zero fields take the paper's defaults).
-func NewInitializer(cfg InitializerConfig) *Initializer {
+// (zero fields take the paper's defaults). It rejects configurations with
+// negative or non-finite window geometry — values that previously passed
+// through silently and produced NaN-ish tilings.
+func NewInitializer(cfg InitializerConfig) (*Initializer, error) {
 	cfg.fillDefaults()
-	return &Initializer{cfg: cfg}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Initializer{cfg: cfg}, nil
 }
 
 // Config returns the effective configuration.
@@ -121,8 +164,17 @@ func (in *Initializer) Windows(log *chat.Log, duration float64) []chat.Window {
 // look alike to the model, which is what lets one labeled video generalize.
 func (in *Initializer) featureRows(ws []chat.Window) ([][]float64, error) {
 	raw := make([][]float64, len(ws))
+	// One accumulator serves every window: the same incremental code path
+	// the OnlineDetector feeds live, replayed per window, so batch features
+	// are byte-identical to streaming ones and the per-window buffers
+	// (vocabulary, token scratch) are reused across the whole tiling.
+	var acc FeatureAccumulator
 	for i, w := range ws {
-		raw[i] = in.cfg.Features.Vector(WindowFeatures(w))
+		acc.Reset()
+		for _, m := range w.Messages {
+			acc.Add(m.Text)
+		}
+		raw[i] = in.cfg.Features.Vector(acc.Features())
 	}
 	var scaler ml.MinMaxScaler
 	rows, err := scaler.FitTransform(raw)
@@ -227,12 +279,8 @@ func (in *Initializer) ScoreWindows(log *chat.Log, duration float64) ([]chat.Win
 		return nil, nil, err
 	}
 	scores := make([]float64, len(ws))
-	for i, row := range rows {
-		p, err := in.model.PredictProba(row)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: scoring window %d: %w", i, err)
-		}
-		scores[i] = p
+	if _, err := in.model.PredictProbaInto(rows, scores); err != nil {
+		return nil, nil, fmt.Errorf("core: scoring windows: %w", err)
 	}
 	return ws, scores, nil
 }

@@ -34,7 +34,7 @@ func TestInitializerTrainAndDetect(t *testing.T) {
 	profile := sim.Dota2Profile()
 	data := sim.GenerateDataset(rng, profile, 6)
 
-	init := core.NewInitializer(core.DefaultInitializerConfig())
+	init := mustNewInitializer(t, core.DefaultInitializerConfig())
 	if err := init.Train(trainingVideos(t, init, data[:2])); err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestInitializerTrainAndDetect(t *testing.T) {
 func TestInitializerRespectsSeparation(t *testing.T) {
 	rng := stats.NewRand(101)
 	data := sim.GenerateDataset(rng, sim.Dota2Profile(), 2)
-	init := core.NewInitializer(core.DefaultInitializerConfig())
+	init := mustNewInitializer(t, core.DefaultInitializerConfig())
 	if err := init.Train(trainingVideos(t, init, data[:1])); err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestInitializerRespectsSeparation(t *testing.T) {
 func TestInitializerScoreOrder(t *testing.T) {
 	rng := stats.NewRand(102)
 	data := sim.GenerateDataset(rng, sim.Dota2Profile(), 2)
-	init := core.NewInitializer(core.DefaultInitializerConfig())
+	init := mustNewInitializer(t, core.DefaultInitializerConfig())
 	if err := init.Train(trainingVideos(t, init, data[:1])); err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestInitializerScoreOrder(t *testing.T) {
 }
 
 func TestInitializerErrors(t *testing.T) {
-	init := core.NewInitializer(core.InitializerConfig{})
+	init := mustNewInitializer(t, core.InitializerConfig{})
 	if err := init.Train(nil); err == nil {
 		t.Error("Train(nil) accepted")
 	}
@@ -144,7 +144,7 @@ func TestInitializerDelayStability(t *testing.T) {
 	data := sim.GenerateDataset(rng, sim.Dota2Profile(), 6)
 	var cs []int
 	for n := 1; n <= len(data); n++ {
-		init := core.NewInitializer(core.DefaultInitializerConfig())
+		init := mustNewInitializer(t, core.DefaultInitializerConfig())
 		if err := init.Train(trainingVideos(t, init, data[:n])); err != nil {
 			t.Fatal(err)
 		}
@@ -169,11 +169,11 @@ func TestWorkflowEndToEnd(t *testing.T) {
 	profile := sim.Dota2Profile()
 	data := sim.GenerateDataset(rng, profile, 3)
 
-	init := core.NewInitializer(core.DefaultInitializerConfig())
+	init := mustNewInitializer(t, core.DefaultInitializerConfig())
 	if err := init.Train(trainingVideos(t, init, data[:2])); err != nil {
 		t.Fatal(err)
 	}
-	ext := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	ext := mustNewExtractor(t, core.DefaultExtractorConfig(), nil)
 	wf := core.NewWorkflow(init, ext)
 
 	target := data[2]

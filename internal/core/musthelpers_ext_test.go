@@ -1,0 +1,28 @@
+package core_test
+
+import (
+	"testing"
+
+	"lightor/internal/core"
+)
+
+// mustNewInitializer builds an initializer or fails the test — the
+// post-PR-2 constructor validates its config and returns an error.
+func mustNewInitializer(t testing.TB, cfg core.InitializerConfig) *core.Initializer {
+	t.Helper()
+	init, err := core.NewInitializer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return init
+}
+
+// mustNewExtractor builds an extractor or fails the test.
+func mustNewExtractor(t testing.TB, cfg core.ExtractorConfig, cls core.TypeClassifier) *core.Extractor {
+	t.Helper()
+	e, err := core.NewExtractor(cfg, cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}

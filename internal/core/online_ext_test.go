@@ -13,7 +13,7 @@ func trainedInit(t *testing.T, seed int64) (*core.Initializer, []sim.VideoData) 
 	t.Helper()
 	rng := stats.NewRand(seed)
 	data := sim.GenerateDataset(rng, sim.Dota2Profile(), 4)
-	init := core.NewInitializer(core.DefaultInitializerConfig())
+	init := mustNewInitializer(t, core.DefaultInitializerConfig())
 	if err := init.Train(trainingVideos(t, init, data[:2])); err != nil {
 		t.Fatal(err)
 	}
@@ -21,7 +21,7 @@ func trainedInit(t *testing.T, seed int64) (*core.Initializer, []sim.VideoData) 
 }
 
 func TestOnlineDetectorRequiresTrainedModel(t *testing.T) {
-	if _, err := core.NewOnlineDetector(core.NewInitializer(core.InitializerConfig{}), 0.5); err == nil {
+	if _, err := core.NewOnlineDetector(mustNewInitializer(t, core.InitializerConfig{}), 0.5); err == nil {
 		t.Error("untrained initializer accepted")
 	}
 	if _, err := core.NewOnlineDetector(nil, 0.5); err == nil {

@@ -58,7 +58,10 @@ func LoadInitializer(r io.Reader) (*Initializer, error) {
 		return nil, fmt.Errorf("core: model has %d weights but feature set %q needs %d",
 			len(m.Weights), m.Config.Features, want)
 	}
-	in := NewInitializer(m.Config)
+	in, err := NewInitializer(m.Config)
+	if err != nil {
+		return nil, fmt.Errorf("core: persisted model has invalid config: %w", err)
+	}
 	in.model = &ml.LogisticRegression{Weights: m.Weights, Bias: m.Bias}
 	in.delayC = m.DelayC
 	return in, nil

@@ -13,7 +13,7 @@ import (
 func TestInitializerSaveLoadRoundTrip(t *testing.T) {
 	rng := stats.NewRand(200)
 	data := sim.GenerateDataset(rng, sim.Dota2Profile(), 3)
-	init := core.NewInitializer(core.DefaultInitializerConfig())
+	init := mustNewInitializer(t, core.DefaultInitializerConfig())
 	if err := init.Train(trainingVideos(t, init, data[:1])); err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestInitializerSaveLoadRoundTrip(t *testing.T) {
 }
 
 func TestSaveUntrainedFails(t *testing.T) {
-	init := core.NewInitializer(core.InitializerConfig{})
+	init := mustNewInitializer(t, core.InitializerConfig{})
 	var buf bytes.Buffer
 	if err := init.Save(&buf); err == nil {
 		t.Error("saving untrained initializer accepted")

@@ -17,7 +17,7 @@ func TestDetectInvariantsAcrossSeeds(t *testing.T) {
 	for seed := int64(500); seed < 506; seed++ {
 		rng := stats.NewRand(seed)
 		data := sim.GenerateDataset(rng, sim.Dota2Profile(), 2)
-		init := core.NewInitializer(core.DefaultInitializerConfig())
+		init := mustNewInitializer(t, core.DefaultInitializerConfig())
 		if err := init.Train(trainingVideos(t, init, data[:1])); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -59,7 +59,7 @@ func TestDetectInvariantsAcrossSeeds(t *testing.T) {
 }
 
 func TestRefineInvariantsAcrossSeeds(t *testing.T) {
-	ext := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	ext := mustNewExtractor(t, core.DefaultExtractorConfig(), nil)
 	for seed := int64(600); seed < 608; seed++ {
 		rng := stats.NewRand(seed)
 		p := sim.Dota2Profile()
@@ -109,7 +109,7 @@ func (s *propSource) Interactions(dot float64) []play.Play {
 }
 
 func TestStepDeterministic(t *testing.T) {
-	ext := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	ext := mustNewExtractor(t, core.DefaultExtractorConfig(), nil)
 	rng := stats.NewRand(700)
 	v := sim.GenerateVideo(rng, sim.Dota2Profile(), "det")
 	h := v.Highlights[0]

@@ -12,30 +12,31 @@ import (
 
 	"lightor/internal/chat"
 	"lightor/internal/core"
+	"lightor/internal/perf"
 	"lightor/internal/play"
 	"lightor/internal/sim"
 	"lightor/internal/stats"
 )
 
 // trainedFixture builds a trained initializer plus a held-out simulated
-// video, the same recipe the platform tests use.
+// video — the shared perf-package recipe, so tests and benchmarks exercise
+// the same workload.
 func trainedFixture(t testing.TB) (*core.Initializer, sim.VideoData) {
 	t.Helper()
-	rng := stats.NewRand(42)
-	data := sim.GenerateDataset(rng, sim.Dota2Profile(), 2)
-	init := core.NewInitializer(core.DefaultInitializerConfig())
-	train := data[0]
-	ws := init.Windows(train.Chat.Log, train.Video.Duration)
-	err := init.Train([]core.TrainingVideo{{
-		Log:        train.Chat.Log,
-		Duration:   train.Video.Duration,
-		Labels:     sim.LabelWindows(ws, train.Chat.Bursts),
-		Highlights: train.Video.Highlights,
-	}})
+	init, target, err := perf.TrainedFixture()
 	if err != nil {
 		t.Fatal(err)
 	}
-	return init, data[1]
+	return init, target
+}
+
+func mustExt(t testing.TB) *core.Extractor {
+	t.Helper()
+	ext, err := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ext
 }
 
 func newTestEngine(t testing.TB, init *core.Initializer, cfg Config) *Engine {
@@ -43,7 +44,7 @@ func newTestEngine(t testing.TB, init *core.Initializer, cfg Config) *Engine {
 	if cfg.Warmup == 0 {
 		cfg.Warmup = -1 // disable warm-up: deterministic tests want every dot
 	}
-	eng, err := New(init, core.NewExtractor(core.DefaultExtractorConfig(), nil), cfg)
+	eng, err := New(init, mustExt(t), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +314,7 @@ func TestGracefulDrain(t *testing.T) {
 
 func TestReplayEquivalence(t *testing.T) {
 	init, target := trainedFixture(t)
-	ext := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	ext := mustExt(t)
 
 	dots, err := init.Detect(target.Chat.Log, target.Video.Duration, 5)
 	if err != nil {
@@ -339,6 +340,40 @@ func TestReplayEquivalence(t *testing.T) {
 	// Replay sessions clean up after themselves.
 	if n := len(eng.Sessions().Channels()); n != 0 {
 		t.Errorf("%d replay sessions leaked", n)
+	}
+
+	// A second replay on the SAME engine must be byte-identical to the
+	// first: batch extraction now reuses one engine per detector, and the
+	// feature pipeline reuses its accumulators across replays, so any
+	// state leaking between runs would surface here.
+	again, err := eng.ExtractHighlights(context.Background(), target.Chat.Log, target.Video.Duration, 5, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, want) {
+		t.Fatalf("repeated replay on a reused engine diverged:\n got %+v\nwant %+v", again, want)
+	}
+}
+
+// TestReplayFeatureEquivalence proves the PR-2 contract at the layer
+// boundary the replay path crosses: every window of a realistic simulated
+// log produces bit-identical features whether computed by the batch tiling
+// (featureRows → WindowFeatures) or streamed message-by-message through a
+// FeatureAccumulator, which is why replay and live detection agree on
+// scores, dots, and boundaries.
+func TestReplayFeatureEquivalence(t *testing.T) {
+	_, target := trainedFixture(t)
+	ws := chat.SlidingWindows(target.Chat.Log, target.Video.Duration, 25, 25)
+	acc := core.NewFeatureAccumulator()
+	for i, w := range ws {
+		acc.Reset()
+		for _, m := range w.Messages {
+			acc.Add(m.Text)
+		}
+		if batch, streamed := core.WindowFeatures(w), acc.Features(); batch != streamed {
+			t.Fatalf("window %d [%g,%g): batch %+v != streamed %+v",
+				i, w.Start, w.End, batch, streamed)
+		}
 	}
 }
 
@@ -410,14 +445,18 @@ func TestRefineQueueBoundedRetention(t *testing.T) {
 
 func TestEngineValidation(t *testing.T) {
 	init, _ := trainedFixture(t)
-	if _, err := New(nil, core.NewExtractor(core.DefaultExtractorConfig(), nil), Config{}); err == nil {
+	if _, err := New(nil, mustExt(t), Config{}); err == nil {
 		t.Error("nil initializer accepted")
 	}
 	if _, err := New(init, nil, Config{}); err == nil {
 		t.Error("nil extractor accepted")
 	}
 	// An untrained initializer cannot open live sessions.
-	eng := newTestEngine(t, core.NewInitializer(core.DefaultInitializerConfig()), Config{})
+	untrained, err := core.NewInitializer(core.DefaultInitializerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := newTestEngine(t, untrained, Config{})
 	if _, err := eng.Sessions().GetOrOpen("x"); err == nil {
 		t.Error("untrained initializer opened a live session")
 	}

@@ -74,7 +74,10 @@ func Ablations(cfg Config) (*AblationResult, error) {
 
 	for _, v := range variants {
 		pool := crowd.NewPool(cfg.Seed+21, cfg.PoolWorkers)
-		ext := core.NewExtractor(core.DefaultExtractorConfig(), v.classifier)
+		ext, err := core.NewExtractor(core.DefaultExtractorConfig(), v.classifier)
+		if err != nil {
+			return nil, fmt.Errorf("ablations (%s): %w", v.name, err)
+		}
 		var dotMean, startMean, endMean eval.Mean
 		for _, d := range test {
 			dots, err := init.Detect(d.Chat.Log, d.Video.Duration, k)
@@ -212,7 +215,10 @@ type ClassifierAccuracyResult struct {
 func ClassifierAccuracy(cfg Config) (*ClassifierAccuracyResult, error) {
 	rng := stats.NewRand(cfg.Seed + 31)
 	p := sim.Dota2Profile()
-	ext := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	ext, err := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("classifier accuracy: %w", err)
+	}
 
 	var features []core.TypeFeatures
 	var labels []core.TypeClass
@@ -290,7 +296,10 @@ func WindowSweep(cfg Config) (*WindowSweepResult, error) {
 		icfg := core.DefaultInitializerConfig()
 		icfg.WindowSize = size
 		icfg.WindowStride = size
-		init := core.NewInitializer(icfg)
+		init, err := core.NewInitializer(icfg)
+		if err != nil {
+			return nil, fmt.Errorf("window sweep (%g s): %w", size, err)
+		}
 		if err := init.Train(trainingVideos(init, train)); err != nil {
 			return nil, fmt.Errorf("window sweep (%g s): %w", size, err)
 		}
@@ -325,7 +334,10 @@ func DeltaSweep(cfg Config) (*DeltaSweepResult, error) {
 	for _, delta := range []float64{30, 60, 120, 240} {
 		icfg := core.DefaultInitializerConfig()
 		icfg.MinSeparation = delta
-		init := core.NewInitializer(icfg)
+		init, err := core.NewInitializer(icfg)
+		if err != nil {
+			return nil, fmt.Errorf("delta sweep (%g s): %w", delta, err)
+		}
 		if err := init.Train(trainingVideos(init, train)); err != nil {
 			return nil, fmt.Errorf("delta sweep (%g s): %w", delta, err)
 		}

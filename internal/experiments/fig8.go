@@ -33,7 +33,10 @@ func Figure8(cfg Config) (*Fig8Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fig8: %w", err)
 	}
-	ext := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	ext, err := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
 	pool := crowd.NewPool(cfg.Seed+7, cfg.PoolWorkers)
 
 	// Per-dot refinement state.

@@ -40,7 +40,10 @@ func trainingVideos(init *core.Initializer, data []sim.VideoData) []core.Trainin
 func trainInitializer(features core.FeatureSet, data []sim.VideoData) (*core.Initializer, error) {
 	cfg := core.DefaultInitializerConfig()
 	cfg.Features = features
-	init := core.NewInitializer(cfg)
+	init, err := core.NewInitializer(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("building initializer: %w", err)
+	}
 	if err := init.Train(trainingVideos(init, data)); err != nil {
 		return nil, fmt.Errorf("training initializer: %w", err)
 	}

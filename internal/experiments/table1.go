@@ -44,7 +44,10 @@ func Table1(cfg Config) (*Table1Result, error) {
 	res.LightorTrainTime = time.Since(start)
 
 	// End-to-end on Dota2: detect dots, refine each with crowd iterations.
-	ext := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	ext, err := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("table1: %w", err)
+	}
 	pool := crowd.NewPool(cfg.Seed+13, cfg.PoolWorkers)
 	var startMean, endMean eval.Mean
 	for _, d := range dotaTest {

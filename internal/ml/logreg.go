@@ -107,6 +107,26 @@ func (m *LogisticRegression) PredictProba(row []float64) (float64, error) {
 	return m.probability(row), nil
 }
 
+// PredictProbaInto scores every row of X into dst, which must be at least
+// len(X) long; it returns the filled prefix. This is the buffer-reusing
+// batch form of PredictProba: a caller scoring the same tiling repeatedly
+// (or a window per Feed) pays zero allocations for inference.
+func (m *LogisticRegression) PredictProbaInto(X [][]float64, dst []float64) ([]float64, error) {
+	if m.Weights == nil {
+		return nil, errors.New("ml: LogisticRegression used before Fit")
+	}
+	if len(dst) < len(X) {
+		return nil, fmt.Errorf("ml: destination holds %d scores, need %d", len(dst), len(X))
+	}
+	for i, row := range X {
+		if len(row) != len(m.Weights) {
+			return nil, fmt.Errorf("ml: row %d has %d features, model has %d", i, len(row), len(m.Weights))
+		}
+		dst[i] = m.probability(row)
+	}
+	return dst[:len(X)], nil
+}
+
 // Predict returns the hard 0/1 label at the 0.5 threshold.
 func (m *LogisticRegression) Predict(row []float64) (int, error) {
 	p, err := m.PredictProba(row)

@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInferMatchesForward pins the cache-free streaming inference path to
+// the training forward pass bit-for-bit: same stack, same sequences, same
+// probabilities.
+func TestInferMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, depth := range []int{1, 2, 3} {
+		c := NewSeqClassifier(rng, 30, 12, depth, 1e-3)
+		st := c.LSTM.NewInferState()
+		for trial := 0; trial < 25; trial++ {
+			seq := make([]int, rng.Intn(40))
+			for i := range seq {
+				seq[i] = rng.Intn(30)
+			}
+			want := c.PredictProba(seq)
+			got := c.PredictProbaInto(st, seq)
+			if got != want {
+				t.Fatalf("depth %d trial %d: infer %v, forward %v", depth, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestInferStateReuse proves the workspace carries no state between
+// sequences: interleaving unrelated inferences does not change results.
+func TestInferStateReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	c := NewSeqClassifier(rng, 20, 8, 2, 1e-3)
+	st := c.LSTM.NewInferState()
+	a := []int{1, 5, 3, 7, 2}
+	b := []int{9, 9, 9, 0}
+	pa := c.PredictProbaInto(st, a)
+	c.PredictProbaInto(st, b) // pollute
+	if got := c.PredictProbaInto(st, a); got != pa {
+		t.Errorf("reused state changed result: %v vs %v", got, pa)
+	}
+}
+
+func BenchmarkSeqClassifierInfer(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	c := NewSeqClassifier(rng, 64, 32, 3, 1e-3)
+	seq := make([]int, 120)
+	for i := range seq {
+		seq[i] = rng.Intn(64)
+	}
+	b.Run("forward-with-caches", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.PredictProba(seq)
+		}
+	})
+	b.Run("infer-zero-alloc", func(b *testing.B) {
+		st := c.LSTM.NewInferState()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.PredictProbaInto(st, seq)
+		}
+	})
+}

@@ -1,0 +1,108 @@
+// Package perfengine holds the engine-level shared benchmark bodies. It
+// lives apart from internal/perf so that package stays import-cycle-free
+// for the engine's own tests (perfengine imports engine; perf does not).
+package perfengine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"lightor/internal/chat"
+	"lightor/internal/core"
+	"lightor/internal/engine"
+)
+
+// IngestChannelSweep is the canonical channel fan-in sweep for engine
+// ingest throughput.
+var IngestChannelSweep = []int{1, 8, 64}
+
+// ErrSink captures failures from benchmark goroutines. testing.Benchmark
+// exposes no failure signal to non-test callers, and b.Error during the
+// timed ramp still yields a partial result with N > 0 — so the JSON
+// reporter checks the sink to reject results from short-circuited runs
+// instead of recording them as the commit's perf trajectory.
+type ErrSink struct {
+	mu  sync.Mutex
+	err error
+}
+
+// Set records the first error.
+func (s *ErrSink) Set(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the first recorded error, if any.
+func (s *ErrSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// MultiChannelIngest streams the full simulated broadcast into `channels`
+// concurrent engine sessions per iteration and reports msgs/sec. Failures
+// go to b.Error and, when sink is non-nil, are also recorded there for
+// non-test callers.
+func MultiChannelIngest(init *core.Initializer, msgs []chat.Message, channels int, sink *ErrSink) func(*testing.B) {
+	return func(b *testing.B) {
+		fail := func(err error) {
+			if sink != nil {
+				sink.Set(err)
+			}
+			b.Error(err)
+		}
+		ext, err := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+		if err != nil {
+			fail(err)
+			return
+		}
+		eng, err := engine.New(init, ext, engine.Config{Warmup: -1})
+		if err != nil {
+			fail(err)
+			return
+		}
+		defer eng.Close(context.Background())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for c := 0; c < channels; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					id := fmt.Sprintf("perf-i%d-c%d", i, c)
+					s, err := eng.Sessions().GetOrOpen(id)
+					if err != nil {
+						fail(err)
+						return
+					}
+					for j := 0; j < len(msgs); j += 64 {
+						end := j + 64
+						if end > len(msgs) {
+							end = len(msgs)
+						}
+						if err := s.Ingest(msgs[j:end]...); err != nil {
+							fail(err)
+							return
+						}
+					}
+					if _, err := s.Flush(context.Background()); err != nil {
+						fail(err)
+					}
+					eng.Sessions().Remove(id)
+				}(c)
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		total := float64(b.N) * float64(channels) * float64(len(msgs))
+		b.ReportMetric(total/b.Elapsed().Seconds(), "msgs/sec")
+	}
+}

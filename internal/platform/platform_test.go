@@ -15,6 +15,7 @@ import (
 	"lightor/internal/chat"
 	"lightor/internal/core"
 	"lightor/internal/engine"
+	"lightor/internal/perf"
 	"lightor/internal/play"
 	"lightor/internal/sim"
 	"lightor/internal/stats"
@@ -24,7 +25,11 @@ import (
 // cleanup.
 func testEngine(t *testing.T, init *core.Initializer) *engine.Engine {
 	t.Helper()
-	eng, err := engine.New(init, core.NewExtractor(core.DefaultExtractorConfig(), nil), engine.Config{Warmup: -1})
+	ext, err := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(init, ext, engine.Config{Warmup: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,24 +217,15 @@ func TestCrawlerErrors(t *testing.T) {
 	}
 }
 
-// trainedInitializer builds a minimal trained initializer for service tests.
+// trainedInitializer builds a minimal trained initializer for service
+// tests — the shared perf-package recipe.
 func trainedInitializer(t *testing.T) (*core.Initializer, sim.VideoData) {
 	t.Helper()
-	rng := stats.NewRand(42)
-	data := sim.GenerateDataset(rng, sim.Dota2Profile(), 2)
-	init := core.NewInitializer(core.DefaultInitializerConfig())
-	train := data[0]
-	ws := init.Windows(train.Chat.Log, train.Video.Duration)
-	err := init.Train([]core.TrainingVideo{{
-		Log:        train.Chat.Log,
-		Duration:   train.Video.Duration,
-		Labels:     sim.LabelWindows(ws, train.Chat.Bursts),
-		Highlights: train.Video.Highlights,
-	}})
+	init, target, err := perf.TrainedFixture()
 	if err != nil {
 		t.Fatal(err)
 	}
-	return init, data[1]
+	return init, target
 }
 
 func TestServiceEndToEnd(t *testing.T) {

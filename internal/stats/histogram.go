@@ -33,6 +33,30 @@ func NewHistogram(lo, hi float64, bins int) *Histogram {
 	}
 }
 
+// Reset re-ranges the histogram over [lo, hi) with the given bin count and
+// clears all weights, reusing the counts array whenever its capacity allows.
+// It lets a streaming consumer (one histogram per sliding window, forever)
+// run without per-window allocations. Same panics as NewHistogram.
+func (h *Histogram) Reset(lo, hi float64, bins int) {
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: Histogram.Reset range [%g, %g) is empty", lo, hi))
+	}
+	if bins < 1 {
+		panic(fmt.Sprintf("stats: Histogram.Reset needs at least 1 bin, got %d", bins))
+	}
+	h.lo = lo
+	h.hi = hi
+	h.width = (hi - lo) / float64(bins)
+	if cap(h.counts) >= bins {
+		h.counts = h.counts[:bins]
+		for i := range h.counts {
+			h.counts[i] = 0
+		}
+	} else {
+		h.counts = make([]float64, bins)
+	}
+}
+
 // Bins returns the number of bins.
 func (h *Histogram) Bins() int { return len(h.counts) }
 
@@ -129,4 +153,49 @@ func (h *Histogram) PeakBin(window int) int {
 // PeakPosition returns the x position of the heaviest smoothed bin.
 func (h *Histogram) PeakPosition(window int) float64 {
 	return h.BinCenter(h.PeakBin(window))
+}
+
+// PeakBinInto is PeakBin without allocations: scratch holds the prefix-sum
+// workspace (grown only when too small) and is returned for reuse. The
+// selected bin is identical to PeakBin's — the same clamped centered
+// moving-average values, compared first-max like ArgMax — so streaming
+// callers closing one window per stride forever pay no per-close garbage.
+func (h *Histogram) PeakBinInto(window int, scratch []float64) (int, []float64) {
+	n := len(h.counts)
+	if window <= 1 {
+		return ArgMax(h.counts), scratch
+	}
+	if cap(scratch) >= n+1 {
+		scratch = scratch[:n+1]
+	} else {
+		scratch = make([]float64, n+1)
+	}
+	scratch[0] = 0
+	for i, x := range h.counts {
+		scratch[i+1] = scratch[i] + x
+	}
+	half := window / 2
+	best := 0
+	bestV := math.Inf(-1)
+	for i := 0; i < n; i++ {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= n {
+			hi = n - 1
+		}
+		v := (scratch[hi+1] - scratch[lo]) / float64(hi-lo+1)
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, scratch
+}
+
+// PeakPositionInto is PeakPosition without allocations; see PeakBinInto.
+func (h *Histogram) PeakPositionInto(window int, scratch []float64) (float64, []float64) {
+	bin, scratch := h.PeakBinInto(window, scratch)
+	return h.BinCenter(bin), scratch
 }

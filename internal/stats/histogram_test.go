@@ -150,3 +150,45 @@ func TestHistogramTotalProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPeakBinIntoMatchesPeakBin pins the allocation-free peak search to the
+// allocating one bit-for-bit: the online detector closes windows with
+// PeakBinInto while the batch path still uses PeakBin, and the two must
+// agree or streaming and replay would place peaks differently.
+func TestPeakBinIntoMatchesPeakBin(t *testing.T) {
+	rng := NewRand(99)
+	var scratch []float64
+	for trial := 0; trial < 200; trial++ {
+		bins := 1 + rng.Intn(60)
+		h := NewHistogram(0, float64(bins), bins)
+		for i := 0; i < rng.Intn(200); i++ {
+			h.Add(rng.Float64() * float64(bins))
+		}
+		for _, window := range []int{0, 1, 2, 5, 9} {
+			want := h.PeakBin(window)
+			var got int
+			got, scratch = h.PeakBinInto(window, scratch)
+			if got != want {
+				t.Fatalf("trial %d bins=%d window=%d: PeakBinInto = %d, PeakBin = %d",
+					trial, bins, window, got, want)
+			}
+		}
+	}
+}
+
+// TestHistogramReset proves Reset reuses storage and fully clears state.
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(5)
+	h.Reset(100, 125, 25)
+	if h.Lo() != 100 || h.Hi() != 125 || h.Bins() != 25 {
+		t.Fatalf("Reset geometry: lo=%g hi=%g bins=%d", h.Lo(), h.Hi(), h.Bins())
+	}
+	if h.Total() != 0 {
+		t.Fatalf("Reset left %g weight behind", h.Total())
+	}
+	h.Add(101.5)
+	if i, ok := h.BinIndex(101.5); !ok || h.Count(i) != 1 {
+		t.Fatalf("post-Reset Add misplaced: bin %d ok=%v", i, ok)
+	}
+}

@@ -1,0 +1,149 @@
+package text
+
+import "math"
+
+// SimilarityAccumulator computes the message-similarity feature of a window
+// incrementally: messages are added one at a time (tokenized exactly once)
+// and the running state is enough to produce the window's similarity at any
+// moment in O(1). Adding a message costs O(tokens in that message); nothing
+// is ever recomputed over the window's earlier messages, and no dense
+// vectors are materialized — the accumulator is the sparse, streaming form
+// of RawMessageSimilarity / MessageSimilarity and matches them to floating-
+// point accuracy (the differential tests pin the agreement at 1e-12).
+//
+// The algebra: with binary bag-of-words vectors, the one-cluster k-means
+// center is c[t] = count[t]/n where count[t] is the number of messages
+// containing token t. A message m with distinct-token set T_m then has
+//
+//	cos(v_m, c) = Σ_{t∈T_m} count[t] / (√|T_m| · √Σ_t count[t]²)
+//
+// so the window's raw similarity (the mean cosine over all n messages) is
+//
+//	raw = dotSum / (n · √sumSq)
+//	dotSum = Σ_t count[t]·weight[t],  weight[t] = Σ_{m∋t} 1/√|T_m|
+//	sumSq  = Σ_t count[t]²
+//
+// and both dotSum and sumSq admit O(1)-per-token incremental updates when a
+// message arrives: for each distinct token of the message, with w = 1/√|T_m|,
+//
+//	dotSum += count[t]·w + weight[t] + w     (Δ of (count+1)(weight+w))
+//	sumSq  += 2·count[t] + 1                 (Δ of (count+1)²)
+//
+// Empty messages count toward n but contribute nothing else, mirroring the
+// zero-vector convention of Cosine.
+//
+// The zero value is not ready for use; call Reset first (or use
+// NewSimilarityAccumulator). Reset reuses all internal buffers, so one
+// accumulator serves an unbounded stream of windows without growing memory
+// beyond the largest window seen.
+type SimilarityAccumulator struct {
+	vocab   map[string]int // token → dense id for this window
+	counts  []float64      // id → number of messages containing the token
+	weights []float64      // id → Σ 1/√|T_m| over messages containing it
+	seen    []int          // id → ordinal of the last message containing it
+	n       int            // messages added, including empty ones
+	dotSum  float64        // Σ_t counts[t]·weights[t], maintained incrementally
+	sumSq   float64        // Σ_t counts[t]², maintained incrementally
+
+	distinct []int  // scratch: distinct token ids of the message being added
+	tok      []byte // scratch: lowercase bytes of the token being scanned
+	msgWords int    // scratch: token count of the message being added
+}
+
+// NewSimilarityAccumulator returns a ready-to-use accumulator.
+func NewSimilarityAccumulator() *SimilarityAccumulator {
+	a := &SimilarityAccumulator{}
+	a.Reset()
+	return a
+}
+
+// Reset clears the accumulator for a fresh window. Internal buffers (the
+// vocabulary's buckets, the per-token arrays, the token scratch space) are
+// retained, so steady-state per-window cost settles at zero allocations for
+// recurring vocabulary.
+func (a *SimilarityAccumulator) Reset() {
+	if a.vocab == nil {
+		a.vocab = make(map[string]int)
+	} else {
+		clear(a.vocab)
+	}
+	a.counts = a.counts[:0]
+	a.weights = a.weights[:0]
+	a.seen = a.seen[:0]
+	a.distinct = a.distinct[:0]
+	a.n = 0
+	a.dotSum = 0
+	a.sumSq = 0
+}
+
+// Messages returns the number of messages added since the last Reset.
+func (a *SimilarityAccumulator) Messages() int { return a.n }
+
+// Add folds one message into the window and returns its word count (the
+// total token count, duplicates included — the paper's message-length
+// feature), so callers tokenize each message exactly once for both the
+// length and similarity features. Steady-state Add performs no allocations:
+// only a token never seen in this window interns a new vocabulary string.
+func (a *SimilarityAccumulator) Add(message string) (words int) {
+	a.n++
+	a.msgWords = 0
+	a.distinct = a.distinct[:0]
+	a.tok = scanTokens(message, a.tok, a)
+
+	if k := len(a.distinct); k > 0 {
+		w := 1 / math.Sqrt(float64(k))
+		for _, id := range a.distinct {
+			c, wt := a.counts[id], a.weights[id]
+			a.dotSum += c*w + wt + w
+			a.sumSq += 2*c + 1
+			a.counts[id] = c + 1
+			a.weights[id] = wt + w
+		}
+	}
+	return a.msgWords
+}
+
+// token implements tokenSink: one lowercase token of the message being
+// added. The byte slice is scratch memory — its contents are only valid for
+// the duration of the call.
+func (a *SimilarityAccumulator) token(tok []byte) {
+	id, ok := a.vocab[string(tok)] // no allocation: compiler-optimized lookup
+	if !ok {
+		id = len(a.counts)
+		a.vocab[string(tok)] = id
+		a.counts = append(a.counts, 0)
+		a.weights = append(a.weights, 0)
+		a.seen = append(a.seen, 0) // message ordinals start at 1
+	}
+	a.msgWords++
+	if a.seen[id] != a.n {
+		a.seen[id] = a.n
+		a.distinct = append(a.distinct, id)
+	}
+}
+
+// Raw returns the window's unnormalized mean cosine-to-centroid and the
+// number of messages, matching RawMessageSimilarity over the same messages
+// in the same order.
+func (a *SimilarityAccumulator) Raw() (sim float64, n int) {
+	if a.n < 2 || a.sumSq == 0 {
+		return 0, a.n
+	}
+	return a.dotSum / (math.Sqrt(a.sumSq) * float64(a.n)), a.n
+}
+
+// Similarity returns the normalized similarity feature, matching
+// MessageSimilarity: the raw mean cosine rescaled against the 1/√n
+// orthogonal-messages baseline and clamped at 0.
+func (a *SimilarityAccumulator) Similarity() float64 {
+	raw, n := a.Raw()
+	if n < 2 {
+		return 0
+	}
+	baseline := 1 / math.Sqrt(float64(n))
+	adjusted := (raw - baseline) / (1 - baseline)
+	if adjusted < 0 {
+		return 0
+	}
+	return adjusted
+}

@@ -1,0 +1,162 @@
+package text_test
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lightor/internal/text"
+)
+
+const simTol = 1e-12
+
+// randomMessage draws a message from a vocabulary mixing ASCII words,
+// unicode (CJK, accents), and emoji/emote tokens, with occasional empty and
+// punctuation-only messages — the shapes real chat produces.
+func randomMessage(rng *rand.Rand) string {
+	pool := []string{
+		"kill", "gg", "wp", "PogChamp", "lol", "nice", "团战", "すごい",
+		"café", "ñoño", "👍", "🔥🔥", "Kreygasm", "clutch", "noooo", "ace",
+	}
+	switch rng.Intn(10) {
+	case 0:
+		return ""
+	case 1:
+		return "?!... ---"
+	}
+	n := 1 + rng.Intn(8)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(pool[rng.Intn(len(pool))])
+	}
+	return b.String()
+}
+
+func TestSimilarityAccumulatorMatchesDenseReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	acc := text.NewSimilarityAccumulator()
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40) // includes 0- and 1-message windows
+		msgs := make([]string, n)
+		for i := range msgs {
+			msgs[i] = randomMessage(rng)
+		}
+
+		acc.Reset()
+		var words int
+		for _, m := range msgs {
+			words += acc.Add(m)
+		}
+
+		wantRaw, wantN := text.RawMessageSimilarity(msgs)
+		gotRaw, gotN := acc.Raw()
+		if gotN != wantN {
+			t.Fatalf("trial %d: n = %d, want %d", trial, gotN, wantN)
+		}
+		if math.Abs(gotRaw-wantRaw) > simTol {
+			t.Fatalf("trial %d: raw = %.15f, want %.15f (Δ=%g) over %q",
+				trial, gotRaw, wantRaw, gotRaw-wantRaw, msgs)
+		}
+		if got, want := acc.Similarity(), text.MessageSimilarity(msgs); math.Abs(got-want) > simTol {
+			t.Fatalf("trial %d: sim = %.15f, want %.15f over %q", trial, got, want, msgs)
+		}
+
+		var wantWords int
+		for _, m := range msgs {
+			wantWords += text.WordCount(m)
+		}
+		if words != wantWords {
+			t.Fatalf("trial %d: words = %d, want %d", trial, words, wantWords)
+		}
+	}
+}
+
+func TestSimilarityAccumulatorEdgeCases(t *testing.T) {
+	acc := text.NewSimilarityAccumulator()
+
+	// Empty window.
+	if sim := acc.Similarity(); sim != 0 {
+		t.Errorf("empty window sim = %g, want 0", sim)
+	}
+	// Single message: no notion of agreement.
+	acc.Add("hello world")
+	if sim := acc.Similarity(); sim != 0 {
+		t.Errorf("single-message sim = %g, want 0", sim)
+	}
+	// Identical messages must normalize to 1.
+	acc.Reset()
+	for i := 0; i < 5; i++ {
+		acc.Add("gg wp PogChamp")
+	}
+	if sim := acc.Similarity(); math.Abs(sim-1) > simTol {
+		t.Errorf("identical-message sim = %.15f, want 1", sim)
+	}
+	// Token-less messages only: vocabulary stays empty, sim stays 0.
+	acc.Reset()
+	acc.Add("... ---")
+	acc.Add("?!")
+	if sim := acc.Similarity(); sim != 0 {
+		t.Errorf("token-less window sim = %g, want 0", sim)
+	}
+	// Duplicate tokens inside one message count once for similarity
+	// (binary vectors) but all occurrences count as words.
+	acc.Reset()
+	if words := acc.Add("gg gg gg"); words != 3 {
+		t.Errorf("words = %d, want 3", words)
+	}
+	acc.Add("gg")
+	if sim := acc.Similarity(); math.Abs(sim-1) > simTol {
+		t.Errorf("binary-vector sim = %.15f, want 1", sim)
+	}
+}
+
+// TestSimilarityAccumulatorReuse proves Reset restores the accumulator to a
+// bit-identical fresh state: the same messages produce the same values
+// whether the accumulator is new or recycled from an unrelated window.
+func TestSimilarityAccumulatorReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	msgs := make([]string, 25)
+	for i := range msgs {
+		msgs[i] = randomMessage(rng)
+	}
+
+	fresh := text.NewSimilarityAccumulator()
+	for _, m := range msgs {
+		fresh.Add(m)
+	}
+	wantRaw, _ := fresh.Raw()
+
+	recycled := text.NewSimilarityAccumulator()
+	for i := 0; i < 500; i++ { // pollute with a different window first
+		recycled.Add(randomMessage(rng))
+	}
+	recycled.Reset()
+	for _, m := range msgs {
+		recycled.Add(m)
+	}
+	gotRaw, _ := recycled.Raw()
+	if gotRaw != wantRaw {
+		t.Errorf("recycled raw = %.17g, fresh = %.17g; Reset must restore exact state", gotRaw, wantRaw)
+	}
+}
+
+func BenchmarkSimilarityAccumulatorAdd(b *testing.B) {
+	pool := make([]string, 64)
+	rng := rand.New(rand.NewSource(3))
+	for i := range pool {
+		pool[i] = randomMessage(rng)
+	}
+	acc := text.NewSimilarityAccumulator()
+	for _, m := range pool { // warm the window vocabulary
+		acc.Add(m)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.Add(pool[i%len(pool)])
+	}
+}

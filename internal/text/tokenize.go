@@ -2,42 +2,86 @@
 // Initializer needs: tokenization, bag-of-words vectors, cosine similarity,
 // and the one-cluster k-means centroid used to compute the message-similarity
 // feature (Section IV-C2 of the LIGHTOR paper).
+//
+// Two implementations of the similarity feature coexist deliberately:
+//
+//   - RawMessageSimilarity / MessageSimilarity build the dense vocabulary and
+//     bag-of-words vectors from scratch — the paper's literal formulation,
+//     kept as the reference the differential tests check against;
+//   - SimilarityAccumulator maintains the same quantity incrementally and
+//     sparsely as messages stream in, tokenizing each message exactly once
+//     and allocating nothing in steady state. This is the form the hot
+//     per-message Feed path uses; core.FeatureAccumulator builds on it.
 package text
 
 import (
-	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
-// Tokenize splits a chat message into lowercase word tokens. Tokens are
-// maximal runs of letters, digits, or symbol runes; this keeps emoji and
-// emote codes (e.g. "PogChamp", "👍") as tokens, which matters because
-// excited viewers spam exactly those.
-func Tokenize(s string) []string {
-	var tokens []string
-	var b strings.Builder
-	flush := func() {
-		if b.Len() > 0 {
-			tokens = append(tokens, strings.ToLower(b.String()))
-			b.Reset()
-		}
-	}
+// isTokenRune reports whether r belongs inside a token. Tokens are maximal
+// runs of letters, digits, or symbol runes; this keeps emoji and emote codes
+// (e.g. "PogChamp", "👍") as tokens, which matters because excited viewers
+// spam exactly those.
+func isTokenRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || unicode.IsSymbol(r)
+}
+
+// tokenSink receives each token of a scan. The byte slice is scratch memory
+// reused between tokens: implementations must copy it if they retain it.
+type tokenSink interface {
+	token(tok []byte)
+}
+
+// scanTokens splits s into lowercase tokens, invoking sink.token for each.
+// buf is the reusable scratch buffer for token bytes; the (possibly grown)
+// buffer is returned so callers can keep it for the next scan. This is the
+// single tokenization loop behind Tokenize, WordCount, and the streaming
+// SimilarityAccumulator, so every consumer agrees byte-for-byte on token
+// boundaries and case folding.
+func scanTokens(s string, buf []byte, sink tokenSink) []byte {
+	buf = buf[:0]
 	for _, r := range s {
-		if unicode.IsLetter(r) || unicode.IsDigit(r) || unicode.IsSymbol(r) {
-			b.WriteRune(r)
-		} else {
-			flush()
+		if isTokenRune(r) {
+			buf = utf8.AppendRune(buf, unicode.ToLower(r))
+			continue
+		}
+		if len(buf) > 0 {
+			sink.token(buf)
+			buf = buf[:0]
 		}
 	}
-	flush()
-	return tokens
+	if len(buf) > 0 {
+		sink.token(buf)
+	}
+	return buf
+}
+
+// sliceSink collects tokens as freshly allocated strings.
+type sliceSink struct{ tokens []string }
+
+func (s *sliceSink) token(tok []byte) { s.tokens = append(s.tokens, string(tok)) }
+
+// countSink counts tokens without materializing them.
+type countSink struct{ n int }
+
+func (s *countSink) token([]byte) { s.n++ }
+
+// Tokenize splits a chat message into lowercase word tokens (see
+// isTokenRune for the token alphabet).
+func Tokenize(s string) []string {
+	var sink sliceSink
+	scanTokens(s, nil, &sink)
+	return sink.tokens
 }
 
 // WordCount returns the number of word tokens in a message. The paper
 // defines message length as "the number of words in the message"
-// (Section IV-C2).
+// (Section IV-C2). It counts without allocating token strings.
 func WordCount(s string) int {
-	return len(Tokenize(s))
+	var sink countSink
+	scanTokens(s, nil, &sink)
+	return sink.n
 }
 
 // Vocabulary maps tokens to dense indices. A fresh vocabulary is built per

@@ -17,7 +17,8 @@
 //
 // # Quick start
 //
-//	det := lightor.New(lightor.Options{})
+//	det, err := lightor.New(lightor.Options{})
+//	if err != nil { ... }
 //	if err := det.Train(labeled); err != nil { ... }
 //	dots, err := det.DetectRedDots(messages, duration, 5)
 //
@@ -40,6 +41,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"lightor/internal/chat"
 	"lightor/internal/core"
@@ -155,20 +157,32 @@ type Options struct {
 	MaxIterations int
 }
 
-// Detector is the end-to-end LIGHTOR pipeline.
+// Detector is the end-to-end LIGHTOR pipeline. A Detector owns at most one
+// session engine, built lazily on the first ExtractHighlights call and
+// reused by every subsequent one, so repeated batch extractions share a
+// worker pool instead of spinning one up per call; Close releases it.
 type Detector struct {
 	init *core.Initializer
 	ext  *core.Extractor
+
+	mu  sync.Mutex
+	eng *engine.Engine
 }
 
 // New creates a Detector with the given options (zero values mean paper
-// defaults).
-func New(opts Options) *Detector {
+// defaults). It returns an error for options that are out of range —
+// negative or non-finite window sizes, strides, separations, or refinement
+// tunables — instead of letting them silently produce degenerate tilings.
+func New(opts Options) (*Detector, error) {
 	icfg := core.InitializerConfig{
 		WindowSize:    opts.WindowSize,
 		WindowStride:  opts.WindowStride,
 		MinSeparation: opts.MinSeparation,
 		Features:      opts.Features,
+	}
+	init, err := core.NewInitializer(icfg)
+	if err != nil {
+		return nil, fmt.Errorf("lightor: %w", err)
 	}
 	ecfg := core.ExtractorConfig{
 		Delta:         opts.Delta,
@@ -176,10 +190,14 @@ func New(opts Options) *Detector {
 		Epsilon:       opts.Epsilon,
 		MaxIterations: opts.MaxIterations,
 	}
-	return &Detector{
-		init: core.NewInitializer(icfg),
-		ext:  core.NewExtractor(ecfg, nil),
+	ext, err := core.NewExtractor(ecfg, nil)
+	if err != nil {
+		return nil, fmt.Errorf("lightor: %w", err)
 	}
+	return &Detector{
+		init: init,
+		ext:  ext,
+	}, nil
 }
 
 // Windows tiles a video's chat into the detector's sliding windows.
@@ -240,16 +258,49 @@ func (d *Detector) RefineHighlight(dot RedDot, source InteractionSource) Highlig
 // dots in unspecified order; a stateful source sees a different call
 // sequence than the old serial loop did.
 func (d *Detector) ExtractHighlights(messages []Message, duration float64, k int, source InteractionSource) ([]Highlight, error) {
-	eng, err := engine.New(d.init, d.ext, engine.Config{})
+	eng, err := d.engine()
 	if err != nil {
 		return nil, fmt.Errorf("lightor: %w", err)
 	}
-	defer eng.Close(context.Background())
 	results, err := eng.ExtractHighlights(context.Background(), chat.NewLog(messages), duration, k, source)
 	if err != nil {
 		return nil, fmt.Errorf("lightor: %w", err)
 	}
 	return results, nil
+}
+
+// engine returns the detector's session engine, building it on first use.
+// The engine (and its worker pools) persists across calls so repeated batch
+// extractions don't pay spin-up and tear-down each time; Close releases it.
+func (d *Detector) engine() (*engine.Engine, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.eng == nil {
+		eng, err := engine.New(d.init, d.ext, engine.Config{})
+		if err != nil {
+			return nil, err
+		}
+		d.eng = eng
+	}
+	return d.eng, nil
+}
+
+// Close drains and releases the detector's session engine, if one was ever
+// built. The Detector remains usable: a later ExtractHighlights builds a
+// fresh engine. Close is idempotent and safe to call on a Detector that
+// never extracted anything.
+func (d *Detector) Close() error {
+	d.mu.Lock()
+	eng := d.eng
+	d.eng = nil
+	d.mu.Unlock()
+	if eng == nil {
+		return nil
+	}
+	if err := eng.Close(context.Background()); err != nil {
+		return fmt.Errorf("lightor: %w", err)
+	}
+	return nil
 }
 
 // OnlineSession is a live-stream detection session: feed it chat messages
@@ -303,5 +354,9 @@ func Load(r io.Reader, opts Options) (*Detector, error) {
 		Epsilon:       opts.Epsilon,
 		MaxIterations: opts.MaxIterations,
 	}
-	return &Detector{init: init, ext: core.NewExtractor(ecfg, nil)}, nil
+	ext, err := core.NewExtractor(ecfg, nil)
+	if err != nil {
+		return nil, fmt.Errorf("lightor: %w", err)
+	}
+	return &Detector{init: init, ext: ext}, nil
 }

@@ -10,6 +10,17 @@ import (
 	"lightor/internal/stats"
 )
 
+// mustNew builds a Detector or fails the test — New validates options and
+// returns an error since PR 2.
+func mustNew(t testing.TB, opts lightor.Options) *lightor.Detector {
+	t.Helper()
+	det, err := lightor.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
 // publicTrainingData builds labeled videos through the public API only.
 func publicTrainingData(t *testing.T, det *lightor.Detector, data []sim.VideoData) []lightor.TrainingVideo {
 	t.Helper()
@@ -35,7 +46,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	rng := stats.NewRand(77)
 	data := sim.GenerateDataset(rng, sim.Dota2Profile(), 3)
 
-	det := lightor.New(lightor.Options{})
+	det := mustNew(t, lightor.Options{})
 	if err := det.Train(publicTrainingData(t, det, data[:2])); err != nil {
 		t.Fatal(err)
 	}
@@ -67,6 +78,76 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestOptionsValidation covers the PR-2 satellite: out-of-range options
+// must be rejected by New with a clear error instead of silently producing
+// NaN-ish tilings downstream.
+func TestOptionsValidation(t *testing.T) {
+	bad := []lightor.Options{
+		{WindowSize: -25},
+		{WindowStride: -1},
+		{MinSeparation: -120},
+		{Delta: -60},
+		{MoveBack: -20},
+		{MaxIterations: -3},
+	}
+	for i, opts := range bad {
+		if _, err := lightor.New(opts); err == nil {
+			t.Errorf("case %d: invalid options %+v accepted", i, opts)
+		}
+	}
+	if _, err := lightor.New(lightor.Options{}); err != nil {
+		t.Errorf("zero options rejected: %v", err)
+	}
+}
+
+// TestDetectorEngineReuse covers the PR-2 satellite: repeated batch
+// extractions share one lazily built session engine instead of spinning a
+// worker pool up and down per call, results stay identical run over run,
+// and Close releases the engine while leaving the Detector usable.
+func TestDetectorEngineReuse(t *testing.T) {
+	rng := stats.NewRand(83)
+	data := sim.GenerateDataset(rng, sim.Dota2Profile(), 2)
+	det := mustNew(t, lightor.Options{})
+	if err := det.Train(publicTrainingData(t, det, data[:1])); err != nil {
+		t.Fatal(err)
+	}
+	target := data[1]
+	src := &simSource{rng: stats.NewRand(9), video: target.Video}
+
+	first, err := det.ExtractHighlights(target.Chat.Log.Messages(), target.Video.Duration, 3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := det.ExtractHighlights(target.Chat.Log.Messages(), target.Video.Duration, 3, src)
+		if err != nil {
+			t.Fatalf("repeat %d: %v", i, err)
+		}
+		if len(got) != len(first) {
+			t.Fatalf("repeat %d: %d highlights, first run had %d", i, len(got), len(first))
+		}
+		for j := range got {
+			if got[j].Dot != first[j].Dot {
+				t.Fatalf("repeat %d: dot %d moved: %+v vs %+v", i, j, got[j].Dot, first[j].Dot)
+			}
+		}
+	}
+
+	if err := det.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	// The detector rebuilds its engine after Close.
+	if _, err := det.ExtractHighlights(target.Chat.Log.Messages(), target.Video.Duration, 3, src); err != nil {
+		t.Fatalf("extraction after Close: %v", err)
+	}
+	if err := det.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 type simSource struct {
 	rng   interface{ Int63() int64 }
 	video sim.Video
@@ -83,7 +164,7 @@ func (s *simSource) Interactions(dot float64) []lightor.Play {
 func TestPublicSaveLoad(t *testing.T) {
 	rng := stats.NewRand(78)
 	data := sim.GenerateDataset(rng, sim.Dota2Profile(), 2)
-	det := lightor.New(lightor.Options{})
+	det := mustNew(t, lightor.Options{})
 	if err := det.Train(publicTrainingData(t, det, data[:1])); err != nil {
 		t.Fatal(err)
 	}
@@ -197,13 +278,13 @@ func TestReadChatIRCPublic(t *testing.T) {
 func TestOnlineSessionPublic(t *testing.T) {
 	rng := stats.NewRand(80)
 	data := sim.GenerateDataset(rng, sim.Dota2Profile(), 3)
-	det := lightor.New(lightor.Options{})
+	det := mustNew(t, lightor.Options{})
 	if err := det.Train(publicTrainingData(t, det, data[:2])); err != nil {
 		t.Fatal(err)
 	}
 
 	// Untrained detectors cannot go live.
-	if _, err := lightor.New(lightor.Options{}).NewOnlineSession(0.5); err == nil {
+	if _, err := mustNew(t, lightor.Options{}).NewOnlineSession(0.5); err == nil {
 		t.Error("untrained online session accepted")
 	}
 
@@ -226,7 +307,7 @@ func TestOnlineSessionPublic(t *testing.T) {
 }
 
 func TestDetectorWindowsPublic(t *testing.T) {
-	det := lightor.New(lightor.Options{WindowSize: 25, WindowStride: 25})
+	det := mustNew(t, lightor.Options{WindowSize: 25, WindowStride: 25})
 	msgs := []lightor.Message{{Time: 10, Text: "a"}, {Time: 60, Text: "b"}}
 	windows := det.Windows(msgs, 100)
 	if len(windows) != 4 {
@@ -240,7 +321,7 @@ func TestDetectorWindowsPublic(t *testing.T) {
 func TestRefineHighlightPublic(t *testing.T) {
 	rng := stats.NewRand(79)
 	data := sim.GenerateDataset(rng, sim.Dota2Profile(), 2)
-	det := lightor.New(lightor.Options{})
+	det := mustNew(t, lightor.Options{})
 	if err := det.Train(publicTrainingData(t, det, data[:1])); err != nil {
 		t.Fatal(err)
 	}
