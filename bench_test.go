@@ -19,6 +19,7 @@ import (
 	"lightor/internal/experiments"
 	"lightor/internal/perf"
 	"lightor/internal/perf/perfengine"
+	"lightor/internal/perf/perfwal"
 	"lightor/internal/play"
 	"lightor/internal/sim"
 	"lightor/internal/stats"
@@ -428,4 +429,32 @@ func BenchmarkRefineKDots(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkWALAppend measures the CPU cost the write-ahead log adds to
+// every accepted mutation: framing, CRC32, and the buffered write (fsync
+// excluded — durability cost is the group commit's, amortized across
+// concurrent appends). Body shared with lightor-bench -bench-json.
+func BenchmarkWALAppend(b *testing.B) {
+	perfwal.Append(b.TempDir())(b)
+}
+
+// BenchmarkCheckpointLatency measures one live-session checkpoint —
+// serializing a warmed OnlineDetector and writing it through the durable
+// file backend. It rides a mailbox envelope, never the per-message Feed
+// path (whose 0 allocs/op gate stays in BenchmarkOnlineFeed).
+func BenchmarkCheckpointLatency(b *testing.B) {
+	init, d := benchTrainedEngine(b)
+	perfwal.CheckpointLatency(init, d.Chat.Log.Messages())(b)
+}
+
+// BenchmarkColdStartRecovery measures reopening a durable data dir whose
+// whole state lives in the WAL (no snapshot — the worst case): scan,
+// CRC-check, decode, and re-apply every record.
+func BenchmarkColdStartRecovery(b *testing.B) {
+	fixture, err := perfwal.BuildRecoveryFixture(b.TempDir(), 2000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	perfwal.ColdStartRecovery(fixture, 2000)(b)
 }

@@ -10,6 +10,7 @@ import (
 
 	"lightor/internal/perf"
 	"lightor/internal/perf/perfengine"
+	"lightor/internal/perf/perfwal"
 )
 
 // benchReport is the machine-readable perf snapshot written by
@@ -36,6 +37,32 @@ type benchResult struct {
 	WindowClose []windowCloseResult `json:"window_close"`
 	// MultiChannelIngest is end-to-end session-engine throughput.
 	MultiChannelIngest []ingestResult `json:"multi_channel_ingest"`
+	// WALAppend is the CPU cost the write-ahead log adds to each accepted
+	// mutation (framing + CRC32 + buffered write; fsync excluded).
+	WALAppend walAppendResult `json:"wal_append"`
+	// Checkpoint is one live-session checkpoint: serializing the full
+	// OnlineDetector state and writing it through the durable backend.
+	Checkpoint checkpointResult `json:"checkpoint"`
+	// ColdStartRecovery is reopening a data dir whose entire state lives
+	// in the WAL: scan, CRC-check, decode, and re-apply every record.
+	ColdStartRecovery recoveryResult `json:"cold_start_recovery"`
+}
+
+type walAppendResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	RecordBytes int     `json:"record_bytes"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+}
+
+type checkpointResult struct {
+	NsPerOp       float64 `json:"ns_per_op"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+}
+
+type recoveryResult struct {
+	WALRecords int     `json:"wal_records"`
+	MsTotal    float64 `json:"ms_total"`
+	NsPerRec   float64 `json:"ns_per_record"`
 }
 
 type opResult struct {
@@ -121,6 +148,46 @@ func runBenchJSON(path string) error {
 			Channels:   channels,
 			MsgsPerSec: perIter / (float64(r.NsPerOp()) / 1e9),
 		})
+	}
+
+	walDir, err := os.MkdirTemp("", "lightor-bench-wal")
+	if err != nil {
+		return fmt.Errorf("bench-json: %w", err)
+	}
+	defer os.RemoveAll(walDir)
+
+	r = testing.Benchmark(perfwal.Append(walDir))
+	if err := checkResult("wal_append", r); err != nil {
+		return err
+	}
+	report.Results.WALAppend = walAppendResult{
+		NsPerOp:     float64(r.NsPerOp()),
+		RecordBytes: perfwal.AppendRecordBytes,
+		MBPerSec:    float64(perfwal.AppendRecordBytes) / float64(r.NsPerOp()) * 1e9 / 1e6,
+	}
+
+	r = testing.Benchmark(perfwal.CheckpointLatency(init, msgs))
+	if err := checkResult("checkpoint", r); err != nil {
+		return err
+	}
+	report.Results.Checkpoint = checkpointResult{
+		NsPerOp:       float64(r.NsPerOp()),
+		SnapshotBytes: int64(r.Extra["snapshot_bytes"]),
+	}
+
+	const recoveryRecords = 2000
+	fixture, err := perfwal.BuildRecoveryFixture(walDir, recoveryRecords)
+	if err != nil {
+		return fmt.Errorf("bench-json: building recovery fixture: %w", err)
+	}
+	r = testing.Benchmark(perfwal.ColdStartRecovery(fixture, recoveryRecords))
+	if err := checkResult("cold_start_recovery", r); err != nil {
+		return err
+	}
+	report.Results.ColdStartRecovery = recoveryResult{
+		WALRecords: recoveryRecords,
+		MsTotal:    float64(r.NsPerOp()) / 1e6,
+		NsPerRec:   float64(r.NsPerOp()) / recoveryRecords,
 	}
 
 	f, err := os.Create(path)

@@ -15,6 +15,7 @@
 //	GET  /healthz
 //	GET  /api/highlights?video=ID&k=5
 //	POST /api/interactions?video=ID            (JSON array of player events)
+//	GET  /api/interactions?video=ID&offset=N&limit=M (paginated event log)
 //	POST /api/refine?video=ID                  (202: job enqueued)
 //	GET  /api/refine/status?job=ID
 //	POST /api/live/chat?channel=ID             (JSON array of chat messages)
@@ -22,9 +23,16 @@
 //	GET  /api/live/dots?channel=ID&cursor=N
 //	DELETE /api/live/session?channel=ID        (end broadcast, flush, free slot)
 //
+// With -data-dir the store is durable: every mutation rides a
+// CRC-checked write-ahead log (interactions and session checkpoints are
+// fsynced before they are acknowledged), snapshots compact the log, and
+// startup replays the WAL and resumes every checkpointed live session
+// from exactly where it stopped.
+//
 // On SIGINT/SIGTERM the server drains gracefully: in-flight requests
 // finish, queued live chat is processed, background refinements complete,
-// and only then does the optional store snapshot get written.
+// live sessions write final checkpoints, and the durable store compacts
+// (or, without -data-dir, the optional -store snapshot is written).
 package main
 
 import (
@@ -56,7 +64,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	workers := flag.Int("workers", 0, "engine session/refine workers (0 = GOMAXPROCS)")
 	drainTimeout := flag.Duration("drain", 30*time.Second, "graceful-drain timeout on shutdown")
-	storePath := flag.String("store", "", "optional store snapshot path: loaded at start, saved on SIGINT/SIGTERM")
+	storePath := flag.String("store", "", "optional store snapshot path: loaded at start, saved on SIGINT/SIGTERM (superseded by -data-dir)")
+	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshots): interactions and live-session checkpoints survive a crash, and startup replays the log and resumes live channels")
+	eventRetention := flag.Int("event-retention", 100000, "max interaction events retained per video (0 = unlimited)")
+	ckptInterval := flag.Duration("checkpoint-interval", 15*time.Second, "live-session checkpoint cadence with -data-dir (0 or negative disables the interval loop; emit and drain checkpoints always run)")
 	flag.Parse()
 
 	var profile sim.Profile
@@ -111,8 +122,22 @@ func main() {
 	defer apiSrv.Close()
 	log.Printf("simulated platform API at %s", apiSrv.URL)
 
-	store := platform.NewStore()
-	if *storePath != "" {
+	// Storage: a durable WAL+snapshot backend under -data-dir, or the
+	// in-memory store (optionally seeded from a -store snapshot file).
+	var store *platform.Store
+	durable := *dataDir != ""
+	switch {
+	case durable:
+		backend, err := platform.OpenFileBackend(*dataDir, platform.FileConfig{
+			EventRetention: *eventRetention,
+		})
+		if err != nil {
+			log.Fatalf("opening data dir %s: %v", *dataDir, err)
+		}
+		store = platform.NewStoreWith(backend)
+		log.Printf("durable store at %s recovered: %d videos", *dataDir, len(store.VideoIDs()))
+	case *storePath != "":
+		store = platform.NewStore()
 		if f, err := os.Open(*storePath); err == nil {
 			loaded, err := platform.LoadStore(f)
 			f.Close()
@@ -122,6 +147,8 @@ func main() {
 			store = loaded
 			log.Printf("restored store snapshot with %d videos", len(store.VideoIDs()))
 		}
+	default:
+		store = platform.NewStore()
 	}
 	crawler := &platform.Crawler{BaseURL: apiSrv.URL, Store: store}
 	chans, err := crawler.Channels()
@@ -140,10 +167,31 @@ func main() {
 	if err != nil {
 		log.Fatalf("extractor: %v", err)
 	}
-	eng, err := engine.New(init, ext,
-		engine.Config{SessionWorkers: *workers, RefineWorkers: *workers})
+	engCfg := engine.Config{SessionWorkers: *workers, RefineWorkers: *workers}
+	if durable {
+		engCfg.Checkpoints = store
+		engCfg.CheckpointInterval = *ckptInterval
+		if *ckptInterval == 0 {
+			// Flag idiom: 0 disables. (The engine treats 0 as "unset" and
+			// would install its own 30 s default.)
+			engCfg.CheckpointInterval = -1
+		}
+	}
+	eng, err := engine.New(init, ext, engCfg)
 	if err != nil {
 		log.Fatalf("engine: %v", err)
+	}
+	if durable {
+		// Crash recovery: every checkpointed live channel resumes from its
+		// last durable state; producers continue from the session watermark
+		// without re-feeding history.
+		resumed, err := eng.ResumeSessions()
+		if err != nil {
+			log.Printf("session resume (continuing with healthy channels): %v", err)
+		}
+		if len(resumed) > 0 {
+			log.Printf("resumed %d live sessions: %v", len(resumed), resumed)
+		}
 	}
 
 	svc := &platform.Service{
@@ -171,10 +219,20 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
+	// Engine close takes the final per-session checkpoints (written through
+	// the store); the durable backend then compacts everything into one
+	// snapshot so the next start replays nothing.
 	if err := eng.Close(ctx); err != nil {
 		log.Printf("engine drain: %v", err)
 	}
-	if *storePath != "" {
+	if durable {
+		if err := store.Close(); err != nil {
+			log.Printf("closing durable store: %v", err)
+		} else {
+			log.Printf("durable store compacted and closed")
+		}
+	}
+	if !durable && *storePath != "" {
 		f, err := os.Create(*storePath)
 		if err != nil {
 			log.Fatalf("saving store snapshot: %v", err)

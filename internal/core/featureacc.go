@@ -44,6 +44,31 @@ func (a *FeatureAccumulator) Add(message string) {
 // Count returns the number of messages added since the last Reset.
 func (a *FeatureAccumulator) Count() int { return a.n }
 
+// FeatureAccumulatorState is the checkpointable state of a
+// FeatureAccumulator: the similarity accumulator's sparse state plus the
+// message and word tallies. Restoring it reproduces the accumulator
+// bit-identically mid-window.
+type FeatureAccumulatorState struct {
+	Sim   text.AccumulatorState
+	N     int
+	Words float64
+}
+
+// State returns a deep copy of the accumulator's incremental state.
+func (a *FeatureAccumulator) State() FeatureAccumulatorState {
+	return FeatureAccumulatorState{Sim: a.sim.State(), N: a.n, Words: a.words}
+}
+
+// SetState restores a previously captured state.
+func (a *FeatureAccumulator) SetState(st FeatureAccumulatorState) error {
+	if err := a.sim.SetState(st.Sim); err != nil {
+		return err
+	}
+	a.n = st.N
+	a.words = st.Words
+	return nil
+}
+
 // Features returns the window's raw (unnormalized) feature values.
 func (a *FeatureAccumulator) Features() Features {
 	f := Features{Num: float64(a.n)}

@@ -1,0 +1,246 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"lightor/internal/chat"
+	"lightor/internal/core"
+	"lightor/internal/sim"
+	"lightor/internal/stats"
+)
+
+// feedAll feeds msgs into od, failing the test on any error, and returns
+// the dots emitted during the feed.
+func feedAll(t *testing.T, od *core.OnlineDetector, msgs []chat.Message) []core.RedDot {
+	t.Helper()
+	var dots []core.RedDot
+	for _, m := range msgs {
+		d, err := od.Feed(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dots = append(dots, d...)
+	}
+	return dots
+}
+
+func sameDots(a, b []core.RedDot) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSnapshotRestoreEveryMessageBoundary is the differential test the
+// durable-session design hangs on: snapshot/restore at EVERY message
+// boundary of a stream, continue each restored detector over the remaining
+// messages, and require the final emissions to match the uninterrupted
+// run exactly (== on every float — the codec round-trips raw bits, so
+// equality is exact, not approximate).
+func TestSnapshotRestoreEveryMessageBoundary(t *testing.T) {
+	init, test := trainedInit(t, 410)
+	msgs := test[0].Chat.Log.Messages()
+	if len(msgs) > 600 {
+		msgs = msgs[:600]
+	}
+
+	// Uninterrupted reference run.
+	ref, err := core.NewOnlineDetector(init, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.SetWarmup(0)
+	feedAll(t, ref, msgs)
+	ref.Flush()
+	want := ref.Emitted()
+	if len(want) == 0 {
+		t.Fatal("reference run emitted nothing; differential test is vacuous")
+	}
+
+	// Interrupted runs: one detector streams along taking a snapshot after
+	// every message; each snapshot spawns a restored detector that plays
+	// out the rest of the stream.
+	live, err := core.NewOnlineDetector(init, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.SetWarmup(0)
+	var snapBuf []byte
+	for i, m := range msgs {
+		if _, err := live.Feed(m); err != nil {
+			t.Fatal(err)
+		}
+		snapBuf = live.AppendSnapshot(snapBuf[:0])
+
+		resumed, err := core.NewOnlineDetector(init, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resumed.RestoreSnapshot(snapBuf); err != nil {
+			t.Fatalf("restore at message %d: %v", i, err)
+		}
+		if resumed.Now() != live.Now() {
+			t.Fatalf("restore at message %d: clock %g, want %g", i, resumed.Now(), live.Now())
+		}
+		feedAll(t, resumed, msgs[i+1:])
+		resumed.Flush()
+		if got := resumed.Emitted(); !sameDots(got, want) {
+			t.Fatalf("restore at message %d diverged: got %d dots %v, want %d dots %v",
+				i, len(got), got, len(want), want)
+		}
+	}
+	// The live detector itself must be unperturbed by being snapshotted.
+	live.Flush()
+	if got := live.Emitted(); !sameDots(got, want) {
+		t.Fatalf("snapshotting perturbed the live run: got %v, want %v", got, want)
+	}
+}
+
+// TestSnapshotRestoreAfterAdvanceAndFlush covers the non-Feed clock paths:
+// snapshots taken after Advance (quiet-gap heartbeats) and after Flush
+// (now = +Inf) must restore exactly.
+func TestSnapshotRestoreAfterAdvanceAndFlush(t *testing.T) {
+	init, test := trainedInit(t, 411)
+	msgs := test[0].Chat.Log.Messages()
+	if len(msgs) > 200 {
+		msgs = msgs[:200]
+	}
+	od, err := core.NewOnlineDetector(init, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od.SetWarmup(0)
+	feedAll(t, od, msgs)
+	od.Advance(msgs[len(msgs)-1].Time + 500)
+
+	snap := od.Snapshot()
+	restored, err := core.NewOnlineDetector(init, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	od.Flush()
+	restored.Flush()
+	if !sameDots(od.Emitted(), restored.Emitted()) {
+		t.Fatalf("post-advance restore diverged: %v vs %v", restored.Emitted(), od.Emitted())
+	}
+
+	// Snapshot of a flushed detector: clock is +Inf, everything final.
+	snap = od.Snapshot()
+	again, err := core.NewOnlineDetector(init, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := again.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(again.Now(), 1) {
+		t.Errorf("restored flushed clock = %g, want +Inf", again.Now())
+	}
+	if !sameDots(again.Emitted(), od.Emitted()) {
+		t.Error("flushed snapshot lost emission history")
+	}
+}
+
+// TestRestoreSnapshotRejectsBadInput: corrupt, truncated, and mismatched
+// snapshots must error (never panic) and leave the detector usable.
+func TestRestoreSnapshotRejectsBadInput(t *testing.T) {
+	init, test := trainedInit(t, 412)
+	msgs := test[0].Chat.Log.Messages()
+	if len(msgs) > 100 {
+		msgs = msgs[:100]
+	}
+	od, err := core.NewOnlineDetector(init, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od.SetWarmup(0)
+	feedAll(t, od, msgs)
+	snap := od.Snapshot()
+
+	fresh := func() *core.OnlineDetector {
+		d, err := core.NewOnlineDetector(init, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	if err := fresh().RestoreSnapshot(nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+	if err := fresh().RestoreSnapshot([]byte("garbage")); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+	// Every truncation length must be rejected (the CRC covers the whole
+	// body, so any cut invalidates it).
+	for cut := 0; cut < len(snap); cut += 7 {
+		if err := fresh().RestoreSnapshot(snap[:cut]); err == nil {
+			t.Fatalf("truncated snapshot (%d bytes) accepted", cut)
+		}
+	}
+	// Single-bit corruption anywhere must be rejected.
+	for pos := 0; pos < len(snap); pos += 31 {
+		bad := append([]byte(nil), snap...)
+		bad[pos] ^= 0x10
+		if err := fresh().RestoreSnapshot(bad); err == nil {
+			t.Fatalf("corrupt snapshot (bit flip at %d) accepted", pos)
+		}
+	}
+
+	// A failed restore must leave the detector fully usable.
+	d := fresh()
+	if err := d.RestoreSnapshot([]byte("nope")); err == nil {
+		t.Fatal("bad snapshot accepted")
+	}
+	feedAll(t, d, msgs)
+	d.Flush()
+}
+
+// FuzzRestoreSnapshot: arbitrary bytes must never panic the decoder.
+func FuzzRestoreSnapshot(f *testing.F) {
+	rng := stats.NewRand(99)
+	data := sim.GenerateDataset(rng, sim.Dota2Profile(), 1)
+	init, err := core.NewInitializer(core.DefaultInitializerConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	ws := init.Windows(data[0].Chat.Log, data[0].Video.Duration)
+	err = init.Train([]core.TrainingVideo{{
+		Log:        data[0].Chat.Log,
+		Duration:   data[0].Video.Duration,
+		Labels:     sim.LabelWindows(ws, data[0].Chat.Bursts),
+		Highlights: data[0].Video.Highlights,
+	}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	od, err := core.NewOnlineDetector(init, 0.5)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := od.Feed(chat.Message{Time: float64(i * 3), User: "u", Text: "gg wp nice"}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(od.Snapshot())
+	f.Add([]byte{})
+	f.Add([]byte("LODS"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := core.NewOnlineDetector(init, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = d.RestoreSnapshot(data) // must not panic
+	})
+}

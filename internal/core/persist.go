@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"lightor/internal/ml"
+	"lightor/internal/wal"
 )
 
 // initializerModel is the serialized form of a trained Initializer. Only
@@ -19,10 +20,19 @@ type initializerModel struct {
 	DelayC  int               `json:"delay_c"`
 }
 
-const modelVersion = 1
+// modelVersion 2 wraps the JSON payload in a checksummed envelope
+// (wal.WriteEnvelope): a header line carrying format name, version, exact
+// payload length, and payload CRC32. Version 1 trusted its input bytes —
+// a truncated or bit-rotted model file parsed as far as it could and then
+// failed (or worse, succeeded) confusingly.
+const (
+	modelVersion = 2
+	modelFormat  = "lightor-model"
+)
 
-// Save writes the trained model as JSON. It fails on an untrained
-// initializer: persisting an unusable model is always a bug.
+// Save writes the trained model as a checksummed envelope around a JSON
+// payload. It fails on an untrained initializer: persisting an unusable
+// model is always a bug.
 func (in *Initializer) Save(w io.Writer) error {
 	if in.model == nil {
 		return fmt.Errorf("core: cannot save an untrained initializer")
@@ -34,18 +44,27 @@ func (in *Initializer) Save(w io.Writer) error {
 		Bias:    in.model.Bias,
 		DelayC:  in.delayC,
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(m); err != nil {
+	payload, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
 		return fmt.Errorf("core: encoding model: %w", err)
+	}
+	if err := wal.WriteEnvelope(w, modelFormat, modelVersion, payload); err != nil {
+		return fmt.Errorf("core: writing model: %w", err)
 	}
 	return nil
 }
 
-// LoadInitializer reads a model saved by Save.
+// LoadInitializer reads a model saved by Save, validating the envelope's
+// version, length, and CRC32 before trusting a byte of the payload:
+// truncated and corrupted files are rejected with a clear error instead of
+// being half-parsed.
 func LoadInitializer(r io.Reader) (*Initializer, error) {
+	_, payload, err := wal.ReadEnvelope(r, modelFormat, modelVersion)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading model: %w", err)
+	}
 	var m initializerModel
-	if err := json.NewDecoder(r).Decode(&m); err != nil {
+	if err := json.Unmarshal(payload, &m); err != nil {
 		return nil, fmt.Errorf("core: decoding model: %w", err)
 	}
 	if m.Version != modelVersion {

@@ -8,6 +8,7 @@ import (
 	"lightor/internal/core"
 	"lightor/internal/sim"
 	"lightor/internal/stats"
+	"lightor/internal/wal"
 )
 
 func TestInitializerSaveLoadRoundTrip(t *testing.T) {
@@ -60,10 +61,10 @@ func TestSaveUntrainedFails(t *testing.T) {
 
 func TestLoadInitializerRejectsGarbage(t *testing.T) {
 	cases := map[string]string{
-		"not json":      "certainly not json",
-		"wrong version": `{"version": 99, "weights": [1,2,3]}`,
-		"no weights":    `{"version": 1, "weights": []}`,
-		"dim mismatch":  `{"version": 1, "weights": [1], "config": {"Features": 2}}`,
+		"empty":           "",
+		"not an envelope": "certainly not json",
+		"bare v1 json":    `{"version": 1, "weights": [1,2,3]}`,
+		"wrong format":    `{"format":"other","version":2,"length":2,"crc32":0}` + "\n{}",
 	}
 	for name, in := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -71,5 +72,71 @@ func TestLoadInitializerRejectsGarbage(t *testing.T) {
 				t.Error("accepted")
 			}
 		})
+	}
+}
+
+// TestLoadInitializerRejectsInvalidPayload covers the semantic checks that
+// run after the envelope validates: a well-formed envelope around a
+// decodable-but-unusable model must still be rejected.
+func TestLoadInitializerRejectsInvalidPayload(t *testing.T) {
+	cases := map[string]string{
+		"wrong inner version": `{"version": 1, "weights": [1,2,3]}`,
+		"no weights":          `{"version": 2, "weights": []}`,
+		"dim mismatch":        `{"version": 2, "weights": [1], "config": {"Features": 2}}`,
+	}
+	for name, payload := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := wal.WriteEnvelope(&buf, "lightor-model", 2, []byte(payload)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := core.LoadInitializer(&buf); err == nil {
+				t.Error("accepted")
+			}
+		})
+	}
+}
+
+// savedModel trains a small model and returns its serialized bytes.
+func savedModel(t *testing.T) []byte {
+	t.Helper()
+	rng := stats.NewRand(201)
+	data := sim.GenerateDataset(rng, sim.Dota2Profile(), 1)
+	init := mustNewInitializer(t, core.DefaultInitializerConfig())
+	if err := init.Train(trainingVideos(t, init, data)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := init.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadInitializerRejectsTruncation: every proper prefix of a valid
+// model file must be rejected — the envelope's length field catches cuts
+// the JSON parser would otherwise paper over.
+func TestLoadInitializerRejectsTruncation(t *testing.T) {
+	full := savedModel(t)
+	if _, err := core.LoadInitializer(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full file rejected: %v", err)
+	}
+	for cut := 0; cut < len(full); cut += 13 {
+		if _, err := core.LoadInitializer(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+// TestLoadInitializerRejectsCorruption: a flipped bit anywhere in the
+// payload must trip the CRC.
+func TestLoadInitializerRejectsCorruption(t *testing.T) {
+	full := savedModel(t)
+	for pos := bytes.IndexByte(full, '\n') + 1; pos < len(full); pos += 17 {
+		bad := append([]byte(nil), full...)
+		bad[pos] ^= 0x08
+		if _, err := core.LoadInitializer(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corruption at byte %d accepted", pos)
+		}
 	}
 }

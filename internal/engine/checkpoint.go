@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"lightor/internal/core"
+)
+
+// CheckpointStore is the durability seam for live sessions: the engine
+// writes each session's serialized detector state (core.OnlineDetector
+// snapshots) under its channel id and reads them all back at startup.
+// platform.Store satisfies it, so checkpoints land in the same pluggable
+// storage backend as chat logs and interaction events — with the
+// file-backed backend they ride the WAL and survive a crash.
+type CheckpointStore interface {
+	// PutCheckpoint durably stores a session's serialized state,
+	// replacing any previous checkpoint for the channel.
+	PutCheckpoint(channel string, state []byte) error
+	// Checkpoints returns all stored checkpoints by channel.
+	Checkpoints() map[string][]byte
+	// DeleteCheckpoint removes a finished broadcast's checkpoint.
+	DeleteCheckpoint(channel string) error
+}
+
+// snapshotter is the optional session-backend capability behind
+// checkpointing. Live (online) backends implement it; replay backends do
+// not — a batch job has nothing worth resuming.
+type snapshotter interface {
+	snapshotInto(dst []byte) []byte
+}
+
+func (b onlineBackend) snapshotInto(dst []byte) []byte { return b.od.AppendSnapshot(dst) }
+
+// checkpointLocked serializes the session's detector into the store.
+// Caller holds s.detMu, so the snapshot is consistent with every envelope
+// processed so far and no message can land mid-serialization. Sessions
+// whose backend cannot snapshot (replay) are a silent no-op.
+func (s *Session) checkpointLocked() error {
+	if s.mgr.ckpt == nil {
+		return nil
+	}
+	snap, ok := s.det.(snapshotter)
+	if !ok {
+		return nil
+	}
+	s.snapBuf = snap.snapshotInto(s.snapBuf[:0])
+	return s.mgr.ckpt.PutCheckpoint(s.channel, s.snapBuf)
+}
+
+// checkpointNow takes the detector lock and checkpoints immediately. Used
+// at drain time, when no worker owns the session anymore.
+func (s *Session) checkpointNow() error {
+	s.detMu.Lock()
+	defer s.detMu.Unlock()
+	return s.checkpointLocked()
+}
+
+// requestCheckpoint enqueues a non-blocking checkpoint envelope: it is
+// processed in mailbox order, so the snapshot reflects every batch
+// accepted before it. Closed sessions are skipped.
+func (s *Session) requestCheckpoint() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.enqueueLocked(envelope{checkpoint: true})
+}
+
+// Checkpoint enqueues a checkpoint and blocks until it has been written to
+// the store (or ctx expires). It returns ErrClosed on a draining session
+// and an error if the manager has no checkpoint store.
+func (s *Session) Checkpoint(ctx context.Context) error {
+	if s.mgr.ckpt == nil {
+		return errors.New("engine: no checkpoint store configured")
+	}
+	res := make(chan error, 1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.enqueueLocked(envelope{checkpoint: true, ckptRes: res})
+	s.mu.Unlock()
+	select {
+	case err := <-res:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Watermark returns the highest timestamp the session has accepted — the
+// position a resumed producer should continue feeding from. Note that
+// ingest rejects only strictly-older timestamps (chat messages may
+// legitimately share a timestamp), so a producer that cannot track its
+// own cursor and re-sends messages equal to the watermark will double-feed
+// them; exact-once resumption at a shared-timestamp boundary needs the
+// producer's own position, which the batch-level Ingest ack gives it.
+func (s *Session) Watermark() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.watermark
+}
+
+// checkpointLoop periodically checkpoints every live session until the
+// manager drains. Interval checkpoints bound the replay a producer must
+// re-feed after a crash even on channels that never emit.
+func (m *SessionManager) checkpointLoop() {
+	t := time.NewTicker(m.ckptEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.ckptStop:
+			return
+		case <-t.C:
+			m.mu.Lock()
+			sessions := make([]*Session, 0, len(m.sessions))
+			for _, s := range m.sessions {
+				sessions = append(sessions, s)
+			}
+			m.mu.Unlock()
+			for _, s := range sessions {
+				s.requestCheckpoint()
+			}
+		}
+	}
+}
+
+// ResumeSessions reopens a live session for every checkpoint in the store,
+// restoring each detector bit-identically to its checkpointed state: the
+// session continues from its watermark without re-feeding history, and its
+// emission history (cursor space included) is intact. Returns the resumed
+// channel ids, sorted. Corrupt or incompatible checkpoints are skipped and
+// reported joined into the returned error; healthy channels still resume.
+func (m *SessionManager) ResumeSessions() ([]string, error) {
+	if m.ckpt == nil {
+		return nil, nil
+	}
+	var resumed []string
+	var errs []error
+	for channel, state := range m.ckpt.Checkpoints() {
+		od, err := core.NewOnlineDetector(m.init, m.threshold)
+		if err != nil {
+			return nil, err
+		}
+		if err := od.RestoreSnapshot(state); err != nil {
+			errs = append(errs, fmt.Errorf("engine: resuming %q: %w", channel, err))
+			continue
+		}
+		s, err := m.open(channel, onlineBackend{od: od})
+		if err != nil {
+			errs = append(errs, fmt.Errorf("engine: resuming %q: %w", channel, err))
+			continue
+		}
+		s.mu.Lock()
+		s.watermark = od.Now()
+		s.emitted = od.Emitted()
+		s.mu.Unlock()
+		resumed = append(resumed, channel)
+	}
+	sort.Strings(resumed)
+	return resumed, errors.Join(errs...)
+}

@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
 	"lightor/internal/chat"
 	"lightor/internal/core"
@@ -56,6 +57,16 @@ type Config struct {
 	// negative disables warm-up entirely (deterministic tests and
 	// benchmarks want this).
 	Warmup float64
+	// Checkpoints, when set, makes live sessions durable: each session's
+	// detector state is snapshotted to the store on an interval, after
+	// every emission, and at drain; ResumeSessions restores them at
+	// startup so channels continue from their last checkpoint without
+	// re-feeding history. platform.Store satisfies the interface.
+	Checkpoints CheckpointStore
+	// CheckpointInterval is the periodic checkpoint cadence (default 30 s
+	// when Checkpoints is set; negative disables the interval loop,
+	// leaving only the on-emit and on-drain checkpoints).
+	CheckpointInterval time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -67,6 +78,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 4096
+	}
+	if c.Checkpoints != nil && c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 30 * time.Second
 	}
 }
 
@@ -90,11 +104,20 @@ func New(init *core.Initializer, ext *core.Extractor, cfg Config) (*Engine, erro
 	}
 	cfg.fillDefaults()
 	return &Engine{
-		init:     init,
-		ext:      ext,
-		sessions: newSessionManager(init, cfg.Threshold, cfg.Warmup, cfg.SessionWorkers, cfg.MaxSessions),
-		refine:   newRefineQueue(ext, cfg.RefineWorkers),
+		init: init,
+		ext:  ext,
+		sessions: newSessionManager(init, cfg.Threshold, cfg.Warmup,
+			cfg.SessionWorkers, cfg.MaxSessions, cfg.Checkpoints, cfg.CheckpointInterval),
+		refine: newRefineQueue(ext, cfg.RefineWorkers),
 	}, nil
+}
+
+// ResumeSessions restores every checkpointed live session from the
+// configured CheckpointStore — the startup half of crash recovery. It
+// returns the resumed channel ids; corrupt checkpoints are skipped and
+// reported in the error while healthy channels still resume.
+func (e *Engine) ResumeSessions() ([]string, error) {
+	return e.sessions.ResumeSessions()
 }
 
 // Sessions exposes the live-channel multiplexer.
@@ -153,6 +176,8 @@ func replayChannelID(seq int) string {
 // Close gracefully drains the engine: session intake stops, queued chat
 // finishes processing, in-flight refinements complete, and the worker
 // pools exit. A cancelled ctx abandons the drain and returns its error.
+// Both pools are always closed — a session-drain (or drain-checkpoint)
+// failure must not leak the refine workers.
 func (e *Engine) Close(ctx context.Context) error {
 	e.mu.Lock()
 	if e.closed {
@@ -162,8 +187,5 @@ func (e *Engine) Close(ctx context.Context) error {
 	e.closed = true
 	e.mu.Unlock()
 
-	if err := e.sessions.close(ctx); err != nil {
-		return err
-	}
-	return e.refine.close(ctx)
+	return errors.Join(e.sessions.close(ctx), e.refine.close(ctx))
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"lightor/internal/chat"
 	"lightor/internal/core"
@@ -69,12 +70,14 @@ func (b *replayBackend) flush() ([]core.RedDot, error) {
 }
 
 // envelope is one unit of mailbox work: a message batch, a clock advance,
-// or a flush. Exactly one field set per kind.
+// a checkpoint request, or a flush. Exactly one kind set per envelope.
 type envelope struct {
-	msgs    []chat.Message
-	advance float64
-	flush   bool
-	done    chan struct{} // non-nil for flush: closed when processed
+	msgs       []chat.Message
+	advance    float64
+	flush      bool
+	checkpoint bool
+	done       chan struct{} // non-nil for flush: closed when processed
+	ckptRes    chan error    // non-nil for blocking checkpoint: receives the result
 }
 
 // Session is one live channel's detection state: an ordered mailbox in
@@ -95,8 +98,9 @@ type Session struct {
 	emitted   []core.RedDot
 	flushErr  error
 
-	detMu sync.Mutex // guards det across worker/flush handoffs
-	det   sessionDetector
+	detMu   sync.Mutex // guards det across worker/flush handoffs
+	det     sessionDetector
+	snapBuf []byte // reusable checkpoint encode buffer; guarded by detMu
 }
 
 // Channel returns the session's channel identifier.
@@ -240,6 +244,11 @@ func (s *Session) process(env envelope) {
 	var dots []core.RedDot
 	var err error
 	switch {
+	case env.checkpoint:
+		cerr := s.checkpointLocked()
+		if env.ckptRes != nil {
+			env.ckptRes <- cerr
+		}
 	case env.flush:
 		dots, err = s.det.flush()
 	case env.msgs != nil:
@@ -253,6 +262,19 @@ func (s *Session) process(env envelope) {
 		}
 	default:
 		dots = s.det.advance(env.advance)
+	}
+	// Checkpoint-on-emit: a dot is acknowledged to pollers the moment it
+	// lands in s.emitted, so persist the detector state that contains it
+	// first — a crash right after emission then recovers a checkpoint that
+	// still knows the dot. This includes the flush: its final dots are
+	// acknowledged in the Flush/CloseSession response, and the flushed
+	// snapshot (clock at +Inf) makes a crash between that ack and
+	// CloseSession's checkpoint deletion resurrect an *inert* session —
+	// full emission history served, all further ingest rejected — rather
+	// than a pre-flush live one missing acknowledged dots. Best-effort: a
+	// failed store write is retried by the next interval checkpoint.
+	if len(dots) > 0 || env.flush {
+		_ = s.checkpointLocked()
 	}
 	s.detMu.Unlock()
 
@@ -278,6 +300,12 @@ type SessionManager struct {
 	workers     int
 	maxSessions int
 
+	// ckpt, when non-nil, enables durable session checkpointing: on a
+	// cadence (ckptEvery), on every emission, and at drain.
+	ckpt      CheckpointStore
+	ckptEvery time.Duration
+	ckptStop  chan struct{}
+
 	mu       sync.Mutex
 	sessions map[string]*Session
 	closed   bool
@@ -287,13 +315,16 @@ type SessionManager struct {
 	items    sync.WaitGroup // outstanding envelopes across all sessions
 }
 
-func newSessionManager(init *core.Initializer, threshold, warmup float64, workers, maxSessions int) *SessionManager {
+func newSessionManager(init *core.Initializer, threshold, warmup float64, workers, maxSessions int, ckpt CheckpointStore, ckptEvery time.Duration) *SessionManager {
 	m := &SessionManager{
 		init:        init,
 		threshold:   threshold,
 		warmup:      warmup,
 		workers:     workers,
 		maxSessions: maxSessions,
+		ckpt:        ckpt,
+		ckptEvery:   ckptEvery,
+		ckptStop:    make(chan struct{}),
 		sessions:    make(map[string]*Session),
 		work:        make(chan *Session, 1024),
 	}
@@ -305,6 +336,9 @@ func newSessionManager(init *core.Initializer, threshold, warmup float64, worker
 				s.drain()
 			}
 		}()
+	}
+	if m.ckpt != nil && m.ckptEvery > 0 {
+		go m.checkpointLoop()
 	}
 	return m
 }
@@ -415,6 +449,12 @@ func (m *SessionManager) CloseSession(ctx context.Context, channel string) ([]co
 		return dots, err
 	}
 	m.Remove(channel)
+	if m.ckpt != nil {
+		// The broadcast is over: its checkpoint must not resurrect the
+		// channel at the next restart. Best-effort — a leftover checkpoint
+		// resumes a flushed (inert) session, which is harmless.
+		_ = m.ckpt.DeleteCheckpoint(channel)
+	}
 	return dots, nil
 }
 
@@ -442,6 +482,12 @@ func (m *SessionManager) close(ctx context.Context) error {
 	}
 	m.mu.Unlock()
 
+	// Stop the interval checkpoint loop immediately — including on the
+	// drain-interrupted error path below, which would otherwise leak the
+	// goroutine and its ticker. Sessions are marked closed before the
+	// drain barrier, so a straggler tick finds nothing to enqueue.
+	close(m.ckptStop)
+
 	// Stop each session's intake; queued work remains valid.
 	for _, s := range open {
 		s.mu.Lock()
@@ -463,5 +509,20 @@ func (m *SessionManager) close(ctx context.Context) error {
 
 	close(m.work)
 	m.workerWG.Wait()
+
+	// Checkpoint-on-drain: every surviving session's final state is
+	// persisted so a restart resumes exactly where the drain stopped. The
+	// worker pool has exited, so no lock contention remains.
+	if m.ckpt != nil {
+		var errs []error
+		for _, s := range open {
+			if err := s.checkpointNow(); err != nil {
+				errs = append(errs, fmt.Errorf("engine: checkpointing %q: %w", s.channel, err))
+			}
+		}
+		if err := errors.Join(errs...); err != nil {
+			return err
+		}
+	}
 	return nil
 }

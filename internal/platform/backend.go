@@ -1,0 +1,287 @@
+package platform
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"lightor/internal/core"
+	"lightor/internal/play"
+)
+
+// Backend is the storage seam behind Store: everything the web service and
+// the session engine persist — video records (chat, red dots, refined
+// boundaries), append-only interaction event logs, and live-session
+// checkpoints. Two implementations ship: the sharded in-memory map
+// (MemoryBackend) and the durable file-backed WAL+snapshot store
+// (FileBackend). Both must satisfy the shared conformance suite: deep-copy
+// value semantics on every read and write, per-video consistency under
+// concurrency, and identical pagination behavior.
+type Backend interface {
+	// PutVideo inserts or replaces a video record (deep-copied).
+	PutVideo(rec VideoRecord) error
+	// Video returns a deep copy of the record for id, or false when absent.
+	Video(id string) (VideoRecord, bool)
+	// HasVideo reports whether a record exists for id — the cheap
+	// existence probe (no deep copy) hot read paths should use.
+	HasVideo(id string) bool
+	// HasChat reports whether the video exists with a crawled chat log
+	// (a crawled-but-empty log counts).
+	HasChat(id string) bool
+	// VideoIDs returns all stored video IDs, sorted.
+	VideoIDs() []string
+	// SetRedDots records the current highlight positions for a video.
+	SetRedDots(id string, dots []core.RedDot) error
+	// SetBoundaries records extractor-refined spans for a video.
+	SetBoundaries(id string, spans []core.Interval) error
+	// SetRefined records dots and boundaries in one critical section.
+	SetRefined(id string, dots []core.RedDot, spans []core.Interval) error
+	// AppendEvents appends interaction events to a video's log, applying
+	// the backend's retention policy.
+	AppendEvents(id string, events []play.Event) error
+	// ScanEvents returns a page of the video's retained event log starting
+	// at offset (0 = oldest retained), plus the total retained count.
+	// limit <= 0 means "to the end".
+	ScanEvents(id string, offset, limit int) ([]play.Event, int)
+	// PutCheckpoint durably stores a live session's serialized state.
+	PutCheckpoint(channel string, state []byte) error
+	// Checkpoints returns a copy of all stored session checkpoints.
+	Checkpoints() map[string][]byte
+	// DeleteCheckpoint removes a session checkpoint (a finished broadcast).
+	DeleteCheckpoint(channel string) error
+	// Close releases the backend's resources, flushing anything pending.
+	Close() error
+}
+
+// MemoryConfig tunes a MemoryBackend.
+type MemoryConfig struct {
+	// EventRetention caps the interaction events retained per video;
+	// appends beyond it compact away the oldest events. 0 means unlimited
+	// (the pre-retention behavior — fine for tests, unbounded in
+	// production).
+	EventRetention int
+}
+
+// storeShards is the lock-shard count. Power of two, comfortably above
+// typical core counts, so concurrent request handlers touching different
+// videos almost never contend on the same mutex.
+const storeShards = 32
+
+// storeShard is one lock domain: a slice of the video and event maps.
+type storeShard struct {
+	mu     sync.RWMutex
+	videos map[string]*VideoRecord
+	events map[string][]play.Event
+}
+
+// MemoryBackend is the thread-safe in-memory implementation of Backend:
+// keys are sharded across independently locked maps, so the store scales
+// with concurrent handlers instead of serializing them on one mutex. All
+// reads return deep copies and all writes store deep copies — value
+// semantics hold even under concurrent mutation by callers.
+type MemoryBackend struct {
+	cfg    MemoryConfig
+	shards [storeShards]storeShard
+
+	ckptMu sync.RWMutex
+	ckpts  map[string][]byte
+}
+
+// NewMemoryBackend returns an empty in-memory backend.
+func NewMemoryBackend(cfg MemoryConfig) *MemoryBackend {
+	b := &MemoryBackend{cfg: cfg, ckpts: make(map[string][]byte)}
+	for i := range b.shards {
+		b.shards[i].videos = make(map[string]*VideoRecord)
+		b.shards[i].events = make(map[string][]play.Event)
+	}
+	return b
+}
+
+func (b *MemoryBackend) shard(id string) *storeShard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &b.shards[h.Sum32()%storeShards]
+}
+
+// PutVideo inserts or replaces a video record. The record is stored with
+// deep-copy semantics: the store keeps its own backing arrays for RedDots
+// and Boundaries, so the caller may keep mutating its slices freely.
+func (b *MemoryBackend) PutVideo(rec VideoRecord) error {
+	if rec.ID == "" {
+		return fmt.Errorf("platform: video record needs an ID")
+	}
+	sh := b.shard(rec.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cp := rec.clone()
+	sh.videos[rec.ID] = &cp
+	return nil
+}
+
+// Video returns a deep copy of the record for id, or false when absent.
+func (b *MemoryBackend) Video(id string) (VideoRecord, bool) {
+	sh := b.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.videos[id]
+	if !ok {
+		return VideoRecord{}, false
+	}
+	return rec.clone(), true
+}
+
+// HasVideo reports whether a record exists for id without cloning it —
+// the cheap existence probe validation and serving paths want.
+func (b *MemoryBackend) HasVideo(id string) bool {
+	sh := b.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.videos[id]
+	return ok
+}
+
+// HasChat reports whether the video exists with a crawled chat log,
+// without cloning the record. A crawled-but-empty log still counts:
+// re-crawling it would not produce messages that do not exist.
+func (b *MemoryBackend) HasChat(id string) bool {
+	sh := b.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.videos[id]
+	return ok && rec.Chat != nil
+}
+
+// VideoIDs returns all stored video IDs, sorted.
+func (b *MemoryBackend) VideoIDs() []string {
+	var ids []string
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		for id := range sh.videos {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// SetRedDots records the current highlight positions for a video.
+func (b *MemoryBackend) SetRedDots(id string, dots []core.RedDot) error {
+	sh := b.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, ok := sh.videos[id]
+	if !ok {
+		return fmt.Errorf("platform: unknown video %q", id)
+	}
+	rec.RedDots = append([]core.RedDot(nil), dots...)
+	return nil
+}
+
+// SetBoundaries records extractor-refined highlight spans for a video.
+func (b *MemoryBackend) SetBoundaries(id string, spans []core.Interval) error {
+	sh := b.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, ok := sh.videos[id]
+	if !ok {
+		return fmt.Errorf("platform: unknown video %q", id)
+	}
+	rec.Boundaries = append([]core.Interval(nil), spans...)
+	return nil
+}
+
+// SetRefined records refined dots and their boundaries in one critical
+// section, so a concurrent reader never observes one without the other.
+func (b *MemoryBackend) SetRefined(id string, dots []core.RedDot, spans []core.Interval) error {
+	sh := b.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, ok := sh.videos[id]
+	if !ok {
+		return fmt.Errorf("platform: unknown video %q", id)
+	}
+	rec.RedDots = append([]core.RedDot(nil), dots...)
+	rec.Boundaries = append([]core.Interval(nil), spans...)
+	return nil
+}
+
+// AppendEvents appends deep copies of interaction events for a video.
+// When EventRetention is set, the log is compacted in place: once it
+// overflows the cap by 25% the oldest events are dropped down to the cap,
+// so per-append cost stays amortized O(1) instead of O(cap).
+func (b *MemoryBackend) AppendEvents(id string, events []play.Event) error {
+	sh := b.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.videos[id]; !ok {
+		return fmt.Errorf("platform: unknown video %q", id)
+	}
+	log := append(sh.events[id], events...)
+	if cap := b.cfg.EventRetention; cap > 0 && len(log) > cap+cap/4 {
+		keep := log[len(log)-cap:]
+		compacted := make([]play.Event, cap)
+		copy(compacted, keep)
+		log = compacted
+	}
+	sh.events[id] = log
+	return nil
+}
+
+// ScanEvents returns a page of a video's retained events plus the total
+// retained count. offset indexes the retained log (0 = oldest retained
+// event); limit <= 0 returns everything from offset on.
+func (b *MemoryBackend) ScanEvents(id string, offset, limit int) ([]play.Event, int) {
+	sh := b.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	log := sh.events[id]
+	total := len(log)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= total {
+		return nil, total
+	}
+	page := log[offset:]
+	if limit > 0 && len(page) > limit {
+		page = page[:limit]
+	}
+	return append([]play.Event(nil), page...), total
+}
+
+// PutCheckpoint stores a copy of a live session's serialized state.
+func (b *MemoryBackend) PutCheckpoint(channel string, state []byte) error {
+	if channel == "" {
+		return fmt.Errorf("platform: checkpoint needs a channel id")
+	}
+	cp := append([]byte(nil), state...)
+	b.ckptMu.Lock()
+	b.ckpts[channel] = cp
+	b.ckptMu.Unlock()
+	return nil
+}
+
+// Checkpoints returns a deep copy of all stored session checkpoints.
+func (b *MemoryBackend) Checkpoints() map[string][]byte {
+	b.ckptMu.RLock()
+	defer b.ckptMu.RUnlock()
+	out := make(map[string][]byte, len(b.ckpts))
+	for ch, st := range b.ckpts {
+		out[ch] = append([]byte(nil), st...)
+	}
+	return out
+}
+
+// DeleteCheckpoint removes a session checkpoint.
+func (b *MemoryBackend) DeleteCheckpoint(channel string) error {
+	b.ckptMu.Lock()
+	delete(b.ckpts, channel)
+	b.ckptMu.Unlock()
+	return nil
+}
+
+// Close is a no-op for the in-memory backend.
+func (b *MemoryBackend) Close() error { return nil }

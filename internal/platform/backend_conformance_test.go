@@ -1,0 +1,275 @@
+package platform
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"lightor/internal/chat"
+	"lightor/internal/core"
+	"lightor/internal/play"
+)
+
+// backendMakers enumerates every Backend implementation. All of them run
+// the same conformance suite below: value semantics, retention, pagination,
+// checkpoint behavior, and concurrency safety must be indistinguishable —
+// the service and engine cannot care which backend is wired in.
+func backendMakers(t *testing.T) map[string]func(t *testing.T, cfg MemoryConfig) Backend {
+	return map[string]func(t *testing.T, cfg MemoryConfig) Backend{
+		"memory": func(t *testing.T, cfg MemoryConfig) Backend {
+			return NewMemoryBackend(cfg)
+		},
+		"file": func(t *testing.T, cfg MemoryConfig) Backend {
+			fb, err := OpenFileBackend(t.TempDir(), FileConfig{
+				EventRetention: cfg.EventRetention,
+				NoSync:         true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { fb.Close() })
+			return fb
+		},
+	}
+}
+
+func TestBackendConformance(t *testing.T) {
+	for name, mk := range backendMakers(t) {
+		t.Run(name, func(t *testing.T) {
+			t.Run("video-crud", func(t *testing.T) { conformVideoCRUD(t, mk(t, MemoryConfig{})) })
+			t.Run("deep-copy", func(t *testing.T) { conformDeepCopy(t, mk(t, MemoryConfig{})) })
+			t.Run("events-pagination", func(t *testing.T) { conformEventsPagination(t, mk(t, MemoryConfig{})) })
+			t.Run("events-retention", func(t *testing.T) {
+				conformEventsRetention(t, mk(t, MemoryConfig{EventRetention: 100}))
+			})
+			t.Run("checkpoints", func(t *testing.T) { conformCheckpoints(t, mk(t, MemoryConfig{})) })
+			t.Run("concurrency", func(t *testing.T) { conformConcurrency(t, mk(t, MemoryConfig{})) })
+		})
+	}
+}
+
+func conformVideoCRUD(t *testing.T, b Backend) {
+	if err := b.PutVideo(VideoRecord{}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	log := chat.NewLog([]chat.Message{{Time: 1, User: "a", Text: "hi"}})
+	if err := b.PutVideo(VideoRecord{ID: "v1", Duration: 100, Chat: log}); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := b.Video("v1")
+	if !ok || rec.Duration != 100 || rec.Chat.Len() != 1 {
+		t.Fatalf("Video(v1) = %+v, %v", rec, ok)
+	}
+	if _, ok := b.Video("nope"); ok {
+		t.Error("absent video found")
+	}
+	if err := b.SetRedDots("v1", []core.RedDot{{Time: 10, Score: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetBoundaries("v1", []core.Interval{{Start: 5, End: 15}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetRedDots("ghost", nil); err == nil {
+		t.Error("SetRedDots on unknown video accepted")
+	}
+	if err := b.SetBoundaries("ghost", nil); err == nil {
+		t.Error("SetBoundaries on unknown video accepted")
+	}
+	if err := b.SetRefined("ghost", nil, nil); err == nil {
+		t.Error("SetRefined on unknown video accepted")
+	}
+	if err := b.AppendEvents("ghost", []play.Event{{User: "u"}}); err == nil {
+		t.Error("AppendEvents on unknown video accepted")
+	}
+	rec, _ = b.Video("v1")
+	if len(rec.RedDots) != 1 || len(rec.Boundaries) != 1 {
+		t.Errorf("after sets: %+v", rec)
+	}
+	if err := b.SetRefined("v1", []core.RedDot{{Time: 4}, {Time: 8}}, []core.Interval{{Start: 3, End: 5}, {Start: 7, End: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ = b.Video("v1")
+	if len(rec.RedDots) != 2 || len(rec.Boundaries) != 2 {
+		t.Errorf("after refined: %+v", rec)
+	}
+	if ids := b.VideoIDs(); len(ids) != 1 || ids[0] != "v1" {
+		t.Errorf("VideoIDs = %v", ids)
+	}
+	if !b.HasVideo("v1") || b.HasVideo("ghost") {
+		t.Error("HasVideo probe wrong")
+	}
+	if !b.HasChat("v1") || b.HasChat("ghost") {
+		t.Error("HasChat probe wrong")
+	}
+	if err := b.PutVideo(VideoRecord{ID: "nochat", Duration: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if b.HasChat("nochat") {
+		t.Error("HasChat true for a video without chat")
+	}
+	if ids := b.VideoIDs(); len(ids) != 2 {
+		t.Errorf("VideoIDs after second put = %v", ids)
+	}
+}
+
+func conformDeepCopy(t *testing.T, b Backend) {
+	dots := []core.RedDot{{Time: 50, Score: 0.9}}
+	spans := []core.Interval{{Start: 45, End: 60}}
+	if err := b.PutVideo(VideoRecord{ID: "v1", Duration: 100, RedDots: dots, Boundaries: spans}); err != nil {
+		t.Fatal(err)
+	}
+	dots[0].Time = 999
+	spans[0].Start = 999
+	rec, _ := b.Video("v1")
+	if rec.RedDots[0].Time != 50 || rec.Boundaries[0].Start != 45 {
+		t.Errorf("PutVideo aliased caller slices: %+v", rec)
+	}
+	rec.RedDots[0].Time = 777
+	rec.Boundaries[0].End = 777
+	again, _ := b.Video("v1")
+	if again.RedDots[0].Time != 50 || again.Boundaries[0].End != 60 {
+		t.Errorf("Video returned aliased storage: %+v", again)
+	}
+	evs := []play.Event{{User: "u", Type: play.EventPlay, Pos: 1}}
+	if err := b.AppendEvents("v1", evs); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := b.ScanEvents("v1", 0, 0)
+	got[0].Pos = 555
+	fresh, _ := b.ScanEvents("v1", 0, 0)
+	if fresh[0].Pos != 1 {
+		t.Errorf("ScanEvents returned aliased storage: %+v", fresh)
+	}
+}
+
+func conformEventsPagination(t *testing.T, b Backend) {
+	if err := b.PutVideo(VideoRecord{ID: "v1", Duration: 100}); err != nil {
+		t.Fatal(err)
+	}
+	var all []play.Event
+	for i := 0; i < 25; i++ {
+		all = append(all, play.Event{User: "u", Seq: i, Type: play.EventPlay, Pos: float64(i)})
+	}
+	if err := b.AppendEvents("v1", all); err != nil {
+		t.Fatal(err)
+	}
+	page, total := b.ScanEvents("v1", 0, 10)
+	if total != 25 || len(page) != 10 || page[0].Seq != 0 || page[9].Seq != 9 {
+		t.Fatalf("page 1 = %d events of %d", len(page), total)
+	}
+	page, _ = b.ScanEvents("v1", 20, 10)
+	if len(page) != 5 || page[0].Seq != 20 {
+		t.Fatalf("last page = %+v", page)
+	}
+	page, total = b.ScanEvents("v1", 99, 10)
+	if len(page) != 0 || total != 25 {
+		t.Fatalf("past-the-end page = %d events, total %d", len(page), total)
+	}
+	page, _ = b.ScanEvents("v1", -3, 2)
+	if len(page) != 2 || page[0].Seq != 0 {
+		t.Fatalf("negative offset page = %+v", page)
+	}
+	page, total = b.ScanEvents("v1", 0, 0)
+	if len(page) != 25 || total != 25 {
+		t.Fatalf("limit 0 (all) = %d of %d", len(page), total)
+	}
+	page, total = b.ScanEvents("missing", 0, 0)
+	if len(page) != 0 || total != 0 {
+		t.Fatalf("missing video events = %d of %d", len(page), total)
+	}
+}
+
+// conformEventsRetention: with a cap of 100, the log must never retain more
+// than the cap (plus bounded slack during amortization is *not* observable:
+// ScanEvents totals must settle at <= cap after compaction kicks in) and
+// must always retain the most recent events.
+func conformEventsRetention(t *testing.T, b Backend) {
+	const cap = 100
+	if err := b.PutVideo(VideoRecord{ID: "v1", Duration: 100}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := b.AppendEvents("v1", []play.Event{{User: "u", Seq: i, Pos: float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs, total := b.ScanEvents("v1", 0, 0)
+	if total > cap+cap/4 {
+		t.Fatalf("retention failed: %d events retained (cap %d)", total, cap)
+	}
+	if len(evs) == 0 || evs[len(evs)-1].Seq != 999 {
+		t.Fatalf("newest event lost: tail %+v", evs[len(evs)-1])
+	}
+	// The retained window is the suffix: oldest retained must be newer
+	// than everything dropped.
+	if evs[0].Seq < 1000-(cap+cap/4) {
+		t.Errorf("retained an event older than the window: %+v", evs[0])
+	}
+}
+
+func conformCheckpoints(t *testing.T, b Backend) {
+	if err := b.PutCheckpoint("", []byte("x")); err == nil {
+		t.Error("empty channel accepted")
+	}
+	if err := b.PutCheckpoint("ch1", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutCheckpoint("ch2", []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite wins.
+	if err := b.PutCheckpoint("ch1", []byte{4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	ckpts := b.Checkpoints()
+	if len(ckpts) != 2 || !bytes.Equal(ckpts["ch1"], []byte{4, 5}) || !bytes.Equal(ckpts["ch2"], []byte{9}) {
+		t.Fatalf("checkpoints = %v", ckpts)
+	}
+	// Returned map must not alias storage.
+	ckpts["ch1"][0] = 0xff
+	if again := b.Checkpoints(); !bytes.Equal(again["ch1"], []byte{4, 5}) {
+		t.Error("Checkpoints returned aliased storage")
+	}
+	if err := b.DeleteCheckpoint("ch1"); err != nil {
+		t.Fatal(err)
+	}
+	if again := b.Checkpoints(); len(again) != 1 {
+		t.Errorf("after delete: %v", again)
+	}
+}
+
+// conformConcurrency hammers a backend from many goroutines under -race.
+func conformConcurrency(t *testing.T, b Backend) {
+	const goroutines = 8
+	for v := 0; v < 4; v++ {
+		if err := b.PutVideo(VideoRecord{ID: fmt.Sprintf("v%d", v), Duration: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("v%d", g%4)
+			for i := 0; i < 50; i++ {
+				switch i % 5 {
+				case 0:
+					_ = b.AppendEvents(id, []play.Event{{User: "u", Seq: i}})
+				case 1:
+					_ = b.SetRedDots(id, []core.RedDot{{Time: float64(i)}})
+				case 2:
+					b.Video(id)
+					b.ScanEvents(id, 0, 10)
+				case 3:
+					_ = b.PutCheckpoint(id, []byte{byte(i)})
+				case 4:
+					b.Checkpoints()
+					b.VideoIDs()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

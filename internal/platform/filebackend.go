@@ -1,0 +1,482 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"lightor/internal/chat"
+	"lightor/internal/core"
+	"lightor/internal/play"
+	"lightor/internal/wal"
+)
+
+// FileConfig tunes a FileBackend.
+type FileConfig struct {
+	// EventRetention caps the interaction events retained per video
+	// (0 = unlimited); it applies identically at replay, so recovered
+	// state matches what a never-restarted process would hold.
+	EventRetention int
+	// SnapshotEvery is the number of WAL records between snapshot
+	// compactions (default 4096). Each compaction writes the full
+	// materialized state and retires the old log, bounding both disk
+	// growth and cold-start replay time.
+	SnapshotEvery int
+	// SyncInterval is the WAL group-commit window (default 2ms): durable
+	// appends arriving within one window share a single fsync.
+	SyncInterval time.Duration
+	// NoSync disables fsync (tests and benchmarks).
+	NoSync bool
+}
+
+func (c *FileConfig) fillDefaults() {
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 4096
+	}
+}
+
+// FileBackend is the durable Backend: a materialized in-memory state
+// (an embedded MemoryBackend serving all reads) in front of an append-only
+// WAL plus periodic snapshot compaction.
+//
+// Every mutation is appended to the WAL and applied to the materialized
+// state under one mutex, so replay order always equals apply order.
+// Interaction events and session checkpoints — the implicit crowd signal
+// the paper's deployment accumulates — are acknowledged only after their
+// WAL record is fsynced (group-committed); other mutations ride the
+// background sync and the snapshot written at Close.
+//
+// On open, the backend loads the newest snapshot, replays the WAL
+// generation it names (tolerating a torn tail from a crash mid-append),
+// and deletes orphaned logs from interrupted compactions. Compaction is
+// crash-safe at every step: the new log is created first, the snapshot
+// naming it is atomically renamed into place, and only then is the old
+// log retired — a crash between any two steps recovers to a consistent
+// state with no record applied twice (the WAL generation binds each log
+// to the snapshot that covers everything before it, which keeps
+// non-idempotent event appends exactly-once).
+type FileBackend struct {
+	dir string
+	cfg FileConfig
+	mem *MemoryBackend
+
+	mu          sync.Mutex // orders WAL append + state apply; held across compaction
+	w           *wal.Writer
+	gen         uint64
+	recs        int // records appended to the current log
+	nextCompact int // record count that triggers the next compaction attempt
+	closed      bool
+}
+
+// WAL record operations. The payload is JSON: small, self-describing, and
+// decodable by the fuzz-hardened path below (malformed records error,
+// never panic).
+const (
+	opPutVideo      = "put_video"
+	opSetDots       = "set_dots"
+	opSetBoundaries = "set_bounds"
+	opSetRefined    = "set_refined"
+	opAppendEvents  = "events"
+	opPutCkpt       = "ckpt"
+	opDelCkpt       = "del_ckpt"
+)
+
+// walRecord is one logged mutation. Exactly the fields its Op needs are
+// set; the rest stay empty (and omitted from the JSON).
+type walRecord struct {
+	Op      string          `json:"op"`
+	Video   *videoSnapshot  `json:"video,omitempty"`
+	ID      string          `json:"id,omitempty"`
+	Dots    []core.RedDot   `json:"dots,omitempty"`
+	Spans   []core.Interval `json:"spans,omitempty"`
+	Events  []play.Event    `json:"events,omitempty"`
+	Channel string          `json:"channel,omitempty"`
+	State   []byte          `json:"state,omitempty"`
+
+	// chatLog carries the caller's already-built (and already-sorted)
+	// chat.Log on the live put_video path, sparing a per-put copy+re-sort
+	// of the whole message slice. Never serialized: replay rebuilds the
+	// log from Video.Chat, which chat.NewLog sorts to the identical order
+	// (stable sort of an already-sorted slice).
+	chatLog *chat.Log `json:"-"`
+}
+
+// decodeWALRecord parses and validates one WAL payload. Malformed input —
+// bad JSON, an unknown op, an op missing its required fields — is an
+// error, never a panic: WAL payloads come off disk.
+func decodeWALRecord(payload []byte) (walRecord, error) {
+	var rec walRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, fmt.Errorf("platform: undecodable wal record: %w", err)
+	}
+	switch rec.Op {
+	case opPutVideo:
+		if rec.Video == nil {
+			return rec, fmt.Errorf("platform: %s record without video", rec.Op)
+		}
+	case opSetDots, opSetBoundaries, opSetRefined, opAppendEvents:
+		if rec.ID == "" {
+			return rec, fmt.Errorf("platform: %s record without video id", rec.Op)
+		}
+	case opPutCkpt, opDelCkpt:
+		if rec.Channel == "" {
+			return rec, fmt.Errorf("platform: %s record without channel", rec.Op)
+		}
+	default:
+		return rec, fmt.Errorf("platform: unknown wal op %q", rec.Op)
+	}
+	return rec, nil
+}
+
+// applyWALRecord applies one decoded mutation to the materialized state —
+// the single code path shared by live mutations and startup replay, so
+// recovery cannot diverge from the state the process actually held.
+func applyWALRecord(b *MemoryBackend, rec walRecord) error {
+	switch rec.Op {
+	case opPutVideo:
+		vr := VideoRecord{
+			ID:         rec.Video.ID,
+			Duration:   rec.Video.Duration,
+			RedDots:    rec.Video.RedDots,
+			Boundaries: rec.Video.Boundaries,
+		}
+		switch {
+		case rec.chatLog != nil:
+			vr.Chat = rec.chatLog
+		case rec.Video.Chat != nil:
+			vr.Chat = chat.NewLog(rec.Video.Chat)
+		}
+		return b.PutVideo(vr)
+	case opSetDots:
+		return b.SetRedDots(rec.ID, rec.Dots)
+	case opSetBoundaries:
+		return b.SetBoundaries(rec.ID, rec.Spans)
+	case opSetRefined:
+		return b.SetRefined(rec.ID, rec.Dots, rec.Spans)
+	case opAppendEvents:
+		return b.AppendEvents(rec.ID, rec.Events)
+	case opPutCkpt:
+		return b.PutCheckpoint(rec.Channel, rec.State)
+	case opDelCkpt:
+		return b.DeleteCheckpoint(rec.Channel)
+	default:
+		return fmt.Errorf("platform: unknown wal op %q", rec.Op)
+	}
+}
+
+const snapshotFile = "store.snap"
+
+func (fb *FileBackend) walPath(gen uint64) string {
+	return filepath.Join(fb.dir, fmt.Sprintf("wal-%08d.log", gen))
+}
+
+func (fb *FileBackend) walOpts() wal.Options {
+	return wal.Options{SyncInterval: fb.cfg.SyncInterval, NoSync: fb.cfg.NoSync}
+}
+
+// OpenFileBackend opens (creating if needed) the durable store rooted at
+// dir: it loads the snapshot, replays the covering WAL generation through
+// the same apply path live mutations use, truncates any torn tail, and
+// deletes logs orphaned by an interrupted compaction.
+func OpenFileBackend(dir string, cfg FileConfig) (*FileBackend, error) {
+	cfg.fillDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	fb := &FileBackend{
+		dir: dir,
+		cfg: cfg,
+		mem: NewMemoryBackend(MemoryConfig{EventRetention: cfg.EventRetention}),
+	}
+
+	snapPath := filepath.Join(dir, snapshotFile)
+	if f, err := os.Open(snapPath); err == nil {
+		snap, rerr := readSnapshot(f)
+		f.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if err := applySnapshot(snap, fb.mem); err != nil {
+			return nil, err
+		}
+		fb.gen = snap.WALGen
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+
+	walPath := fb.walPath(fb.gen)
+	w, replayed, err := wal.Open(walPath, fb.walOpts(), func(payload []byte) error {
+		rec, err := decodeWALRecord(payload)
+		if err != nil {
+			return err
+		}
+		return applyWALRecord(fb.mem, rec)
+	})
+	if err != nil {
+		return nil, err
+	}
+	fb.w = w
+	fb.recs = replayed
+	fb.nextCompact = cfg.SnapshotEvery
+
+	// Retire logs from other generations: either already compacted into
+	// the snapshot, or orphans of a compaction that crashed before the
+	// snapshot rename.
+	if orphans, err := filepath.Glob(filepath.Join(dir, "wal-*.log")); err == nil {
+		for _, o := range orphans {
+			if o != walPath {
+				os.Remove(o)
+			}
+		}
+	}
+	return fb, nil
+}
+
+// validateLocked rejects a mutation that could not apply cleanly — the
+// checks applyWALRecord would fail on — WITHOUT touching state, so the
+// write path can run validate → WAL append → apply: a record that reaches
+// the log always applies, and a record that fails to reach the log (disk
+// error) is NACKed with the materialized state untouched. Caller holds
+// fb.mu, so validation cannot race the apply.
+func (fb *FileBackend) validateLocked(rec walRecord) error {
+	switch rec.Op {
+	case opPutVideo:
+		if rec.Video.ID == "" {
+			return fmt.Errorf("platform: video record needs an ID")
+		}
+	case opSetDots, opSetBoundaries, opSetRefined, opAppendEvents:
+		if !fb.mem.HasVideo(rec.ID) {
+			return fmt.Errorf("platform: unknown video %q", rec.ID)
+		}
+	case opPutCkpt, opDelCkpt:
+		if rec.Channel == "" {
+			return fmt.Errorf("platform: checkpoint needs a channel id")
+		}
+	}
+	return nil
+}
+
+// mutate logs one mutation and applies it to the materialized state under
+// the backend mutex, then (for durable ops) waits outside the mutex for
+// the group commit covering it — so concurrent durable mutations share
+// fsyncs instead of serializing on them.
+func (fb *FileBackend) mutate(rec walRecord, durable bool) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("platform: encoding wal record: %w", err)
+	}
+	fb.mu.Lock()
+	if fb.closed {
+		fb.mu.Unlock()
+		return fmt.Errorf("platform: file backend is closed")
+	}
+	// Validate, append, apply — in that order. Validation errors (unknown
+	// video, bad record) must not pollute the log; and a mutation the log
+	// rejects must never reach the materialized state, or a later snapshot
+	// compaction (which serializes that state) would persist a write the
+	// caller was told failed.
+	if err := fb.validateLocked(rec); err != nil {
+		fb.mu.Unlock()
+		return err
+	}
+	seq, err := fb.w.Append(payload)
+	if err != nil {
+		fb.mu.Unlock()
+		return err
+	}
+	if err := applyWALRecord(fb.mem, rec); err != nil {
+		// Unreachable when validateLocked is in sync with applyWALRecord;
+		// surface loudly rather than serve state the log disagrees with.
+		fb.mu.Unlock()
+		return fmt.Errorf("platform: logged mutation failed to apply: %w", err)
+	}
+	w := fb.w
+	fb.recs++
+	if fb.recs >= fb.nextCompact {
+		// The mutation itself has already succeeded (logged + applied), so
+		// a compaction failure must NOT fail this call: a false NACK would
+		// make the client retry and duplicate an append-only event. The
+		// WAL still holds everything; defer the next attempt a full
+		// interval rather than hammering a sick disk on every mutation,
+		// and let Close's own compaction report the condition if it
+		// persists.
+		if err := fb.compactLocked(); err != nil {
+			fb.nextCompact = fb.recs + fb.cfg.SnapshotEvery
+		} else {
+			fb.nextCompact = fb.cfg.SnapshotEvery
+		}
+	}
+	fb.mu.Unlock()
+
+	if durable {
+		// If a compaction just retired w, its Close already made every
+		// record durable and WaitDurable returns immediately.
+		return w.WaitDurable(seq)
+	}
+	return nil
+}
+
+// compactLocked (caller holds fb.mu) writes a full snapshot and swaps in a
+// fresh WAL generation. Step order makes every crash window recoverable:
+//
+//  1. create the next generation's empty log;
+//  2. write the snapshot (naming that generation) to a temp file, fsync,
+//     and atomically rename it over the old snapshot;
+//  3. swap writers and retire the old log.
+//
+// A crash before (2)'s rename leaves the old snapshot + old log
+// authoritative (the new log is an orphan, deleted at open). A crash
+// after it leaves the new snapshot + empty new log authoritative — the
+// old log's records are all inside the snapshot and the log itself is
+// deleted at open.
+func (fb *FileBackend) compactLocked() error {
+	newGen := fb.gen + 1
+	newPath := fb.walPath(newGen)
+	os.Remove(newPath) // stale orphan from an earlier interrupted compaction
+	nw, err := wal.Create(newPath, fb.walOpts())
+	if err != nil {
+		return err
+	}
+
+	snap := snapshotBackend(fb.mem)
+	snap.WALGen = newGen
+	snapPath := filepath.Join(fb.dir, snapshotFile)
+	tmp := snapPath + ".tmp"
+	if err := fb.writeSnapshotFile(tmp, snap); err != nil {
+		nw.Close()
+		os.Remove(newPath)
+		return err
+	}
+	if err := os.Rename(tmp, snapPath); err != nil {
+		nw.Close()
+		os.Remove(newPath)
+		os.Remove(tmp)
+		return err
+	}
+	// Best-effort directory sync so the rename itself is on disk.
+	if d, err := os.Open(fb.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+
+	old, oldGen := fb.w, fb.gen
+	fb.w, fb.gen, fb.recs = nw, newGen, 0
+	old.Close() // flushes + fsyncs, releasing any in-flight WaitDurable
+	os.Remove(fb.walPath(oldGen))
+	return nil
+}
+
+func (fb *FileBackend) writeSnapshotFile(path string, snap storeSnapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := writeSnapshot(f, snap); err != nil {
+		f.Close()
+		return err
+	}
+	if !fb.cfg.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// Compact forces a snapshot compaction now (the server calls it on
+// graceful shutdown so cold start replays nothing).
+func (fb *FileBackend) Compact() error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if fb.closed {
+		return fmt.Errorf("platform: file backend is closed")
+	}
+	return fb.compactLocked()
+}
+
+// Close writes a final snapshot and releases the WAL.
+func (fb *FileBackend) Close() error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if fb.closed {
+		return nil
+	}
+	fb.closed = true
+	err := fb.compactLocked()
+	if cerr := fb.w.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// --- Backend interface: reads delegate to the materialized state, writes
+// go through the WAL. ---
+
+func (fb *FileBackend) PutVideo(rec VideoRecord) error {
+	vs := &videoSnapshot{
+		ID:         rec.ID,
+		Duration:   rec.Duration,
+		RedDots:    rec.RedDots,
+		Boundaries: rec.Boundaries,
+	}
+	if rec.Chat != nil {
+		vs.Chat = rec.Chat.Messages()
+	}
+	if rec.ID == "" {
+		return fmt.Errorf("platform: video record needs an ID")
+	}
+	return fb.mutate(walRecord{Op: opPutVideo, Video: vs, chatLog: rec.Chat}, false)
+}
+
+func (fb *FileBackend) Video(id string) (VideoRecord, bool) { return fb.mem.Video(id) }
+
+func (fb *FileBackend) HasVideo(id string) bool { return fb.mem.HasVideo(id) }
+
+func (fb *FileBackend) HasChat(id string) bool { return fb.mem.HasChat(id) }
+
+func (fb *FileBackend) VideoIDs() []string { return fb.mem.VideoIDs() }
+
+func (fb *FileBackend) SetRedDots(id string, dots []core.RedDot) error {
+	return fb.mutate(walRecord{Op: opSetDots, ID: id, Dots: dots}, false)
+}
+
+func (fb *FileBackend) SetBoundaries(id string, spans []core.Interval) error {
+	return fb.mutate(walRecord{Op: opSetBoundaries, ID: id, Spans: spans}, false)
+}
+
+func (fb *FileBackend) SetRefined(id string, dots []core.RedDot, spans []core.Interval) error {
+	return fb.mutate(walRecord{Op: opSetRefined, ID: id, Dots: dots, Spans: spans}, false)
+}
+
+// AppendEvents is durable: the interaction events the browser extension
+// reports are the crowd signal everything downstream refines from, so they
+// are acknowledged only once fsynced.
+func (fb *FileBackend) AppendEvents(id string, events []play.Event) error {
+	return fb.mutate(walRecord{Op: opAppendEvents, ID: id, Events: events}, true)
+}
+
+func (fb *FileBackend) ScanEvents(id string, offset, limit int) ([]play.Event, int) {
+	return fb.mem.ScanEvents(id, offset, limit)
+}
+
+// PutCheckpoint is durable: a checkpoint acknowledges the emitted dots it
+// contains, so it must survive a crash the instant the engine relies on it.
+func (fb *FileBackend) PutCheckpoint(channel string, state []byte) error {
+	if channel == "" {
+		return fmt.Errorf("platform: checkpoint needs a channel id")
+	}
+	return fb.mutate(walRecord{Op: opPutCkpt, Channel: channel, State: state}, true)
+}
+
+func (fb *FileBackend) Checkpoints() map[string][]byte { return fb.mem.Checkpoints() }
+
+func (fb *FileBackend) DeleteCheckpoint(channel string) error {
+	if channel == "" {
+		return fmt.Errorf("platform: checkpoint needs a channel id")
+	}
+	return fb.mutate(walRecord{Op: opDelCkpt, Channel: channel}, true)
+}

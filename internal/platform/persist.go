@@ -8,14 +8,22 @@ import (
 	"lightor/internal/chat"
 	"lightor/internal/core"
 	"lightor/internal/play"
+	"lightor/internal/wal"
 )
 
 // storeSnapshot is the JSON form of a Store: everything needed to restart
-// the service without re-crawling or re-collecting interactions.
+// the service without re-crawling or re-collecting interactions, including
+// live-session checkpoints so broadcasts resume mid-stream.
 type storeSnapshot struct {
 	Version int                     `json:"version"`
 	Videos  []videoSnapshot         `json:"videos"`
-	Events  map[string][]play.Event `json:"events"`
+	Events  map[string][]play.Event `json:"events,omitempty"`
+	// Checkpoints carries serialized live-session detector state keyed by
+	// channel ([]byte marshals as base64).
+	Checkpoints map[string][]byte `json:"checkpoints,omitempty"`
+	// WALGen names the write-ahead-log generation this snapshot covers
+	// through; only the FileBackend sets it.
+	WALGen uint64 `json:"wal_gen,omitempty"`
 }
 
 type videoSnapshot struct {
@@ -26,18 +34,22 @@ type videoSnapshot struct {
 	Boundaries []core.Interval `json:"boundaries,omitempty"`
 }
 
-const storeVersion = 1
+// storeVersion 2 wraps the JSON payload in a checksummed envelope
+// (wal.WriteEnvelope): format name, version, exact length, and CRC32 are
+// validated before any payload byte is trusted, so truncated or corrupted
+// snapshot files fail loudly instead of loading partial state.
+const (
+	storeVersion = 2
+	storeFormat  = "lightor-store"
+)
 
-// Save writes the full store state as JSON. Each shard is locked only
-// while it is copied, so a snapshot is per-video (not cross-video)
+// snapshotBackend captures a backend's full state. Each video is copied
+// under its own lock, so the snapshot is per-video (not cross-video)
 // consistent — the same guarantee serving reads get.
-func (s *Store) Save(w io.Writer) error {
-	snap := storeSnapshot{
-		Version: storeVersion,
-		Events:  map[string][]play.Event{},
-	}
-	for _, id := range s.VideoIDs() {
-		rec, ok := s.Video(id)
+func snapshotBackend(b Backend) storeSnapshot {
+	snap := storeSnapshot{Version: storeVersion}
+	for _, id := range b.VideoIDs() {
+		rec, ok := b.Video(id)
 		if !ok {
 			continue
 		}
@@ -51,27 +63,21 @@ func (s *Store) Save(w io.Writer) error {
 			vs.Chat = rec.Chat.Messages()
 		}
 		snap.Videos = append(snap.Videos, vs)
-		if evs := s.Events(id); len(evs) > 0 {
+		if evs, _ := b.ScanEvents(id, 0, 0); len(evs) > 0 {
+			if snap.Events == nil {
+				snap.Events = map[string][]play.Event{}
+			}
 			snap.Events[id] = evs
 		}
 	}
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(snap); err != nil {
-		return fmt.Errorf("platform: encoding store: %w", err)
+	if ckpts := b.Checkpoints(); len(ckpts) > 0 {
+		snap.Checkpoints = ckpts
 	}
-	return nil
+	return snap
 }
 
-// LoadStore reads a snapshot written by Save into a fresh Store.
-func LoadStore(r io.Reader) (*Store, error) {
-	var snap storeSnapshot
-	if err := json.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("platform: decoding store: %w", err)
-	}
-	if snap.Version != storeVersion {
-		return nil, fmt.Errorf("platform: unsupported store version %d", snap.Version)
-	}
-	s := NewStore()
+// applySnapshot loads a decoded snapshot into a backend.
+func applySnapshot(snap storeSnapshot, b Backend) error {
 	for _, vs := range snap.Videos {
 		rec := VideoRecord{
 			ID:         vs.ID,
@@ -82,14 +88,71 @@ func LoadStore(r io.Reader) (*Store, error) {
 		if vs.Chat != nil {
 			rec.Chat = chat.NewLog(vs.Chat)
 		}
-		if err := s.PutVideo(rec); err != nil {
-			return nil, err
+		if err := b.PutVideo(rec); err != nil {
+			return err
 		}
 	}
 	for id, evs := range snap.Events {
-		if err := s.LogEvents(id, evs); err != nil {
-			return nil, fmt.Errorf("platform: restoring events for %q: %w", id, err)
+		if err := b.AppendEvents(id, evs); err != nil {
+			return fmt.Errorf("platform: restoring events for %q: %w", id, err)
 		}
+	}
+	for ch, state := range snap.Checkpoints {
+		if err := b.PutCheckpoint(ch, state); err != nil {
+			return fmt.Errorf("platform: restoring checkpoint for %q: %w", ch, err)
+		}
+	}
+	return nil
+}
+
+// writeSnapshot encodes a snapshot as a checksummed envelope.
+func writeSnapshot(w io.Writer, snap storeSnapshot) error {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("platform: encoding store: %w", err)
+	}
+	if err := wal.WriteEnvelope(w, storeFormat, storeVersion, payload); err != nil {
+		return fmt.Errorf("platform: writing store snapshot: %w", err)
+	}
+	return nil
+}
+
+// readSnapshot decodes a checksummed snapshot envelope, rejecting
+// truncated or corrupted input before parsing the payload.
+func readSnapshot(r io.Reader) (storeSnapshot, error) {
+	var snap storeSnapshot
+	_, payload, err := wal.ReadEnvelope(r, storeFormat, storeVersion)
+	if err != nil {
+		return snap, fmt.Errorf("platform: reading store snapshot: %w", err)
+	}
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return snap, fmt.Errorf("platform: decoding store: %w", err)
+	}
+	if snap.Version != storeVersion {
+		return snap, fmt.Errorf("platform: unsupported store version %d", snap.Version)
+	}
+	return snap, nil
+}
+
+// Save writes the full store state as a checksummed envelope around a JSON
+// payload. Each video is copied under its own lock, so a snapshot is
+// per-video (not cross-video) consistent — the same guarantee serving
+// reads get.
+func (s *Store) Save(w io.Writer) error {
+	return writeSnapshot(w, snapshotBackend(s.b))
+}
+
+// LoadStore reads a snapshot written by Save into a fresh in-memory Store,
+// validating the envelope's version, length, and CRC32 first: corrupt or
+// truncated snapshots are rejected whole rather than half-loaded.
+func LoadStore(r io.Reader) (*Store, error) {
+	snap, err := readSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	s := NewStore()
+	if err := applySnapshot(snap, s.b); err != nil {
+		return nil, err
 	}
 	return s, nil
 }

@@ -67,7 +67,77 @@ func TestLoadStoreRejectsGarbage(t *testing.T) {
 		t.Error("garbage accepted")
 	}
 	if _, err := LoadStore(strings.NewReader(`{"version": 99}`)); err == nil {
-		t.Error("wrong version accepted")
+		t.Error("bare v1-style JSON accepted")
+	}
+	if _, err := LoadStore(strings.NewReader(
+		`{"format":"lightor-store","version":99,"length":2,"crc32":0}` + "\n{}")); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+// savedStore builds a small store and returns its serialized snapshot.
+func savedStore(t *testing.T) []byte {
+	t.Helper()
+	s := NewStore()
+	if err := s.PutVideo(VideoRecord{
+		ID:       "v1",
+		Duration: 90,
+		Chat:     chat.NewLog([]chat.Message{{Time: 1, User: "a", Text: "gg"}}),
+		RedDots:  []core.RedDot{{Time: 30, Score: 0.7}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LogEvents("v1", []play.Event{{User: "u", Type: play.EventPlay, Pos: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCheckpoint("chan-1", []byte{0x01, 0x02, 0xfe}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadStoreRejectsTruncation: every truncated prefix of a valid
+// snapshot must fail — the envelope's declared length catches cuts the
+// JSON decoder would otherwise accept as a shorter valid document.
+func TestLoadStoreRejectsTruncation(t *testing.T) {
+	full := savedStore(t)
+	if _, err := LoadStore(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full snapshot rejected: %v", err)
+	}
+	for cut := 0; cut < len(full); cut += 11 {
+		if _, err := LoadStore(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+// TestLoadStoreRejectsCorruption: a flipped bit anywhere in the payload
+// must trip the envelope CRC.
+func TestLoadStoreRejectsCorruption(t *testing.T) {
+	full := savedStore(t)
+	for pos := bytes.IndexByte(full, '\n') + 1; pos < len(full); pos += 19 {
+		bad := append([]byte(nil), full...)
+		bad[pos] ^= 0x20
+		if _, err := LoadStore(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corruption at byte %d accepted", pos)
+		}
+	}
+}
+
+// TestSaveLoadKeepsCheckpoints: session checkpoints ride the snapshot so a
+// restore can resume live broadcasts.
+func TestSaveLoadKeepsCheckpoints(t *testing.T) {
+	loaded, err := LoadStore(bytes.NewReader(savedStore(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpts := loaded.Checkpoints()
+	if got := ckpts["chan-1"]; !bytes.Equal(got, []byte{0x01, 0x02, 0xfe}) {
+		t.Errorf("checkpoint round trip = %v", got)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 //	GET  /healthz                          → 200 ok
 //	GET  /api/highlights?video=ID&k=5      → {"dots":[...], "boundaries":[...]}
 //	POST /api/interactions?video=ID        → body: JSON array of play events
+//	GET  /api/interactions?video=ID&offset=N&limit=M → one page of the log
 //	POST /api/refine?video=ID              → 202, enqueue background refinement
 //	GET  /api/refine/status?job=ID         → poll a refinement job
 //	POST /api/live/chat?channel=ID         → 202, ingest live chat messages
@@ -81,6 +82,7 @@ func (s *Service) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /api/highlights", s.handleHighlights)
 	mux.HandleFunc("POST /api/interactions", s.handleInteractions)
+	mux.HandleFunc("GET /api/interactions", s.handleInteractionsPage)
 	mux.HandleFunc("POST /api/refine", s.handleRefine)
 	mux.HandleFunc("GET /api/refine/status", s.handleRefineStatus)
 	mux.HandleFunc("POST /api/live/chat", s.handleLiveChat)
@@ -180,6 +182,64 @@ func (s *Service) handleInteractions(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// InteractionsResponse is the payload of GET /api/interactions: one page
+// of a video's retained interaction-event log. Offset indexes the retained
+// log (0 = oldest retained event); Total is the retained count, so clients
+// page with offset += len(events) until offset >= total.
+type InteractionsResponse struct {
+	VideoID string       `json:"video_id"`
+	Events  []play.Event `json:"events"`
+	Offset  int          `json:"offset"`
+	Total   int          `json:"total"`
+}
+
+// interactionsPageLimit caps one page of GET /api/interactions. Reads are
+// paginated so a long-lived video's log (bounded only by the backend's
+// retention cap) can never be forced into a single response.
+const (
+	defaultInteractionsPage = 500
+	maxInteractionsPage     = 5000
+)
+
+// handleInteractionsPage serves one page of a video's interaction log.
+func (s *Service) handleInteractionsPage(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("video")
+	if id == "" {
+		http.Error(w, "missing video parameter", http.StatusBadRequest)
+		return
+	}
+	if !s.Store.HasVideo(id) {
+		http.Error(w, fmt.Sprintf("unknown video %q", id), http.StatusNotFound)
+		return
+	}
+	offset := 0
+	if oq := r.URL.Query().Get("offset"); oq != "" {
+		parsed, err := strconv.Atoi(oq)
+		if err != nil || parsed < 0 {
+			http.Error(w, "invalid offset", http.StatusBadRequest)
+			return
+		}
+		offset = parsed
+	}
+	limit := defaultInteractionsPage
+	if lq := r.URL.Query().Get("limit"); lq != "" {
+		parsed, err := strconv.Atoi(lq)
+		if err != nil || parsed <= 0 {
+			http.Error(w, "invalid limit", http.StatusBadRequest)
+			return
+		}
+		limit = parsed
+	}
+	if limit > maxInteractionsPage {
+		limit = maxInteractionsPage
+	}
+	events, total := s.Store.EventsPage(id, offset, limit)
+	if events == nil {
+		events = []play.Event{}
+	}
+	writeJSON(w, InteractionsResponse{VideoID: id, Events: events, Offset: offset, Total: total})
 }
 
 // snapshotPlaySource feeds the extractor a per-job snapshot of the

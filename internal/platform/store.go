@@ -5,11 +5,6 @@
 package platform
 
 import (
-	"fmt"
-	"hash/fnv"
-	"sort"
-	"sync"
-
 	"lightor/internal/chat"
 	"lightor/internal/core"
 	"lightor/internal/play"
@@ -38,142 +33,77 @@ func (r VideoRecord) clone() VideoRecord {
 	return cp
 }
 
-// storeShards is the lock-shard count. Power of two, comfortably above
-// typical core counts, so concurrent request handlers touching different
-// videos almost never contend on the same mutex.
-const storeShards = 32
-
-// storeShard is one lock domain: a slice of the video and event maps.
-type storeShard struct {
-	mu     sync.RWMutex
-	videos map[string]*VideoRecord
-	events map[string][]play.Event
-}
-
-// Store is the thread-safe in-memory database backing the web service:
-// chat logs, red dots, and logged interaction events per video. Keys are
-// sharded across independently locked maps, so the store scales with
-// concurrent handlers instead of serializing them on one mutex. All reads
-// return deep copies and all writes store deep copies — value semantics
-// hold even under concurrent mutation by callers. A real deployment would
-// swap this for a persistent database behind the same methods.
+// Store is the database backing the web service: chat logs, red dots,
+// logged interaction events, and live-session checkpoints per video. It is
+// a thin facade over a pluggable Backend — the sharded in-memory map by
+// default, or the durable WAL+snapshot FileBackend for deployments that
+// must survive a restart. It also implements the engine's CheckpointStore,
+// so live sessions checkpoint through the same storage seam.
 type Store struct {
-	shards [storeShards]storeShard
+	b Backend
 }
 
-// NewStore returns an empty store.
+// NewStore returns a store over a fresh unbounded in-memory backend.
 func NewStore() *Store {
-	s := &Store{}
-	for i := range s.shards {
-		s.shards[i].videos = make(map[string]*VideoRecord)
-		s.shards[i].events = make(map[string][]play.Event)
-	}
-	return s
+	return NewStoreWith(NewMemoryBackend(MemoryConfig{}))
 }
 
-func (s *Store) shard(id string) *storeShard {
-	h := fnv.New32a()
-	h.Write([]byte(id))
-	return &s.shards[h.Sum32()%storeShards]
-}
+// NewStoreWith wraps an explicit backend.
+func NewStoreWith(b Backend) *Store { return &Store{b: b} }
 
-// PutVideo inserts or replaces a video record. The record is stored with
-// deep-copy semantics: the store keeps its own backing arrays for RedDots
-// and Boundaries, so the caller may keep mutating its slices freely.
-func (s *Store) PutVideo(rec VideoRecord) error {
-	if rec.ID == "" {
-		return fmt.Errorf("platform: video record needs an ID")
-	}
-	sh := s.shard(rec.ID)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	cp := rec.clone()
-	sh.videos[rec.ID] = &cp
-	return nil
-}
+// Backend exposes the underlying storage backend.
+func (s *Store) Backend() Backend { return s.b }
+
+// Close releases the backend (flushes and fsyncs a durable backend).
+func (s *Store) Close() error { return s.b.Close() }
+
+// PutVideo inserts or replaces a video record with deep-copy semantics.
+func (s *Store) PutVideo(rec VideoRecord) error { return s.b.PutVideo(rec) }
 
 // Video returns a deep copy of the record for id, or false when absent.
-func (s *Store) Video(id string) (VideoRecord, bool) {
-	sh := s.shard(id)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	rec, ok := sh.videos[id]
-	if !ok {
-		return VideoRecord{}, false
-	}
-	return rec.clone(), true
-}
+func (s *Store) Video(id string) (VideoRecord, bool) { return s.b.Video(id) }
+
+// HasVideo reports whether a record exists for id (no deep copy).
+func (s *Store) HasVideo(id string) bool { return s.b.HasVideo(id) }
 
 // HasChat reports whether chat for the video has been crawled already.
 // A crawled-but-empty log still counts: re-crawling it would not produce
 // messages that do not exist.
-func (s *Store) HasChat(id string) bool {
-	sh := s.shard(id)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	rec, ok := sh.videos[id]
-	return ok && rec.Chat != nil
-}
+func (s *Store) HasChat(id string) bool { return s.b.HasChat(id) }
 
 // SetRedDots records the current highlight positions for a video.
 func (s *Store) SetRedDots(id string, dots []core.RedDot) error {
-	sh := s.shard(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	rec, ok := sh.videos[id]
-	if !ok {
-		return fmt.Errorf("platform: unknown video %q", id)
-	}
-	rec.RedDots = append([]core.RedDot(nil), dots...)
-	return nil
+	return s.b.SetRedDots(id, dots)
 }
 
 // SetBoundaries records extractor-refined highlight spans for a video.
 func (s *Store) SetBoundaries(id string, spans []core.Interval) error {
-	sh := s.shard(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	rec, ok := sh.videos[id]
-	if !ok {
-		return fmt.Errorf("platform: unknown video %q", id)
-	}
-	rec.Boundaries = append([]core.Interval(nil), spans...)
-	return nil
+	return s.b.SetBoundaries(id, spans)
 }
 
 // SetRefined records refined dots and their boundaries in one critical
 // section, so a concurrent reader never observes one without the other.
 func (s *Store) SetRefined(id string, dots []core.RedDot, spans []core.Interval) error {
-	sh := s.shard(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	rec, ok := sh.videos[id]
-	if !ok {
-		return fmt.Errorf("platform: unknown video %q", id)
-	}
-	rec.RedDots = append([]core.RedDot(nil), dots...)
-	rec.Boundaries = append([]core.Interval(nil), spans...)
-	return nil
+	return s.b.SetRefined(id, dots, spans)
 }
 
-// LogEvents appends deep copies of interaction events for a video.
+// LogEvents appends deep copies of interaction events for a video, subject
+// to the backend's retention policy.
 func (s *Store) LogEvents(id string, events []play.Event) error {
-	sh := s.shard(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if _, ok := sh.videos[id]; !ok {
-		return fmt.Errorf("platform: unknown video %q", id)
-	}
-	sh.events[id] = append(sh.events[id], events...)
-	return nil
+	return s.b.AppendEvents(id, events)
 }
 
-// Events returns a copy of all logged events for a video.
+// Events returns a copy of all retained events for a video.
 func (s *Store) Events(id string) []play.Event {
-	sh := s.shard(id)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	return append([]play.Event(nil), sh.events[id]...)
+	evs, _ := s.b.ScanEvents(id, 0, 0)
+	return evs
+}
+
+// EventsPage returns one page of a video's retained events (offset into
+// the retained log, 0 = oldest) plus the total retained count — the
+// paginated form GET readers should use instead of Events.
+func (s *Store) EventsPage(id string, offset, limit int) ([]play.Event, int) {
+	return s.b.ScanEvents(id, offset, limit)
 }
 
 // Plays sessionizes all logged events for a video into play records.
@@ -182,16 +112,19 @@ func (s *Store) Plays(id string) []play.Play {
 }
 
 // VideoIDs returns all stored video IDs, sorted.
-func (s *Store) VideoIDs() []string {
-	var ids []string
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for id := range sh.videos {
-			ids = append(ids, id)
-		}
-		sh.mu.RUnlock()
-	}
-	sort.Strings(ids)
-	return ids
+func (s *Store) VideoIDs() []string { return s.b.VideoIDs() }
+
+// PutCheckpoint stores a live session's serialized detector state; with a
+// durable backend it survives a crash and feeds engine resume. Store
+// thereby satisfies the engine's CheckpointStore interface.
+func (s *Store) PutCheckpoint(channel string, state []byte) error {
+	return s.b.PutCheckpoint(channel, state)
+}
+
+// Checkpoints returns a copy of all stored session checkpoints.
+func (s *Store) Checkpoints() map[string][]byte { return s.b.Checkpoints() }
+
+// DeleteCheckpoint removes a finished broadcast's checkpoint.
+func (s *Store) DeleteCheckpoint(channel string) error {
+	return s.b.DeleteCheckpoint(channel)
 }

@@ -124,6 +124,17 @@ func (h *Histogram) AddRange(from, to, w float64) {
 	}
 }
 
+// RestoreCounts overwrites the per-bin weights with a previously captured
+// Counts slice, so a mid-window histogram can be reconstructed exactly when
+// a checkpointed stream resumes. The length must match Bins.
+func (h *Histogram) RestoreCounts(counts []float64) error {
+	if len(counts) != len(h.counts) {
+		return fmt.Errorf("stats: RestoreCounts got %d bins, histogram has %d", len(counts), len(h.counts))
+	}
+	copy(h.counts, counts)
+	return nil
+}
+
 // Counts returns a copy of the per-bin weights.
 func (h *Histogram) Counts() []float64 {
 	out := make([]float64, len(h.counts))

@@ -1,6 +1,9 @@
 package text
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // SimilarityAccumulator computes the message-similarity feature of a window
 // incrementally: messages are added one at a time (tokenized exactly once)
@@ -120,6 +123,68 @@ func (a *SimilarityAccumulator) token(tok []byte) {
 		a.seen[id] = a.n
 		a.distinct = append(a.distinct, id)
 	}
+}
+
+// AccumulatorState is the complete incremental state of a
+// SimilarityAccumulator, exported so a mid-window accumulator can be
+// checkpointed and reconstructed bit-identically (the durable-session
+// machinery snapshots live detectors between messages). Tokens are listed
+// in dense-id order; Counts, Weights, and Seen are parallel to it.
+type AccumulatorState struct {
+	Tokens  []string
+	Counts  []float64
+	Weights []float64
+	Seen    []int
+	N       int
+	DotSum  float64
+	SumSq   float64
+}
+
+// State returns a deep copy of the accumulator's incremental state.
+func (a *SimilarityAccumulator) State() AccumulatorState {
+	st := AccumulatorState{
+		Tokens:  make([]string, len(a.counts)),
+		Counts:  append([]float64(nil), a.counts...),
+		Weights: append([]float64(nil), a.weights...),
+		Seen:    append([]int(nil), a.seen...),
+		N:       a.n,
+		DotSum:  a.dotSum,
+		SumSq:   a.sumSq,
+	}
+	for tok, id := range a.vocab {
+		st.Tokens[id] = tok
+	}
+	return st
+}
+
+// SetState restores the accumulator to a previously captured state. The
+// restored accumulator continues exactly where the captured one stood: the
+// same vocabulary ids, running sums, and per-token ordinals, so subsequent
+// Adds produce bit-identical similarity values. Internal buffers are reused
+// where capacity allows.
+func (a *SimilarityAccumulator) SetState(st AccumulatorState) error {
+	k := len(st.Tokens)
+	if len(st.Counts) != k || len(st.Weights) != k || len(st.Seen) != k {
+		return fmt.Errorf("text: inconsistent accumulator state: %d tokens, %d counts, %d weights, %d seen",
+			k, len(st.Counts), len(st.Weights), len(st.Seen))
+	}
+	if st.N < 0 {
+		return fmt.Errorf("text: negative message count %d", st.N)
+	}
+	a.Reset()
+	for id, tok := range st.Tokens {
+		if _, dup := a.vocab[tok]; dup {
+			return fmt.Errorf("text: duplicate token %q in accumulator state", tok)
+		}
+		a.vocab[tok] = id
+	}
+	a.counts = append(a.counts[:0], st.Counts...)
+	a.weights = append(a.weights[:0], st.Weights...)
+	a.seen = append(a.seen[:0], st.Seen...)
+	a.n = st.N
+	a.dotSum = st.DotSum
+	a.sumSq = st.SumSq
+	return nil
 }
 
 // Raw returns the window's unnormalized mean cosine-to-centroid and the

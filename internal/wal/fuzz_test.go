@@ -1,0 +1,85 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzScan throws arbitrary bytes at the record decoder: it must never
+// panic, and whenever it reports records they must be CRC-exact prefixes of
+// the input (re-framing the reported payloads reproduces the valid prefix).
+func FuzzScan(f *testing.F) {
+	// Seed: a well-formed two-record log.
+	var seed bytes.Buffer
+	seed.Write(logMagic[:])
+	seed.Write([]byte{1, 0, 0, 0})
+	for _, p := range [][]byte{[]byte("hello"), []byte("")} {
+		var frame [frameSize]byte
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(p)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(p))
+		seed.Write(frame[:])
+		seed.Write(p)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("LWAL"))
+	f.Add([]byte{})
+	f.Add(append(append([]byte{}, logMagic[:]...), 1, 0, 0, 0, 255, 255, 255, 255, 0, 0, 0, 0))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var payloads [][]byte
+		records, validSize, err := Scan(bytes.NewReader(data),
+			func(p []byte) error {
+				payloads = append(payloads, append([]byte(nil), p...))
+				return nil
+			})
+		if err != nil {
+			if records != 0 || validSize != 0 {
+				t.Fatalf("error %v with records=%d validSize=%d", err, records, validSize)
+			}
+			return
+		}
+		if records != len(payloads) {
+			t.Fatalf("records = %d but %d payloads delivered", records, len(payloads))
+		}
+		if validSize < headerSize || validSize > int64(len(data)) {
+			t.Fatalf("validSize %d out of range (input %d)", validSize, len(data))
+		}
+		// Re-frame the delivered payloads: must reproduce data[:validSize].
+		var rebuilt bytes.Buffer
+		rebuilt.Write(data[:headerSize])
+		for _, p := range payloads {
+			var frame [frameSize]byte
+			binary.LittleEndian.PutUint32(frame[0:4], uint32(len(p)))
+			binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(p))
+			rebuilt.Write(frame[:])
+			rebuilt.Write(p)
+		}
+		if !bytes.Equal(rebuilt.Bytes(), data[:validSize]) {
+			t.Fatal("delivered payloads do not reproduce the valid prefix")
+		}
+	})
+}
+
+// FuzzReadEnvelope exercises the snapshot-envelope reader: arbitrary input
+// must either round out to the exact payload (when the input is a valid
+// envelope) or error — never panic, never return tampered bytes.
+func FuzzReadEnvelope(f *testing.F) {
+	var ok bytes.Buffer
+	if err := WriteEnvelope(&ok, "fuzz", 1, []byte(`{"k":1}`)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ok.Bytes())
+	f.Add([]byte("{}\n"))
+	f.Add([]byte(`{"format":"fuzz","version":1,"length":4,"crc32":0}` + "\nabcd"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, payload, err := ReadEnvelope(bytes.NewReader(data), "fuzz", 5)
+		if err == nil && crc32.ChecksumIEEE(payload) == 0 && len(payload) > 0 {
+			// Nothing to assert beyond "no panic"; the interesting property
+			// (CRC binding) is covered by unit tests.
+			_ = payload
+		}
+	})
+}

@@ -1,0 +1,504 @@
+// Package wal provides the durable-persistence primitives behind the
+// platform's file-backed storage: an append-only write-ahead log with
+// length-prefixed, CRC32-checksummed records and partial-tail-tolerant
+// recovery, plus checksummed snapshot envelopes for full-state files.
+//
+// The paper's deployment (Section VI) accumulates chat logs, red dots, and
+// browser-extension interaction logs server-side so implicit crowdsourcing
+// can keep refining highlights long after a broadcast ends. That state must
+// outlive any single process, and the crowd signal arrives as a stream of
+// small appends — exactly the workload a WAL absorbs: every accepted
+// mutation is appended (and group-commit fsynced) before it is acknowledged,
+// and a periodic snapshot bounds replay time at restart.
+//
+// # Log format
+//
+// A log file starts with an 8-byte header:
+//
+//	magic "LWAL" | version uint16 LE | flags uint16 LE (reserved, zero)
+//
+// followed by zero or more records, each framed as
+//
+//	length uint32 LE | crc32 uint32 LE (IEEE, over the payload) | payload
+//
+// Recovery reads records until the first frame that does not check out —
+// a short header, a length past EOF, or a CRC mismatch. Everything before
+// that point is intact (CRC-verified); everything from it on is a torn tail
+// from a crash mid-write and is truncated away when the writer reopens the
+// file. A corrupt byte in the middle of the file therefore costs the
+// records behind it — the same contract as etcd's WAL — which the snapshot
+// cadence keeps small.
+//
+// # Durability
+//
+// Writer.Append buffers; Writer.AppendDurable additionally waits until the
+// record has been fsynced. Syncs are group-committed: one background
+// flusher serves every waiter that arrived while the previous fsync was in
+// flight, so durable-append throughput scales with batching instead of
+// paying one fsync per record.
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+const (
+	// Version is the current log-format version written to new files.
+	Version = 1
+
+	headerSize = 8
+	frameSize  = 8 // length + crc
+	// MaxRecord caps a single record's payload. A length field beyond it
+	// is treated as torn-tail garbage rather than an instruction to
+	// allocate gigabytes.
+	MaxRecord = 64 << 20
+	// MaxEnvelope caps a snapshot envelope's payload. Enforced
+	// symmetrically by WriteEnvelope and ReadEnvelope, so a snapshot that
+	// was written can always be read back — a writer that lets state grow
+	// past the cap fails loudly at write time (when the old snapshot is
+	// still intact), never at recovery time.
+	MaxEnvelope = 1 << 30
+)
+
+var logMagic = [4]byte{'L', 'W', 'A', 'L'}
+
+// ErrCorrupt reports a structurally invalid log or envelope: bad magic,
+// unsupported version, or checksum mismatch where tolerance is not allowed.
+var ErrCorrupt = errors.New("wal: corrupt data")
+
+// Options tunes a Writer.
+type Options struct {
+	// SyncInterval is the group-commit window: after the first durable
+	// append of a batch, the flusher waits this long for stragglers before
+	// issuing one fsync for all of them. Zero means 2ms.
+	SyncInterval time.Duration
+	// NoSync disables fsync entirely (tests and benchmarks that measure
+	// CPU cost, not disk cost). AppendDurable still waits for the buffered
+	// writer to flush to the OS.
+	NoSync bool
+}
+
+func (o *Options) fillDefaults() {
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 2 * time.Millisecond
+	}
+}
+
+// Scan reads log records from r (which must start at the file header),
+// calling apply for each intact payload. The payload slice is reused
+// between calls; apply must copy anything it keeps.
+//
+// Scan returns the number of intact records and the byte offset of the end
+// of the last intact record — the offset a writer should truncate to before
+// appending. A torn tail (short frame, impossible length, payload cut off,
+// or CRC mismatch) ends the scan without error: that is the expected state
+// after a crash mid-append. A missing or foreign header, an unsupported
+// version, or an apply error is a real error.
+func Scan(r io.Reader, apply func(payload []byte) error) (records int, validSize int64, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, 0, fmt.Errorf("%w: empty log (missing header)", ErrCorrupt)
+		}
+		return 0, 0, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	if !bytes.Equal(hdr[:4], logMagic[:]) {
+		return 0, 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != Version {
+		return 0, 0, fmt.Errorf("%w: unsupported log version %d", ErrCorrupt, v)
+	}
+
+	validSize = headerSize
+	var frame [frameSize]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			return records, validSize, nil // clean EOF or torn frame: tail
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if length > MaxRecord {
+			return records, validSize, nil // garbage length: torn tail
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return records, validSize, nil // payload cut off: torn tail
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return records, validSize, nil // bit rot or torn write: tail
+		}
+		if err := apply(payload); err != nil {
+			return records, validSize, fmt.Errorf("wal: applying record %d: %w", records, err)
+		}
+		records++
+		validSize += frameSize + int64(length)
+	}
+}
+
+// ScanFile opens path and Scans it. A missing file is not an error: it
+// reports zero records, mirroring a log that was never written.
+func ScanFile(path string, apply func(payload []byte) error) (records int, validSize int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	return Scan(f, apply)
+}
+
+// Writer appends framed records to a log file with group-commit fsync.
+type Writer struct {
+	mu        sync.Mutex // guards f, bw, seq, err
+	f         *os.File
+	bw        *bufio.Writer
+	frame     [frameSize]byte
+	seq       uint64 // records appended (buffered, not necessarily synced)
+	err       error  // first write error; sticky
+	closed    bool
+	noSync    bool
+	interval  time.Duration
+	cmu       sync.Mutex
+	committed uint64 // records known durable; guarded by cmu
+	syncErr   error  // first flush/sync failure; guarded by cmu
+	cond      *sync.Cond
+	wake      chan struct{} // buffered(1): nudges the flusher
+	quit      chan struct{}
+	stopped   chan struct{}
+}
+
+// Open opens the log at path for appending, creating it (with a fresh
+// header) when absent. An existing file is first Scanned through apply —
+// the caller replays its state — and truncated to the last intact record so
+// a torn tail from a crash never precedes new appends.
+//
+// A file too short to hold even the header (a crash during log creation —
+// e.g. power loss right after a snapshot compaction created the next
+// generation's file) is indistinguishable from "never written" and is
+// treated as a fresh log, not corruption; it cannot contain acknowledged
+// records. A present-but-foreign header (bad magic, unsupported version)
+// stays a hard error.
+func Open(path string, opts Options, apply func(payload []byte) error) (*Writer, int, error) {
+	opts.fillDefaults()
+	records := 0
+	validSize := int64(0)
+	if st, err := os.Stat(path); err == nil {
+		if st.Size() >= headerSize {
+			r, v, err := ScanFile(path, apply)
+			if err != nil {
+				return nil, 0, err
+			}
+			records, validSize = r, v
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	if validSize == 0 {
+		// Fresh (or completely torn) log: write a clean header.
+		var hdr [headerSize]byte
+		copy(hdr[:4], logMagic[:])
+		binary.LittleEndian.PutUint16(hdr[4:6], Version)
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("wal: %w", err)
+		}
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("wal: writing header: %w", err)
+		}
+		// The header must be durable before anything (such as a snapshot
+		// naming this generation) depends on the file being openable.
+		if !opts.NoSync {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, 0, fmt.Errorf("wal: syncing header: %w", err)
+			}
+		}
+		validSize = headerSize
+	} else if err := f.Truncate(validSize); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("wal: truncating torn tail: %w", err)
+	}
+	if _, err := f.Seek(validSize, io.SeekStart); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+
+	w := &Writer{
+		f:        f,
+		bw:       bufio.NewWriterSize(f, 1<<16),
+		noSync:   opts.NoSync,
+		interval: opts.SyncInterval,
+		wake:     make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+	w.cond = sync.NewCond(&w.cmu)
+	go w.flushLoop()
+	return w, records, nil
+}
+
+// Create makes a fresh log at path, failing if one already exists.
+func Create(path string, opts Options) (*Writer, error) {
+	if _, err := os.Stat(path); err == nil {
+		return nil, fmt.Errorf("wal: %s already exists", path)
+	}
+	w, _, err := Open(path, opts, func([]byte) error { return nil })
+	return w, err
+}
+
+// Append buffers one record and returns its sequence number. The record is
+// durable only after the next group commit (or Sync/Close); pass the
+// sequence to WaitDurable — or use AppendDurable — when the caller
+// acknowledges the write to a client.
+func (w *Writer) Append(payload []byte) (uint64, error) {
+	seq, err := w.append(payload)
+	w.nudge()
+	return seq, err
+}
+
+// WaitDurable blocks until the record with the given sequence number has
+// been fsynced (group-committed with any concurrent appends), or until the
+// writer fails or closes.
+func (w *Writer) WaitDurable(seq uint64) error {
+	w.nudge()
+	w.cmu.Lock()
+	defer w.cmu.Unlock()
+	for w.committed < seq && w.syncErr == nil {
+		w.cond.Wait()
+	}
+	return w.syncErr
+}
+
+// AppendDurable appends one record and blocks until it has been fsynced
+// (group-committed with any concurrent appends).
+func (w *Writer) AppendDurable(payload []byte) error {
+	seq, err := w.append(payload)
+	if err != nil {
+		return err
+	}
+	return w.WaitDurable(seq)
+}
+
+func (w *Writer) append(payload []byte) (uint64, error) {
+	if len(payload) > MaxRecord {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecord", len(payload))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, errors.New("wal: writer closed")
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	binary.LittleEndian.PutUint32(w.frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.frame[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.bw.Write(w.frame[:]); err != nil {
+		w.err = err
+		return 0, err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		w.err = err
+		return 0, err
+	}
+	w.seq++
+	return w.seq, nil
+}
+
+// nudge wakes the flusher without blocking (one pending wake suffices).
+func (w *Writer) nudge() {
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// flushLoop is the group-commit flusher: each wake-up waits one sync
+// interval for more appends to batch, then flushes and fsyncs once for all
+// of them.
+func (w *Writer) flushLoop() {
+	defer close(w.stopped)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-w.quit:
+			return
+		case <-w.wake:
+		}
+		if w.interval > 0 {
+			timer.Reset(w.interval)
+			select {
+			case <-timer.C:
+			case <-w.quit:
+				if !timer.Stop() {
+					<-timer.C
+				}
+				return
+			}
+		}
+		w.flushAndSync()
+	}
+}
+
+// flushAndSync makes every record appended so far durable and releases the
+// waiters covered by it.
+func (w *Writer) flushAndSync() {
+	w.mu.Lock()
+	seq := w.seq
+	err := w.bw.Flush()
+	if err != nil && w.err == nil {
+		w.err = err
+	}
+	f := w.f
+	w.mu.Unlock()
+
+	if err == nil && !w.noSync {
+		if serr := f.Sync(); serr != nil {
+			w.mu.Lock()
+			if w.err == nil {
+				w.err = serr
+			}
+			err = serr
+			w.mu.Unlock()
+		}
+	}
+
+	w.cmu.Lock()
+	if err == nil {
+		if seq > w.committed {
+			w.committed = seq
+		}
+	} else if w.syncErr == nil {
+		w.syncErr = err
+	}
+	w.cond.Broadcast()
+	w.cmu.Unlock()
+}
+
+// Sync flushes and fsyncs everything appended so far, synchronously.
+func (w *Writer) Sync() error {
+	w.flushAndSync()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Close stops the flusher, syncs outstanding records, and closes the file.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+
+	close(w.quit)
+	<-w.stopped
+	w.flushAndSync()
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Close(); err != nil && w.err == nil {
+		w.err = err
+	}
+	// Wake any durable waiter stuck behind a failed sync.
+	w.cmu.Lock()
+	w.cond.Broadcast()
+	w.cmu.Unlock()
+	return w.err
+}
+
+// envelopeHeader is the first line of an envelope file: enough to validate
+// the payload before trusting a byte of it.
+type envelopeHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Length  int    `json:"length"`
+	CRC32   uint32 `json:"crc32"`
+}
+
+// WriteEnvelope writes a checksummed snapshot envelope: a one-line JSON
+// header carrying the format name, version, payload length, and payload
+// CRC32, followed by the payload bytes. Readers can reject truncated or
+// corrupted files before parsing the payload at all.
+func WriteEnvelope(w io.Writer, format string, version int, payload []byte) error {
+	if len(payload) > MaxEnvelope {
+		return fmt.Errorf("wal: %s payload of %d bytes exceeds MaxEnvelope", format, len(payload))
+	}
+	hdr, err := json.Marshal(envelopeHeader{
+		Format:  format,
+		Version: version,
+		Length:  len(payload),
+		CRC32:   crc32.ChecksumIEEE(payload),
+	})
+	if err != nil {
+		return fmt.Errorf("wal: encoding envelope header: %w", err)
+	}
+	hdr = append(hdr, '\n')
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("wal: writing envelope header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wal: writing envelope payload: %w", err)
+	}
+	return nil
+}
+
+// ReadEnvelope reads an envelope written by WriteEnvelope, validating the
+// format name, version bound, exact payload length, and CRC32. It returns
+// the header's version and the payload bytes.
+func ReadEnvelope(r io.Reader, format string, maxVersion int) (int, []byte, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated envelope header", ErrCorrupt)
+	}
+	var hdr envelopeHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return 0, nil, fmt.Errorf("%w: bad envelope header: %v", ErrCorrupt, err)
+	}
+	if hdr.Format != format {
+		return 0, nil, fmt.Errorf("%w: envelope format %q, want %q", ErrCorrupt, hdr.Format, format)
+	}
+	if hdr.Version < 1 || hdr.Version > maxVersion {
+		return 0, nil, fmt.Errorf("%w: unsupported %s version %d", ErrCorrupt, format, hdr.Version)
+	}
+	if hdr.Length < 0 || hdr.Length > MaxEnvelope {
+		return 0, nil, fmt.Errorf("%w: envelope length %d out of range", ErrCorrupt, hdr.Length)
+	}
+	payload := make([]byte, hdr.Length)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: envelope payload truncated", ErrCorrupt)
+	}
+	if crc32.ChecksumIEEE(payload) != hdr.CRC32 {
+		return 0, nil, fmt.Errorf("%w: envelope checksum mismatch", ErrCorrupt)
+	}
+	return hdr.Version, payload, nil
+}

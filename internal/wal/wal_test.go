@@ -1,0 +1,405 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// collect returns an apply func appending payload copies to out.
+func collect(out *[][]byte) func([]byte) error {
+	return func(p []byte) error {
+		*out = append(*out, append([]byte(nil), p...))
+		return nil
+	}
+}
+
+func testOpts() Options { return Options{NoSync: true} }
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, n, err := Open(path, testOpts(), func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("fresh log replayed %d records", n)
+	}
+	want := [][]byte{[]byte("one"), {}, []byte("three: \x00\xff binary")}
+	for _, p := range want {
+		if _, err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got [][]byte
+	records, _, err := ScanFile(path, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records != len(want) {
+		t.Fatalf("records = %d, want %d", records, len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReopenAppendsAfterExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := Open(path, testOpts(), func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendDurable([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var replayed [][]byte
+	w2, n, err := Open(path, testOpts(), collect(&replayed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || string(replayed[0]) != "a" {
+		t.Fatalf("replayed %d records %q", n, replayed)
+	}
+	if _, err := w2.Append([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got [][]byte
+	records, _, err := ScanFile(path, collect(&got))
+	if err != nil || records != 2 {
+		t.Fatalf("records = %d, err = %v", records, err)
+	}
+	if string(got[0]) != "a" || string(got[1]) != "b" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// TestTornTailRecovery chops the file at every byte length between "just the
+// header" and "full file": recovery must keep exactly the records whose
+// frames survive intact and never error.
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, _, err := Open(path, testOpts(), func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{[]byte("first-record"), []byte("second"), []byte("third-longer-record")}
+	offsets := []int64{headerSize}
+	off := int64(headerSize)
+	for _, p := range payloads {
+		if _, err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		off += frameSize + int64(len(p))
+		offsets = append(offsets, off)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := headerSize; cut <= len(full); cut++ {
+		torn := filepath.Join(dir, "torn.log")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got [][]byte
+		records, validSize, err := ScanFile(torn, collect(&got))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		wantRecords := 0
+		for i := 1; i < len(offsets); i++ {
+			if offsets[i] <= int64(cut) {
+				wantRecords = i
+			}
+		}
+		if records != wantRecords {
+			t.Fatalf("cut %d: records = %d, want %d", cut, records, wantRecords)
+		}
+		if validSize != offsets[wantRecords] {
+			t.Fatalf("cut %d: validSize = %d, want %d", cut, validSize, offsets[wantRecords])
+		}
+
+		// Reopening must truncate the tail and accept fresh appends.
+		var replayed [][]byte
+		w2, n, err := Open(torn, testOpts(), collect(&replayed))
+		if err != nil {
+			t.Fatalf("cut %d reopen: %v", cut, err)
+		}
+		if n != wantRecords {
+			t.Fatalf("cut %d reopen: replayed %d, want %d", cut, n, wantRecords)
+		}
+		if _, err := w2.Append([]byte("appended-after-recovery")); err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var after [][]byte
+		records2, _, err := ScanFile(torn, collect(&after))
+		if err != nil || records2 != wantRecords+1 {
+			t.Fatalf("cut %d after append: records = %d, err = %v", cut, records2, err)
+		}
+		if string(after[len(after)-1]) != "appended-after-recovery" {
+			t.Fatalf("cut %d: last record %q", cut, after[len(after)-1])
+		}
+	}
+}
+
+func TestCorruptPayloadStopsScanSilently(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := Open(path, testOpts(), func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit inside the second record's payload.
+	secondPayload := headerSize + frameSize + len("record-0") + frameSize
+	data[secondPayload] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	records, _, err := ScanFile(path, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records != 1 || string(got[0]) != "record-0" {
+		t.Fatalf("records = %d %q, want just record-0", records, got)
+	}
+}
+
+func TestBadHeaderIsError(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       []byte("LWA"),
+		"bad-magic":   append([]byte("NOPE"), 1, 0, 0, 0),
+		"bad-version": append([]byte("LWAL"), 99, 0, 0, 0),
+	}
+	for name, content := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = Scan(f, func([]byte) error { return nil })
+		f.Close()
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestApplyErrorPropagates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := Open(path, testOpts(), func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	_, _, err = ScanFile(path, func([]byte) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := Open(path, testOpts(), func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append(make([]byte, MaxRecord+1)); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+}
+
+func TestImpossibleLengthTreatedAsTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := Open(path, testOpts(), func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frame [frameSize]byte
+	binary.LittleEndian.PutUint32(frame[0:4], MaxRecord+7)
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(nil))
+	if _, err := f.Write(frame[:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	records, _, err := ScanFile(path, func([]byte) error { return nil })
+	if err != nil || records != 1 {
+		t.Fatalf("records = %d, err = %v", records, err)
+	}
+}
+
+// TestConcurrentDurableAppends exercises the group-commit path under -race:
+// many goroutines appending durably must all complete and every record must
+// survive a rescan.
+func TestConcurrentDurableAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := Open(path, Options{NoSync: true}, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, each = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := w.AppendDurable([]byte(fmt.Sprintf("g%d-%d", g, i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	records, _, err := ScanFile(path, func([]byte) error { return nil })
+	if err != nil || records != goroutines*each {
+		t.Fatalf("records = %d, err = %v, want %d", records, err, goroutines*each)
+	}
+}
+
+// TestOpenTreatsShortFileAsFresh: a file too short to hold the header —
+// power loss during log creation — cannot contain acknowledged records,
+// so Open must recover it as a fresh log rather than failing forever.
+func TestOpenTreatsShortFileAsFresh(t *testing.T) {
+	for _, content := range [][]byte{{}, []byte("LWA")} {
+		path := filepath.Join(t.TempDir(), "wal.log")
+		if err := os.WriteFile(path, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, n, err := Open(path, testOpts(), func([]byte) error { return nil })
+		if err != nil {
+			t.Fatalf("short file (%d bytes) not recovered: %v", len(content), err)
+		}
+		if n != 0 {
+			t.Fatalf("short file replayed %d records", n)
+		}
+		if _, err := w.Append([]byte("fresh")); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		records, _, err := ScanFile(path, func([]byte) error { return nil })
+		if err != nil || records != 1 {
+			t.Fatalf("after recovery: records = %d, err = %v", records, err)
+		}
+	}
+}
+
+func TestCreateRefusesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(path, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if _, err := Create(path, testOpts()); err == nil {
+		t.Fatal("Create over an existing file succeeded")
+	}
+}
+
+func TestEnvelopeRoundTripAndValidation(t *testing.T) {
+	payload := []byte(`{"hello":"world"}`)
+	var buf bytes.Buffer
+	if err := WriteEnvelope(&buf, "test-format", 3, payload); err != nil {
+		t.Fatal(err)
+	}
+	full := append([]byte(nil), buf.Bytes()...)
+
+	v, got, err := ReadEnvelope(bytes.NewReader(full), "test-format", 3)
+	if err != nil || v != 3 || !bytes.Equal(got, payload) {
+		t.Fatalf("ReadEnvelope = %d, %q, %v", v, got, err)
+	}
+
+	// Wrong format name.
+	if _, _, err := ReadEnvelope(bytes.NewReader(full), "other", 3); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("wrong format: err = %v", err)
+	}
+	// Version above the reader's maximum.
+	if _, _, err := ReadEnvelope(bytes.NewReader(full), "test-format", 2); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("future version: err = %v", err)
+	}
+	// Truncated payload: every prefix must fail cleanly, never panic.
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := ReadEnvelope(bytes.NewReader(full[:cut]), "test-format", 3); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Corrupted payload byte: CRC must catch it.
+	bad := append([]byte(nil), full...)
+	bad[len(bad)-2] ^= 0x01
+	if _, _, err := ReadEnvelope(bytes.NewReader(bad), "test-format", 3); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt payload: err = %v", err)
+	}
+}
