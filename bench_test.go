@@ -19,6 +19,7 @@ import (
 	"lightor/internal/experiments"
 	"lightor/internal/perf"
 	"lightor/internal/perf/perfengine"
+	"lightor/internal/perf/perfhttp"
 	"lightor/internal/perf/perfwal"
 	"lightor/internal/play"
 	"lightor/internal/sim"
@@ -378,6 +379,48 @@ func BenchmarkEngineMultiChannelIngest(b *testing.B) {
 	msgs := d.Chat.Log.Messages()
 	for _, channels := range perfengine.IngestChannelSweep {
 		b.Run(fmt.Sprintf("channels=%d", channels), perfengine.MultiChannelIngest(init, msgs, channels, nil))
+	}
+}
+
+// BenchmarkEngineBurstIngest sweeps channel fan-in × ingest batch size.
+// Batch 1 is the old per-message path (one envelope, one lock hop, one
+// worker wake-up per message); batch 256 is a goal-moment burst riding one
+// envelope. The msgs/sec ratio between them is the amortization win the
+// batched mailbox buys, recorded per commit in BENCH_PR4.json.
+func BenchmarkEngineBurstIngest(b *testing.B) {
+	init, d := benchTrainedEngine(b)
+	msgs := d.Chat.Log.Messages()
+	for _, channels := range perfengine.IngestChannelSweep {
+		for _, batch := range perfengine.IngestBatchSweep {
+			b.Run(fmt.Sprintf("channels=%d/batch=%d", channels, batch),
+				perfengine.BurstIngest(init, msgs, channels, batch, nil))
+		}
+	}
+}
+
+// BenchmarkEngineBatchIngest is the allocation gate for the batched
+// mailbox: steady-state burst ingest through Session.Ingest must run at
+// 0 allocs/op (pooled batch buffers + reusable mailbox ring + zero-alloc
+// Feed). CI fails the build if an alloc sneaks back in.
+func BenchmarkEngineBatchIngest(b *testing.B) {
+	init, d := benchTrainedEngine(b)
+	msgs := d.Chat.Log.Messages()
+	b.Run("steady-state", perfengine.BatchIngestSteadyState(init, msgs, 256))
+}
+
+// BenchmarkLiveHTTPIngest is the end-to-end burst path: live chat POSTed
+// through the real handler (mux, query parse, streaming JSON decode,
+// engine mailbox, response encode). Batch 1 pays the full request tax per
+// message; batch 256 amortizes it away — the headline batched-ingest
+// speedup recorded in BENCH_PR4.json.
+func BenchmarkLiveHTTPIngest(b *testing.B) {
+	init, d := benchTrainedEngine(b)
+	msgs := d.Chat.Log.Messages()
+	for _, channels := range perfengine.IngestChannelSweep {
+		for _, batch := range perfengine.IngestBatchSweep {
+			b.Run(fmt.Sprintf("channels=%d/batch=%d", channels, batch),
+				perfhttp.LiveChatBurst(init, msgs, channels, batch, nil))
+		}
 	}
 }
 

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Baseline regression gate: compare a freshly measured BENCH_PR*.json
+// against a committed baseline and fail on regression beyond a tolerance.
+//
+// Two kinds of checks:
+//
+//   - Relative-to-baseline: time metrics may not exceed baseline×(1+tol)
+//     and throughput metrics may not fall below baseline/(1+tol). The
+//     tolerance is deliberately generous (default 1.5, i.e. 2.5× slack)
+//     because CI runners and developer machines differ wildly; the gate
+//     exists to catch order-of-magnitude regressions — an accidental
+//     O(n²), a lost fast path — not 10% noise.
+//   - Same-run invariants: allocs/op on the zero-alloc paths must equal
+//     the baseline exactly (0 stays 0), and the batched-ingest speedup at
+//     batch 256 vs batch 1 — a ratio within one run, so machine speed
+//     cancels out — must stay ≥ minSpeedup.
+
+// checkBaseline returns the list of violations (empty = pass).
+func checkBaseline(cur, base benchReport, tol, minSpeedup float64) []string {
+	var v []string
+	slower := func(name string, cur, base float64) {
+		if base > 0 && cur > base*(1+tol) {
+			v = append(v, fmt.Sprintf("%s: %.0f ns vs baseline %.0f ns (allowed ×%.2f)", name, cur, base, 1+tol))
+		}
+	}
+	throughput := func(name string, cur, base float64) {
+		if base > 0 && cur < base/(1+tol) {
+			v = append(v, fmt.Sprintf("%s: %.0f/sec vs baseline %.0f/sec (allowed ÷%.2f)", name, cur, base, 1+tol))
+		}
+	}
+	allocs := func(name string, cur, base int64) {
+		if cur > base {
+			v = append(v, fmt.Sprintf("%s: %d allocs/op vs baseline %d (zero-alloc contract)", name, cur, base))
+		}
+	}
+
+	slower("online_feed_steady_state.ns_per_op",
+		cur.Results.OnlineFeedSteadyState.NsPerOp, base.Results.OnlineFeedSteadyState.NsPerOp)
+	allocs("online_feed_steady_state.allocs_per_op",
+		cur.Results.OnlineFeedSteadyState.AllocsPerOp, base.Results.OnlineFeedSteadyState.AllocsPerOp)
+	slower("batch_ingest_steady_state.ns_per_msg",
+		cur.Results.BatchIngestSteadyState.NsPerMsg, base.Results.BatchIngestSteadyState.NsPerMsg)
+	allocs("batch_ingest_steady_state.allocs_per_op",
+		cur.Results.BatchIngestSteadyState.AllocsPerOp, base.Results.BatchIngestSteadyState.AllocsPerOp)
+	slower("wal_append.ns_per_op", cur.Results.WALAppend.NsPerOp, base.Results.WALAppend.NsPerOp)
+	slower("checkpoint.ns_per_op", cur.Results.Checkpoint.NsPerOp, base.Results.Checkpoint.NsPerOp)
+	slower("cold_start_recovery.ns_per_record",
+		cur.Results.ColdStartRecovery.NsPerRec, base.Results.ColdStartRecovery.NsPerRec)
+
+	baseIngest := map[int]float64{}
+	for _, row := range base.Results.MultiChannelIngest {
+		baseIngest[row.Channels] = row.MsgsPerSec
+	}
+	for _, row := range cur.Results.MultiChannelIngest {
+		throughput(fmt.Sprintf("multi_channel_ingest[channels=%d].msgs_per_sec", row.Channels),
+			row.MsgsPerSec, baseIngest[row.Channels])
+	}
+	type key struct{ c, b int }
+	baseBurst := map[key]float64{}
+	for _, row := range base.Results.LiveHTTPIngest {
+		baseBurst[key{row.Channels, row.Batch}] = row.MsgsPerSec
+	}
+	for _, row := range cur.Results.LiveHTTPIngest {
+		throughput(fmt.Sprintf("live_http_ingest[channels=%d,batch=%d].msgs_per_sec", row.Channels, row.Batch),
+			row.MsgsPerSec, baseBurst[key{row.Channels, row.Batch}])
+	}
+
+	// Same-run ratio: immune to machine-speed differences by construction.
+	for _, row := range cur.Results.LiveHTTPIngestSpeedup {
+		if row.Speedup < minSpeedup {
+			v = append(v, fmt.Sprintf("live_http_ingest_speedup[channels=%d]: %.2f× < required %.2f× (batch 256 vs 1)",
+				row.Channels, row.Speedup, minSpeedup))
+		}
+	}
+	if len(cur.Results.LiveHTTPIngestSpeedup) == 0 {
+		v = append(v, "live_http_ingest_speedup: missing from report")
+	}
+	return v
+}
+
+func loadReport(path string) (benchReport, error) {
+	var r benchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, fmt.Errorf("baseline: %w", err)
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("baseline: parsing %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// runBaselineCheck loads both reports and fails loudly on any violation.
+func runBaselineCheck(reportPath, baselinePath string, tol, minSpeedup float64) error {
+	cur, err := loadReport(reportPath)
+	if err != nil {
+		return err
+	}
+	base, err := loadReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	if violations := checkBaseline(cur, base, tol, minSpeedup); len(violations) > 0 {
+		return fmt.Errorf("baseline: %d perf regression(s) vs %s:\n  %s",
+			len(violations), baselinePath, strings.Join(violations, "\n  "))
+	}
+	fmt.Printf("baseline: %s within tolerance of %s (×%.2f, min batch speedup %.1f×)\n",
+		reportPath, baselinePath, 1+tol, minSpeedup)
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func refReport() benchReport {
+	var r benchReport
+	r.Results.OnlineFeedSteadyState = opResult{NsPerOp: 400, AllocsPerOp: 0}
+	r.Results.BatchIngestSteadyState = batchOpResult{NsPerOp: 100000, NsPerMsg: 400, Batch: 256, AllocsPerOp: 0}
+	r.Results.WALAppend = walAppendResult{NsPerOp: 1000}
+	r.Results.Checkpoint = checkpointResult{NsPerOp: 8000}
+	r.Results.ColdStartRecovery = recoveryResult{NsPerRec: 3000}
+	r.Results.MultiChannelIngest = []ingestResult{{Channels: 8, MsgsPerSec: 1.5e6}}
+	r.Results.LiveHTTPIngest = []burstResult{
+		{Channels: 8, Batch: 1, MsgsPerSec: 2.5e5},
+		{Channels: 8, Batch: 256, MsgsPerSec: 1.2e6},
+	}
+	r.Results.LiveHTTPIngestSpeedup = []speedupResult{{Channels: 8, Speedup: 4.8}}
+	return r
+}
+
+func TestCheckBaselinePasses(t *testing.T) {
+	base := refReport()
+	cur := refReport()
+	// Ordinary noise: 20% slower here, 20% faster there.
+	cur.Results.OnlineFeedSteadyState.NsPerOp = 480
+	cur.Results.MultiChannelIngest[0].MsgsPerSec = 1.25e6
+	if v := checkBaseline(cur, base, 1.5, 3.0); len(v) != 0 {
+		t.Fatalf("noise flagged as regression: %v", v)
+	}
+}
+
+func TestCheckBaselineCatchesRegressions(t *testing.T) {
+	base := refReport()
+
+	cur := refReport()
+	cur.Results.OnlineFeedSteadyState.NsPerOp = 400 * 4 // past ×2.5 slack
+	cur.Results.OnlineFeedSteadyState.AllocsPerOp = 2   // zero-alloc broken
+	cur.Results.LiveHTTPIngest[1].MsgsPerSec = 1.2e5    // throughput collapse
+	cur.Results.LiveHTTPIngestSpeedup[0].Speedup = 1.4  // batching win lost
+	v := checkBaseline(cur, base, 1.5, 3.0)
+	if len(v) != 4 {
+		t.Fatalf("expected 4 violations, got %d: %v", len(v), v)
+	}
+	joined := strings.Join(v, "\n")
+	for _, want := range []string{
+		"online_feed_steady_state.ns_per_op",
+		"allocs_per_op",
+		"live_http_ingest[channels=8,batch=256]",
+		"live_http_ingest_speedup[channels=8]",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("violations missing %q:\n%s", want, joined)
+		}
+	}
+
+	// A report with no speedup rows must fail, not silently pass.
+	empty := refReport()
+	empty.Results.LiveHTTPIngestSpeedup = nil
+	if v := checkBaseline(empty, base, 1.5, 3.0); len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("missing speedup rows not flagged: %v", v)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"lightor/internal/perf"
 	"lightor/internal/perf/perfengine"
+	"lightor/internal/perf/perfhttp"
 	"lightor/internal/perf/perfwal"
 )
 
@@ -35,8 +36,24 @@ type benchResult struct {
 	// WindowClose sweeps messages-per-window; NsPerMsg should stay roughly
 	// flat as MsgsPerWindow grows (linear total cost).
 	WindowClose []windowCloseResult `json:"window_close"`
-	// MultiChannelIngest is end-to-end session-engine throughput.
+	// MultiChannelIngest is end-to-end session-engine throughput (the
+	// historical batch-64 trajectory series).
 	MultiChannelIngest []ingestResult `json:"multi_channel_ingest"`
+	// EngineBurstIngest sweeps channel fan-in × ingest batch size at the
+	// engine boundary: the mailbox amortization in isolation.
+	EngineBurstIngest []burstResult `json:"engine_burst_ingest"`
+	// LiveHTTPIngest is the same sweep end-to-end through POST
+	// /api/live/chat (mux, query parse, body decode, mailbox, response) —
+	// the path a producer actually pays. The batched-ingest headline.
+	LiveHTTPIngest []burstResult `json:"live_http_ingest"`
+	// LiveHTTPIngestSpeedup is msgs/sec at batch 256 over batch 1, per
+	// channel count — the amortization factor batching buys on the wire
+	// path (CI-gated ≥ 3×).
+	LiveHTTPIngestSpeedup []speedupResult `json:"live_http_ingest_speedup"`
+	// BatchIngestSteadyState is one steady-state Session.Ingest of a
+	// 256-message burst (pooled buffer copy, ring enqueue, dispatch, batch
+	// feed). AllocsPerOp must stay 0: the batched-mailbox contract.
+	BatchIngestSteadyState batchOpResult `json:"batch_ingest_steady_state"`
 	// WALAppend is the CPU cost the write-ahead log adds to each accepted
 	// mutation (framing + CRC32 + buffered write; fsync excluded).
 	WALAppend walAppendResult `json:"wal_append"`
@@ -80,6 +97,25 @@ type windowCloseResult struct {
 type ingestResult struct {
 	Channels   int     `json:"channels"`
 	MsgsPerSec float64 `json:"msgs_per_sec"`
+}
+
+type burstResult struct {
+	Channels   int     `json:"channels"`
+	Batch      int     `json:"batch"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+}
+
+type speedupResult struct {
+	Channels int     `json:"channels"`
+	Speedup  float64 `json:"speedup_256_vs_1"`
+}
+
+type batchOpResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerMsg    float64 `json:"ns_per_msg"`
+	Batch       int     `json:"batch"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
 // checkResult rejects the zero testing.BenchmarkResult a failed closure
@@ -148,6 +184,70 @@ func runBenchJSON(path string) error {
 			Channels:   channels,
 			MsgsPerSec: perIter / (float64(r.NsPerOp()) / 1e9),
 		})
+	}
+
+	for _, channels := range perfengine.IngestChannelSweep {
+		for _, batch := range perfengine.IngestBatchSweep {
+			var sink perfengine.ErrSink
+			r := testing.Benchmark(perfengine.BurstIngest(init, msgs, channels, batch, &sink))
+			name := fmt.Sprintf("engine_burst_ingest/channels=%d/batch=%d", channels, batch)
+			if err := sink.Err(); err != nil {
+				return fmt.Errorf("bench-json: %s failed mid-run: %w", name, err)
+			}
+			if err := checkResult(name, r); err != nil {
+				return err
+			}
+			perIter := float64(channels) * float64(len(msgs))
+			report.Results.EngineBurstIngest = append(report.Results.EngineBurstIngest, burstResult{
+				Channels:   channels,
+				Batch:      batch,
+				MsgsPerSec: perIter / (float64(r.NsPerOp()) / 1e9),
+			})
+		}
+	}
+
+	for _, channels := range perfengine.IngestChannelSweep {
+		var batch1 float64
+		for _, batch := range perfengine.IngestBatchSweep {
+			var sink perfengine.ErrSink
+			r := testing.Benchmark(perfhttp.LiveChatBurst(init, msgs, channels, batch, &sink))
+			name := fmt.Sprintf("live_http_ingest/channels=%d/batch=%d", channels, batch)
+			if err := sink.Err(); err != nil {
+				return fmt.Errorf("bench-json: %s failed mid-run: %w", name, err)
+			}
+			if err := checkResult(name, r); err != nil {
+				return err
+			}
+			perIter := float64(channels) * float64(len(msgs))
+			mps := perIter / (float64(r.NsPerOp()) / 1e9)
+			report.Results.LiveHTTPIngest = append(report.Results.LiveHTTPIngest, burstResult{
+				Channels:   channels,
+				Batch:      batch,
+				MsgsPerSec: mps,
+			})
+			switch batch {
+			case 1:
+				batch1 = mps
+			case 256:
+				if batch1 > 0 {
+					report.Results.LiveHTTPIngestSpeedup = append(report.Results.LiveHTTPIngestSpeedup,
+						speedupResult{Channels: channels, Speedup: mps / batch1})
+				}
+			}
+		}
+	}
+
+	const steadyBatch = 256
+	r = testing.Benchmark(perfengine.BatchIngestSteadyState(init, msgs, steadyBatch))
+	if err := checkResult("batch_ingest_steady_state", r); err != nil {
+		return err
+	}
+	report.Results.BatchIngestSteadyState = batchOpResult{
+		NsPerOp:     float64(r.NsPerOp()),
+		NsPerMsg:    float64(r.NsPerOp()) / steadyBatch,
+		Batch:       steadyBatch,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
 	}
 
 	walDir, err := os.MkdirTemp("", "lightor-bench-wal")

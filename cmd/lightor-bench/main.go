@@ -34,12 +34,20 @@ func wrap[T interface{ Render() string }](f func(experiments.Config) (T, error))
 func main() {
 	scale := flag.String("scale", "default", "experiment scale: default|quick")
 	run := flag.String("run", "all", "comma-separated experiment ids (fig2a,fig2b,fig3,fig6a,fig6b,fig7a,fig7b,fig8,fig9,fig10,fig11,table1,ablations,classifier,windows) or 'all'")
-	benchJSON := flag.String("bench-json", "", "write a machine-readable hot-path perf report (Feed ns/op + allocs/op, window-close cost, ingest msgs/sec) to this path and exit")
+	benchJSON := flag.String("bench-json", "", "write a machine-readable hot-path perf report (Feed ns/op + allocs/op, window-close cost, batched/engine/HTTP ingest msgs/sec, WAL costs) to this path and exit")
+	baseline := flag.String("baseline", "", "with -bench-json: compare the fresh report against this committed baseline and exit non-zero on regression")
+	tolerance := flag.Float64("tolerance", 1.5, "baseline gate slack: time metrics may grow up to baseline*(1+tolerance), throughput may shrink to baseline/(1+tolerance)")
+	minSpeedup := flag.Float64("min-batch-speedup", 3.0, "baseline gate: required live-ingest msgs/sec ratio, batch 256 vs batch 1 (same-run, machine-independent)")
 	flag.Parse()
 
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON); err != nil {
 			log.Fatal(err)
+		}
+		if *baseline != "" {
+			if err := runBaselineCheck(*benchJSON, *baseline, *tolerance, *minSpeedup); err != nil {
+				log.Fatal(err)
+			}
 		}
 		return
 	}

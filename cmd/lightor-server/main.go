@@ -23,6 +23,10 @@
 //	GET  /api/live/dots?channel=ID&cursor=N
 //	DELETE /api/live/session?channel=ID        (end broadcast, flush, free slot)
 //
+// With -pprof-addr the standard net/http/pprof handlers are served on a
+// separate listener (off by default), so production ingest hot spots can
+// be profiled without exposing debug endpoints on the API port.
+//
 // With -data-dir the store is durable: every mutation rides a
 // CRC-checked write-ahead log (interactions and session checkpoints are
 // fsynced before they are acknowledged), snapshots compact the log, and
@@ -43,6 +47,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -68,7 +73,19 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshots): interactions and live-session checkpoints survive a crash, and startup replays the log and resumes live channels")
 	eventRetention := flag.Int("event-retention", 100000, "max interaction events retained per video (0 = unlimited)")
 	ckptInterval := flag.Duration("checkpoint-interval", 15*time.Second, "live-session checkpoint cadence with -data-dir (0 or negative disables the interval loop; emit and drain checkpoints always run)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) so ingest hot spots are profileable in production; empty (the default) disables it entirely")
 	flag.Parse()
+
+	// Opt-in profiling endpoint, on its own listener so the debug surface
+	// never shares a port (or a mux) with the public API.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, http.DefaultServeMux); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	var profile sim.Profile
 	switch *game {

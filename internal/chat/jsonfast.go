@@ -1,0 +1,224 @@
+package chat
+
+import (
+	"encoding/json"
+	"strconv"
+	"unicode/utf8"
+)
+
+// This file is the ingest hot path's JSON codec: reflection-free parsers
+// for the exact wire shapes live producers send — one message object, or a
+// whole array of them — with encoding/json as the fallback oracle for
+// anything unusual (escape sequences, case-folded or unknown keys, exotic
+// number grammar, invalid UTF-8). The fast paths either produce a result
+// bit-identical to the stdlib's or refuse, so callers get stdlib semantics
+// at a fraction of the cost; FuzzUnmarshalMessageJSON and
+// FuzzAppendMessagesJSON enforce the equivalence differentially.
+
+// UnmarshalMessageJSON decodes one JSON-encoded chat message into m. It is
+// a drop-in for json.Unmarshal(data, m): the common wire shape parses in a
+// single reflection-free pass; anything else falls back to encoding/json.
+// It is the single-message form of the array codec the live endpoint runs
+// (AppendMessagesJSON) — they share scanMessageObject, and the
+// differential fuzz target on this function is what pins the scanner's
+// merge semantics against the stdlib's.
+func UnmarshalMessageJSON(data []byte, m *Message) error {
+	i := skipJSONSpace(data, 0)
+	out, next, ok := scanMessageObject(data, i, *m)
+	if ok && skipJSONSpace(data, next) == len(data) {
+		*m = out
+		return nil
+	}
+	return json.Unmarshal(data, m)
+}
+
+// AppendMessagesJSON parses one JSON array of message objects from the
+// start of data (surrounding whitespace tolerated), appending the decoded
+// messages to dst. next is the offset just past the array's closing
+// bracket — callers wanting strict bodies check that only whitespace
+// follows, while callers matching json.Decoder's first-value semantics
+// ignore trailing bytes. ok reports whether the fast path handled the
+// input; on false the caller must fall back to encoding/json (dst's
+// appended prefix is then meaningless) — the input may still be perfectly
+// valid JSON, just outside the fast shape.
+func AppendMessagesJSON(dst []Message, data []byte) (out []Message, next int, ok bool) {
+	i := skipJSONSpace(data, 0)
+	if i >= len(data) || data[i] != '[' {
+		return dst, 0, false
+	}
+	i = skipJSONSpace(data, i+1)
+	if i < len(data) && data[i] == ']' {
+		return dst, i + 1, true
+	}
+	for {
+		m, mNext, mok := scanMessageObject(data, i, Message{})
+		if !mok {
+			return dst, 0, false
+		}
+		dst = append(dst, m)
+		i = skipJSONSpace(data, mNext)
+		if i >= len(data) {
+			return dst, 0, false
+		}
+		switch data[i] {
+		case ',':
+			i = skipJSONSpace(data, i+1)
+		case ']':
+			return dst, i + 1, true
+		default:
+			return dst, 0, false
+		}
+	}
+}
+
+// scanMessageObject parses one message object starting at data[i],
+// merging into base (stdlib semantics: keys absent from the JSON leave
+// the corresponding fields untouched). It returns false — deferring to
+// encoding/json — whenever the input strays from the simple shape,
+// including every case where the stdlib's semantics are subtle (escape
+// sequences, invalid UTF-8 coercion, case-insensitive key matching,
+// unknown fields, number edge grammar).
+func scanMessageObject(data []byte, i int, base Message) (m Message, next int, ok bool) {
+	if i >= len(data) || data[i] != '{' {
+		return base, 0, false
+	}
+	i = skipJSONSpace(data, i+1)
+	if i < len(data) && data[i] == '}' {
+		return base, i + 1, true
+	}
+	for {
+		key, kn, kok := scanJSONString(data, i)
+		if !kok {
+			return base, 0, false
+		}
+		i = skipJSONSpace(data, kn)
+		if i >= len(data) || data[i] != ':' {
+			return base, 0, false
+		}
+		i = skipJSONSpace(data, i+1)
+		switch string(key) { // compiled to direct comparisons: no allocation
+		case "time":
+			val, vn, vok := scanJSONNumber(data, i)
+			if !vok {
+				return base, 0, false
+			}
+			base.Time = val
+			i = vn
+		case "user":
+			val, vn, vok := scanJSONString(data, i)
+			if !vok {
+				return base, 0, false
+			}
+			base.User = string(val)
+			i = vn
+		case "text":
+			val, vn, vok := scanJSONString(data, i)
+			if !vok {
+				return base, 0, false
+			}
+			base.Text = string(val)
+			i = vn
+		default:
+			// Unknown (or case-folded) key: stdlib has matching rules the
+			// fast path must not re-implement.
+			return base, 0, false
+		}
+		i = skipJSONSpace(data, i)
+		if i >= len(data) {
+			return base, 0, false
+		}
+		switch data[i] {
+		case ',':
+			i = skipJSONSpace(data, i+1)
+		case '}':
+			return base, i + 1, true
+		default:
+			return base, 0, false
+		}
+	}
+}
+
+func skipJSONSpace(data []byte, i int) int {
+	for i < len(data) {
+		switch data[i] {
+		case ' ', '\t', '\n', '\r':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+// scanJSONString scans a double-quoted string starting at data[i] and
+// returns the raw bytes between the quotes. Escapes, control characters,
+// and invalid UTF-8 all reject: each has coercion rules only encoding/json
+// should implement.
+func scanJSONString(data []byte, i int) (val []byte, next int, ok bool) {
+	if i >= len(data) || data[i] != '"' {
+		return nil, 0, false
+	}
+	start := i + 1
+	ascii := true
+	for j := start; j < len(data); j++ {
+		c := data[j]
+		switch {
+		case c == '"':
+			val = data[start:j]
+			if !ascii && !utf8.Valid(val) {
+				return nil, 0, false // stdlib would splice in U+FFFD
+			}
+			return val, j + 1, true
+		case c == '\\' || c < 0x20:
+			return nil, 0, false
+		case c >= 0x80:
+			ascii = false
+		}
+	}
+	return nil, 0, false
+}
+
+// scanJSONNumber scans a number matching the strict JSON grammar
+// (-?int[.frac][(e|E)[±]exp]) so the fast path never accepts what
+// encoding/json would reject (e.g. "1." or "+5").
+func scanJSONNumber(data []byte, i int) (val float64, next int, ok bool) {
+	j := i
+	if j < len(data) && data[j] == '-' {
+		j++
+	}
+	digits := func() bool {
+		n := 0
+		for j < len(data) && data[j] >= '0' && data[j] <= '9' {
+			j++
+			n++
+		}
+		return n > 0
+	}
+	intStart := j
+	if !digits() {
+		return 0, 0, false
+	}
+	if data[intStart] == '0' && j > intStart+1 {
+		return 0, 0, false // leading zeros are not JSON
+	}
+	if j < len(data) && data[j] == '.' {
+		j++
+		if !digits() {
+			return 0, 0, false
+		}
+	}
+	if j < len(data) && (data[j] == 'e' || data[j] == 'E') {
+		j++
+		if j < len(data) && (data[j] == '+' || data[j] == '-') {
+			j++
+		}
+		if !digits() {
+			return 0, 0, false
+		}
+	}
+	f, err := strconv.ParseFloat(string(data[i:j]), 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return f, j, true
+}

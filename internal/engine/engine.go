@@ -21,6 +21,19 @@
 //
 // Engine.Close drains everything gracefully: intake stops, queued chat and
 // in-flight refinements complete, workers exit.
+//
+// # Batching contract
+//
+// Ingest is batch-first: every Session.Ingest call — one message or ten
+// thousand — rides ONE mailbox envelope, so the per-call tax (watermark
+// validation, one lock acquisition, one pool dispatch) amortizes across
+// the batch, and the worker hands the whole slice to the detector in a
+// single feedAll call. Batching never changes results: a session fed the
+// same messages in the same order emits bit-identical dots, watermarks,
+// and checkpoints regardless of how the stream was split into batches
+// (ingest order is the only contract; batch boundaries are invisible
+// downstream). Batch buffers are pooled and the mailbox is a reusable
+// ring, so steady-state batched ingest allocates nothing per call.
 package engine
 
 import (
@@ -38,8 +51,12 @@ import (
 // Config tunes the engine. The zero value picks sensible production
 // defaults.
 type Config struct {
-	// SessionWorkers is the size of the pool draining session mailboxes
-	// (default GOMAXPROCS).
+	// SessionWorkers is the size of the pool draining session mailboxes.
+	// The default scales with the hardware — runtime.GOMAXPROCS(0) at
+	// engine construction — so the engine uses every core it is allowed
+	// without configuration; set it explicitly (any value ≥ 1) to pin the
+	// pool, e.g. to isolate the engine from latency-sensitive co-tenants.
+	// SessionManager.Workers reports the resolved value.
 	SessionWorkers int
 	// RefineWorkers bounds concurrent per-dot refinements across all jobs
 	// (default GOMAXPROCS).

@@ -34,8 +34,14 @@ var (
 // core.OnlineDetector; replay sessions accumulate the log and run the batch
 // initializer at flush, which is how batch extraction becomes "replay over
 // the streaming path" rather than a separate pipeline.
+//
+// feedAll consumes a whole ingest batch in one call — the mailbox hands a
+// batch envelope's slice straight through, so the per-message cost is the
+// detector's alone, with no per-message dispatch above it. The slice is
+// only valid for the duration of the call (it returns to a pool);
+// implementations must copy any messages they retain.
 type sessionDetector interface {
-	feed(m chat.Message) ([]core.RedDot, error)
+	feedAll(ms []chat.Message) ([]core.RedDot, error)
 	advance(now float64) []core.RedDot
 	flush() ([]core.RedDot, error)
 }
@@ -43,9 +49,21 @@ type sessionDetector interface {
 // onlineBackend adapts core.OnlineDetector to the sessionDetector shape.
 type onlineBackend struct{ od *core.OnlineDetector }
 
-func (b onlineBackend) feed(m chat.Message) ([]core.RedDot, error) { return b.od.Feed(m) }
-func (b onlineBackend) advance(now float64) []core.RedDot          { return b.od.Advance(now) }
-func (b onlineBackend) flush() ([]core.RedDot, error)              { return b.od.Flush(), nil }
+func (b onlineBackend) feedAll(ms []chat.Message) ([]core.RedDot, error) {
+	var dots []core.RedDot
+	for _, m := range ms {
+		d, err := b.od.Feed(m)
+		if len(d) > 0 {
+			dots = append(dots, d...)
+		}
+		if err != nil {
+			return dots, err
+		}
+	}
+	return dots, nil
+}
+func (b onlineBackend) advance(now float64) []core.RedDot { return b.od.Advance(now) }
+func (b onlineBackend) flush() ([]core.RedDot, error)     { return b.od.Flush(), nil }
 
 // replayBackend buffers the stream and runs batch top-k detection when the
 // stream ends. It sees exactly the same message sequence a live session
@@ -58,8 +76,10 @@ type replayBackend struct {
 	messages []chat.Message
 }
 
-func (b *replayBackend) feed(m chat.Message) ([]core.RedDot, error) {
-	b.messages = append(b.messages, m)
+func (b *replayBackend) feedAll(ms []chat.Message) ([]core.RedDot, error) {
+	// One append for the whole batch. The envelope's slice is pooled, so
+	// the copy is mandatory, not just prudent.
+	b.messages = append(b.messages, ms...)
 	return nil, nil
 }
 
@@ -71,13 +91,97 @@ func (b *replayBackend) flush() ([]core.RedDot, error) {
 
 // envelope is one unit of mailbox work: a message batch, a clock advance,
 // a checkpoint request, or a flush. Exactly one kind set per envelope.
+// A whole Ingest batch rides ONE envelope — one lock acquisition and one
+// dispatch per batch, not per message — which is what lets burst ingest
+// amortize the mailbox tax.
 type envelope struct {
-	msgs       []chat.Message
+	msgs       []chat.Message   // batch payload; backed by msgBuf when pooled
+	msgBuf     *[]chat.Message  // pooled buffer to recycle after processing
 	advance    float64
 	flush      bool
 	checkpoint bool
 	done       chan struct{} // non-nil for flush: closed when processed
 	ckptRes    chan error    // non-nil for blocking checkpoint: receives the result
+}
+
+// msgBufPool recycles ingest batch buffers across all sessions. Buffers
+// grow to the largest batch a caller sends and are then reused verbatim,
+// so steady-state batched ingest allocates nothing at the envelope level.
+var msgBufPool = sync.Pool{
+	New: func() any {
+		b := make([]chat.Message, 0, 64)
+		return &b
+	},
+}
+
+// maxPooledBatch caps the batch buffer retained in the pool (in
+// messages): a one-off giant backfill batch must not pin tens of
+// megabytes on the pool forever. Burst-sized buffers recycle; outliers
+// are left to the GC.
+const maxPooledBatch = 1 << 14
+
+// putMsgBuf recycles a batch buffer. Message structs are zeroed first so
+// the pool never pins a batch's chat text for the arbitrary lifetime of an
+// idle buffer.
+func putMsgBuf(bp *[]chat.Message) {
+	if cap(*bp) > maxPooledBatch {
+		return
+	}
+	clear(*bp)
+	*bp = (*bp)[:0]
+	msgBufPool.Put(bp)
+}
+
+// release recycles the envelope's pooled message buffer after processing.
+func (env *envelope) release() {
+	if env.msgBuf == nil {
+		return
+	}
+	putMsgBuf(env.msgBuf)
+	env.msgBuf = nil
+	env.msgs = nil
+}
+
+// envelopeRing is the session mailbox: a growable FIFO ring whose backing
+// array is reused across drain cycles. The slice mailbox it replaces
+// re-allocated on every produce/drain cycle (drain handed the slice to the
+// worker and left nil behind); the ring reaches its high-water capacity
+// once and then enqueues allocation-free forever.
+type envelopeRing struct {
+	buf  []envelope
+	head int
+	n    int
+}
+
+func (r *envelopeRing) push(env envelope) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = env
+	r.n++
+}
+
+func (r *envelopeRing) pop() (envelope, bool) {
+	if r.n == 0 {
+		return envelope{}, false
+	}
+	env := r.buf[r.head]
+	r.buf[r.head] = envelope{} // drop payload references for GC
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return env, true
+}
+
+func (r *envelopeRing) len() int { return r.n }
+
+// grow doubles the ring (power-of-two capacity keeps the index mask cheap),
+// unwrapping the live window to the front of the new buffer.
+func (r *envelopeRing) grow() {
+	next := make([]envelope, max(2*len(r.buf), 8))
+	for i := 0; i < r.n; i++ {
+		next[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = next, 0
 }
 
 // Session is one live channel's detection state: an ordered mailbox in
@@ -90,7 +194,7 @@ type Session struct {
 	mgr     *SessionManager
 
 	mu        sync.Mutex // guards queue, running, watermark, closed, emitted, err
-	queue     []envelope
+	queue     envelopeRing
 	running   bool
 	closed    bool
 	flushDone chan struct{} // non-nil once a flush is enqueued; closed when processed
@@ -106,32 +210,39 @@ type Session struct {
 // Channel returns the session's channel identifier.
 func (s *Session) Channel() string { return s.channel }
 
-// Ingest validates and enqueues a batch of live chat messages. Order is
-// checked against the session's high-water mark at enqueue time, so the
-// caller gets a synchronous ErrOutOfOrder instead of a poisoned mailbox;
-// the actual detection work happens on the manager's worker pool.
+// Ingest validates and enqueues a batch of live chat messages as ONE
+// envelope: one watermark check, one lock acquisition, one dispatch —
+// the whole batch then flows through the worker in a single feedAll call,
+// so the per-message mailbox tax is amortized across the batch. Order is
+// checked against the session's high-water mark at enqueue time (including
+// within the batch itself), so the caller gets a synchronous ErrOutOfOrder
+// with the session untouched instead of a poisoned mailbox. The caller's
+// slice is copied into a pooled buffer; steady-state batched ingest is
+// allocation-free.
 func (s *Session) Ingest(msgs ...chat.Message) error {
 	if len(msgs) == 0 {
 		return nil
 	}
+	bp := msgBufPool.Get().(*[]chat.Message)
+	*bp = append((*bp)[:0], msgs...)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		putMsgBuf(bp)
 		return ErrClosed
 	}
 	last := s.watermark
 	for _, m := range msgs {
 		if m.Time < last {
 			s.mu.Unlock()
+			putMsgBuf(bp)
 			return fmt.Errorf("%w: %.3fs after %.3fs on channel %q",
 				ErrOutOfOrder, m.Time, last, s.channel)
 		}
 		last = m.Time
 	}
 	s.watermark = last
-	batch := make([]chat.Message, len(msgs))
-	copy(batch, msgs)
-	s.enqueueLocked(envelope{msgs: batch})
+	s.enqueueLocked(envelope{msgs: *bp, msgBuf: bp})
 	s.mu.Unlock()
 	return nil
 }
@@ -204,13 +315,13 @@ func (s *Session) Dots(cursor int) ([]core.RedDot, int) {
 func (s *Session) Pending() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue)
+	return s.queue.len()
 }
 
-// enqueueLocked appends work and hands the session to the pool if no
-// worker currently owns it. Caller holds s.mu.
+// enqueueLocked pushes work onto the mailbox ring and hands the session to
+// the pool if no worker currently owns it. Caller holds s.mu.
 func (s *Session) enqueueLocked(env envelope) {
-	s.queue = append(s.queue, env)
+	s.queue.push(env)
 	s.mgr.items.Add(1)
 	if !s.running {
 		s.running = true
@@ -218,28 +329,29 @@ func (s *Session) enqueueLocked(env envelope) {
 	}
 }
 
-// drain is run by exactly one pool worker at a time: it repeatedly swaps
-// out the queued envelopes and processes them in order, releasing
-// ownership only when the mailbox is observed empty under the lock.
+// drain is run by exactly one pool worker at a time: it pops envelopes off
+// the ring and processes them in order, releasing ownership only when the
+// mailbox is observed empty under the lock. Popping in place (instead of
+// swapping the whole queue out) keeps the ring's backing array live for
+// reuse — producers enqueueing into it never re-allocate — and each pop is
+// one envelope, i.e. one whole ingest batch, so the lock cost stays
+// amortized across the batch.
 func (s *Session) drain() {
 	for {
 		s.mu.Lock()
-		if len(s.queue) == 0 {
+		env, ok := s.queue.pop()
+		if !ok {
 			s.running = false
 			s.mu.Unlock()
 			return
 		}
-		batch := s.queue
-		s.queue = nil
 		s.mu.Unlock()
-		for _, env := range batch {
-			s.process(env)
-			s.mgr.items.Done()
-		}
+		s.process(&env)
+		s.mgr.items.Done()
 	}
 }
 
-func (s *Session) process(env envelope) {
+func (s *Session) process(env *envelope) {
 	s.detMu.Lock()
 	var dots []core.RedDot
 	var err error
@@ -249,17 +361,11 @@ func (s *Session) process(env envelope) {
 		if env.ckptRes != nil {
 			env.ckptRes <- cerr
 		}
+	case env.msgs != nil:
+		dots, err = s.det.feedAll(env.msgs)
+		env.release()
 	case env.flush:
 		dots, err = s.det.flush()
-	case env.msgs != nil:
-		for _, m := range env.msgs {
-			var d []core.RedDot
-			d, err = s.det.feed(m)
-			dots = append(dots, d...)
-			if err != nil {
-				break
-			}
-		}
 	default:
 		dots = s.det.advance(env.advance)
 	}
@@ -326,7 +432,12 @@ func newSessionManager(init *core.Initializer, threshold, warmup float64, worker
 		ckptEvery:   ckptEvery,
 		ckptStop:    make(chan struct{}),
 		sessions:    make(map[string]*Session),
-		work:        make(chan *Session, 1024),
+		// The work channel holds ownership tokens (≤ 1 per session with
+		// queued work). Its buffer scales with the pool instead of being a
+		// fixed constant so large deployments raising SessionWorkers don't
+		// start paying the dispatch goroutine fallback sooner than small
+		// ones.
+		work: make(chan *Session, max(1024, 64*workers)),
 	}
 	for i := 0; i < workers; i++ {
 		m.workerWG.Add(1)
@@ -384,6 +495,11 @@ func (m *SessionManager) Get(channel string) (*Session, bool) {
 	s, ok := m.sessions[channel]
 	return s, ok
 }
+
+// Workers returns the size of the pool draining session mailboxes: the
+// Config.SessionWorkers override, or runtime.GOMAXPROCS(0) captured at
+// engine construction when unset.
+func (m *SessionManager) Workers() int { return m.workers }
 
 // Channels returns the ids of all open sessions.
 func (m *SessionManager) Channels() []string {

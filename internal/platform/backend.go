@@ -40,6 +40,16 @@ type Backend interface {
 	// AppendEvents appends interaction events to a video's log, applying
 	// the backend's retention policy.
 	AppendEvents(id string, events []play.Event) error
+	// AppendEventsBatch appends a burst of interaction events spanning any
+	// number of videos as one ATOMIC batch mutation: the whole batch is
+	// validated up front (an unknown video fails the call with nothing
+	// applied), entries apply in order, and no concurrent mutation can
+	// interleave between them — a reader never observes the batch
+	// half-applied. A durable backend acknowledges the entire burst with a
+	// single durability wait instead of one per video, and the resulting
+	// log replays bit-identically to the same entries appended one at a
+	// time.
+	AppendEventsBatch(batch []EventBatch) error
 	// ScanEvents returns a page of the video's retained event log starting
 	// at offset (0 = oldest retained), plus the total retained count.
 	// limit <= 0 means "to the end".
@@ -52,6 +62,13 @@ type Backend interface {
 	DeleteCheckpoint(channel string) error
 	// Close releases the backend's resources, flushing anything pending.
 	Close() error
+}
+
+// EventBatch is one video's slice of a multi-video interaction burst —
+// the unit of Backend.AppendEventsBatch.
+type EventBatch struct {
+	VideoID string
+	Events  []play.Event
 }
 
 // MemoryConfig tunes a MemoryBackend.
@@ -98,10 +115,14 @@ func NewMemoryBackend(cfg MemoryConfig) *MemoryBackend {
 	return b
 }
 
-func (b *MemoryBackend) shard(id string) *storeShard {
+func (b *MemoryBackend) shardIndex(id string) uint32 {
 	h := fnv.New32a()
 	h.Write([]byte(id))
-	return &b.shards[h.Sum32()%storeShards]
+	return h.Sum32() % storeShards
+}
+
+func (b *MemoryBackend) shard(id string) *storeShard {
+	return &b.shards[b.shardIndex(id)]
 }
 
 // PutVideo inserts or replaces a video record. The record is stored with
@@ -219,6 +240,12 @@ func (b *MemoryBackend) AppendEvents(id string, events []play.Event) error {
 	if _, ok := sh.videos[id]; !ok {
 		return fmt.Errorf("platform: unknown video %q", id)
 	}
+	b.appendEventsLocked(sh, id, events)
+	return nil
+}
+
+// appendEventsLocked is the append+retention body; caller holds sh.mu.
+func (b *MemoryBackend) appendEventsLocked(sh *storeShard, id string, events []play.Event) {
 	log := append(sh.events[id], events...)
 	if cap := b.cfg.EventRetention; cap > 0 && len(log) > cap+cap/4 {
 		keep := log[len(log)-cap:]
@@ -227,6 +254,37 @@ func (b *MemoryBackend) AppendEvents(id string, events []play.Event) error {
 		log = compacted
 	}
 	sh.events[id] = log
+}
+
+// AppendEventsBatch appends a multi-video event burst atomically: every
+// shard the batch touches is locked (in index order, so concurrent
+// batches cannot deadlock) before anything is validated or applied, so a
+// concurrent append can never interleave between the batch's entries and
+// a reader never observes the batch half-applied — the same atomicity
+// FileBackend gets from holding its mutex across the batch.
+func (b *MemoryBackend) AppendEventsBatch(batch []EventBatch) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	var touched [storeShards]bool
+	for _, eb := range batch {
+		touched[b.shardIndex(eb.VideoID)] = true
+	}
+	for i := range b.shards {
+		if touched[i] {
+			b.shards[i].mu.Lock()
+			defer b.shards[i].mu.Unlock()
+		}
+	}
+	for _, eb := range batch {
+		sh := b.shard(eb.VideoID)
+		if _, ok := sh.videos[eb.VideoID]; !ok {
+			return fmt.Errorf("platform: unknown video %q", eb.VideoID)
+		}
+	}
+	for _, eb := range batch {
+		b.appendEventsLocked(b.shard(eb.VideoID), eb.VideoID, eb.Events)
+	}
 	return nil
 }
 

@@ -43,6 +43,10 @@ func TestBackendConformance(t *testing.T) {
 			t.Run("events-retention", func(t *testing.T) {
 				conformEventsRetention(t, mk(t, MemoryConfig{EventRetention: 100}))
 			})
+			t.Run("events-batch", func(t *testing.T) { conformEventsBatch(t, mk(t, MemoryConfig{})) })
+			t.Run("events-batch-retention", func(t *testing.T) {
+				conformEventsBatchRetention(t, mk(t, MemoryConfig{EventRetention: 100}))
+			})
 			t.Run("checkpoints", func(t *testing.T) { conformCheckpoints(t, mk(t, MemoryConfig{})) })
 			t.Run("concurrency", func(t *testing.T) { conformConcurrency(t, mk(t, MemoryConfig{})) })
 		})
@@ -208,6 +212,86 @@ func conformEventsRetention(t *testing.T, b Backend) {
 	}
 }
 
+// conformEventsBatch: a multi-video burst applies in order, is validated
+// as a whole (an unknown video anywhere fails the call with nothing
+// applied), and is indistinguishable afterwards from sequential appends.
+func conformEventsBatch(t *testing.T, b Backend) {
+	for _, id := range []string{"v1", "v2"} {
+		if err := b.PutVideo(VideoRecord{ID: id, Duration: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := []EventBatch{
+		{VideoID: "v1", Events: []play.Event{{User: "a", Seq: 0, Pos: 1}, {User: "a", Seq: 1, Pos: 2}}},
+		{VideoID: "v2", Events: []play.Event{{User: "b", Seq: 0, Pos: 3}}},
+		{VideoID: "v1", Events: []play.Event{{User: "a", Seq: 2, Pos: 4}}},
+	}
+	if err := b.AppendEventsBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	v1, total := b.ScanEvents("v1", 0, 0)
+	if total != 3 || v1[0].Seq != 0 || v1[1].Seq != 1 || v1[2].Seq != 2 {
+		t.Fatalf("v1 after batch = %+v (total %d)", v1, total)
+	}
+	if _, total := b.ScanEvents("v2", 0, 0); total != 1 {
+		t.Fatalf("v2 after batch: total = %d", total)
+	}
+
+	// Unknown video anywhere in the batch: nothing applies.
+	bad := []EventBatch{
+		{VideoID: "v2", Events: []play.Event{{User: "b", Seq: 9}}},
+		{VideoID: "ghost", Events: []play.Event{{User: "x"}}},
+	}
+	if err := b.AppendEventsBatch(bad); err == nil {
+		t.Fatal("batch with unknown video accepted")
+	}
+	if _, total := b.ScanEvents("v2", 0, 0); total != 1 {
+		t.Fatalf("rejected batch leaked events: v2 total = %d", total)
+	}
+
+	// Empty batches and empty entries are harmless no-ops.
+	if err := b.AppendEventsBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendEventsBatch([]EventBatch{{VideoID: "v1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, total := b.ScanEvents("v1", 0, 0); total != 3 {
+		t.Fatalf("empty entry changed the log: v1 total = %d", total)
+	}
+}
+
+// conformEventsBatchRetention: retention compaction applies to batched
+// appends exactly as it does to sequential ones.
+func conformEventsBatchRetention(t *testing.T, b Backend) {
+	const cap = 100
+	if err := b.PutVideo(VideoRecord{ID: "v1", Duration: 100}); err != nil {
+		t.Fatal(err)
+	}
+	seq := 0
+	for i := 0; i < 100; i++ {
+		batch := make([]EventBatch, 2)
+		for j := range batch {
+			evs := make([]play.Event, 5)
+			for k := range evs {
+				evs[k] = play.Event{User: "u", Seq: seq, Pos: float64(seq)}
+				seq++
+			}
+			batch[j] = EventBatch{VideoID: "v1", Events: evs}
+		}
+		if err := b.AppendEventsBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs, total := b.ScanEvents("v1", 0, 0)
+	if total > cap+cap/4 {
+		t.Fatalf("retention failed under batching: %d retained (cap %d)", total, cap)
+	}
+	if len(evs) == 0 || evs[len(evs)-1].Seq != seq-1 {
+		t.Fatalf("newest event lost: tail %+v", evs[len(evs)-1])
+	}
+}
+
 func conformCheckpoints(t *testing.T, b Backend) {
 	if err := b.PutCheckpoint("", []byte("x")); err == nil {
 		t.Error("empty channel accepted")
@@ -254,9 +338,14 @@ func conformConcurrency(t *testing.T, b Backend) {
 			defer wg.Done()
 			id := fmt.Sprintf("v%d", g%4)
 			for i := 0; i < 50; i++ {
-				switch i % 5 {
+				switch i % 6 {
 				case 0:
 					_ = b.AppendEvents(id, []play.Event{{User: "u", Seq: i}})
+				case 5:
+					_ = b.AppendEventsBatch([]EventBatch{
+						{VideoID: id, Events: []play.Event{{User: "u", Seq: i}}},
+						{VideoID: "v0", Events: []play.Event{{User: "w", Seq: i}}},
+					})
 				case 1:
 					_ = b.SetRedDots(id, []core.RedDot{{Time: float64(i)}})
 				case 2:

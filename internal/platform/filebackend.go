@@ -319,6 +319,68 @@ func (fb *FileBackend) mutate(rec walRecord, durable bool) error {
 	return nil
 }
 
+// mutateBatch logs a burst of mutations through one wal.AppendBatch — one
+// staging-buffer write, one group-commit wait for the whole burst — and
+// applies them in order to the materialized state. Validation covers the
+// entire batch before any byte reaches the log, so a rejected burst leaves
+// both the log and the state untouched; on disk the batch is bit-identical
+// to the same records appended one call at a time, which is what keeps
+// replay of batched and sequential histories interchangeable.
+func (fb *FileBackend) mutateBatch(recs []walRecord, durable bool) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	payloads := make([][]byte, len(recs))
+	for i := range recs {
+		p, err := json.Marshal(recs[i])
+		if err != nil {
+			return fmt.Errorf("platform: encoding wal record: %w", err)
+		}
+		payloads[i] = p
+	}
+	fb.mu.Lock()
+	if fb.closed {
+		fb.mu.Unlock()
+		return fmt.Errorf("platform: file backend is closed")
+	}
+	for i := range recs {
+		if err := fb.validateLocked(recs[i]); err != nil {
+			fb.mu.Unlock()
+			return err
+		}
+	}
+	seq, err := fb.w.AppendBatch(payloads)
+	if err != nil {
+		fb.mu.Unlock()
+		return err
+	}
+	for i := range recs {
+		if err := applyWALRecord(fb.mem, recs[i]); err != nil {
+			// Unreachable when validateLocked is in sync with applyWALRecord;
+			// surface loudly rather than serve state the log disagrees with.
+			fb.mu.Unlock()
+			return fmt.Errorf("platform: logged mutation failed to apply: %w", err)
+		}
+	}
+	w := fb.w
+	fb.recs += len(recs)
+	if fb.recs >= fb.nextCompact {
+		// Same policy as mutate: the burst has already succeeded, so a
+		// compaction failure defers the next attempt instead of NACKing.
+		if err := fb.compactLocked(); err != nil {
+			fb.nextCompact = fb.recs + fb.cfg.SnapshotEvery
+		} else {
+			fb.nextCompact = fb.cfg.SnapshotEvery
+		}
+	}
+	fb.mu.Unlock()
+
+	if durable {
+		return w.WaitDurable(seq)
+	}
+	return nil
+}
+
 // compactLocked (caller holds fb.mu) writes a full snapshot and swaps in a
 // fresh WAL generation. Step order makes every crash window recoverable:
 //
@@ -457,6 +519,17 @@ func (fb *FileBackend) SetRefined(id string, dots []core.RedDot, spans []core.In
 // are acknowledged only once fsynced.
 func (fb *FileBackend) AppendEvents(id string, events []play.Event) error {
 	return fb.mutate(walRecord{Op: opAppendEvents, ID: id, Events: events}, true)
+}
+
+// AppendEventsBatch is the durable burst path: the whole multi-video batch
+// is framed into one WAL staging write and acknowledged after a single
+// group-commit fsync wait, instead of one durability wait per video.
+func (fb *FileBackend) AppendEventsBatch(batch []EventBatch) error {
+	recs := make([]walRecord, len(batch))
+	for i, eb := range batch {
+		recs[i] = walRecord{Op: opAppendEvents, ID: eb.VideoID, Events: eb.Events}
+	}
+	return fb.mutateBatch(recs, true)
 }
 
 func (fb *FileBackend) ScanEvents(id string, offset, limit int) ([]play.Event, int) {

@@ -1,0 +1,217 @@
+package platform
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"lightor/internal/chat"
+)
+
+// TestStreamDecoderReuse drives one decoder instance through many bodies —
+// the pooling contract: a decoder that parsed a clean body is reusable,
+// and no field from an earlier request may leak into a later one.
+func TestStreamDecoderReuse(t *testing.T) {
+	d := newStreamDecoder[chat.Message]()
+
+	msgs, err := d.decode(strings.NewReader(
+		`[{"time":1,"user":"a","text":"hello"},{"time":2,"user":"b","text":"gg"}]`))
+	if err != nil || len(msgs) != 2 || msgs[1].Text != "gg" {
+		t.Fatalf("first decode = %+v, %v", msgs, err)
+	}
+	if !d.reusable {
+		t.Fatal("clean body did not mark the decoder reusable")
+	}
+
+	// Second body's elements omit fields the first body set: the zero-slot
+	// guarantee must prevent stale User/Text bleeding through.
+	msgs, err = d.decode(strings.NewReader(`[{"time":3}]`))
+	if err != nil || len(msgs) != 1 {
+		t.Fatalf("second decode = %+v, %v", msgs, err)
+	}
+	if msgs[0].User != "" || msgs[0].Text != "" {
+		t.Fatalf("stale fields leaked across requests: %+v", msgs[0])
+	}
+
+	// Empty array, leading/trailing whitespace — all reusable.
+	for _, body := range []string{`[]`, "  [ ] \n", "\t[{\"time\":9}]\n\n"} {
+		if _, err := d.decode(strings.NewReader(body)); err != nil {
+			t.Fatalf("decode(%q): %v", body, err)
+		}
+		if !d.reusable {
+			t.Errorf("decode(%q) left decoder non-reusable", body)
+		}
+	}
+
+	// Non-array and truncated bodies: error, and the decoder is poisoned.
+	for _, body := range []string{`{"time":1}`, `[{"time":1}`, `[{"time":`, ``} {
+		if _, err := newStreamDecoderFromBody(t, body); err == nil {
+			t.Errorf("decode(%q) accepted", body)
+		}
+	}
+	bad := newStreamDecoder[chat.Message]()
+	if _, err := bad.decode(strings.NewReader(`[{"time":1}`)); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+	if bad.reusable {
+		t.Fatal("truncated body left decoder marked reusable")
+	}
+
+	// Trailing garbage: tolerated for the caller, but poisons reuse.
+	g := newStreamDecoder[chat.Message]()
+	msgs, err = g.decode(strings.NewReader(`[{"time":5}]garbage`))
+	if err != nil || len(msgs) != 1 {
+		t.Fatalf("trailing-garbage decode = %+v, %v", msgs, err)
+	}
+	if g.reusable {
+		t.Fatal("trailing garbage left decoder marked reusable")
+	}
+}
+
+func newStreamDecoderFromBody(t *testing.T, body string) ([]chat.Message, error) {
+	t.Helper()
+	return newStreamDecoder[chat.Message]().decode(strings.NewReader(body))
+}
+
+// TestStreamDecoderPoolCycle exercises the real pool path under -race:
+// concurrent decodes with interleaved malformed bodies must stay correct —
+// poisoned decoders are dropped, never handed to the next request.
+func TestStreamDecoderPoolCycle(t *testing.T) {
+	pool := sync.Pool{New: func() any { return newStreamDecoder[chat.Message]() }}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				d := pool.Get().(*streamDecoder[chat.Message])
+				if i%7 == 3 {
+					if _, err := d.decode(strings.NewReader(`[{"time":1}`)); err == nil {
+						t.Error("malformed body accepted")
+					}
+				} else {
+					msgs, err := d.decode(strings.NewReader(`[{"time":1,"user":"u","text":"x"},{"time":2}]`))
+					if err != nil || len(msgs) != 2 || msgs[0].Text != "x" || msgs[1].Text != "" {
+						t.Errorf("decode = %+v, %v", msgs, err)
+					}
+				}
+				d.release(&pool)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestWriteJSONStatusPooledEncoder: repeated responses through the pooled
+// encoder must each carry exactly one complete JSON body.
+func TestWriteJSONStatusPooledEncoder(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		rec := httptest.NewRecorder()
+		writeJSONStatus(rec, 202, LiveIngestResponse{Channel: "ch", Accepted: i})
+		if rec.Code != 202 {
+			t.Fatalf("status = %d", rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content-type = %q", ct)
+		}
+		want := `{"channel":"ch","accepted":` // prefix; Accepted varies
+		if body := rec.Body.String(); !strings.HasPrefix(body, want) || strings.Count(body, "{") != 1 {
+			t.Fatalf("body %d = %q", i, body)
+		}
+	}
+	// Unencodable value: clean 500, not a torn 2xx.
+	rec := httptest.NewRecorder()
+	writeJSONStatus(rec, 200, map[string]any{"bad": func() {}})
+	if rec.Code != 500 {
+		t.Fatalf("unencodable value: status = %d, body = %q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestChatIngestDecode covers the live-chat body parser across its three
+// paths — fast array parse, stdlib fallback, and rejection — plus the
+// pooling hygiene: no field from an earlier body may survive into a later
+// one, even across the fast/fallback boundary.
+func TestChatIngestDecode(t *testing.T) {
+	ci := &chatIngest{}
+
+	msgs, err := ci.decode(strings.NewReader(`[{"time":1,"user":"a","text":"gg"},{"time":2}]`))
+	if err != nil || len(msgs) != 2 || msgs[0].Text != "gg" || msgs[1] != (chat.Message{Time: 2}) {
+		t.Fatalf("fast path = %+v, %v", msgs, err)
+	}
+
+	// Escape sequence: outside the fast shape, must fall back to stdlib
+	// and decode correctly — with no stale fields from the prior body.
+	msgs, err = ci.decode(strings.NewReader(`[{"time":3,"text":"line\nbreak"},{"time":4}]`))
+	if err != nil || len(msgs) != 2 {
+		t.Fatalf("fallback path = %+v, %v", msgs, err)
+	}
+	if msgs[0].Text != "line\nbreak" || msgs[0].User != "" {
+		t.Fatalf("fallback decoded %+v", msgs[0])
+	}
+	if msgs[1] != (chat.Message{Time: 4}) {
+		t.Fatalf("stale fields leaked into fallback slot: %+v", msgs[1])
+	}
+
+	// After a fallback, the fast path must again be clean.
+	msgs, err = ci.decode(strings.NewReader(`[{"time":9}]`))
+	if err != nil || len(msgs) != 1 || msgs[0] != (chat.Message{Time: 9}) {
+		t.Fatalf("post-fallback fast path = %+v, %v", msgs, err)
+	}
+
+	// Malformed bodies error through the stdlib arbiter.
+	for _, body := range []string{``, `{"time":1}`, `[{"time":1}`, `[1]`} {
+		if _, err := ci.decode(strings.NewReader(body)); err == nil {
+			t.Errorf("decode(%q) accepted", body)
+		}
+	}
+
+	// Trailing bytes after the array are ignored — the endpoint's
+	// historical json.Decoder first-value semantics, on both the fast path
+	// and the fallback.
+	for _, body := range []string{`[{"time":20}] trailing`, `[{"time":21,"text":"esc\t"}] trailing`} {
+		msgs, err := ci.decode(strings.NewReader(body))
+		if err != nil || len(msgs) != 1 {
+			t.Errorf("decode(%q) = %+v, %v; trailing bytes must be tolerated", body, msgs, err)
+		}
+	}
+
+	// And a clean body still decodes after errors.
+	if msgs, err := ci.decode(strings.NewReader(`[{"time":10,"user":"z"}]`)); err != nil || len(msgs) != 1 || msgs[0].User != "z" {
+		t.Fatalf("post-error decode = %+v, %v", msgs, err)
+	}
+	ci.release()
+}
+
+// TestChatIngestPoolCycle hammers the real pool under -race with mixed
+// clean/fallback/malformed bodies.
+func TestChatIngestPoolCycle(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ci := chatIngestPool.Get().(*chatIngest)
+				switch i % 3 {
+				case 0:
+					msgs, err := ci.decode(strings.NewReader(`[{"time":1,"text":"a"},{"time":2}]`))
+					if err != nil || len(msgs) != 2 || msgs[1].Text != "" {
+						t.Errorf("fast = %+v, %v", msgs, err)
+					}
+				case 1:
+					msgs, err := ci.decode(strings.NewReader(`[{"time":1,"text":"esc\t"}]`))
+					if err != nil || len(msgs) != 1 || msgs[0].Text != "esc\t" {
+						t.Errorf("fallback = %+v, %v", msgs, err)
+					}
+				case 2:
+					if _, err := ci.decode(strings.NewReader(`[{"time":`)); err == nil {
+						t.Error("malformed accepted")
+					}
+				}
+				ci.release()
+			}
+		}()
+	}
+	wg.Wait()
+}

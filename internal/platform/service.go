@@ -1,13 +1,11 @@
 package platform
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 
-	"lightor/internal/chat"
 	"lightor/internal/core"
 	"lightor/internal/engine"
 	"lightor/internal/play"
@@ -92,14 +90,6 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
-// writeJSONStatus writes a JSON body with an explicit status code; the
-// Content-Type header must be set before WriteHeader or it is lost.
-func writeJSONStatus(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
 func (s *Service) defaultK() int {
 	if s.DefaultK > 0 {
 		return s.DefaultK
@@ -172,12 +162,18 @@ func (s *Service) handleInteractions(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing video parameter", http.StatusBadRequest)
 		return
 	}
-	var events []play.Event
-	if err := json.NewDecoder(r.Body).Decode(&events); err != nil {
+	dec := eventDecPool.Get().(*streamDecoder[play.Event])
+	events, err := dec.decode(r.Body)
+	if err != nil {
+		dec.release(&eventDecPool)
 		http.Error(w, fmt.Sprintf("bad interaction payload: %v", err), http.StatusBadRequest)
 		return
 	}
-	if err := s.Store.LogEvents(id, events); err != nil {
+	// The store copies (and, when durable, marshals) the events before
+	// returning, so the pooled slice can be released right after.
+	err = s.Store.LogEvents(id, events)
+	dec.release(&eventDecPool)
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
@@ -323,29 +319,42 @@ func refineResponse(job engine.RefineJob) RefineJobResponse {
 }
 
 // handleLiveChat ingests a batch of live chat messages for a channel,
-// opening its session on first contact. The engine processes the batch
-// asynchronously; emitted dots surface on /api/live/dots.
+// opening its session on first contact. This is the burst hot path: the
+// body stream-decodes through a pooled decoder into a pooled message
+// slice, and the whole batch enters the engine as ONE mailbox envelope
+// (one watermark check, one lock, one dispatch — see Session.Ingest), so
+// a goal-moment spike costs per-message work only inside the detector.
+// The engine processes the batch asynchronously; emitted dots surface on
+// /api/live/dots.
 func (s *Service) handleLiveChat(w http.ResponseWriter, r *http.Request) {
 	channel := r.URL.Query().Get("channel")
 	if channel == "" {
 		http.Error(w, "missing channel parameter", http.StatusBadRequest)
 		return
 	}
-	var msgs []chat.Message
-	if err := json.NewDecoder(r.Body).Decode(&msgs); err != nil {
+	ci := chatIngestPool.Get().(*chatIngest)
+	msgs, err := ci.decode(r.Body)
+	if err != nil {
+		ci.release()
 		http.Error(w, fmt.Sprintf("bad chat payload: %v", err), http.StatusBadRequest)
 		return
 	}
 	sess, err := s.Engine.Sessions().GetOrOpen(channel)
 	if err != nil {
+		ci.release()
 		writeLiveError(w, err)
 		return
 	}
-	if err := sess.Ingest(msgs...); err != nil {
+	// Ingest copies the batch into the engine's own pooled mailbox buffer,
+	// so the decoded slice can be recycled as soon as it returns.
+	err = sess.Ingest(msgs...)
+	accepted := len(msgs)
+	ci.release()
+	if err != nil {
 		writeLiveError(w, err)
 		return
 	}
-	writeJSONStatus(w, http.StatusAccepted, LiveIngestResponse{Channel: channel, Accepted: len(msgs)})
+	writeJSONStatus(w, http.StatusAccepted, LiveIngestResponse{Channel: channel, Accepted: accepted})
 }
 
 // handleLiveAdvance moves a quiet channel's stream clock so pending

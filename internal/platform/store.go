@@ -93,6 +93,14 @@ func (s *Store) LogEvents(id string, events []play.Event) error {
 	return s.b.AppendEvents(id, events)
 }
 
+// LogEventsBatch appends a multi-video burst of interaction events as one
+// batch mutation: validated as a whole, applied in order, and (on a
+// durable backend) acknowledged with a single durability wait for the
+// entire burst.
+func (s *Store) LogEventsBatch(batch []EventBatch) error {
+	return s.b.AppendEventsBatch(batch)
+}
+
 // Events returns a copy of all retained events for a video.
 func (s *Store) Events(id string) []play.Event {
 	evs, _ := s.b.ScanEvents(id, 0, 0)

@@ -36,6 +36,19 @@
 // flusher serves every waiter that arrived while the previous fsync was in
 // flight, so durable-append throughput scales with batching instead of
 // paying one fsync per record.
+//
+// # Batching contract
+//
+// Writer.AppendBatch (and AppendBatchDurable) appends N payloads as N
+// ordinary records: each gets its own length+CRC frame, staged into one
+// reused buffer and handed to the buffered writer in a single call, with
+// the whole batch covered by one group-commit wait. On disk a batch is
+// byte-identical to the same payloads appended one at a time — Scan and
+// recovery never see batch boundaries, so replay of a batched log equals
+// replay of a sequential one bit for bit. Torn-tail semantics are
+// unchanged: a crash mid-batch loses a suffix of the batch's records
+// exactly as it would for sequential appends (callers that need
+// all-or-nothing batches must encode the batch as one record).
 package wal
 
 import (
@@ -166,10 +179,11 @@ func ScanFile(path string, apply func(payload []byte) error) (records int, valid
 
 // Writer appends framed records to a log file with group-commit fsync.
 type Writer struct {
-	mu        sync.Mutex // guards f, bw, seq, err
+	mu        sync.Mutex // guards f, bw, seq, err, batchBuf
 	f         *os.File
 	bw        *bufio.Writer
 	frame     [frameSize]byte
+	batchBuf  []byte // reused frame+payload staging for AppendBatch
 	seq       uint64 // records appended (buffered, not necessarily synced)
 	err       error  // first write error; sticky
 	closed    bool
@@ -300,6 +314,82 @@ func (w *Writer) AppendDurable(payload []byte) error {
 		return err
 	}
 	return w.WaitDurable(seq)
+}
+
+// AppendBatch appends every payload as its own record — framed identically
+// to N sequential Append calls, so readers cannot tell the difference —
+// but stages all frames into one reused buffer and issues a single
+// buffered write. The whole batch therefore pays one lock acquisition and
+// one writer hand-off instead of N. It returns the sequence number of the
+// batch's LAST record; pass it to WaitDurable to make the entire batch
+// durable with one group-commit wait (or use AppendBatchDurable).
+//
+// The batch is all-or-nothing at the framing level: an oversized payload
+// fails the call before any byte of the batch reaches the log.
+func (w *Writer) AppendBatch(payloads [][]byte) (uint64, error) {
+	seq, err := w.appendBatch(payloads)
+	w.nudge()
+	return seq, err
+}
+
+// AppendBatchDurable appends the batch and blocks until all of it has been
+// fsynced — one durability wait for the burst.
+func (w *Writer) AppendBatchDurable(payloads [][]byte) error {
+	seq, err := w.appendBatch(payloads)
+	if err != nil {
+		return err
+	}
+	if len(payloads) == 0 {
+		return nil
+	}
+	return w.WaitDurable(seq)
+}
+
+// batchBufRetain caps the staging buffer kept across batches: a one-off
+// giant batch must not pin its buffer on the writer forever.
+const batchBufRetain = 1 << 20
+
+func (w *Writer) appendBatch(payloads [][]byte) (uint64, error) {
+	total := 0
+	for _, p := range payloads {
+		if len(p) > MaxRecord {
+			return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecord", len(p))
+		}
+		total += frameSize + len(p)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, errors.New("wal: writer closed")
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	if len(payloads) == 0 {
+		return w.seq, nil
+	}
+	if cap(w.batchBuf) < total {
+		w.batchBuf = make([]byte, 0, total)
+	}
+	buf := w.batchBuf[:0]
+	for _, p := range payloads {
+		var frame [frameSize]byte
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(p)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(p))
+		buf = append(buf, frame[:]...)
+		buf = append(buf, p...)
+	}
+	if cap(buf) <= batchBufRetain {
+		w.batchBuf = buf
+	} else {
+		w.batchBuf = nil
+	}
+	if _, err := w.bw.Write(buf); err != nil {
+		w.err = err
+		return 0, err
+	}
+	w.seq += uint64(len(payloads))
+	return w.seq, nil
 }
 
 func (w *Writer) append(payload []byte) (uint64, error) {

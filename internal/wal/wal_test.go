@@ -403,3 +403,142 @@ func TestEnvelopeRoundTripAndValidation(t *testing.T) {
 		t.Errorf("corrupt payload: err = %v", err)
 	}
 }
+
+// TestAppendBatchBitIdenticalToSequential is the on-disk half of the
+// batching contract: a batch-appended log must be byte-for-byte identical
+// to the same payloads appended one at a time.
+func TestAppendBatchBitIdenticalToSequential(t *testing.T) {
+	dir := t.TempDir()
+	payloads := [][]byte{[]byte("one"), {}, []byte("three: \x00\xff binary"),
+		bytes.Repeat([]byte{0xab}, 1000)}
+
+	seqPath := filepath.Join(dir, "seq.log")
+	ws, _, err := Open(seqPath, testOpts(), func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads {
+		if _, err := ws.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ws.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	batchPath := filepath.Join(dir, "batch.log")
+	wb, _, err := Open(batchPath, testOpts(), func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := wb.AppendBatch(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != uint64(len(payloads)) {
+		t.Fatalf("AppendBatch last seq = %d, want %d", last, len(payloads))
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seqBytes, err := os.ReadFile(seqPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchBytes, err := os.ReadFile(batchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqBytes, batchBytes) {
+		t.Fatalf("batched log differs from sequential log (%d vs %d bytes)",
+			len(batchBytes), len(seqBytes))
+	}
+
+	// And the scanner sees the same records back.
+	var got [][]byte
+	records, _, err := ScanFile(batchPath, collect(&got))
+	if err != nil || records != len(payloads) {
+		t.Fatalf("records = %d, err = %v", records, err)
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], payloads[i])
+		}
+	}
+}
+
+// TestAppendBatchDurable interleaves batch and single durable appends from
+// concurrent goroutines; every record must be on disk afterwards and
+// sequence numbers must stay consistent.
+func TestAppendBatchDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := Open(path, testOpts(), func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, batches, batchLen = 4, 8, 16
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < batches; i++ {
+				batch := make([][]byte, batchLen)
+				for j := range batch {
+					batch[j] = []byte(fmt.Sprintf("w%d-b%d-r%d", g, i, j))
+				}
+				if err := w.AppendBatchDurable(batch); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := w.AppendDurable([]byte(fmt.Sprintf("w%d-s%d", g, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	records, _, err := ScanFile(path, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := writers * batches * (batchLen + 1); records != want {
+		t.Fatalf("records = %d, want %d", records, want)
+	}
+}
+
+// TestAppendBatchEdgeCases: empty batches are no-ops, oversized payloads
+// fail the whole batch before any byte reaches the log, and the writer
+// stays usable afterwards.
+func TestAppendBatchEdgeCases(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := Open(path, testOpts(), func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq, err := w.AppendBatch(nil); err != nil || seq != 0 {
+		t.Fatalf("empty batch: seq = %d, err = %v", seq, err)
+	}
+	if err := w.AppendBatchDurable([][]byte{}); err != nil {
+		t.Fatalf("empty durable batch: %v", err)
+	}
+	huge := make([]byte, MaxRecord+1)
+	if _, err := w.AppendBatch([][]byte{[]byte("ok"), huge}); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	if _, err := w.AppendBatch([][]byte{[]byte("still works")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	records, _, err := ScanFile(path, func([]byte) error { return nil })
+	if err != nil || records != 1 {
+		t.Fatalf("records = %d, err = %v (oversized batch must leave no bytes)", records, err)
+	}
+}
