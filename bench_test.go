@@ -424,6 +424,61 @@ func BenchmarkLiveHTTPIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkHTTPDotsRead is the read half of the production story: many
+// concurrent pollers hitting GET /api/live/dots through the real handler.
+// "hot" is the version-keyed response cache plus conditional GETs (steady
+// state: cache hit or bodyless 304); "cold" disables both — the PR 4 read
+// path that re-encoded every poll. The hot-vs-cold ratio is the CI-gated
+// read speedup in BENCH_PR5.json.
+func BenchmarkHTTPDotsRead(b *testing.B) {
+	init, d := benchTrainedEngine(b)
+	msgs := d.Chat.Log.Messages()
+	for _, pollers := range perfhttp.ReadPollerSweep {
+		b.Run(fmt.Sprintf("pollers=%d/hot", pollers), perfhttp.DotsRead(init, msgs, pollers, true, nil))
+		b.Run(fmt.Sprintf("pollers=%d/cold", pollers), perfhttp.DotsRead(init, msgs, pollers, false, nil))
+	}
+}
+
+// BenchmarkHTTPHighlightsRead is the same sweep for GET /api/highlights:
+// recorded-video highlight serving for concurrent viewers, hot (cached +
+// conditional) vs cold (re-encode and re-clone every request).
+func BenchmarkHTTPHighlightsRead(b *testing.B) {
+	init, d := benchTrainedEngine(b)
+	msgs := d.Chat.Log.Messages()
+	for _, pollers := range perfhttp.ReadPollerSweep {
+		b.Run(fmt.Sprintf("pollers=%d/hot", pollers), perfhttp.HighlightsRead(init, msgs, pollers, true, nil))
+		b.Run(fmt.Sprintf("pollers=%d/cold", pollers), perfhttp.HighlightsRead(init, msgs, pollers, false, nil))
+	}
+}
+
+// BenchmarkHTTPDotsReadRacingIngest measures hot dot polling while
+// batched ingest keeps emitting on the same session — cache invalidation
+// churn under live write load, the worst realistic case for the read
+// lane.
+func BenchmarkHTTPDotsReadRacingIngest(b *testing.B) {
+	init, d := benchTrainedEngine(b)
+	msgs := d.Chat.Log.Messages()
+	b.Run("pollers=64", perfhttp.DotsReadRacingIngest(init, msgs, 64, nil))
+}
+
+// BenchmarkDotsSnapshotRead is the engine-level read-lane allocation
+// gate: a lock-free Session.DotsPage load must cost 0 allocs/op. CI fails
+// the build if an alloc (or a lock forcing a copy) sneaks back in.
+func BenchmarkDotsSnapshotRead(b *testing.B) {
+	init, d := benchTrainedEngine(b)
+	b.Run("page", perfhttp.DotsSnapshotRead(init, d.Chat.Log.Messages()))
+}
+
+// BenchmarkLiveDotsCacheServe is the platform-level allocation gate:
+// serving a cache-hit live-dots response (pre-encoded 200 body, or the
+// bodyless 304 a conditional poller gets) must cost 0 allocs/op.
+func BenchmarkLiveDotsCacheServe(b *testing.B) {
+	init, d := benchTrainedEngine(b)
+	msgs := d.Chat.Log.Messages()
+	b.Run("hit-200", perfhttp.DotsCacheServe(init, msgs, false))
+	b.Run("hit-304", perfhttp.DotsCacheServe(init, msgs, true))
+}
+
 // BenchmarkRefineKDots compares the seed's serial per-dot refinement loop
 // (what Workflow.Run did) against the engine's per-dot fan-out on the same
 // k = 8 dots. The parallel path should approach a worker-count speedup.

@@ -19,12 +19,25 @@ import (
 //     exists to catch order-of-magnitude regressions — an accidental
 //     O(n²), a lost fast path — not 10% noise.
 //   - Same-run invariants: allocs/op on the zero-alloc paths must equal
-//     the baseline exactly (0 stays 0), and the batched-ingest speedup at
+//     the baseline exactly (0 stays 0); the batched-ingest speedup at
 //     batch 256 vs batch 1 — a ratio within one run, so machine speed
-//     cancels out — must stay ≥ minSpeedup.
+//     cancels out — must stay ≥ minSpeedup; and the read-path hot-vs-cold
+//     speedup (cached+conditional GETs over re-encode-every-poll, same
+//     run) must stay ≥ minReadSpeedup at concurrent fan-ins (≥ 64
+//     pollers) and above the sanity floor everywhere (hot may never be
+//     slower than cold).
+
+// minReadSanity is the universal hot-vs-cold floor: whatever the machine
+// or fan-in, the cached read lane must never lose to re-encoding.
+const minReadSanity = 1.2
+
+// readSpeedupGatePollers is the fan-in from which the full minReadSpeedup
+// floor applies; a single serial poller mostly measures request-harness
+// overhead, so it only gets the sanity floor.
+const readSpeedupGatePollers = 64
 
 // checkBaseline returns the list of violations (empty = pass).
-func checkBaseline(cur, base benchReport, tol, minSpeedup float64) []string {
+func checkBaseline(cur, base benchReport, tol, minSpeedup, minReadSpeedup float64) []string {
 	var v []string
 	slower := func(name string, cur, base float64) {
 		if base > 0 && cur > base*(1+tol) {
@@ -50,6 +63,18 @@ func checkBaseline(cur, base benchReport, tol, minSpeedup float64) []string {
 		cur.Results.BatchIngestSteadyState.NsPerMsg, base.Results.BatchIngestSteadyState.NsPerMsg)
 	allocs("batch_ingest_steady_state.allocs_per_op",
 		cur.Results.BatchIngestSteadyState.AllocsPerOp, base.Results.BatchIngestSteadyState.AllocsPerOp)
+	slower("dots_snapshot_read.ns_per_op",
+		cur.Results.DotsSnapshotRead.NsPerOp, base.Results.DotsSnapshotRead.NsPerOp)
+	allocs("dots_snapshot_read.allocs_per_op",
+		cur.Results.DotsSnapshotRead.AllocsPerOp, base.Results.DotsSnapshotRead.AllocsPerOp)
+	slower("live_dots_cache_serve.ns_per_op_hit_200",
+		cur.Results.LiveDotsCacheServe.NsPerOpHit, base.Results.LiveDotsCacheServe.NsPerOpHit)
+	allocs("live_dots_cache_serve.allocs_per_op_hit_200",
+		cur.Results.LiveDotsCacheServe.AllocsPerOpHit, base.Results.LiveDotsCacheServe.AllocsPerOpHit)
+	slower("live_dots_cache_serve.ns_per_op_304",
+		cur.Results.LiveDotsCacheServe.NsPerOp304, base.Results.LiveDotsCacheServe.NsPerOp304)
+	allocs("live_dots_cache_serve.allocs_per_op_304",
+		cur.Results.LiveDotsCacheServe.AllocsPerOp304, base.Results.LiveDotsCacheServe.AllocsPerOp304)
 	slower("wal_append.ns_per_op", cur.Results.WALAppend.NsPerOp, base.Results.WALAppend.NsPerOp)
 	slower("checkpoint.ns_per_op", cur.Results.Checkpoint.NsPerOp, base.Results.Checkpoint.NsPerOp)
 	slower("cold_start_recovery.ns_per_record",
@@ -73,7 +98,34 @@ func checkBaseline(cur, base benchReport, tol, minSpeedup float64) []string {
 			row.MsgsPerSec, baseBurst[key{row.Channels, row.Batch}])
 	}
 
-	// Same-run ratio: immune to machine-speed differences by construction.
+	type readKey struct {
+		p      int
+		cached bool
+	}
+	baseRead := map[string]map[readKey]float64{}
+	curRead := map[string][]readResult{
+		"http_dots_read":       cur.Results.HTTPDotsRead,
+		"http_highlights_read": cur.Results.HTTPHighlightsRead,
+	}
+	for name, rows := range map[string][]readResult{
+		"http_dots_read":       base.Results.HTTPDotsRead,
+		"http_highlights_read": base.Results.HTTPHighlightsRead,
+	} {
+		baseRead[name] = map[readKey]float64{}
+		for _, row := range rows {
+			baseRead[name][readKey{row.Pollers, row.Cached}] = row.ReadsPerSec
+		}
+	}
+	for name, rows := range curRead {
+		for _, row := range rows {
+			throughput(fmt.Sprintf("%s[pollers=%d,cached=%t].reads_per_sec", name, row.Pollers, row.Cached),
+				row.ReadsPerSec, baseRead[name][readKey{row.Pollers, row.Cached}])
+		}
+	}
+	throughput("http_dots_read_racing_ingest.reads_per_sec",
+		cur.Results.HTTPDotsReadRacingIngest.ReadsPerSec, base.Results.HTTPDotsReadRacingIngest.ReadsPerSec)
+
+	// Same-run ratios: immune to machine-speed differences by construction.
 	for _, row := range cur.Results.LiveHTTPIngestSpeedup {
 		if row.Speedup < minSpeedup {
 			v = append(v, fmt.Sprintf("live_http_ingest_speedup[channels=%d]: %.2f× < required %.2f× (batch 256 vs 1)",
@@ -83,6 +135,27 @@ func checkBaseline(cur, base benchReport, tol, minSpeedup float64) []string {
 	if len(cur.Results.LiveHTTPIngestSpeedup) == 0 {
 		v = append(v, "live_http_ingest_speedup: missing from report")
 	}
+	readSpeedup := func(name string, rows []readSpeedupResult, gateFloor float64) {
+		for _, row := range rows {
+			floor := minReadSanity
+			if row.Pollers >= readSpeedupGatePollers {
+				floor = gateFloor
+			}
+			if row.Speedup < floor {
+				v = append(v, fmt.Sprintf("%s[pollers=%d]: %.2f× < required %.2f× (hot vs cold, same run)",
+					name, row.Pollers, row.Speedup, floor))
+			}
+		}
+		if len(rows) == 0 {
+			v = append(v, name+": missing from report")
+		}
+	}
+	// The ≥ minReadSpeedup bar is the dots endpoint's: its cold path pays
+	// the full per-poll history encode the cache eliminates. Highlights'
+	// cold path is cheaper (no growing history), so its ratio is bounded
+	// lower — it gets the hot-never-loses sanity floor instead.
+	readSpeedup("http_dots_read_speedup", cur.Results.HTTPDotsReadSpeedup, minReadSpeedup)
+	readSpeedup("http_highlights_read_speedup", cur.Results.HTTPHighlightsReadSpeedup, minReadSanity)
 	return v
 }
 
@@ -99,7 +172,7 @@ func loadReport(path string) (benchReport, error) {
 }
 
 // runBaselineCheck loads both reports and fails loudly on any violation.
-func runBaselineCheck(reportPath, baselinePath string, tol, minSpeedup float64) error {
+func runBaselineCheck(reportPath, baselinePath string, tol, minSpeedup, minReadSpeedup float64) error {
 	cur, err := loadReport(reportPath)
 	if err != nil {
 		return err
@@ -108,11 +181,11 @@ func runBaselineCheck(reportPath, baselinePath string, tol, minSpeedup float64) 
 	if err != nil {
 		return err
 	}
-	if violations := checkBaseline(cur, base, tol, minSpeedup); len(violations) > 0 {
+	if violations := checkBaseline(cur, base, tol, minSpeedup, minReadSpeedup); len(violations) > 0 {
 		return fmt.Errorf("baseline: %d perf regression(s) vs %s:\n  %s",
 			len(violations), baselinePath, strings.Join(violations, "\n  "))
 	}
-	fmt.Printf("baseline: %s within tolerance of %s (×%.2f, min batch speedup %.1f×)\n",
-		reportPath, baselinePath, 1+tol, minSpeedup)
+	fmt.Printf("baseline: %s within tolerance of %s (×%.2f, min batch speedup %.1f×, min read speedup %.1f×)\n",
+		reportPath, baselinePath, 1+tol, minSpeedup, minReadSpeedup)
 	return nil
 }

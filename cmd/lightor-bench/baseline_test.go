@@ -18,6 +18,27 @@ func refReport() benchReport {
 		{Channels: 8, Batch: 256, MsgsPerSec: 1.2e6},
 	}
 	r.Results.LiveHTTPIngestSpeedup = []speedupResult{{Channels: 8, Speedup: 4.8}}
+	r.Results.DotsSnapshotRead = opResult{NsPerOp: 5, AllocsPerOp: 0}
+	r.Results.LiveDotsCacheServe = cacheServeResult{
+		NsPerOpHit: 90, AllocsPerOpHit: 0,
+		NsPerOp304: 80, AllocsPerOp304: 0,
+	}
+	r.Results.HTTPDotsRead = []readResult{
+		{Pollers: 1, Cached: false, ReadsPerSec: 7e4},
+		{Pollers: 1, Cached: true, ReadsPerSec: 1.4e5, NotModifiedPct: 90},
+		{Pollers: 64, Cached: false, ReadsPerSec: 6.7e4},
+		{Pollers: 64, Cached: true, ReadsPerSec: 4.4e5, NotModifiedPct: 90},
+	}
+	r.Results.HTTPDotsReadSpeedup = []readSpeedupResult{
+		{Pollers: 1, Speedup: 2.0},
+		{Pollers: 64, Speedup: 6.5},
+	}
+	r.Results.HTTPHighlightsRead = []readResult{
+		{Pollers: 64, Cached: false, ReadsPerSec: 1.6e5},
+		{Pollers: 64, Cached: true, ReadsPerSec: 4.0e5, NotModifiedPct: 90},
+	}
+	r.Results.HTTPHighlightsReadSpeedup = []readSpeedupResult{{Pollers: 64, Speedup: 2.5}}
+	r.Results.HTTPDotsReadRacingIngest = readResult{Pollers: 64, Cached: true, ReadsPerSec: 1.3e4}
 	return r
 }
 
@@ -27,7 +48,8 @@ func TestCheckBaselinePasses(t *testing.T) {
 	// Ordinary noise: 20% slower here, 20% faster there.
 	cur.Results.OnlineFeedSteadyState.NsPerOp = 480
 	cur.Results.MultiChannelIngest[0].MsgsPerSec = 1.25e6
-	if v := checkBaseline(cur, base, 1.5, 3.0); len(v) != 0 {
+	cur.Results.HTTPDotsRead[3].ReadsPerSec = 3.9e5
+	if v := checkBaseline(cur, base, 1.5, 3.0, 5.0); len(v) != 0 {
 		t.Fatalf("noise flagged as regression: %v", v)
 	}
 }
@@ -40,7 +62,7 @@ func TestCheckBaselineCatchesRegressions(t *testing.T) {
 	cur.Results.OnlineFeedSteadyState.AllocsPerOp = 2   // zero-alloc broken
 	cur.Results.LiveHTTPIngest[1].MsgsPerSec = 1.2e5    // throughput collapse
 	cur.Results.LiveHTTPIngestSpeedup[0].Speedup = 1.4  // batching win lost
-	v := checkBaseline(cur, base, 1.5, 3.0)
+	v := checkBaseline(cur, base, 1.5, 3.0, 5.0)
 	if len(v) != 4 {
 		t.Fatalf("expected 4 violations, got %d: %v", len(v), v)
 	}
@@ -59,7 +81,56 @@ func TestCheckBaselineCatchesRegressions(t *testing.T) {
 	// A report with no speedup rows must fail, not silently pass.
 	empty := refReport()
 	empty.Results.LiveHTTPIngestSpeedup = nil
-	if v := checkBaseline(empty, base, 1.5, 3.0); len(v) != 1 || !strings.Contains(v[0], "missing") {
+	if v := checkBaseline(empty, base, 1.5, 3.0, 5.0); len(v) != 1 || !strings.Contains(v[0], "missing") {
 		t.Fatalf("missing speedup rows not flagged: %v", v)
+	}
+}
+
+func TestCheckBaselineCatchesReadRegressions(t *testing.T) {
+	base := refReport()
+
+	cur := refReport()
+	cur.Results.DotsSnapshotRead.AllocsPerOp = 1           // lock-free read allocating again
+	cur.Results.LiveDotsCacheServe.AllocsPerOpHit = 3      // cache-hit serving allocating
+	cur.Results.LiveDotsCacheServe.AllocsPerOp304 = 1      // 304 path allocating
+	cur.Results.HTTPDotsRead[3].ReadsPerSec = 4e4          // hot read throughput collapse
+	cur.Results.HTTPDotsReadSpeedup[1].Speedup = 3.0       // cache win lost at 64 pollers
+	cur.Results.HTTPHighlightsReadSpeedup[0].Speedup = 0.9 // hot slower than cold
+	v := checkBaseline(cur, base, 1.5, 3.0, 5.0)
+	if len(v) != 6 {
+		t.Fatalf("expected 6 violations, got %d: %v", len(v), v)
+	}
+	joined := strings.Join(v, "\n")
+	for _, want := range []string{
+		"dots_snapshot_read.allocs_per_op",
+		"live_dots_cache_serve.allocs_per_op_hit_200",
+		"live_dots_cache_serve.allocs_per_op_304",
+		"http_dots_read[pollers=64,cached=true].reads_per_sec",
+		"http_dots_read_speedup[pollers=64]",
+		"http_highlights_read_speedup[pollers=64]",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("violations missing %q:\n%s", want, joined)
+		}
+	}
+
+	// The single-poller row gets the sanity floor, not the full one:
+	// 2.0× at pollers=1 passes, 1.1× does not.
+	sane := refReport()
+	sane.Results.HTTPDotsReadSpeedup[0].Speedup = 2.0
+	if v := checkBaseline(sane, base, 1.5, 3.0, 5.0); len(v) != 0 {
+		t.Fatalf("pollers=1 speedup 2.0x wrongly flagged: %v", v)
+	}
+	insane := refReport()
+	insane.Results.HTTPDotsReadSpeedup[0].Speedup = 1.1
+	if v := checkBaseline(insane, base, 1.5, 3.0, 5.0); len(v) != 1 || !strings.Contains(v[0], "pollers=1") {
+		t.Fatalf("pollers=1 speedup below sanity floor not flagged: %v", v)
+	}
+
+	// Missing read-speedup rows must fail, not silently pass.
+	missing := refReport()
+	missing.Results.HTTPDotsReadSpeedup = nil
+	if v := checkBaseline(missing, base, 1.5, 3.0, 5.0); len(v) != 1 || !strings.Contains(v[0], "http_dots_read_speedup: missing") {
+		t.Fatalf("missing read speedup rows not flagged: %v", v)
 	}
 }

@@ -8,6 +8,8 @@ import (
 	"testing"
 	"time"
 
+	"lightor/internal/chat"
+	"lightor/internal/core"
 	"lightor/internal/perf"
 	"lightor/internal/perf/perfengine"
 	"lightor/internal/perf/perfhttp"
@@ -54,6 +56,29 @@ type benchResult struct {
 	// 256-message burst (pooled buffer copy, ring enqueue, dispatch, batch
 	// feed). AllocsPerOp must stay 0: the batched-mailbox contract.
 	BatchIngestSteadyState batchOpResult `json:"batch_ingest_steady_state"`
+	// DotsSnapshotRead is the engine-level read fast lane: one lock-free
+	// Session.DotsPage snapshot load. AllocsPerOp must stay 0: the
+	// zero-alloc read contract.
+	DotsSnapshotRead opResult `json:"dots_snapshot_read"`
+	// LiveDotsCacheServe is platform-level cache-hit response serving:
+	// a pre-encoded 200 body and the bodyless 304 a conditional poller
+	// gets. Both alloc counts must stay 0.
+	LiveDotsCacheServe cacheServeResult `json:"live_dots_cache_serve"`
+	// HTTPDotsRead sweeps concurrent pollers × {hot, cold} end-to-end
+	// through GET /api/live/dots: hot is the version-keyed cache +
+	// conditional GETs, cold re-encodes every poll (the PR 4 read path).
+	HTTPDotsRead []readResult `json:"http_dots_read"`
+	// HTTPDotsReadSpeedup is hot over cold reads/sec per poller count —
+	// a same-run ratio that cancels machine speed (CI-gated).
+	HTTPDotsReadSpeedup []readSpeedupResult `json:"http_dots_read_speedup"`
+	// HTTPHighlightsRead is the same sweep for GET /api/highlights.
+	HTTPHighlightsRead []readResult `json:"http_highlights_read"`
+	// HTTPHighlightsReadSpeedup is hot over cold per poller count for
+	// highlights (CI-gated to never regress below the sanity floor).
+	HTTPHighlightsReadSpeedup []readSpeedupResult `json:"http_highlights_read_speedup"`
+	// HTTPDotsReadRacingIngest is hot dot polling while batched ingest
+	// keeps emitting on the same session (cache-invalidation churn).
+	HTTPDotsReadRacingIngest readResult `json:"http_dots_read_racing_ingest"`
 	// WALAppend is the CPU cost the write-ahead log adds to each accepted
 	// mutation (framing + CRC32 + buffered write; fsync excluded).
 	WALAppend walAppendResult `json:"wal_append"`
@@ -116,6 +141,29 @@ type batchOpResult struct {
 	Batch       int     `json:"batch"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type readResult struct {
+	Pollers     int     `json:"pollers"`
+	Cached      bool    `json:"cached"`
+	ReadsPerSec float64 `json:"reads_per_sec"`
+	// NotModifiedPct is the share of responses served as bodyless 304s
+	// (conditional pollers echoing a current ETag).
+	NotModifiedPct float64 `json:"not_modified_pct"`
+}
+
+type readSpeedupResult struct {
+	Pollers int     `json:"pollers"`
+	Speedup float64 `json:"speedup_hot_vs_cold"`
+}
+
+type cacheServeResult struct {
+	NsPerOpHit     float64 `json:"ns_per_op_hit_200"`
+	AllocsPerOpHit int64   `json:"allocs_per_op_hit_200"`
+	NsPerOp304     float64 `json:"ns_per_op_304"`
+	AllocsPerOp304 int64   `json:"allocs_per_op_304"`
+	BytesPerOpHit  int64   `json:"bytes_per_op_hit_200"`
+	BytesPerOp304  int64   `json:"bytes_per_op_304"`
 }
 
 // checkResult rejects the zero testing.BenchmarkResult a failed closure
@@ -248,6 +296,100 @@ func runBenchJSON(path string) error {
 		Batch:       steadyBatch,
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+
+	r = testing.Benchmark(perfhttp.DotsSnapshotRead(init, msgs))
+	if err := checkResult("dots_snapshot_read", r); err != nil {
+		return err
+	}
+	report.Results.DotsSnapshotRead = opResult{
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+
+	r = testing.Benchmark(perfhttp.DotsCacheServe(init, msgs, false))
+	if err := checkResult("live_dots_cache_serve/hit-200", r); err != nil {
+		return err
+	}
+	r304 := testing.Benchmark(perfhttp.DotsCacheServe(init, msgs, true))
+	if err := checkResult("live_dots_cache_serve/hit-304", r304); err != nil {
+		return err
+	}
+	report.Results.LiveDotsCacheServe = cacheServeResult{
+		NsPerOpHit:     float64(r.NsPerOp()),
+		AllocsPerOpHit: r.AllocsPerOp(),
+		BytesPerOpHit:  r.AllocedBytesPerOp(),
+		NsPerOp304:     float64(r304.NsPerOp()),
+		AllocsPerOp304: r304.AllocsPerOp(),
+		BytesPerOp304:  r304.AllocedBytesPerOp(),
+	}
+
+	// readBench runs one (pollers, hot|cold) read body and converts it to
+	// a readResult row.
+	readBench := func(name string, pollers int, cached bool,
+		body func(*core.Initializer, []chat.Message, int, bool, *perfengine.ErrSink) func(*testing.B)) (readResult, error) {
+		var sink perfengine.ErrSink
+		r := testing.Benchmark(body(init, msgs, pollers, cached, &sink))
+		if err := sink.Err(); err != nil {
+			return readResult{}, fmt.Errorf("bench-json: %s failed mid-run: %w", name, err)
+		}
+		if err := checkResult(name, r); err != nil {
+			return readResult{}, err
+		}
+		return readResult{
+			Pollers:        pollers,
+			Cached:         cached,
+			ReadsPerSec:    r.Extra["reads/sec"],
+			NotModifiedPct: r.Extra["notmod_%"],
+		}, nil
+	}
+	for _, pollers := range perfhttp.ReadPollerSweep {
+		cold, err := readBench(fmt.Sprintf("http_dots_read/pollers=%d/cold", pollers), pollers, false, perfhttp.DotsRead)
+		if err != nil {
+			return err
+		}
+		hot, err := readBench(fmt.Sprintf("http_dots_read/pollers=%d/hot", pollers), pollers, true, perfhttp.DotsRead)
+		if err != nil {
+			return err
+		}
+		report.Results.HTTPDotsRead = append(report.Results.HTTPDotsRead, cold, hot)
+		if cold.ReadsPerSec > 0 {
+			report.Results.HTTPDotsReadSpeedup = append(report.Results.HTTPDotsReadSpeedup,
+				readSpeedupResult{Pollers: pollers, Speedup: hot.ReadsPerSec / cold.ReadsPerSec})
+		}
+	}
+	for _, pollers := range perfhttp.ReadPollerSweep {
+		cold, err := readBench(fmt.Sprintf("http_highlights_read/pollers=%d/cold", pollers), pollers, false, perfhttp.HighlightsRead)
+		if err != nil {
+			return err
+		}
+		hot, err := readBench(fmt.Sprintf("http_highlights_read/pollers=%d/hot", pollers), pollers, true, perfhttp.HighlightsRead)
+		if err != nil {
+			return err
+		}
+		report.Results.HTTPHighlightsRead = append(report.Results.HTTPHighlightsRead, cold, hot)
+		if cold.ReadsPerSec > 0 {
+			report.Results.HTTPHighlightsReadSpeedup = append(report.Results.HTTPHighlightsReadSpeedup,
+				readSpeedupResult{Pollers: pollers, Speedup: hot.ReadsPerSec / cold.ReadsPerSec})
+		}
+	}
+	{
+		const racingPollers = 64
+		var sink perfengine.ErrSink
+		r := testing.Benchmark(perfhttp.DotsReadRacingIngest(init, msgs, racingPollers, &sink))
+		if err := sink.Err(); err != nil {
+			return fmt.Errorf("bench-json: http_dots_read_racing_ingest failed mid-run: %w", err)
+		}
+		if err := checkResult("http_dots_read_racing_ingest", r); err != nil {
+			return err
+		}
+		report.Results.HTTPDotsReadRacingIngest = readResult{
+			Pollers:        racingPollers,
+			Cached:         true,
+			ReadsPerSec:    r.Extra["reads/sec"],
+			NotModifiedPct: r.Extra["notmod_%"],
+		}
 	}
 
 	walDir, err := os.MkdirTemp("", "lightor-bench-wal")

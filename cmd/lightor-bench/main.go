@@ -38,6 +38,7 @@ func main() {
 	baseline := flag.String("baseline", "", "with -bench-json: compare the fresh report against this committed baseline and exit non-zero on regression")
 	tolerance := flag.Float64("tolerance", 1.5, "baseline gate slack: time metrics may grow up to baseline*(1+tolerance), throughput may shrink to baseline/(1+tolerance)")
 	minSpeedup := flag.Float64("min-batch-speedup", 3.0, "baseline gate: required live-ingest msgs/sec ratio, batch 256 vs batch 1 (same-run, machine-independent)")
+	minReadSpeedup := flag.Float64("min-read-speedup", 5.0, "baseline gate: required live-dots reads/sec ratio, cached+conditional vs uncached, at >= 64 concurrent pollers (same-run, machine-independent)")
 	flag.Parse()
 
 	if *benchJSON != "" {
@@ -45,7 +46,7 @@ func main() {
 			log.Fatal(err)
 		}
 		if *baseline != "" {
-			if err := runBaselineCheck(*benchJSON, *baseline, *tolerance, *minSpeedup); err != nil {
+			if err := runBaselineCheck(*benchJSON, *baseline, *tolerance, *minSpeedup, *minReadSpeedup); err != nil {
 				log.Fatal(err)
 			}
 		}

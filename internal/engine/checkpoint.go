@@ -152,15 +152,22 @@ func (m *SessionManager) ResumeSessions() ([]string, error) {
 			errs = append(errs, fmt.Errorf("engine: resuming %q: %w", channel, err))
 			continue
 		}
-		s, err := m.open(channel, onlineBackend{od: od})
+		// Seed the restored state between prepare and register: the
+		// watermark and emission history are in place BEFORE the session
+		// becomes visible, so no reader can observe a restored watermark
+		// with an empty dot history and no concurrent ingest can
+		// interleave its publishDots with the wholesale restore.
+		s, err := m.prepare(channel, onlineBackend{od: od})
 		if err != nil {
 			errs = append(errs, fmt.Errorf("engine: resuming %q: %w", channel, err))
 			continue
 		}
-		s.mu.Lock()
 		s.watermark = od.Now()
-		s.emitted = od.Emitted()
-		s.mu.Unlock()
+		s.restoreDots(od.Emitted())
+		if _, err := m.register(s); err != nil {
+			errs = append(errs, fmt.Errorf("engine: resuming %q: %w", channel, err))
+			continue
+		}
 		resumed = append(resumed, channel)
 	}
 	sort.Strings(resumed)

@@ -34,6 +34,19 @@
 // (ingest order is the only contract; batch boundaries are invisible
 // downstream). Batch buffers are pooled and the mailbox is a reusable
 // ring, so steady-state batched ingest allocates nothing per call.
+//
+// # Read fast lane
+//
+// Serving is many-readers-per-writer: one channel's chat produces dots
+// that millions of viewers poll. Emitted dots are therefore published as
+// an immutable copy-on-write snapshot behind an atomic pointer:
+// Session.DotsPage is a lock-free load plus a sub-slice — zero
+// allocations, zero contention with ingest, checkpointing, or other
+// readers — and each snapshot carries a version (strictly monotonic per
+// session, unique process-wide) that response caches key on. Writers pay
+// one O(history) copy per emission, which is rare; readers pay nothing.
+// Session.Dots keeps the copying form for callers that want to own the
+// result.
 package engine
 
 import (

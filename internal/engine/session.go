@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lightor/internal/chat"
@@ -95,8 +96,8 @@ func (b *replayBackend) flush() ([]core.RedDot, error) {
 // dispatch per batch, not per message — which is what lets burst ingest
 // amortize the mailbox tax.
 type envelope struct {
-	msgs       []chat.Message   // batch payload; backed by msgBuf when pooled
-	msgBuf     *[]chat.Message  // pooled buffer to recycle after processing
+	msgs       []chat.Message  // batch payload; backed by msgBuf when pooled
+	msgBuf     *[]chat.Message // pooled buffer to recycle after processing
 	advance    float64
 	flush      bool
 	checkpoint bool
@@ -184,6 +185,30 @@ func (r *envelopeRing) grow() {
 	r.buf, r.head = next, 0
 }
 
+// dotSnapshot is one immutable published state of a session's emission
+// history. The dots slice is copy-on-write: a publish allocates a fresh
+// backing array, so every snapshot a reader has loaded stays valid and
+// bit-stable forever — readers slice it without locks or copies.
+//
+// Version is strictly monotonic within a session AND unique across all
+// sessions in the process (drawn from a global counter), so a response
+// cache keyed by (channel, version) can never serve one broadcast's dots
+// for a successor session that reused the channel id.
+type dotSnapshot struct {
+	dots    []core.RedDot // immutable; never appended to in place
+	version uint64
+}
+
+// dotVersionSeq issues dot-snapshot versions. Global (not per-session) so
+// versions are unique process-wide; see dotSnapshot.
+var dotVersionSeq atomic.Uint64
+
+// newDotSnapshot stamps an immutable dots slice with a fresh version. The
+// caller must hand over ownership of dots (it is never mutated again).
+func newDotSnapshot(dots []core.RedDot) *dotSnapshot {
+	return &dotSnapshot{dots: dots, version: dotVersionSeq.Add(1)}
+}
+
 // Session is one live channel's detection state: an ordered mailbox in
 // front of a detection backend. Any number of goroutines may enqueue work;
 // exactly one pool worker drains the mailbox at a time, so the backend
@@ -193,13 +218,18 @@ type Session struct {
 	channel string
 	mgr     *SessionManager
 
-	mu        sync.Mutex // guards queue, running, watermark, closed, emitted, err
+	// dots is the published emission history: an immutable copy-on-write
+	// snapshot readers load without taking any lock. Only the worker that
+	// owns the mailbox (and session construction/resume, before the
+	// session is visible) stores a new snapshot, so writes never race.
+	dots atomic.Pointer[dotSnapshot]
+
+	mu        sync.Mutex // guards queue, running, watermark, closed, err
 	queue     envelopeRing
 	running   bool
 	closed    bool
 	flushDone chan struct{} // non-nil once a flush is enqueued; closed when processed
 	watermark float64       // highest timestamp accepted so far
-	emitted   []core.RedDot
 	flushErr  error
 
 	detMu   sync.Mutex // guards det across worker/flush handoffs
@@ -289,26 +319,73 @@ func (s *Session) Flush(ctx context.Context) ([]core.RedDot, error) {
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+	// The flush envelope is the mailbox's final item (the session is
+	// closed, so nothing enqueues behind it), and its snapshot store and
+	// error record both happened before close(done) — this load observes
+	// the complete history. Dots are read BEFORE the error on principle:
+	// were a publish ever concurrent, the conservative pairing (older
+	// dots, newer error) is the one the pre-snapshot code guaranteed.
+	// Copied: Flush hands ownership to the caller, unlike the read-only
+	// DotsPage view.
+	dots := append([]core.RedDot(nil), s.dots.Load().dots...)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]core.RedDot(nil), s.emitted...), s.flushErr
+	flushErr := s.flushErr
+	s.mu.Unlock()
+	return dots, flushErr
 }
 
-// Dots returns the dots emitted since cursor (an offset into the emission
-// history; 0 means "from the beginning") together with the new cursor.
-// Pollers hand the cursor back on their next call to receive only fresh
-// dots.
+// Dots returns a copy of the dots emitted since cursor (an offset into the
+// emission history; 0 means "from the beginning") together with the new
+// cursor. Pollers hand the cursor back on their next call to receive only
+// fresh dots. The copy is the caller's to mutate; high-rate read paths
+// should use DotsPage, the allocation-free form.
 func (s *Session) Dots(cursor int) ([]core.RedDot, int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	fresh, next, _ := s.DotsPage(cursor)
+	return append([]core.RedDot(nil), fresh...), next
+}
+
+// DotsPage is the lock-free read fast lane: it loads the session's current
+// immutable emission snapshot and returns the dots since cursor (clamped to
+// [0, len]) as a sub-slice of that snapshot, the new cursor, and the
+// snapshot's version. It performs no locking, no copying, and no
+// allocation, and never contends with ingest, checkpointing, or other
+// readers — millions of concurrent pollers scale linearly.
+//
+// The returned slice is shared and immutable: callers must not modify it.
+// The version is strictly monotonic per session and unique across sessions
+// process-wide, so (channel, version, cursor) fully keys a response cache;
+// it only changes when new dots are published.
+func (s *Session) DotsPage(cursor int) ([]core.RedDot, int, uint64) {
+	snap := s.dots.Load()
 	if cursor < 0 {
 		cursor = 0
 	}
-	if cursor > len(s.emitted) {
-		cursor = len(s.emitted)
+	if cursor > len(snap.dots) {
+		cursor = len(snap.dots)
 	}
-	fresh := append([]core.RedDot(nil), s.emitted[cursor:]...)
-	return fresh, len(s.emitted)
+	return snap.dots[cursor:], len(snap.dots), snap.version
+}
+
+// DotsVersion returns the current emission-snapshot version without
+// loading the dots; see DotsPage.
+func (s *Session) DotsVersion() uint64 { return s.dots.Load().version }
+
+// publishDots appends newly emitted dots as a fresh immutable snapshot.
+// Copy-on-write: the new backing array is allocated here (emissions are
+// rare — a handful per broadcast) so every previously returned DotsPage
+// slice stays valid. Called only by the worker owning the mailbox.
+func (s *Session) publishDots(fresh []core.RedDot) {
+	old := s.dots.Load().dots
+	merged := make([]core.RedDot, len(old)+len(fresh))
+	copy(merged, old)
+	copy(merged[len(old):], fresh)
+	s.dots.Store(newDotSnapshot(merged))
+}
+
+// restoreDots replaces the emission history wholesale — the resume path,
+// before the session is visible to any reader. Takes ownership of dots.
+func (s *Session) restoreDots(dots []core.RedDot) {
+	s.dots.Store(newDotSnapshot(dots))
 }
 
 // Pending returns the number of envelopes waiting in the mailbox.
@@ -384,12 +461,16 @@ func (s *Session) process(env *envelope) {
 	}
 	s.detMu.Unlock()
 
-	s.mu.Lock()
-	s.emitted = append(s.emitted, dots...)
-	if err != nil && s.flushErr == nil {
-		s.flushErr = err
+	if len(dots) > 0 {
+		s.publishDots(dots)
 	}
-	s.mu.Unlock()
+	if err != nil {
+		s.mu.Lock()
+		if s.flushErr == nil {
+			s.flushErr = err
+		}
+		s.mu.Unlock()
+	}
 	if env.done != nil {
 		close(env.done)
 	}
@@ -515,6 +596,18 @@ func (m *SessionManager) Channels() []string {
 var errDuplicate = errors.New("engine: session already open")
 
 func (m *SessionManager) open(channel string, det sessionDetector) (*Session, error) {
+	s, err := m.prepare(channel, det)
+	if err != nil {
+		return nil, err
+	}
+	return m.register(s)
+}
+
+// prepare constructs a fully initialized but NOT yet registered session.
+// Callers that need to seed state beyond the empty defaults (resume) do
+// so between prepare and register, while the session is still invisible
+// to every reader and producer.
+func (m *SessionManager) prepare(channel string, det sessionDetector) (*Session, error) {
 	if channel == "" {
 		return nil, errors.New("engine: session needs a channel id")
 	}
@@ -533,18 +626,25 @@ func (m *SessionManager) open(channel string, det sessionDetector) (*Session, er
 		det = onlineBackend{od: od}
 	}
 	s := &Session{channel: channel, mgr: m, det: det}
+	s.dots.Store(newDotSnapshot(nil))
+	return s, nil
+}
+
+// register makes a prepared session visible, enforcing the manager's
+// lifecycle and capacity invariants.
+func (m *SessionManager) register(s *Session) (*Session, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil, ErrClosed
 	}
-	if _, ok := m.sessions[channel]; ok {
-		return nil, fmt.Errorf("%w: %q", errDuplicate, channel)
+	if _, ok := m.sessions[s.channel]; ok {
+		return nil, fmt.Errorf("%w: %q", errDuplicate, s.channel)
 	}
 	if len(m.sessions) >= m.maxSessions {
 		return nil, fmt.Errorf("%w (cap %d)", ErrTooManySessions, m.maxSessions)
 	}
-	m.sessions[channel] = s
+	m.sessions[s.channel] = s
 	return s, nil
 }
 

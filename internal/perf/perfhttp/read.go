@@ -1,0 +1,364 @@
+// Read-path benchmark bodies: the serving half of the production story.
+// One streamer's chat produces dots that millions of viewers poll, so
+// reads outnumber writes by orders of magnitude — these bodies measure
+// GET /api/live/dots and GET /api/highlights end to end through the real
+// handler (mux, query parse, session/store lookup, cache, conditional
+// GET) at poller fan-ins of 1, 64, and 1024, hot (version-keyed response
+// cache + ETag/304) versus cold (every request re-encodes from live
+// state), plus readers racing live ingest on the same session. The two
+// micro bodies gate the fast lane's allocation contract: the engine's
+// lock-free dot-snapshot read and platform cache-hit serving must both
+// stay at 0 allocs/op.
+package perfhttp
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lightor/internal/chat"
+	"lightor/internal/core"
+	"lightor/internal/engine"
+	"lightor/internal/perf/perfengine"
+	"lightor/internal/platform"
+)
+
+// ReadPollerSweep is the canonical concurrent-poller sweep for the read
+// benchmarks: a single viewer, a busy channel, and a viral moment.
+var ReadPollerSweep = []int{1, 64, 1024}
+
+// readsPerPoller is how many requests each poller issues per benchmark
+// iteration, amortizing the goroutine spawn outside the interesting work.
+const readsPerPoller = 4
+
+// readFixture is a served live channel: an engine whose session has
+// ingested the full simulated broadcast (mailbox drained, dots emitted)
+// behind a Service handler, plus the same state as a stored video for the
+// highlights endpoint.
+type readFixture struct {
+	eng     *engine.Engine
+	svc     *platform.Service
+	handler http.Handler
+	session *engine.Session
+	dots    int
+}
+
+const (
+	readChannel = "perf-read-channel"
+	readVideo   = "perf-read-vod"
+)
+
+// newReadFixture builds the fixture. A low emission threshold guarantees
+// a realistic-sized dot history to serve regardless of detector tuning —
+// these bodies measure the serving path, not detection quality.
+func newReadFixture(init *core.Initializer, msgs []chat.Message, disableCache bool) (*readFixture, error) {
+	ext, err := core.NewExtractor(core.DefaultExtractorConfig(), nil)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(init, ext, engine.Config{Warmup: -1, Threshold: 0.01})
+	if err != nil {
+		return nil, err
+	}
+	s, err := eng.Sessions().GetOrOpen(readChannel)
+	if err != nil {
+		eng.Close(context.Background())
+		return nil, err
+	}
+	if err := s.Ingest(msgs...); err != nil {
+		eng.Close(context.Background())
+		return nil, err
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for s.Pending() > 0 {
+		if time.Now().After(deadline) {
+			eng.Close(context.Background())
+			return nil, fmt.Errorf("perfhttp: read fixture mailbox never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	dots, n := s.Dots(0)
+	if n == 0 {
+		eng.Close(context.Background())
+		return nil, fmt.Errorf("perfhttp: read fixture emitted no dots")
+	}
+
+	store := platform.NewStore()
+	var duration float64
+	if len(msgs) > 0 {
+		duration = msgs[len(msgs)-1].Time + 1
+	}
+	if err := store.PutVideo(platform.VideoRecord{
+		ID: readVideo, Duration: duration, Chat: chat.NewLog(msgs), RedDots: dots,
+	}); err != nil {
+		eng.Close(context.Background())
+		return nil, err
+	}
+	svc := &platform.Service{Store: store, Engine: eng, DisableReadCache: disableCache}
+	return &readFixture{eng: eng, svc: svc, handler: svc.Handler(), session: s, dots: n}, nil
+}
+
+func (f *readFixture) close() { f.eng.Close(context.Background()) }
+
+// pollLoop issues `reads` GETs for one poller, carrying the previous
+// response's ETag as If-None-Match when conditional is set — the
+// steady-state poller protocol. Returns the last seen ETag and the number
+// of 304s observed.
+func pollLoop(handler http.Handler, req *http.Request, reads int, conditional bool, etag string) (string, int, error) {
+	notMod := 0
+	for r := 0; r < reads; r++ {
+		if conditional && etag != "" {
+			req.Header.Set("If-None-Match", etag)
+		}
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK:
+			etag = rec.Header().Get("ETag")
+		case http.StatusNotModified:
+			notMod++
+		default:
+			return etag, notMod, fmt.Errorf("read GET: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+	return etag, notMod, nil
+}
+
+// runReadBenchmark drives `pollers` concurrent pollers against path for
+// b.N rounds and reports reads/sec plus the share of responses served as
+// bodyless 304s.
+func runReadBenchmark(b *testing.B, handler http.Handler, path, query string, pollers int, conditional bool, sink *perfengine.ErrSink) {
+	fail := func(err error) {
+		if sink != nil {
+			sink.Set(err)
+		}
+		b.Error(err)
+	}
+	reqURL := url.URL{Path: path, RawQuery: query}
+	etags := make([]string, pollers)
+	var notMod atomic.Int64
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for p := 0; p < pollers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				u := reqURL
+				req := &http.Request{Method: http.MethodGet, URL: &u, Header: http.Header{}, Host: "bench"}
+				etag, nm, err := pollLoop(handler, req, readsPerPoller, conditional, etags[p])
+				etags[p] = etag
+				notMod.Add(int64(nm))
+				if err != nil {
+					fail(err)
+				}
+			}(p)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	total := float64(b.N) * float64(pollers) * readsPerPoller
+	b.ReportMetric(total/b.Elapsed().Seconds(), "reads/sec")
+	b.ReportMetric(float64(notMod.Load())/total*100, "notmod_%")
+}
+
+// DotsRead measures GET /api/live/dots under `pollers` concurrent
+// readers. cached=true is the production fast lane (version-keyed cache +
+// conditional GETs: steady state is a cache hit or a 304); cached=false
+// disables the cache AND the conditional protocol, i.e. the PR 4 read
+// path that re-encoded every poll — the denominator of the CI-gated
+// hot-vs-cold speedup.
+func DotsRead(init *core.Initializer, msgs []chat.Message, pollers int, cached bool, sink *perfengine.ErrSink) func(*testing.B) {
+	return func(b *testing.B) {
+		fix, err := newReadFixture(init, msgs, !cached)
+		if err != nil {
+			if sink != nil {
+				sink.Set(err)
+			}
+			b.Error(err)
+			return
+		}
+		defer fix.close()
+		runReadBenchmark(b, fix.handler, "/api/live/dots", "channel="+readChannel, pollers, cached, sink)
+	}
+}
+
+// HighlightsRead measures GET /api/highlights under `pollers` concurrent
+// readers against a video whose dots are already detected (the steady
+// state; cold-start detection is single-flighted and amortizes to zero).
+func HighlightsRead(init *core.Initializer, msgs []chat.Message, pollers int, cached bool, sink *perfengine.ErrSink) func(*testing.B) {
+	return func(b *testing.B) {
+		fix, err := newReadFixture(init, msgs, !cached)
+		if err != nil {
+			if sink != nil {
+				sink.Set(err)
+			}
+			b.Error(err)
+			return
+		}
+		defer fix.close()
+		runReadBenchmark(b, fix.handler, "/api/highlights", "video="+readVideo+"&k=5", pollers, cached, sink)
+	}
+}
+
+// DotsReadRacingIngest measures hot-path dot polling while batched live
+// ingest keeps hammering the SAME session: every emission bumps the
+// snapshot version and invalidates the cache mid-flight, so this is the
+// worst realistic case for the read lane — and, because the snapshot is
+// lock-free, readers never stall the writer (or each other).
+func DotsReadRacingIngest(init *core.Initializer, msgs []chat.Message, pollers int, sink *perfengine.ErrSink) func(*testing.B) {
+	return func(b *testing.B) {
+		fix, err := newReadFixture(init, msgs, false)
+		if err != nil {
+			if sink != nil {
+				sink.Set(err)
+			}
+			b.Error(err)
+			return
+		}
+		defer fix.close()
+
+		// Background writer: re-feed the broadcast in 256-message batches
+		// with an ever-advancing clock until the readers finish.
+		stop := make(chan struct{})
+		writerDone := make(chan struct{})
+		go func() {
+			defer close(writerDone)
+			offset := fix.session.Watermark() + 1
+			batch := make([]chat.Message, 0, 256)
+			for {
+				for i := 0; i < len(msgs); i += 256 {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					end := min(i+256, len(msgs))
+					batch = batch[:0]
+					for _, m := range msgs[i:end] {
+						m.Time += offset
+						batch = append(batch, m)
+					}
+					if err := fix.session.Ingest(batch...); err != nil {
+						if sink != nil {
+							sink.Set(err)
+						}
+						b.Error(err)
+						return
+					}
+				}
+				if len(msgs) > 0 {
+					offset += msgs[len(msgs)-1].Time + 1
+				}
+			}
+		}()
+
+		runReadBenchmark(b, fix.handler, "/api/live/dots", "channel="+readChannel, pollers, true, sink)
+		close(stop)
+		<-writerDone
+	}
+}
+
+// DotsSnapshotRead is the engine-level allocation gate: one lock-free
+// Session.DotsPage load — the read fast lane's data access — must cost 0
+// allocs/op and never block, whatever cursor the poller brings.
+func DotsSnapshotRead(init *core.Initializer, msgs []chat.Message) func(*testing.B) {
+	return func(b *testing.B) {
+		fix, err := newReadFixture(init, msgs, false)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer fix.close()
+		s := fix.session
+		tip := fix.dots
+		var sum int
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			full, _, _ := s.DotsPage(0)    // a new viewer fetching history
+			fresh, _, _ := s.DotsPage(tip) // a steady-state poller at the tip
+			sum += len(full) + len(fresh)
+		}
+		b.StopTimer()
+		if sum < b.N*fix.dots {
+			b.Errorf("snapshot reads lost dots: %d over %d iterations", sum, b.N)
+		}
+	}
+}
+
+// nullResponseWriter is a reusable ResponseWriter that discards the body:
+// it isolates the platform serving cost (cache lookup, header assembly,
+// body write) from net/http connection machinery so the 0 allocs/op
+// contract of cache-hit serving is measurable.
+type nullResponseWriter struct {
+	h      http.Header
+	status int
+	bytes  int
+}
+
+func (w *nullResponseWriter) Header() http.Header { return w.h }
+func (w *nullResponseWriter) WriteHeader(c int)   { w.status = c }
+func (w *nullResponseWriter) Write(p []byte) (int, error) {
+	w.bytes += len(p)
+	return len(p), nil
+}
+
+// DotsCacheServe is the platform-level allocation gate: serving a
+// cache-hit live-dots response — full 200 body from pre-encoded bytes, or
+// the bodyless 304 a conditional steady-state poller gets — must cost 0
+// allocs/op.
+func DotsCacheServe(init *core.Initializer, msgs []chat.Message, notModified bool) func(*testing.B) {
+	return func(b *testing.B) {
+		fix, err := newReadFixture(init, msgs, false)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer fix.close()
+
+		// Prime the cache and capture the current validator.
+		prime := httptest.NewRecorder()
+		fix.svc.ServeLiveDots(prime, readChannel, 0, "")
+		if prime.Code != http.StatusOK {
+			b.Errorf("prime GET: %d %s", prime.Code, prime.Body.String())
+			return
+		}
+		etag := prime.Header().Get("ETag")
+		inm := ""
+		if notModified {
+			inm = etag
+		}
+		w := &nullResponseWriter{h: make(http.Header, 4)}
+		wantStatus := http.StatusOK
+		if notModified {
+			wantStatus = http.StatusNotModified
+		}
+
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fix.svc.ServeLiveDots(w, readChannel, 0, inm)
+		}
+		b.StopTimer()
+		if w.status != wantStatus {
+			b.Errorf("cache-hit serve status = %d, want %d", w.status, wantStatus)
+		}
+		// 200s must have streamed the exact cached body every iteration;
+		// 304s must have streamed nothing at all.
+		wantBytes := 0
+		if !notModified {
+			wantBytes = b.N * prime.Body.Len()
+		}
+		if w.bytes != wantBytes {
+			b.Errorf("cache-hit serve wrote %d body bytes, want %d", w.bytes, wantBytes)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"lightor/internal/chat"
 	"lightor/internal/core"
 	"lightor/internal/play"
 )
@@ -29,6 +30,14 @@ type Backend interface {
 	// HasChat reports whether the video exists with a crawled chat log
 	// (a crawled-but-empty log counts).
 	HasChat(id string) bool
+	// HighlightView returns the highlight-serving read view of a video
+	// WITHOUT cloning: the returned slices share the store's backing
+	// arrays, which are immutable by construction (every mutation
+	// replaces them wholesale; none appends or writes in place). Callers
+	// must treat the view as read-only. This is the read fast lane —
+	// Video()'s deep-copy tax exists for callers that mutate, which a
+	// serving path never does.
+	HighlightView(id string) (HighlightView, bool)
 	// VideoIDs returns all stored video IDs, sorted.
 	VideoIDs() []string
 	// SetRedDots records the current highlight positions for a video.
@@ -69,6 +78,22 @@ type Backend interface {
 type EventBatch struct {
 	VideoID string
 	Events  []play.Event
+}
+
+// HighlightView is the zero-copy read view behind GET /api/highlights:
+// everything the serving path touches, nothing it doesn't (no chat
+// messages, no interaction events). The slices are shared with the store
+// and immutable — snapshot-isolated from later writes, which replace the
+// store's arrays rather than mutating them.
+type HighlightView struct {
+	ID         string
+	Duration   float64
+	RedDots    []core.RedDot
+	Boundaries []core.Interval
+	// Chat is the video's chat log (shared, immutable), nil when not yet
+	// crawled. The steady-state serving path never reads it; cold-start
+	// detection does.
+	Chat *chat.Log
 }
 
 // MemoryConfig tunes a MemoryBackend.
@@ -171,6 +196,28 @@ func (b *MemoryBackend) HasChat(id string) bool {
 	defer sh.mu.RUnlock()
 	rec, ok := sh.videos[id]
 	return ok && rec.Chat != nil
+}
+
+// HighlightView returns the highlight-serving read view, sharing the
+// record's immutable backing arrays instead of cloning them. Safe because
+// every mutation on this backend replaces RedDots/Boundaries wholesale
+// (fresh arrays under the shard lock) and chat.Log is immutable; the view
+// is therefore a consistent snapshot untouched by later writes.
+func (b *MemoryBackend) HighlightView(id string) (HighlightView, bool) {
+	sh := b.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.videos[id]
+	if !ok {
+		return HighlightView{}, false
+	}
+	return HighlightView{
+		ID:         rec.ID,
+		Duration:   rec.Duration,
+		RedDots:    rec.RedDots,
+		Boundaries: rec.Boundaries,
+		Chat:       rec.Chat,
+	}, true
 }
 
 // VideoIDs returns all stored video IDs, sorted.

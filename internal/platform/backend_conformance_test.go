@@ -49,6 +49,7 @@ func TestBackendConformance(t *testing.T) {
 			})
 			t.Run("checkpoints", func(t *testing.T) { conformCheckpoints(t, mk(t, MemoryConfig{})) })
 			t.Run("concurrency", func(t *testing.T) { conformConcurrency(t, mk(t, MemoryConfig{})) })
+			t.Run("highlight-view", func(t *testing.T) { conformHighlightView(t, mk(t, MemoryConfig{})) })
 		})
 	}
 }
@@ -144,6 +145,53 @@ func conformDeepCopy(t *testing.T, b Backend) {
 	fresh, _ := b.ScanEvents("v1", 0, 0)
 	if fresh[0].Pos != 1 {
 		t.Errorf("ScanEvents returned aliased storage: %+v", fresh)
+	}
+}
+
+// conformHighlightView pins the zero-copy read view: it must agree with
+// Video() field for field, share the chat log pointer, and be
+// snapshot-isolated — a later mutation replaces the store's arrays, so a
+// view taken before it keeps serving the old values untouched.
+func conformHighlightView(t *testing.T, b Backend) {
+	if _, ok := b.HighlightView("missing"); ok {
+		t.Error("HighlightView found a video that does not exist")
+	}
+	log := chat.NewLog([]chat.Message{{Time: 1, User: "a", Text: "hi"}})
+	dots := []core.RedDot{{Time: 50, Score: 0.9}, {Time: 70, Score: 0.8}}
+	spans := []core.Interval{{Start: 45, End: 60}}
+	if err := b.PutVideo(VideoRecord{ID: "hv", Duration: 120, Chat: log, RedDots: dots, Boundaries: spans}); err != nil {
+		t.Fatal(err)
+	}
+
+	view, ok := b.HighlightView("hv")
+	if !ok {
+		t.Fatal("HighlightView missed a stored video")
+	}
+	rec, _ := b.Video("hv")
+	if view.ID != rec.ID || view.Duration != rec.Duration {
+		t.Errorf("view metadata = (%q, %g), want (%q, %g)", view.ID, view.Duration, rec.ID, rec.Duration)
+	}
+	if len(view.RedDots) != len(rec.RedDots) || view.RedDots[0] != rec.RedDots[0] {
+		t.Errorf("view dots = %+v, want %+v", view.RedDots, rec.RedDots)
+	}
+	if len(view.Boundaries) != len(rec.Boundaries) || view.Boundaries[0] != rec.Boundaries[0] {
+		t.Errorf("view boundaries = %+v, want %+v", view.Boundaries, rec.Boundaries)
+	}
+	if view.Chat == nil || view.Chat.Len() != log.Len() {
+		t.Error("view chat log does not match the stored log")
+	}
+
+	// Snapshot isolation: mutations replace the store's arrays, so the
+	// old view must keep its values bit-for-bit.
+	if err := b.SetRefined("hv", []core.RedDot{{Time: 48}}, []core.Interval{{Start: 40, End: 55}}); err != nil {
+		t.Fatal(err)
+	}
+	if view.RedDots[0].Time != 50 || len(view.RedDots) != 2 || view.Boundaries[0].End != 60 {
+		t.Errorf("pre-mutation view changed under SetRefined: %+v %+v", view.RedDots, view.Boundaries)
+	}
+	fresh, _ := b.HighlightView("hv")
+	if len(fresh.RedDots) != 1 || fresh.RedDots[0].Time != 48 || fresh.Boundaries[0].Start != 40 {
+		t.Errorf("post-mutation view stale: %+v %+v", fresh.RedDots, fresh.Boundaries)
 	}
 }
 

@@ -500,6 +500,10 @@ func (fb *FileBackend) HasVideo(id string) bool { return fb.mem.HasVideo(id) }
 
 func (fb *FileBackend) HasChat(id string) bool { return fb.mem.HasChat(id) }
 
+func (fb *FileBackend) HighlightView(id string) (HighlightView, bool) {
+	return fb.mem.HighlightView(id)
+}
+
 func (fb *FileBackend) VideoIDs() []string { return fb.mem.VideoIDs() }
 
 func (fb *FileBackend) SetRedDots(id string, dots []core.RedDot) error {

@@ -1,0 +1,219 @@
+package platform
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Read-path response cache: pre-encoded JSON bodies keyed by
+// (stream, sub-key, version).
+//
+// The serving shape of the system is many-readers-per-writer — one
+// streamer's chat produces dots that millions of viewers poll — so the
+// read fast lane caches the *encoded response bytes*, not the data:
+// a cache hit is a map lookup plus one Write of an immutable []byte,
+// with zero allocations and zero JSON work. Versions make invalidation
+// free: dot emission bumps the engine's snapshot version and store
+// mutations (SetRedDots, refine completion) bump the store revision, so
+// a stale entry simply stops being addressed — there is no invalidation
+// broadcast to miss.
+//
+// Each entry also carries its ETag, giving conditional GETs the same
+// fast lane: a steady-state poller that echoes If-None-Match gets a 304
+// with no body bytes transferred at all.
+
+// cacheEntry is one immutable pre-encoded response. Never mutated after
+// publication; shared by every reader that hits it.
+type cacheEntry struct {
+	body []byte // exact bytes the uncached encoder would produce
+	etag string // strong validator, quoted form
+	// etagHdr and clHdr are the pre-built header values, so a cache hit
+	// assigns ready-made slices into the response header map instead of
+	// allocating []string{...} per request.
+	etagHdr []string
+	clHdr   []string
+}
+
+// newCacheEntry takes ownership of body.
+func newCacheEntry(body []byte, etag string) *cacheEntry {
+	return &cacheEntry{
+		body:    body,
+		etag:    etag,
+		etagHdr: []string{etag},
+		clHdr:   []string{strconv.Itoa(len(body))},
+	}
+}
+
+// jsonCTHeader is the shared pre-built Content-Type value.
+var jsonCTHeader = []string{"application/json"}
+
+// etagMatch reports whether the If-None-Match header value matches etag.
+// Strong comparison of our own quoted validators; a header listing
+// several candidates matches if any of them is ours, and the RFC 7232
+// wildcard form matches any current representation (we only consult it
+// when one exists).
+func etagMatch(inm, etag string) bool {
+	return inm == "*" || (inm != "" && strings.Contains(inm, etag))
+}
+
+// Bounds. Streams (channels/videos) beyond the cap evict an arbitrary
+// victim — the cache is a pure performance layer, so eviction is always
+// safe. Sub-keys per stream (cursors for dots, k values for highlights)
+// are naturally small; the cap is a guard against clients minting
+// adversarial cursor values faster than versions rotate them out.
+const (
+	maxCacheStreams = 4096
+	maxCacheSubKeys = 1024
+)
+
+// streamCache holds the entries for one stream at ONE version — the only
+// version worth serving. A lookup carrying a newer version resets the
+// map wholesale, which is how dot emission and store mutations invalidate
+// without ever touching the cache from the write path. Reads vastly
+// outnumber writes (entries change only when the version moves), so the
+// hit path takes a shared RLock and all of a hot channel's pollers
+// proceed in parallel.
+type streamCache struct {
+	mu      sync.RWMutex
+	version uint64
+	entries map[int]*cacheEntry
+}
+
+// respCache maps stream id → streamCache. The zero value is ready to use
+// (the Service embeds these by value, keeping its literal-construction
+// idiom).
+type respCache struct {
+	mu sync.RWMutex
+	m  map[string]*streamCache
+}
+
+// get returns the cached entry for (stream, key, version), if any.
+// Zero-allocation on the hit path: two map reads and two mutexes.
+func (c *respCache) get(stream string, key int, version uint64) (*cacheEntry, bool) {
+	c.mu.RLock()
+	sc := c.m[stream]
+	c.mu.RUnlock()
+	if sc == nil {
+		return nil, false
+	}
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	if sc.version != version {
+		return nil, false
+	}
+	e, ok := sc.entries[key]
+	return e, ok
+}
+
+// put publishes an entry for (stream, key, version). A version newer than
+// the stream's current one resets the stream (older entries can never be
+// addressed again); an older version is dropped — a slow encoder must not
+// resurrect state a concurrent writer already superseded.
+func (c *respCache) put(stream string, key int, version uint64, e *cacheEntry) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]*streamCache)
+	}
+	sc := c.m[stream]
+	if sc == nil {
+		if len(c.m) >= maxCacheStreams {
+			for victim := range c.m {
+				delete(c.m, victim)
+				break
+			}
+		}
+		sc = &streamCache{}
+		c.m[stream] = sc
+	}
+	c.mu.Unlock()
+
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	switch {
+	case version < sc.version:
+		return
+	case version > sc.version || sc.entries == nil:
+		sc.version = version
+		sc.entries = make(map[int]*cacheEntry)
+	}
+	if len(sc.entries) >= maxCacheSubKeys {
+		for victim := range sc.entries {
+			delete(sc.entries, victim)
+			break
+		}
+	}
+	sc.entries[key] = e
+}
+
+// drop forgets a stream entirely (a closed broadcast).
+func (c *respCache) drop(stream string) {
+	c.mu.Lock()
+	delete(c.m, stream)
+	c.mu.Unlock()
+}
+
+// serveEntry writes a cached response: 304 Not Modified when the client's
+// If-None-Match already names this entry (steady-state pollers transfer
+// nothing), otherwise the pre-encoded body. Header values are pre-built
+// slices assigned directly into the header map, so the platform-layer
+// cost of a cache hit is zero allocations either way.
+func serveEntry(w http.ResponseWriter, inm string, e *cacheEntry) {
+	h := w.Header()
+	h["Etag"] = e.etagHdr
+	if etagMatch(inm, e.etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h["Content-Type"] = jsonCTHeader
+	h["Content-Length"] = e.clHdr
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(e.body); err != nil {
+		// The poller went away mid-response; nothing to answer.
+		_ = err
+	}
+}
+
+// encodeEntry renders v through the pooled JSON responder and captures the
+// bytes into a fresh cache entry. The bytes are exactly what writeJSON
+// would have produced, so cached and uncached responses are byte-identical
+// by construction.
+func encodeEntry(v any, etag string) (*cacheEntry, error) {
+	jr := respPool.Get().(*jsonResponder)
+	jr.buf.Reset()
+	if err := jr.enc.Encode(v); err != nil {
+		respPool.Put(jr)
+		return nil, err
+	}
+	body := make([]byte, jr.buf.Len())
+	copy(body, jr.buf.Bytes())
+	if jr.buf.Cap() <= maxPooledResponse {
+		respPool.Put(jr)
+	}
+	return newCacheEntry(body, etag), nil
+}
+
+// etagEpoch salts every validator with this process's start instant.
+// Dot-snapshot versions and store revisions are unique only within one
+// process lifetime, but with a durable backend the CONTENT outlives the
+// process: after a crash-restart, a fresh counter could re-mint a number
+// a previous life already handed to pollers, and a returning
+// If-None-Match would spuriously revalidate a stale body as a 304. The
+// epoch makes every restart a new validator namespace — the worst case
+// across a restart is one full 200, never a wrong 304.
+var etagEpoch = strconv.FormatUint(uint64(time.Now().UnixNano()), 36)
+
+// dotsETag builds the strong validator for a live-dots response: the
+// process epoch, the snapshot version (unique within the process), and
+// the clamped cursor fully determine the body.
+func dotsETag(version uint64, cursor int) string {
+	return `"d` + etagEpoch + "." + strconv.FormatUint(version, 10) + "." + strconv.Itoa(cursor) + `"`
+}
+
+// highlightsETag builds the strong validator for a highlights response:
+// the process epoch, the store revision, and k fully determine the body.
+func highlightsETag(revision uint64, k int) string {
+	return `"h` + etagEpoch + "." + strconv.FormatUint(revision, 10) + "." + strconv.Itoa(k) + `"`
+}

@@ -3,8 +3,10 @@ package platform
 import (
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"lightor/internal/core"
 	"lightor/internal/engine"
@@ -26,6 +28,14 @@ import (
 //	POST /api/live/chat?channel=ID         → 202, ingest live chat messages
 //	POST /api/live/advance?channel=ID&now=T→ 202, advance a quiet stream's clock
 //	GET  /api/live/dots?channel=ID&cursor=N→ poll dots emitted since cursor
+//
+// The two viewer-facing GETs — /api/highlights and /api/live/dots — are
+// the read fast lane: responses carry a strong ETag, a request echoing it
+// via If-None-Match gets 304 Not Modified with no body, and changed
+// responses serve from a version-keyed cache of pre-encoded bytes
+// (invalidated by dot emission, SetRedDots, and refine completion).
+// Steady-state polling by millions of viewers costs a lock-free snapshot
+// load and a header compare per request.
 type Service struct {
 	Store *Store
 	// Engine is the concurrent session engine every detection and
@@ -37,6 +47,25 @@ type Service struct {
 	// DefaultK is the number of red dots served when the request does not
 	// specify k (default 5).
 	DefaultK int
+	// DisableReadCache turns off the version-keyed response cache on the
+	// read endpoints (every GET re-encodes from live state). Responses
+	// stay byte-identical either way — the knob exists for differential
+	// tests and for the cold-path benchmarks that measure the uncached
+	// read lane.
+	DisableReadCache bool
+
+	// Read-path response caches: pre-encoded bodies keyed by
+	// (channel, cursor, dot-snapshot version) for /api/live/dots and
+	// (video, k, store revision) for /api/highlights. Dot emission,
+	// SetRedDots, and refine completion invalidate by bumping the
+	// version/revision — stale entries simply stop being addressed.
+	dotsCache respCache
+	hlCache   respCache
+
+	// Cold-start detection single-flight: N concurrent first readers of
+	// the same video collapse onto one Initializer.Detect run.
+	flightMu sync.Mutex
+	flights  map[string]*detectFlight
 }
 
 // HighlightsResponse is the payload of GET /api/highlights.
@@ -113,8 +142,12 @@ func (s *Service) handleHighlights(w http.ResponseWriter, r *http.Request) {
 		k = parsed
 	}
 
-	rec, ok := s.Store.Video(id)
-	if !ok || rec.Chat == nil {
+	// The serving path reads through the zero-copy HighlightView — no
+	// deep clone of dots/boundaries per poll, and the chat log (which
+	// this handler only needs for cold-start detection) is a shared
+	// pointer, never copied.
+	view, ok := s.Store.HighlightView(id)
+	if !ok || view.Chat == nil {
 		// Online crawling (Section VI-A): when a viewer opens a video the
 		// store has never seen, fetch its chat from the platform API on
 		// the fly.
@@ -131,29 +164,121 @@ func (s *Service) handleHighlights(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadGateway)
 			return
 		}
-		rec, ok = s.Store.Video(id)
-		if !ok || rec.Chat == nil {
+		view, ok = s.Store.HighlightView(id)
+		if !ok || view.Chat == nil {
 			http.Error(w, fmt.Sprintf("video %q could not be crawled", id), http.StatusNotFound)
 			return
 		}
 	}
-	if len(rec.RedDots) < k {
-		dots, err := s.Engine.Initializer().Detect(rec.Chat, rec.Duration, k)
-		if err != nil {
+	if len(view.RedDots) < k {
+		if err := s.detectColdStart(id, k, view); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		if err := s.Store.SetRedDots(id, dots); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		rec.RedDots = dots
 	}
-	dots := rec.RedDots
+	s.ServeHighlights(w, id, k, r.Header.Get("If-None-Match"))
+}
+
+// detectFlight is one in-flight cold-start detection; concurrent readers
+// of the same (video, k) wait on done instead of re-running Detect.
+type detectFlight struct {
+	done chan struct{}
+	err  error
+}
+
+// detectColdStart runs batch detection for a video whose stored dots are
+// insufficient and persists the result, single-flighted per (video, k):
+// when a cold video suddenly gets N concurrent viewers — the exact
+// many-readers shape this service is built for — exactly one request pays
+// the detection; the rest wait on its result instead of stampeding the
+// initializer (and the store) with N identical runs.
+func (s *Service) detectColdStart(id string, k int, view HighlightView) error {
+	key := id + "\x00" + strconv.Itoa(k)
+	s.flightMu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.flightMu.Unlock()
+		<-f.done
+		return f.err
+	}
+	if s.flights == nil {
+		s.flights = make(map[string]*detectFlight)
+	}
+	f := &detectFlight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.flightMu.Unlock()
+
+	var err error
+	// Deferred so a panic inside detection can never wedge the key: the
+	// flight is always removed and its waiters always released, even if
+	// Detect blows up on pathological input (net/http recovers the
+	// panicking handler; the herd proceeds and serves whatever the store
+	// holds).
+	defer func() {
+		f.err = err
+		s.flightMu.Lock()
+		delete(s.flights, key)
+		s.flightMu.Unlock()
+		close(f.done)
+	}()
+
+	// Double-check under flight leadership: a previous flight may have
+	// landed its dots between the caller's view load and now — flights
+	// are removed only after SetRedDots is applied, so a fresh view
+	// already satisfying k proves the work is done.
+	if v, ok := s.Store.HighlightView(id); !ok || len(v.RedDots) < k {
+		var dots []core.RedDot
+		dots, err = s.Engine.Initializer().Detect(view.Chat, view.Duration, k)
+		if err == nil {
+			// SetRedDots bumps the store revision, so every cached
+			// response for this video is invalidated the moment the
+			// dots land.
+			err = s.Store.SetRedDots(id, dots)
+		}
+	}
+	return err
+}
+
+// ServeHighlights serves the highlights payload for (video, k) onto w,
+// honoring If-None-Match — the router-free read fast lane behind
+// GET /api/highlights (embedders with their own mux can call it
+// directly; it does not crawl or cold-start, the handler does that).
+// Steady state is a cache hit: one revision load, one map lookup, and
+// either a 304 or one Write of the pre-encoded body — no JSON encoding,
+// no store cloning, zero allocations.
+func (s *Service) ServeHighlights(w http.ResponseWriter, video string, k int, ifNoneMatch string) {
+	if k <= 0 {
+		k = s.defaultK()
+	}
+	// Revision loaded BEFORE the view (see Store.bumpRev): a racing
+	// writer can at worst pair an old revision with newer data, which
+	// re-encodes on the next poll — never a new revision with stale data.
+	rev := s.Store.Revision(video)
+	if !s.DisableReadCache {
+		if e, ok := s.hlCache.get(video, k, rev); ok {
+			serveEntry(w, ifNoneMatch, e)
+			return
+		}
+	}
+	view, ok := s.Store.HighlightView(video)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown video %q", video), http.StatusNotFound)
+		return
+	}
+	dots := view.RedDots
 	if len(dots) > k {
 		dots = dots[:k]
 	}
-	writeJSON(w, HighlightsResponse{VideoID: id, Dots: dots, Boundaries: rec.Boundaries})
+	e, err := encodeEntry(HighlightsResponse{VideoID: video, Dots: dots, Boundaries: view.Boundaries},
+		highlightsETag(rev, k))
+	if err != nil {
+		log.Printf("platform: encoding highlights response: %v", err)
+		http.Error(w, "encoding response failed", http.StatusInternalServerError)
+		return
+	}
+	if !s.DisableReadCache {
+		s.hlCache.put(video, k, rev, e)
+	}
+	serveEntry(w, ifNoneMatch, e)
 }
 
 func (s *Service) handleInteractions(w http.ResponseWriter, r *http.Request) {
@@ -309,6 +434,13 @@ func refineResponse(job engine.RefineJob) RefineJobResponse {
 		Dots:    job.Dots,
 	}
 	if job.Status == engine.JobDone {
+		// Copy before adjusting dot times to the refined boundary starts:
+		// resp.Dots aliases the job snapshot's slice, and mutating it in
+		// place would corrupt whatever handed us the job — repeated
+		// status polls must serve identical payloads, never progressively
+		// re-adjusted times.
+		resp.Dots = make([]core.RedDot, len(job.Dots))
+		copy(resp.Dots, job.Dots)
 		resp.Boundaries = make([]core.Interval, len(job.Results))
 		for i, res := range job.Results {
 			resp.Dots[i].Time = res.Boundary.Start
@@ -401,6 +533,10 @@ func (s *Service) handleLiveClose(w http.ResponseWriter, r *http.Request) {
 		writeLiveError(w, err)
 		return
 	}
+	// Hygiene, not correctness: dot-snapshot versions are unique across
+	// sessions, so a successor broadcast on this channel could never hit
+	// these entries — dropping them just frees the memory promptly.
+	s.dotsCache.drop(channel)
 	if dots == nil {
 		dots = []core.RedDot{}
 	}
@@ -422,16 +558,46 @@ func (s *Service) handleLiveDots(w http.ResponseWriter, r *http.Request) {
 		}
 		cursor = parsed
 	}
+	s.ServeLiveDots(w, channel, cursor, r.Header.Get("If-None-Match"))
+}
+
+// ServeLiveDots serves the live-dots payload for (channel, cursor) onto
+// w, honoring If-None-Match — the router-free read fast lane behind
+// GET /api/live/dots. The engine read is a lock-free snapshot load
+// (engine.Session.DotsPage): it never contends with ingest,
+// checkpointing, or other pollers. Steady state is a cache hit or a 304:
+// one snapshot load, one map lookup, and either no body at all or one
+// Write of the pre-encoded bytes — zero allocations on the platform
+// layer, no JSON work, no per-poll copying of the emission history.
+func (s *Service) ServeLiveDots(w http.ResponseWriter, channel string, cursor int, ifNoneMatch string) {
 	sess, ok := s.Engine.Sessions().Get(channel)
 	if !ok {
 		http.Error(w, fmt.Sprintf("unknown channel %q", channel), http.StatusNotFound)
 		return
 	}
-	dots, next := sess.Dots(cursor)
+	dots, next, ver := sess.DotsPage(cursor)
+	// The clamped cursor (what the page actually starts at) is the cache
+	// sub-key, so every past-the-end poll shares the tip entry.
+	ck := next - len(dots)
+	if !s.DisableReadCache {
+		if e, ok := s.dotsCache.get(channel, ck, ver); ok {
+			serveEntry(w, ifNoneMatch, e)
+			return
+		}
+	}
 	if dots == nil {
 		dots = []core.RedDot{}
 	}
-	writeJSON(w, LiveDotsResponse{Channel: channel, Dots: dots, Cursor: next})
+	e, err := encodeEntry(LiveDotsResponse{Channel: channel, Dots: dots, Cursor: next}, dotsETag(ver, ck))
+	if err != nil {
+		log.Printf("platform: encoding live dots response: %v", err)
+		http.Error(w, "encoding response failed", http.StatusInternalServerError)
+		return
+	}
+	if !s.DisableReadCache {
+		s.dotsCache.put(channel, ck, ver, e)
+	}
+	serveEntry(w, ifNoneMatch, e)
 }
 
 // writeLiveError maps engine errors onto HTTP statuses: out-of-order chat

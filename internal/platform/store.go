@@ -5,6 +5,8 @@
 package platform
 
 import (
+	"sync"
+
 	"lightor/internal/chat"
 	"lightor/internal/core"
 	"lightor/internal/play"
@@ -41,6 +43,16 @@ func (r VideoRecord) clone() VideoRecord {
 // so live sessions checkpoint through the same storage seam.
 type Store struct {
 	b Backend
+
+	// revMu/revs track a per-video revision counter, bumped after every
+	// highlight-affecting mutation that flows through the facade
+	// (PutVideo, SetRedDots, SetBoundaries, SetRefined). Revisions key
+	// the read-path response cache: a bump simply stops old cache entries
+	// from being addressed, so invalidation costs nothing on the read
+	// side. Revisions are process-local (they restart at zero with the
+	// process, exactly like the in-memory cache they key).
+	revMu sync.RWMutex
+	revs  map[string]uint64
 }
 
 // NewStore returns a store over a fresh unbounded in-memory backend.
@@ -49,7 +61,7 @@ func NewStore() *Store {
 }
 
 // NewStoreWith wraps an explicit backend.
-func NewStoreWith(b Backend) *Store { return &Store{b: b} }
+func NewStoreWith(b Backend) *Store { return &Store{b: b, revs: make(map[string]uint64)} }
 
 // Backend exposes the underlying storage backend.
 func (s *Store) Backend() Backend { return s.b }
@@ -57,11 +69,49 @@ func (s *Store) Backend() Backend { return s.b }
 // Close releases the backend (flushes and fsyncs a durable backend).
 func (s *Store) Close() error { return s.b.Close() }
 
+// bumpRev advances a video's revision. Called AFTER the backend mutation
+// is applied, so a reader that loads the revision and then the view can
+// pair an old revision with newer data (a transient re-encode on the next
+// poll) but never a new revision with stale data (which would poison the
+// response cache).
+func (s *Store) bumpRev(id string) {
+	s.revMu.Lock()
+	if s.revs == nil {
+		s.revs = make(map[string]uint64)
+	}
+	s.revs[id]++
+	s.revMu.Unlock()
+}
+
+// Revision returns the video's current revision: a process-local counter
+// that changes whenever the video's served highlight state may have
+// changed. (id, k, Revision(id)) fully keys a highlights response.
+func (s *Store) Revision(id string) uint64 {
+	s.revMu.RLock()
+	rev := s.revs[id]
+	s.revMu.RUnlock()
+	return rev
+}
+
 // PutVideo inserts or replaces a video record with deep-copy semantics.
-func (s *Store) PutVideo(rec VideoRecord) error { return s.b.PutVideo(rec) }
+func (s *Store) PutVideo(rec VideoRecord) error {
+	if err := s.b.PutVideo(rec); err != nil {
+		return err
+	}
+	s.bumpRev(rec.ID)
+	return nil
+}
 
 // Video returns a deep copy of the record for id, or false when absent.
 func (s *Store) Video(id string) (VideoRecord, bool) { return s.b.Video(id) }
+
+// HighlightView returns the read view highlight serving needs — duration,
+// dots, boundaries, chat presence — without cloning anything: the slices
+// are shared with the store and immutable (every write replaces backing
+// arrays wholesale). Callers must treat them as read-only.
+func (s *Store) HighlightView(id string) (HighlightView, bool) {
+	return s.b.HighlightView(id)
+}
 
 // HasVideo reports whether a record exists for id (no deep copy).
 func (s *Store) HasVideo(id string) bool { return s.b.HasVideo(id) }
@@ -73,18 +123,30 @@ func (s *Store) HasChat(id string) bool { return s.b.HasChat(id) }
 
 // SetRedDots records the current highlight positions for a video.
 func (s *Store) SetRedDots(id string, dots []core.RedDot) error {
-	return s.b.SetRedDots(id, dots)
+	if err := s.b.SetRedDots(id, dots); err != nil {
+		return err
+	}
+	s.bumpRev(id)
+	return nil
 }
 
 // SetBoundaries records extractor-refined highlight spans for a video.
 func (s *Store) SetBoundaries(id string, spans []core.Interval) error {
-	return s.b.SetBoundaries(id, spans)
+	if err := s.b.SetBoundaries(id, spans); err != nil {
+		return err
+	}
+	s.bumpRev(id)
+	return nil
 }
 
 // SetRefined records refined dots and their boundaries in one critical
 // section, so a concurrent reader never observes one without the other.
 func (s *Store) SetRefined(id string, dots []core.RedDot, spans []core.Interval) error {
-	return s.b.SetRefined(id, dots, spans)
+	if err := s.b.SetRefined(id, dots, spans); err != nil {
+		return err
+	}
+	s.bumpRev(id)
+	return nil
 }
 
 // LogEvents appends deep copies of interaction events for a video, subject
