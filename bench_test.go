@@ -461,6 +461,19 @@ func BenchmarkHTTPDotsReadRacingIngest(b *testing.B) {
 	b.Run("pollers=64", perfhttp.DotsReadRacingIngest(init, msgs, 64, nil))
 }
 
+// BenchmarkPushFanout is the push-lane headline: versioned broadcast
+// delivery to 1k/10k/100k SSE subscribers on one channel. Each broadcast
+// version is encoded exactly once however many subscribers are attached
+// (the CI-gated encodes/version == 1 metric in BENCH_PR6.json); fan-out
+// is pointer enqueues of one immutable frame.
+func BenchmarkPushFanout(b *testing.B) {
+	init, d := benchTrainedEngine(b)
+	msgs := d.Chat.Log.Messages()
+	for _, subs := range perfhttp.PushSubscriberSweep {
+		b.Run(fmt.Sprintf("subs=%d", subs), perfhttp.PushFanout(init, msgs, subs, nil))
+	}
+}
+
 // BenchmarkDotsSnapshotRead is the engine-level read-lane allocation
 // gate: a lock-free Session.DotsPage load must cost 0 allocs/op. CI fails
 // the build if an alloc (or a lock forcing a copy) sneaks back in.

@@ -39,6 +39,18 @@ func refReport() benchReport {
 	}
 	r.Results.HTTPHighlightsReadSpeedup = []readSpeedupResult{{Pollers: 64, Speedup: 2.5}}
 	r.Results.HTTPDotsReadRacingIngest = readResult{Pollers: 64, Cached: true, ReadsPerSec: 1.3e4}
+	r.Results.PushFanout = []pushFanoutResult{
+		{Subscribers: 1000, DeliveriesPerSec: 4e6, NsPerDelivery: 250,
+			EncodesPerVersion: 1.0, FrameBytes: 500, VersionsPerIter: 30,
+			DeliveriesPerIter: 3e4, AllocsPerIter: 4000, AllocsPerDelivery: 0.13},
+		{Subscribers: 100000, DeliveriesPerSec: 6e6, NsPerDelivery: 160,
+			EncodesPerVersion: 1.0, FrameBytes: 500, VersionsPerIter: 30,
+			DeliveriesPerIter: 3e6, AllocsPerIter: 5000, AllocsPerDelivery: 0.0017},
+	}
+	r.Results.PushWire = pushWireResult{
+		EmissionsPerSec: 0.01, FrameBytes: 500,
+		PollBytesPerViewerSec: 316, PushBytesPerViewerSec: 5.4, PollOverPushRatio: 58,
+	}
 	return r
 }
 
@@ -76,6 +88,21 @@ func TestCheckBaselineCatchesRegressions(t *testing.T) {
 		if !strings.Contains(joined, want) {
 			t.Errorf("violations missing %q:\n%s", want, joined)
 		}
+	}
+
+	// Disk-bound metrics get the widened band: 8× slower WAL appends are
+	// IO weather on virtualized disks, 11× is a real regression.
+	weather := refReport()
+	weather.Results.WALAppend.NsPerOp = 8000
+	weather.Results.Checkpoint.NsPerOp = 60000
+	if v := checkBaseline(weather, base, 1.5, 3.0, 5.0); len(v) != 0 {
+		t.Fatalf("disk IO weather flagged as regression: %v", v)
+	}
+	disk := refReport()
+	disk.Results.WALAppend.NsPerOp = 11000
+	if v := checkBaseline(disk, base, 1.5, 3.0, 5.0); len(v) != 1 ||
+		!strings.Contains(v[0], "wal_append.ns_per_op") || !strings.Contains(v[0], "disk-bound") {
+		t.Fatalf("11x WAL append slowdown not flagged past the disk band: %v", v)
 	}
 
 	// A report with no speedup rows must fail, not silently pass.
@@ -132,5 +159,60 @@ func TestCheckBaselineCatchesReadRegressions(t *testing.T) {
 	missing.Results.HTTPDotsReadSpeedup = nil
 	if v := checkBaseline(missing, base, 1.5, 3.0, 5.0); len(v) != 1 || !strings.Contains(v[0], "http_dots_read_speedup: missing") {
 		t.Fatalf("missing read speedup rows not flagged: %v", v)
+	}
+}
+
+func TestCheckBaselineCatchesPushRegressions(t *testing.T) {
+	base := refReport()
+
+	cur := refReport()
+	cur.Results.PushFanout[0].EncodesPerVersion = 2.0 // encoding per subscriber again
+	// Marginal allocs: 0.02 allocs per extra delivery across the sweep.
+	cur.Results.PushFanout[1].AllocsPerIter = 4000 + 0.02*(3e6-3e4)
+	cur.Results.PushWire.PollOverPushRatio = 4.0 // wire win collapsed
+	v := checkBaseline(cur, base, 1.5, 3.0, 5.0)
+	if len(v) != 3 {
+		t.Fatalf("expected 3 violations, got %d: %v", len(v), v)
+	}
+	joined := strings.Join(v, "\n")
+	for _, want := range []string{
+		"push_fanout[subs=1000]: 2.000 encodes/version",
+		"marginal allocs/delivery",
+		"push_wire_poll_vs_push: 4.0",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("violations missing %q:\n%s", want, joined)
+		}
+	}
+
+	// Delivery throughput collapse: flagged against the baseline AND
+	// against the same-run hot-poll floor (4.4e5 reads/sec at 64 pollers).
+	slow := refReport()
+	slow.Results.PushFanout[1].DeliveriesPerSec = 1e5
+	v = checkBaseline(slow, base, 1.5, 3.0, 5.0)
+	if len(v) != 2 {
+		t.Fatalf("expected 2 violations, got %d: %v", len(v), v)
+	}
+	joined = strings.Join(v, "\n")
+	for _, want := range []string{
+		"push_fanout[subs=100000].deliveries_per_sec",
+		"hot-poll",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("violations missing %q:\n%s", want, joined)
+		}
+	}
+
+	// Missing push rows must fail, not silently pass.
+	missing := refReport()
+	missing.Results.PushFanout = nil
+	missing.Results.PushWire = pushWireResult{}
+	v = checkBaseline(missing, base, 1.5, 3.0, 5.0)
+	if len(v) != 2 {
+		t.Fatalf("missing push rows not flagged as 2 violations: %v", v)
+	}
+	joined = strings.Join(v, "\n")
+	if !strings.Contains(joined, "push_fanout: missing") || !strings.Contains(joined, "push_wire_poll_vs_push: missing") {
+		t.Fatalf("missing push rows not flagged: %v", v)
 	}
 }

@@ -79,6 +79,17 @@ type benchResult struct {
 	// HTTPDotsReadRacingIngest is hot dot polling while batched ingest
 	// keeps emitting on the same session (cache-invalidation churn).
 	HTTPDotsReadRacingIngest readResult `json:"http_dots_read_racing_ingest"`
+	// PushFanout sweeps SSE push subscribers per channel: each broadcast
+	// version is encoded once and fanned out as pointer enqueues of one
+	// immutable frame. EncodesPerVersion must stay exactly 1 at every
+	// fan-out (CI-gated), and the marginal allocation cost per delivery
+	// across the sweep must stay ≈ 0 (CI-gated): per-subscriber delivery
+	// is alloc-free.
+	PushFanout []pushFanoutResult `json:"push_fanout"`
+	// PushWire compares steady-state wire bytes per viewer: a 1 Hz
+	// conditional poller (mostly 304s) vs a push subscriber receiving one
+	// frame per emitted version plus heartbeats (CI-gated ≥ 10×).
+	PushWire pushWireResult `json:"push_wire_poll_vs_push"`
 	// WALAppend is the CPU cost the write-ahead log adds to each accepted
 	// mutation (framing + CRC32 + buffered write; fsync excluded).
 	WALAppend walAppendResult `json:"wal_append"`
@@ -157,6 +168,39 @@ type readSpeedupResult struct {
 	Speedup float64 `json:"speedup_hot_vs_cold"`
 }
 
+type pushFanoutResult struct {
+	Subscribers int `json:"subscribers"`
+	// DeliveriesPerSec is end-to-end frame delivery (engine publish → hub
+	// broadcast → subscriber Pop) summed across all subscribers.
+	DeliveriesPerSec float64 `json:"deliveries_per_sec"`
+	NsPerDelivery    float64 `json:"ns_per_delivery"`
+	// EncodesPerVersion is JSON encodes per published dot version — the
+	// encode-once contract: 1.0 regardless of subscriber count.
+	EncodesPerVersion float64 `json:"encodes_per_version"`
+	// FrameBytes is the average SSE wire bytes per delivered frame (the
+	// bytes-encoded-per-version cost, shared by every subscriber).
+	FrameBytes      float64 `json:"frame_bytes"`
+	VersionsPerIter float64 `json:"versions_per_iter"`
+	// DeliveriesPerIter and AllocsPerIter let the gate compute the
+	// marginal allocation cost per delivery across the sweep, which must
+	// stay ≈ 0: enqueue + Pop allocate nothing per subscriber.
+	DeliveriesPerIter float64 `json:"deliveries_per_iter"`
+	AllocsPerIter     float64 `json:"allocs_per_iter"`
+	AllocsPerDelivery float64 `json:"allocs_per_delivery"`
+}
+
+// pushWireResult is the poll-vs-push steady-state wire cost per viewer,
+// computed from the measured frame bytes and the broadcast's real
+// emission rate (versions per broadcast second) plus documented protocol
+// overhead constants — see pushWireEstimate.
+type pushWireResult struct {
+	EmissionsPerSec       float64 `json:"emissions_per_sec"`
+	FrameBytes            float64 `json:"frame_bytes"`
+	PollBytesPerViewerSec float64 `json:"poll_bytes_per_viewer_sec"`
+	PushBytesPerViewerSec float64 `json:"push_bytes_per_viewer_sec"`
+	PollOverPushRatio     float64 `json:"poll_over_push_ratio"`
+}
+
 type cacheServeResult struct {
 	NsPerOpHit     float64 `json:"ns_per_op_hit_200"`
 	AllocsPerOpHit int64   `json:"allocs_per_op_hit_200"`
@@ -164,6 +208,52 @@ type cacheServeResult struct {
 	AllocsPerOp304 int64   `json:"allocs_per_op_304"`
 	BytesPerOpHit  int64   `json:"bytes_per_op_hit_200"`
 	BytesPerOp304  int64   `json:"bytes_per_op_304"`
+}
+
+// Wire-cost model constants for pushWireEstimate. Poll overhead is a
+// typical GET /api/live/dots request line + Host + If-None-Match + Accept
+// headers (~180 B) and a 304 response (status line, ETag, Date; ~130 B),
+// paid once per poll interval. When the version moves, a 1 Hz poller
+// fetches the delta once: a 200 adds ~160 B of response headers on top
+// of the body. Push pays the SSE frame (body + ~30 B of event/id/data
+// framing, already included in the measured frame bytes) once per
+// emitted version, plus a 6-byte comment heartbeat every 15 s.
+const (
+	pollRequestBytes       = 180.0
+	poll304Bytes           = 130.0
+	poll200HeaderBytes     = 160.0
+	pollIntervalSec        = 1.0
+	sseHeartbeatBytes      = 6.0
+	sseHeartbeatIntervalSec = 15.0
+	sseFrameOverheadBytes  = 30.0
+)
+
+// pushWireEstimate converts a measured fan-out row into steady-state wire
+// bytes per viewer per second for both read lanes. emissionsPerSec is the
+// broadcast's REAL version rate (versions per broadcast re-feed over the
+// broadcast's duration in simulated seconds) — the benchmark ingests
+// time-compressed, so the wall rate there is meaningless.
+func pushWireEstimate(row pushFanoutResult, broadcastSec float64) pushWireResult {
+	if broadcastSec <= 0 {
+		return pushWireResult{}
+	}
+	rate := row.VersionsPerIter / broadcastSec
+	body := row.FrameBytes - sseFrameOverheadBytes
+	if body < 0 {
+		body = 0
+	}
+	poll := (pollRequestBytes+poll304Bytes)/pollIntervalSec + rate*(poll200HeaderBytes+body)
+	push := rate*row.FrameBytes + sseHeartbeatBytes/sseHeartbeatIntervalSec
+	r := pushWireResult{
+		EmissionsPerSec:       rate,
+		FrameBytes:            row.FrameBytes,
+		PollBytesPerViewerSec: poll,
+		PushBytesPerViewerSec: push,
+	}
+	if push > 0 {
+		r.PollOverPushRatio = poll / push
+	}
+	return r
 }
 
 // checkResult rejects the zero testing.BenchmarkResult a failed closure
@@ -390,6 +480,38 @@ func runBenchJSON(path string) error {
 			ReadsPerSec:    r.Extra["reads/sec"],
 			NotModifiedPct: r.Extra["notmod_%"],
 		}
+	}
+
+	for _, subs := range perfhttp.PushSubscriberSweep {
+		var sink perfengine.ErrSink
+		r := testing.Benchmark(perfhttp.PushFanout(init, msgs, subs, &sink))
+		name := fmt.Sprintf("push_fanout/subs=%d", subs)
+		if err := sink.Err(); err != nil {
+			return fmt.Errorf("bench-json: %s failed mid-run: %w", name, err)
+		}
+		if err := checkResult(name, r); err != nil {
+			return err
+		}
+		row := pushFanoutResult{
+			Subscribers:       subs,
+			DeliveriesPerSec:  r.Extra["deliveries/sec"],
+			NsPerDelivery:     r.Extra["ns/delivery"],
+			EncodesPerVersion: r.Extra["encodes/version"],
+			FrameBytes:        r.Extra["frame_bytes"],
+			VersionsPerIter:   r.Extra["versions/iter"],
+			DeliveriesPerIter: r.Extra["deliveries/iter"],
+			AllocsPerIter:     float64(r.AllocsPerOp()),
+		}
+		if row.DeliveriesPerIter > 0 {
+			row.AllocsPerDelivery = row.AllocsPerIter / row.DeliveriesPerIter
+		}
+		report.Results.PushFanout = append(report.Results.PushFanout, row)
+	}
+	if n := len(report.Results.PushFanout); n > 0 && len(msgs) > 0 {
+		// Wire comparison at the biggest fan-out, scaled to the broadcast's
+		// simulated duration (the last message's timestamp).
+		report.Results.PushWire = pushWireEstimate(
+			report.Results.PushFanout[n-1], msgs[len(msgs)-1].Time+1)
 	}
 
 	walDir, err := os.MkdirTemp("", "lightor-bench-wal")

@@ -21,6 +21,7 @@
 //	POST /api/live/chat?channel=ID             (JSON array of chat messages)
 //	POST /api/live/advance?channel=ID&now=T
 //	GET  /api/live/dots?channel=ID&cursor=N
+//	GET  /api/live/stream?channel=ID&cursor=N  (SSE push of dots since cursor)
 //	DELETE /api/live/session?channel=ID        (end broadcast, flush, free slot)
 //
 // With -pprof-addr the standard net/http/pprof handlers are served on a
@@ -33,10 +34,12 @@
 // startup replays the WAL and resumes every checkpointed live session
 // from exactly where it stopped.
 //
-// On SIGINT/SIGTERM the server drains gracefully: in-flight requests
-// finish, queued live chat is processed, background refinements complete,
-// live sessions write final checkpoints, and the durable store compacts
-// (or, without -data-dir, the optional -store snapshot is written).
+// On SIGINT/SIGTERM the server drains gracefully: push subscribers get a
+// terminal "end" event (so their long-lived SSE responses finish instead
+// of pinning the HTTP drain), in-flight requests finish, queued live chat
+// is processed, background refinements complete, live sessions write
+// final checkpoints, and the durable store compacts (or, without
+// -data-dir, the optional -store snapshot is written).
 package main
 
 import (
@@ -73,6 +76,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshots): interactions and live-session checkpoints survive a crash, and startup replays the log and resumes live channels")
 	eventRetention := flag.Int("event-retention", 100000, "max interaction events retained per video (0 = unlimited)")
 	ckptInterval := flag.Duration("checkpoint-interval", 15*time.Second, "live-session checkpoint cadence with -data-dir (0 or negative disables the interval loop; emit and drain checkpoints always run)")
+	maxSubscribers := flag.Int("max-subscribers", 1<<20, "cap on concurrent /api/live/stream push subscribers across all channels; beyond it new subscribers get 503 + Retry-After")
+	sseHeartbeat := flag.Duration("sse-heartbeat", 15*time.Second, "SSE keepalive comment interval on /api/live/stream")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) so ingest hot spots are profileable in production; empty (the default) disables it entirely")
 	flag.Parse()
 
@@ -212,9 +217,11 @@ func main() {
 	}
 
 	svc := &platform.Service{
-		Store:   store,
-		Engine:  eng,
-		Crawler: crawler,
+		Store:          store,
+		Engine:         eng,
+		Crawler:        crawler,
+		MaxSubscribers: *maxSubscribers,
+		PushHeartbeat:  *sseHeartbeat,
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
@@ -233,6 +240,12 @@ func main() {
 	log.Printf("shutting down: draining for up to %s", *drainTimeout)
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	// End push delivery FIRST: SSE responses are in-flight requests that
+	// never finish on their own, so Shutdown would otherwise wait out the
+	// whole drain timeout while subscribers hold their connections open.
+	// ClosePush sends every subscriber the terminal "end" event (reason
+	// "draining") and rejects new subscriptions with Retry-After.
+	svc.ClosePush()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}

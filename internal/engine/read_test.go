@@ -269,3 +269,85 @@ func TestConcurrentDotsPollersRace(t *testing.T) {
 		}
 	}
 }
+
+// recordingListener captures the DotListener event stream for assertions.
+type recordingListener struct {
+	mu        sync.Mutex
+	published []uint64 // snapshot version at each DotsPublished
+	channels  []string // channel at each DotsPublished
+	closed    []string // channels reported via SessionClosed
+}
+
+func (l *recordingListener) DotsPublished(s *Session) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.published = append(l.published, s.DotsVersion())
+	l.channels = append(l.channels, s.Channel())
+}
+
+func (l *recordingListener) SessionClosed(channel string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = append(l.closed, channel)
+}
+
+// TestDotListenerLifecycle pins the push-delivery hook contract: every
+// snapshot publication is reported (after the pointer swap, with the
+// session's version already at the published value), CloseSession reports
+// the channel after its final dots, and a nil store unregisters.
+func TestDotListenerLifecycle(t *testing.T) {
+	init, _ := trainedFixture(t)
+	eng := newTestEngine(t, init, Config{})
+	lis := &recordingListener{}
+	eng.Sessions().SetDotListener(lis)
+
+	s, err := eng.Sessions().open("hooked", &scriptedBackend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestN(t, s, 0, 3)
+	ingestN(t, s, 3, 2)
+
+	lis.mu.Lock()
+	pubs := append([]uint64(nil), lis.published...)
+	chans := append([]string(nil), lis.channels...)
+	lis.mu.Unlock()
+	if len(pubs) != 2 {
+		t.Fatalf("got %d DotsPublished events for 2 emitting batches, want 2", len(pubs))
+	}
+	for i, ch := range chans {
+		if ch != "hooked" {
+			t.Fatalf("event %d reported channel %q, want %q", i, ch, "hooked")
+		}
+	}
+	if pubs[1] <= pubs[0] {
+		t.Fatalf("listener saw non-monotonic versions: %v", pubs)
+	}
+	if cur := s.DotsVersion(); pubs[1] != cur {
+		t.Fatalf("last event version %d != current snapshot version %d", pubs[1], cur)
+	}
+
+	if _, err := eng.Sessions().CloseSession(context.Background(), "hooked"); err != nil {
+		t.Fatal(err)
+	}
+	lis.mu.Lock()
+	closed := append([]string(nil), lis.closed...)
+	lis.mu.Unlock()
+	if len(closed) != 1 || closed[0] != "hooked" {
+		t.Fatalf("SessionClosed events = %v, want exactly [hooked]", closed)
+	}
+
+	// Unregister: further publications must not reach the old listener.
+	eng.Sessions().SetDotListener(nil)
+	s2, err := eng.Sessions().open("unhooked", &scriptedBackend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestN(t, s2, 0, 1)
+	lis.mu.Lock()
+	n := len(lis.published)
+	lis.mu.Unlock()
+	if n != 2 {
+		t.Fatalf("unregistered listener still observed publications: %d events", n)
+	}
+}

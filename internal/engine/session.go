@@ -209,6 +209,28 @@ func newDotSnapshot(dots []core.RedDot) *dotSnapshot {
 	return &dotSnapshot{dots: dots, version: dotVersionSeq.Add(1)}
 }
 
+// DotListener observes the emission lifecycle of every session in a
+// manager. It is the engine-side hook push delivery hangs off: polling
+// reads the snapshot pointer whenever it likes, but a broadcast hub needs
+// to know the moment the pointer swaps so it can encode the new version
+// once and fan the bytes out.
+//
+// DotsPublished runs synchronously on the worker that owns the session's
+// mailbox, immediately after a new dot snapshot is published — calls for
+// one session are therefore serialized and ordered, and the listener may
+// call s.DotsPage without racing the publish it is being told about. It
+// must not block for long (it stalls that channel's mailbox) and must not
+// call back into the manager's session lifecycle.
+//
+// SessionClosed runs after CloseSession has flushed a channel and removed
+// it from the manager; the final flush-emitted dots (if any) were reported
+// through DotsPublished first, so a listener that forwards both events in
+// order never truncates history.
+type DotListener interface {
+	DotsPublished(s *Session)
+	SessionClosed(channel string)
+}
+
 // Session is one live channel's detection state: an ordered mailbox in
 // front of a detection backend. Any number of goroutines may enqueue work;
 // exactly one pool worker drains the mailbox at a time, so the backend
@@ -463,6 +485,9 @@ func (s *Session) process(env *envelope) {
 
 	if len(dots) > 0 {
 		s.publishDots(dots)
+		if lp := s.mgr.listener.Load(); lp != nil {
+			(*lp).DotsPublished(s)
+		}
 	}
 	if err != nil {
 		s.mu.Lock()
@@ -492,6 +517,12 @@ type SessionManager struct {
 	ckpt      CheckpointStore
 	ckptEvery time.Duration
 	ckptStop  chan struct{}
+
+	// listener, when set, observes dot publications and session closes.
+	// Atomic (not mu-guarded) because it is read on every emission by
+	// mailbox workers; stored as a pointer-to-interface so a nil store
+	// cleanly unregisters.
+	listener atomic.Pointer[DotListener]
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -575,6 +606,20 @@ func (m *SessionManager) Get(channel string) (*Session, bool) {
 	defer m.mu.Unlock()
 	s, ok := m.sessions[channel]
 	return s, ok
+}
+
+// SetDotListener registers l to observe dot publications and session
+// closes across every channel (nil unregisters). At most one listener is
+// supported — a later call replaces the earlier registration. Register
+// before traffic flows: publications that race the registration itself
+// may be missed, which is why push subscribers always start from a
+// cursor resync rather than trusting they saw version one.
+func (m *SessionManager) SetDotListener(l DotListener) {
+	if l == nil {
+		m.listener.Store(nil)
+		return
+	}
+	m.listener.Store(&l)
 }
 
 // Workers returns the size of the pool draining session mailboxes: the
@@ -670,6 +715,15 @@ func (m *SessionManager) CloseSession(ctx context.Context, channel string) ([]co
 		// channel at the next restart. Best-effort — a leftover checkpoint
 		// resumes a flushed (inert) session, which is harmless.
 		_ = m.ckpt.DeleteCheckpoint(channel)
+	}
+	// Tell the listener the channel is gone so push subscribers receive a
+	// terminal event instead of hanging. After Remove: a concurrent
+	// subscribe either found the session before removal (and is terminated
+	// here) or fails to find it at all — never a silent limbo. Concurrent
+	// CloseSession calls may notify twice; listeners treat the second
+	// notification for an unknown channel as a no-op.
+	if lp := m.listener.Load(); lp != nil {
+		(*lp).SessionClosed(channel)
 	}
 	return dots, nil
 }

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -25,8 +26,9 @@ import (
 // fast lane: a steady-state poller that echoes If-None-Match gets a 304
 // with no body bytes transferred at all.
 
-// cacheEntry is one immutable pre-encoded response. Never mutated after
-// publication; shared by every reader that hits it.
+// cacheEntry is one pre-encoded response. The payload fields are
+// immutable after publication and shared by every reader that hits the
+// entry; hit is eviction metadata (see evictSecondChance).
 type cacheEntry struct {
 	body []byte // exact bytes the uncached encoder would produce
 	etag string // strong validator, quoted form
@@ -35,6 +37,7 @@ type cacheEntry struct {
 	// allocating []string{...} per request.
 	etagHdr []string
 	clHdr   []string
+	hit     atomic.Bool // touched since the last eviction sweep
 }
 
 // newCacheEntry takes ownership of body.
@@ -59,15 +62,53 @@ func etagMatch(inm, etag string) bool {
 	return inm == "*" || (inm != "" && strings.Contains(inm, etag))
 }
 
-// Bounds. Streams (channels/videos) beyond the cap evict an arbitrary
-// victim — the cache is a pure performance layer, so eviction is always
-// safe. Sub-keys per stream (cursors for dots, k values for highlights)
-// are naturally small; the cap is a guard against clients minting
-// adversarial cursor values faster than versions rotate them out.
+// Bounds. Streams (channels/videos) beyond the cap evict by
+// second-chance (evictSecondChance) — the cache is a pure performance
+// layer, so eviction is always safe, but the victim choice matters: a
+// flash-crowd channel's hot entry must survive churn from thousands of
+// cold ones. Sub-keys per stream (cursors for dots, k values for
+// highlights) are naturally small; the cap is a guard against clients
+// minting adversarial cursor values faster than versions rotate them
+// out, and uses the same policy so real pollers' cursors outlive minted
+// garbage.
 const (
 	maxCacheStreams = 4096
 	maxCacheSubKeys = 1024
 )
+
+// clockHand is anything carrying a second-chance hit bit.
+type clockHand interface{ hitRef() *atomic.Bool }
+
+func (sc *streamCache) hitRef() *atomic.Bool { return &sc.hit }
+func (e *cacheEntry) hitRef() *atomic.Bool   { return &e.hit }
+
+// evictSecondChance removes one victim from a full map: the first entry
+// encountered whose hit bit is clear, clearing the set bits it sweeps
+// past on the way (they get a second chance — surviving until the next
+// sweep reaches them unhit). Go's randomized map iteration stands in for
+// the clock hand's position. An entry hit continuously between sweeps
+// always has its bit set when inspected, so it is approximately the LRU
+// policy's most-protected entry: it can only be evicted in the
+// degenerate all-hit sweep, where every entry was touched since the last
+// sweep and the (arbitrary) first one is taken.
+func evictSecondChance[K comparable, V clockHand](m map[K]V) {
+	var fallback K
+	haveFallback := false
+	for k, v := range m {
+		if !haveFallback {
+			fallback, haveFallback = k, true
+		}
+		if h := v.hitRef(); h.Load() {
+			h.Store(false)
+			continue
+		}
+		delete(m, k)
+		return
+	}
+	if haveFallback {
+		delete(m, fallback)
+	}
+}
 
 // streamCache holds the entries for one stream at ONE version — the only
 // version worth serving. A lookup carrying a newer version resets the
@@ -80,6 +121,7 @@ type streamCache struct {
 	mu      sync.RWMutex
 	version uint64
 	entries map[int]*cacheEntry
+	hit     atomic.Bool // touched since the last eviction sweep
 }
 
 // respCache maps stream id → streamCache. The zero value is ready to use
@@ -91,7 +133,10 @@ type respCache struct {
 }
 
 // get returns the cached entry for (stream, key, version), if any.
-// Zero-allocation on the hit path: two map reads and two mutexes.
+// Zero-allocation on the hit path: two map reads and two mutexes. Hits
+// mark both levels for the second-chance evictor; the load-before-store
+// keeps a hot entry's cache line shared across the many readers hammering
+// it instead of bouncing on redundant writes.
 func (c *respCache) get(stream string, key int, version uint64) (*cacheEntry, bool) {
 	c.mu.RLock()
 	sc := c.m[stream]
@@ -99,12 +144,18 @@ func (c *respCache) get(stream string, key int, version uint64) (*cacheEntry, bo
 	if sc == nil {
 		return nil, false
 	}
+	if !sc.hit.Load() {
+		sc.hit.Store(true)
+	}
 	sc.mu.RLock()
 	defer sc.mu.RUnlock()
 	if sc.version != version {
 		return nil, false
 	}
 	e, ok := sc.entries[key]
+	if ok && !e.hit.Load() {
+		e.hit.Store(true)
+	}
 	return e, ok
 }
 
@@ -120,10 +171,7 @@ func (c *respCache) put(stream string, key int, version uint64, e *cacheEntry) {
 	sc := c.m[stream]
 	if sc == nil {
 		if len(c.m) >= maxCacheStreams {
-			for victim := range c.m {
-				delete(c.m, victim)
-				break
-			}
+			evictSecondChance(c.m)
 		}
 		sc = &streamCache{}
 		c.m[stream] = sc
@@ -140,10 +188,7 @@ func (c *respCache) put(stream string, key int, version uint64, e *cacheEntry) {
 		sc.entries = make(map[int]*cacheEntry)
 	}
 	if len(sc.entries) >= maxCacheSubKeys {
-		for victim := range sc.entries {
-			delete(sc.entries, victim)
-			break
-		}
+		evictSecondChance(sc.entries)
 	}
 	sc.entries[key] = e
 }

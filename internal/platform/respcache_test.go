@@ -1,0 +1,82 @@
+package platform
+
+import (
+	"strconv"
+	"testing"
+)
+
+func testEntry() *cacheEntry { return newCacheEntry([]byte(`{}`+"\n"), `"t"`) }
+
+// TestRespCacheHotStreamSurvivesChurn is the flash-crowd regression: one
+// channel is continuously hit while thousands of cold channels churn
+// through the stream cap. Arbitrary-victim eviction eventually takes the
+// hot channel (map iteration order makes it a dice roll per eviction);
+// second-chance must never, because every sweep finds its hit bit set.
+func TestRespCacheHotStreamSurvivesChurn(t *testing.T) {
+	c := &respCache{}
+	c.put("hot", 0, 1, testEntry())
+	for i := 0; i < 3*maxCacheStreams; i++ {
+		if _, ok := c.get("hot", 0, 1); !ok {
+			t.Fatalf("hot stream evicted by cold churn after %d cold puts", i)
+		}
+		c.put("cold-"+strconv.Itoa(i), 0, 1, testEntry())
+	}
+	if _, ok := c.get("hot", 0, 1); !ok {
+		t.Fatal("hot stream evicted by cold churn")
+	}
+	// The cap itself must still hold: churn may not grow the map.
+	c.mu.RLock()
+	n := len(c.m)
+	c.mu.RUnlock()
+	if n > maxCacheStreams {
+		t.Fatalf("stream cache grew past its cap: %d > %d", n, maxCacheStreams)
+	}
+}
+
+// TestRespCacheHotSubKeySurvivesCursorChurn is the same property one
+// level down: a real poller crowd's cursor entry must survive a client
+// minting adversarial cursor values at the same version.
+func TestRespCacheHotSubKeySurvivesCursorChurn(t *testing.T) {
+	c := &respCache{}
+	c.put("ch", 7, 1, testEntry())
+	for i := 0; i < 3*maxCacheSubKeys; i++ {
+		if _, ok := c.get("ch", 7, 1); !ok {
+			t.Fatalf("hot cursor entry evicted after %d minted cursors", i)
+		}
+		c.put("ch", 1000+i, 1, testEntry())
+	}
+	if _, ok := c.get("ch", 7, 1); !ok {
+		t.Fatal("hot cursor entry evicted by minted-cursor churn")
+	}
+	c.mu.RLock()
+	sc := c.m["ch"]
+	c.mu.RUnlock()
+	sc.mu.RLock()
+	n := len(sc.entries)
+	sc.mu.RUnlock()
+	if n > maxCacheSubKeys {
+		t.Fatalf("sub-key cache grew past its cap: %d > %d", n, maxCacheSubKeys)
+	}
+}
+
+// TestRespCacheAllHitSweepStillEvicts pins the degenerate case: when
+// every entry was touched since the last sweep, eviction must still make
+// room (fallback victim) instead of growing without bound.
+func TestRespCacheAllHitSweepStillEvicts(t *testing.T) {
+	c := &respCache{}
+	for i := 0; i < maxCacheStreams; i++ {
+		s := "s" + strconv.Itoa(i)
+		c.put(s, 0, 1, testEntry())
+		c.get(s, 0, 1) // set every hit bit
+	}
+	c.put("one-more", 0, 1, testEntry())
+	c.mu.RLock()
+	n := len(c.m)
+	c.mu.RUnlock()
+	if n > maxCacheStreams {
+		t.Fatalf("all-hit sweep failed to evict: %d > %d", n, maxCacheStreams)
+	}
+	if _, ok := c.get("one-more", 0, 1); !ok {
+		t.Fatal("newest entry missing after all-hit sweep")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"lightor/internal/core"
 	"lightor/internal/engine"
@@ -28,6 +29,7 @@ import (
 //	POST /api/live/chat?channel=ID         → 202, ingest live chat messages
 //	POST /api/live/advance?channel=ID&now=T→ 202, advance a quiet stream's clock
 //	GET  /api/live/dots?channel=ID&cursor=N→ poll dots emitted since cursor
+//	GET  /api/live/stream?channel=ID&cursor=N → SSE push of dots since cursor
 //
 // The two viewer-facing GETs — /api/highlights and /api/live/dots — are
 // the read fast lane: responses carry a strong ETag, a request echoing it
@@ -36,6 +38,12 @@ import (
 // (invalidated by dot emission, SetRedDots, and refine completion).
 // Steady-state polling by millions of viewers costs a lock-free snapshot
 // load and a header compare per request.
+//
+// /api/live/stream is the push lane on top of the same machinery: each
+// newly published dot version is encoded once (into the same cache the
+// poll lane serves from) and the bytes fan out to every SSE subscriber
+// of the channel; see push.go for the hub and the drop-and-resync
+// slow-client policy.
 type Service struct {
 	Store *Store
 	// Engine is the concurrent session engine every detection and
@@ -53,6 +61,16 @@ type Service struct {
 	// tests and for the cold-path benchmarks that measure the uncached
 	// read lane.
 	DisableReadCache bool
+	// MaxSubscribers caps concurrent push subscribers across all channels
+	// (default 1<<20); beyond it /api/live/stream answers 503 with a
+	// Retry-After.
+	MaxSubscribers int
+	// PushHeartbeat is the SSE keepalive comment interval (default 15s).
+	PushHeartbeat time.Duration
+	// PushQueueLen is the per-subscriber frame-queue capacity (default
+	// 32). A subscriber that falls further behind is dropped to the
+	// coalesced resync path; see push.go.
+	PushQueueLen int
 
 	// Read-path response caches: pre-encoded bodies keyed by
 	// (channel, cursor, dot-snapshot version) for /api/live/dots and
@@ -66,6 +84,11 @@ type Service struct {
 	// the same video collapse onto one Initializer.Detect run.
 	flightMu sync.Mutex
 	flights  map[string]*detectFlight
+
+	// push is the SSE broadcast hub (push.go); pushOnce wires it to the
+	// engine's dot-publication hook on first use.
+	push     dotHub
+	pushOnce sync.Once
 }
 
 // HighlightsResponse is the payload of GET /api/highlights.
@@ -115,7 +138,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /api/live/chat", s.handleLiveChat)
 	mux.HandleFunc("POST /api/live/advance", s.handleLiveAdvance)
 	mux.HandleFunc("GET /api/live/dots", s.handleLiveDots)
+	mux.HandleFunc("GET /api/live/stream", s.handleLiveStream)
 	mux.HandleFunc("DELETE /api/live/session", s.handleLiveClose)
+	s.initPush()
 	return mux
 }
 
@@ -575,29 +600,44 @@ func (s *Service) ServeLiveDots(w http.ResponseWriter, channel string, cursor in
 		http.Error(w, fmt.Sprintf("unknown channel %q", channel), http.StatusNotFound)
 		return
 	}
-	dots, next, ver := sess.DotsPage(cursor)
-	// The clamped cursor (what the page actually starts at) is the cache
-	// sub-key, so every past-the-end poll shares the tip entry.
-	ck := next - len(dots)
-	if !s.DisableReadCache {
-		if e, ok := s.dotsCache.get(channel, ck, ver); ok {
-			serveEntry(w, ifNoneMatch, e)
-			return
-		}
-	}
-	if dots == nil {
-		dots = []core.RedDot{}
-	}
-	e, err := encodeEntry(LiveDotsResponse{Channel: channel, Dots: dots, Cursor: next}, dotsETag(ver, ck))
+	e, _, _, _, _, err := s.liveDotsEntry(sess, channel, cursor)
 	if err != nil {
 		log.Printf("platform: encoding live dots response: %v", err)
 		http.Error(w, "encoding response failed", http.StatusInternalServerError)
 		return
 	}
+	serveEntry(w, ifNoneMatch, e)
+}
+
+// liveDotsEntry returns the pre-encoded live-dots response for (channel,
+// cursor) at the session's current snapshot version — the shared core of
+// the poll lane (ServeLiveDots) and the push lane (the broadcast hub and
+// its resyncs). ck is the clamped cursor the page actually starts at
+// (the cache sub-key, so every past-the-end cursor shares the tip
+// entry), next the new cursor, ver the snapshot version, and encoded
+// whether this call performed the JSON encode (false = cache hit).
+// Because both lanes address the same (channel, ck, ver) entries, a
+// version broadcast to push subscribers pre-warms the poll cache and
+// vice versa.
+func (s *Service) liveDotsEntry(sess *engine.Session, channel string, cursor int) (e *cacheEntry, ck, next int, ver uint64, encoded bool, err error) {
+	dots, next, ver := sess.DotsPage(cursor)
+	ck = next - len(dots)
+	if !s.DisableReadCache {
+		if e, ok := s.dotsCache.get(channel, ck, ver); ok {
+			return e, ck, next, ver, false, nil
+		}
+	}
+	if dots == nil {
+		dots = []core.RedDot{}
+	}
+	e, err = encodeEntry(LiveDotsResponse{Channel: channel, Dots: dots, Cursor: next}, dotsETag(ver, ck))
+	if err != nil {
+		return nil, ck, next, ver, false, err
+	}
 	if !s.DisableReadCache {
 		s.dotsCache.put(channel, ck, ver, e)
 	}
-	serveEntry(w, ifNoneMatch, e)
+	return e, ck, next, ver, true, nil
 }
 
 // writeLiveError maps engine errors onto HTTP statuses: out-of-order chat

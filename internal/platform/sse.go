@@ -1,0 +1,69 @@
+package platform
+
+// Server-Sent-Events frame encoding for the push-delivery fast lane.
+//
+// A frame is built once per published dot version and the same bytes are
+// written verbatim to every subscriber, so the writer is append-only into
+// a caller-owned buffer — no fmt, no intermediate strings, no per-frame
+// allocations beyond the buffer growth itself.
+//
+// The encoding follows the WHATWG EventSource dispatch rules:
+//
+//   - `event` and `id` are single-line fields. CR, LF, and NUL can either
+//     break framing or make a compliant client discard the field, so they
+//     are stripped rather than trusted (our own callers never send them;
+//     the sanitization is defense in depth pinned by FuzzSSEFrame).
+//   - `data` may span lines: every line of the payload is emitted as its
+//     own `data:` field. A compliant client reassembles them by joining
+//     with a single LF, so payload line breaks round-trip with CRLF/CR
+//     normalized to LF — exactly the normalization the SSE stream format
+//     itself applies to raw input.
+//   - A frame always carries at least one `data:` field, even for an empty
+//     payload: an event with an empty data buffer is NOT dispatched by
+//     spec-compliant clients, and a silently dropped frame would desync a
+//     subscriber's cursor.
+//
+// The blank line terminating the frame is included, so concatenated frames
+// form a valid event stream.
+
+// appendSSEFrame appends one complete SSE frame to dst and returns the
+// extended buffer.
+func appendSSEFrame(dst []byte, event, id string, data []byte) []byte {
+	if event != "" {
+		dst = append(dst, "event: "...)
+		dst = appendSSELine(dst, event)
+		dst = append(dst, '\n')
+	}
+	if id != "" {
+		dst = append(dst, "id: "...)
+		dst = appendSSELine(dst, id)
+		dst = append(dst, '\n')
+	}
+	dst = append(dst, "data: "...)
+	for i := 0; i < len(data); i++ {
+		switch c := data[i]; c {
+		case '\n':
+			dst = append(dst, "\ndata: "...)
+		case '\r':
+			if i+1 < len(data) && data[i+1] == '\n' {
+				i++
+			}
+			dst = append(dst, "\ndata: "...)
+		default:
+			dst = append(dst, c)
+		}
+	}
+	dst = append(dst, '\n', '\n')
+	return dst
+}
+
+// appendSSELine appends a single-line field value, stripping the bytes
+// that would break framing (CR, LF) or poison the field (NUL).
+func appendSSELine(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c != '\n' && c != '\r' && c != 0 {
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,103 @@
+package platform
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// referenceSSEFrame is the naive spec-first framer the optimized writer
+// is fuzzed against: strip framing-hostile bytes from the single-line
+// fields, normalize payload line endings the way the SSE stream format
+// itself would (\r\n and \r become \n), and emit one data: field per
+// line.
+func referenceSSEFrame(event, id string, data []byte) []byte {
+	clean := func(s string) string {
+		var b strings.Builder
+		for i := 0; i < len(s); i++ {
+			if c := s[i]; c != '\n' && c != '\r' && c != 0 {
+				b.WriteByte(c)
+			}
+		}
+		return b.String()
+	}
+	var b strings.Builder
+	if event != "" {
+		b.WriteString("event: " + clean(event) + "\n")
+	}
+	if id != "" {
+		b.WriteString("id: " + clean(id) + "\n")
+	}
+	norm := strings.ReplaceAll(string(data), "\r\n", "\n")
+	norm = strings.ReplaceAll(norm, "\r", "\n")
+	for _, line := range strings.Split(norm, "\n") {
+		b.WriteString("data: " + line + "\n")
+	}
+	b.WriteString("\n")
+	return []byte(b.String())
+}
+
+// TestSSEFrameKnownAnswers pins exact frames for the shapes the hub
+// actually emits.
+func TestSSEFrameKnownAnswers(t *testing.T) {
+	cases := []struct {
+		event, id string
+		data      string
+		want      string
+	}{
+		{"dots", "42", `{"cursor":42}`, "event: dots\nid: 42\ndata: {\"cursor\":42}\n\n"},
+		{"end", "7", `{"reason":"closed"}`, "event: end\nid: 7\ndata: {\"reason\":\"closed\"}\n\n"},
+		{"", "", "", "data: \n\n"},
+		{"m", "", "a\nb", "event: m\ndata: a\ndata: b\n\n"},
+		{"m", "", "a\r\nb\rc", "event: m\ndata: a\ndata: b\ndata: c\n\n"},
+	}
+	for _, c := range cases {
+		got := appendSSEFrame(nil, c.event, c.id, []byte(c.data))
+		if string(got) != c.want {
+			t.Errorf("appendSSEFrame(%q, %q, %q) = %q, want %q", c.event, c.id, c.data, got, c.want)
+		}
+	}
+}
+
+// FuzzSSEFrame cross-checks the zero-allocation framer against the
+// reference for arbitrary field and payload bytes, then parses the frame
+// back through the client-side dispatch rules and asserts the payload
+// round-trips (modulo the spec's newline normalization) — so no input
+// can smuggle a frame boundary, break a field, or lose payload bytes.
+func FuzzSSEFrame(f *testing.F) {
+	f.Add("dots", "42", []byte(`{"channel":"c","dots":[],"cursor":42}`))
+	f.Add("", "", []byte(""))
+	f.Add("end", "7", []byte("line1\nline2"))
+	f.Add("e\nvil", "i\rd", []byte("a\r\nb\rc\nd"))
+	f.Add("x", "y", []byte{0, '\r', '\n', '\r', 0})
+	f.Add("hb", "", []byte("trailing newline\n"))
+	f.Fuzz(func(t *testing.T, event, id string, data []byte) {
+		got := appendSSEFrame(nil, event, id, data)
+		want := referenceSSEFrame(event, id, data)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("framer diverged from reference:\n got %q\nwant %q", got, want)
+		}
+		// Exactly one block: the only blank line is the terminator.
+		if bytes.Index(got, []byte("\n\n")) != len(got)-2 {
+			t.Fatalf("frame is not exactly one SSE block: %q", got)
+		}
+		// Round-trip through the dispatch rules.
+		ev, err := readSSEEvent(bufio.NewReader(bytes.NewReader(got)))
+		if err != nil {
+			t.Fatalf("parsing %q: %v", got, err)
+		}
+		cleanRef := func(s string) string {
+			return string(appendSSELine(nil, s))
+		}
+		if ev.event != cleanRef(event) || ev.id != cleanRef(id) {
+			t.Fatalf("fields did not round-trip: got (%q, %q), want (%q, %q)",
+				ev.event, ev.id, cleanRef(event), cleanRef(id))
+		}
+		norm := strings.ReplaceAll(string(data), "\r\n", "\n")
+		norm = strings.ReplaceAll(norm, "\r", "\n")
+		if ev.data != norm {
+			t.Fatalf("payload did not round-trip: got %q, want %q", ev.data, norm)
+		}
+	})
+}
