@@ -18,6 +18,7 @@ import (
 	"lightor/internal/engine"
 	"lightor/internal/experiments"
 	"lightor/internal/perf"
+	"lightor/internal/perf/perfcluster"
 	"lightor/internal/perf/perfengine"
 	"lightor/internal/perf/perfhttp"
 	"lightor/internal/perf/perfwal"
@@ -459,6 +460,31 @@ func BenchmarkHTTPDotsReadRacingIngest(b *testing.B) {
 	init, d := benchTrainedEngine(b)
 	msgs := d.Chat.Log.Messages()
 	b.Run("pollers=64", perfhttp.DotsReadRacingIngest(init, msgs, 64, nil))
+}
+
+// BenchmarkClusterIngest shards the fixed 12-channel live-ingest fleet
+// across 1/2/3 in-process cluster nodes, every channel POSTed to its
+// consistent-hash owner's real handler. Pre-routed clients, so the sweep
+// prices sharding itself (the Owner() routing check, engines split N
+// ways); the aggregate(N)/aggregate(1) ratio is the CI-gated cluster
+// scale floor in BENCH_PR7.json.
+func BenchmarkClusterIngest(b *testing.B) {
+	init, d := benchTrainedEngine(b)
+	msgs := d.Chat.Log.Messages()
+	for _, nodes := range perfcluster.NodeSweep {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), perfcluster.ClusterIngest(init, msgs, nodes, nil))
+	}
+}
+
+// BenchmarkClusterRead is the hot read lane (conditional GET
+// /api/live/dots: cache hits and bodyless 304s) across the same sharded
+// fleet, 64 concurrent pollers pre-routed to their channels' owners.
+func BenchmarkClusterRead(b *testing.B) {
+	init, d := benchTrainedEngine(b)
+	msgs := d.Chat.Log.Messages()
+	for _, nodes := range perfcluster.NodeSweep {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), perfcluster.ClusterRead(init, msgs, nodes, 64, nil))
+	}
 }
 
 // BenchmarkPushFanout is the push-lane headline: versioned broadcast

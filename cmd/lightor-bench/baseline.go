@@ -25,7 +25,9 @@ import (
 //     speedup (cached+conditional GETs over re-encode-every-poll, same
 //     run) must stay ≥ minReadSpeedup at concurrent fan-ins (≥ 64
 //     pollers) and above the sanity floor everywhere (hot may never be
-//     slower than cold).
+//     slower than cold); and the cluster scale ratio (aggregate
+//     throughput at N nodes over 1 node, same run) must stay ≥
+//     minClusterScale for both the ingest and read fleets.
 
 // minReadSanity is the universal hot-vs-cold floor: whatever the machine
 // or fan-in, the cached read lane must never lose to re-encoding.
@@ -63,7 +65,7 @@ const (
 )
 
 // checkBaseline returns the list of violations (empty = pass).
-func checkBaseline(cur, base benchReport, tol, minSpeedup, minReadSpeedup float64) []string {
+func checkBaseline(cur, base benchReport, tol, minSpeedup, minReadSpeedup, minClusterScale float64) []string {
 	var v []string
 	slower := func(name string, cur, base float64) {
 		if base > 0 && cur > base*(1+tol) {
@@ -233,6 +235,41 @@ func checkBaseline(cur, base benchReport, tol, minSpeedup, minReadSpeedup float6
 	} else if r < minPushWireRatio {
 		v = append(v, fmt.Sprintf("push_wire_poll_vs_push: %.1f× poll-over-push wire ratio < required %.1f×", r, minPushWireRatio))
 	}
+
+	// Cluster mode: relative-to-baseline aggregate throughput per node
+	// count, plus the same-run scale ratio — sharding the fixed channel
+	// fleet across N nodes must keep aggregate throughput at or above
+	// minClusterScale × the single-node run (machine speed cancels; the
+	// floor sits below 1.0 only because single-core CI runners can't
+	// demonstrate parallel speedup, merely absence of collapse).
+	clusterBase := func(rows []clusterResult) map[int]float64 {
+		m := map[int]float64{}
+		for _, row := range rows {
+			m[row.Nodes] = row.OpsPerSec
+		}
+		return m
+	}
+	baseCI := clusterBase(base.Results.ClusterIngest)
+	for _, row := range cur.Results.ClusterIngest {
+		throughput(fmt.Sprintf("cluster_ingest[nodes=%d].ops_per_sec", row.Nodes), row.OpsPerSec, baseCI[row.Nodes])
+	}
+	baseCR := clusterBase(base.Results.ClusterRead)
+	for _, row := range cur.Results.ClusterRead {
+		throughput(fmt.Sprintf("cluster_read[nodes=%d].ops_per_sec", row.Nodes), row.OpsPerSec, baseCR[row.Nodes])
+	}
+	for _, row := range cur.Results.ClusterScale {
+		if row.IngestScale < minClusterScale {
+			v = append(v, fmt.Sprintf("cluster_scale[nodes=%d]: ingest %.2f× < required %.2f× of single-node aggregate (same run)",
+				row.Nodes, row.IngestScale, minClusterScale))
+		}
+		if row.ReadScale < minClusterScale {
+			v = append(v, fmt.Sprintf("cluster_scale[nodes=%d]: read %.2f× < required %.2f× of single-node aggregate (same run)",
+				row.Nodes, row.ReadScale, minClusterScale))
+		}
+	}
+	if len(cur.Results.ClusterScale) == 0 && len(base.Results.ClusterScale) > 0 {
+		v = append(v, "cluster_scale: missing from report")
+	}
 	return v
 }
 
@@ -249,7 +286,7 @@ func loadReport(path string) (benchReport, error) {
 }
 
 // runBaselineCheck loads both reports and fails loudly on any violation.
-func runBaselineCheck(reportPath, baselinePath string, tol, minSpeedup, minReadSpeedup float64) error {
+func runBaselineCheck(reportPath, baselinePath string, tol, minSpeedup, minReadSpeedup, minClusterScale float64) error {
 	cur, err := loadReport(reportPath)
 	if err != nil {
 		return err
@@ -258,11 +295,11 @@ func runBaselineCheck(reportPath, baselinePath string, tol, minSpeedup, minReadS
 	if err != nil {
 		return err
 	}
-	if violations := checkBaseline(cur, base, tol, minSpeedup, minReadSpeedup); len(violations) > 0 {
+	if violations := checkBaseline(cur, base, tol, minSpeedup, minReadSpeedup, minClusterScale); len(violations) > 0 {
 		return fmt.Errorf("baseline: %d perf regression(s) vs %s:\n  %s",
 			len(violations), baselinePath, strings.Join(violations, "\n  "))
 	}
-	fmt.Printf("baseline: %s within tolerance of %s (×%.2f, min batch speedup %.1f×, min read speedup %.1f×)\n",
-		reportPath, baselinePath, 1+tol, minSpeedup, minReadSpeedup)
+	fmt.Printf("baseline: %s within tolerance of %s (×%.2f, min batch speedup %.1f×, min read speedup %.1f×, min cluster scale %.2f×)\n",
+		reportPath, baselinePath, 1+tol, minSpeedup, minReadSpeedup, minClusterScale)
 	return nil
 }

@@ -51,6 +51,15 @@ func refReport() benchReport {
 		EmissionsPerSec: 0.01, FrameBytes: 500,
 		PollBytesPerViewerSec: 316, PushBytesPerViewerSec: 5.4, PollOverPushRatio: 58,
 	}
+	r.Results.ClusterIngest = []clusterResult{
+		{Nodes: 1, Channels: 12, OpsPerSec: 1.0e6, OpsPerSecPerNode: 1.0e6},
+		{Nodes: 3, Channels: 12, OpsPerSec: 1.1e6, OpsPerSecPerNode: 3.7e5},
+	}
+	r.Results.ClusterRead = []clusterResult{
+		{Nodes: 1, Channels: 12, OpsPerSec: 4.0e5, OpsPerSecPerNode: 4.0e5},
+		{Nodes: 3, Channels: 12, OpsPerSec: 4.2e5, OpsPerSecPerNode: 1.4e5},
+	}
+	r.Results.ClusterScale = []clusterScaleResult{{Nodes: 3, IngestScale: 1.1, ReadScale: 1.05}}
 	return r
 }
 
@@ -61,7 +70,7 @@ func TestCheckBaselinePasses(t *testing.T) {
 	cur.Results.OnlineFeedSteadyState.NsPerOp = 480
 	cur.Results.MultiChannelIngest[0].MsgsPerSec = 1.25e6
 	cur.Results.HTTPDotsRead[3].ReadsPerSec = 3.9e5
-	if v := checkBaseline(cur, base, 1.5, 3.0, 5.0); len(v) != 0 {
+	if v := checkBaseline(cur, base, 1.5, 3.0, 5.0, 0.5); len(v) != 0 {
 		t.Fatalf("noise flagged as regression: %v", v)
 	}
 }
@@ -74,7 +83,7 @@ func TestCheckBaselineCatchesRegressions(t *testing.T) {
 	cur.Results.OnlineFeedSteadyState.AllocsPerOp = 2   // zero-alloc broken
 	cur.Results.LiveHTTPIngest[1].MsgsPerSec = 1.2e5    // throughput collapse
 	cur.Results.LiveHTTPIngestSpeedup[0].Speedup = 1.4  // batching win lost
-	v := checkBaseline(cur, base, 1.5, 3.0, 5.0)
+	v := checkBaseline(cur, base, 1.5, 3.0, 5.0, 0.5)
 	if len(v) != 4 {
 		t.Fatalf("expected 4 violations, got %d: %v", len(v), v)
 	}
@@ -95,12 +104,12 @@ func TestCheckBaselineCatchesRegressions(t *testing.T) {
 	weather := refReport()
 	weather.Results.WALAppend.NsPerOp = 8000
 	weather.Results.Checkpoint.NsPerOp = 60000
-	if v := checkBaseline(weather, base, 1.5, 3.0, 5.0); len(v) != 0 {
+	if v := checkBaseline(weather, base, 1.5, 3.0, 5.0, 0.5); len(v) != 0 {
 		t.Fatalf("disk IO weather flagged as regression: %v", v)
 	}
 	disk := refReport()
 	disk.Results.WALAppend.NsPerOp = 11000
-	if v := checkBaseline(disk, base, 1.5, 3.0, 5.0); len(v) != 1 ||
+	if v := checkBaseline(disk, base, 1.5, 3.0, 5.0, 0.5); len(v) != 1 ||
 		!strings.Contains(v[0], "wal_append.ns_per_op") || !strings.Contains(v[0], "disk-bound") {
 		t.Fatalf("11x WAL append slowdown not flagged past the disk band: %v", v)
 	}
@@ -108,7 +117,7 @@ func TestCheckBaselineCatchesRegressions(t *testing.T) {
 	// A report with no speedup rows must fail, not silently pass.
 	empty := refReport()
 	empty.Results.LiveHTTPIngestSpeedup = nil
-	if v := checkBaseline(empty, base, 1.5, 3.0, 5.0); len(v) != 1 || !strings.Contains(v[0], "missing") {
+	if v := checkBaseline(empty, base, 1.5, 3.0, 5.0, 0.5); len(v) != 1 || !strings.Contains(v[0], "missing") {
 		t.Fatalf("missing speedup rows not flagged: %v", v)
 	}
 }
@@ -123,7 +132,7 @@ func TestCheckBaselineCatchesReadRegressions(t *testing.T) {
 	cur.Results.HTTPDotsRead[3].ReadsPerSec = 4e4          // hot read throughput collapse
 	cur.Results.HTTPDotsReadSpeedup[1].Speedup = 3.0       // cache win lost at 64 pollers
 	cur.Results.HTTPHighlightsReadSpeedup[0].Speedup = 0.9 // hot slower than cold
-	v := checkBaseline(cur, base, 1.5, 3.0, 5.0)
+	v := checkBaseline(cur, base, 1.5, 3.0, 5.0, 0.5)
 	if len(v) != 6 {
 		t.Fatalf("expected 6 violations, got %d: %v", len(v), v)
 	}
@@ -145,20 +154,59 @@ func TestCheckBaselineCatchesReadRegressions(t *testing.T) {
 	// 2.0× at pollers=1 passes, 1.1× does not.
 	sane := refReport()
 	sane.Results.HTTPDotsReadSpeedup[0].Speedup = 2.0
-	if v := checkBaseline(sane, base, 1.5, 3.0, 5.0); len(v) != 0 {
+	if v := checkBaseline(sane, base, 1.5, 3.0, 5.0, 0.5); len(v) != 0 {
 		t.Fatalf("pollers=1 speedup 2.0x wrongly flagged: %v", v)
 	}
 	insane := refReport()
 	insane.Results.HTTPDotsReadSpeedup[0].Speedup = 1.1
-	if v := checkBaseline(insane, base, 1.5, 3.0, 5.0); len(v) != 1 || !strings.Contains(v[0], "pollers=1") {
+	if v := checkBaseline(insane, base, 1.5, 3.0, 5.0, 0.5); len(v) != 1 || !strings.Contains(v[0], "pollers=1") {
 		t.Fatalf("pollers=1 speedup below sanity floor not flagged: %v", v)
 	}
 
 	// Missing read-speedup rows must fail, not silently pass.
 	missing := refReport()
 	missing.Results.HTTPDotsReadSpeedup = nil
-	if v := checkBaseline(missing, base, 1.5, 3.0, 5.0); len(v) != 1 || !strings.Contains(v[0], "http_dots_read_speedup: missing") {
+	if v := checkBaseline(missing, base, 1.5, 3.0, 5.0, 0.5); len(v) != 1 || !strings.Contains(v[0], "http_dots_read_speedup: missing") {
 		t.Fatalf("missing read speedup rows not flagged: %v", v)
+	}
+}
+
+func TestCheckBaselineCatchesClusterRegressions(t *testing.T) {
+	base := refReport()
+
+	cur := refReport()
+	cur.Results.ClusterIngest[1].OpsPerSec = 1e5  // 3-node aggregate collapse vs baseline
+	cur.Results.ClusterScale[0].IngestScale = 0.3 // sharding tax blew the same-run floor
+	cur.Results.ClusterScale[0].ReadScale = 0.2
+	v := checkBaseline(cur, base, 1.5, 3.0, 5.0, 0.5)
+	if len(v) != 3 {
+		t.Fatalf("expected 3 violations, got %d: %v", len(v), v)
+	}
+	joined := strings.Join(v, "\n")
+	for _, want := range []string{
+		"cluster_ingest[nodes=3].ops_per_sec",
+		"cluster_scale[nodes=3]: ingest 0.30",
+		"cluster_scale[nodes=3]: read 0.20",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("violations missing %q:\n%s", want, joined)
+		}
+	}
+
+	// A report that silently drops the scale rows must fail when the
+	// baseline has them.
+	missing := refReport()
+	missing.Results.ClusterScale = nil
+	if v := checkBaseline(missing, base, 1.5, 3.0, 5.0, 0.5); len(v) != 1 || !strings.Contains(v[0], "cluster_scale: missing") {
+		t.Fatalf("missing cluster scale rows not flagged: %v", v)
+	}
+
+	// A floor of 0.5 tolerates single-core CI (scale ~1.0, not >1).
+	flat := refReport()
+	flat.Results.ClusterScale[0].IngestScale = 0.95
+	flat.Results.ClusterScale[0].ReadScale = 0.9
+	if v := checkBaseline(flat, base, 1.5, 3.0, 5.0, 0.5); len(v) != 0 {
+		t.Fatalf("flat single-core scaling wrongly flagged: %v", v)
 	}
 }
 
@@ -170,7 +218,7 @@ func TestCheckBaselineCatchesPushRegressions(t *testing.T) {
 	// Marginal allocs: 0.02 allocs per extra delivery across the sweep.
 	cur.Results.PushFanout[1].AllocsPerIter = 4000 + 0.02*(3e6-3e4)
 	cur.Results.PushWire.PollOverPushRatio = 4.0 // wire win collapsed
-	v := checkBaseline(cur, base, 1.5, 3.0, 5.0)
+	v := checkBaseline(cur, base, 1.5, 3.0, 5.0, 0.5)
 	if len(v) != 3 {
 		t.Fatalf("expected 3 violations, got %d: %v", len(v), v)
 	}
@@ -189,7 +237,7 @@ func TestCheckBaselineCatchesPushRegressions(t *testing.T) {
 	// against the same-run hot-poll floor (4.4e5 reads/sec at 64 pollers).
 	slow := refReport()
 	slow.Results.PushFanout[1].DeliveriesPerSec = 1e5
-	v = checkBaseline(slow, base, 1.5, 3.0, 5.0)
+	v = checkBaseline(slow, base, 1.5, 3.0, 5.0, 0.5)
 	if len(v) != 2 {
 		t.Fatalf("expected 2 violations, got %d: %v", len(v), v)
 	}
@@ -207,7 +255,7 @@ func TestCheckBaselineCatchesPushRegressions(t *testing.T) {
 	missing := refReport()
 	missing.Results.PushFanout = nil
 	missing.Results.PushWire = pushWireResult{}
-	v = checkBaseline(missing, base, 1.5, 3.0, 5.0)
+	v = checkBaseline(missing, base, 1.5, 3.0, 5.0, 0.5)
 	if len(v) != 2 {
 		t.Fatalf("missing push rows not flagged as 2 violations: %v", v)
 	}

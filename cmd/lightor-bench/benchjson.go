@@ -11,6 +11,7 @@ import (
 	"lightor/internal/chat"
 	"lightor/internal/core"
 	"lightor/internal/perf"
+	"lightor/internal/perf/perfcluster"
 	"lightor/internal/perf/perfengine"
 	"lightor/internal/perf/perfhttp"
 	"lightor/internal/perf/perfwal"
@@ -90,6 +91,22 @@ type benchResult struct {
 	// conditional poller (mostly 304s) vs a push subscriber receiving one
 	// frame per emitted version plus heartbeats (CI-gated ≥ 10×).
 	PushWire pushWireResult `json:"push_wire_poll_vs_push"`
+	// ClusterIngest sweeps node count for the channel-sharded cluster: a
+	// fixed 12-channel live-ingest fleet, every channel POSTed to its
+	// consistent-hash owner through that node's real handler. Clients are
+	// pre-routed, so the rows price sharding itself — the per-request
+	// Owner() routing check plus engines and caches split N ways.
+	// OpsPerSec is aggregate msgs/sec across the whole cluster.
+	ClusterIngest []clusterResult `json:"cluster_ingest"`
+	// ClusterRead is the hot read lane (conditional GET /api/live/dots:
+	// cache hits and bodyless 304s) across the same sharded fleet at a
+	// fixed concurrent-poller fan-in. OpsPerSec is aggregate reads/sec.
+	ClusterRead []clusterResult `json:"cluster_read"`
+	// ClusterScale is aggregate(N) over aggregate(1) per workload — a
+	// same-run ratio, so machine speed cancels out. CI-gated ≥ the
+	// -min-cluster-scale floor: sharding a fixed fleet redistributes the
+	// work but must never collapse aggregate throughput.
+	ClusterScale []clusterScaleResult `json:"cluster_scale"`
 	// WALAppend is the CPU cost the write-ahead log adds to each accepted
 	// mutation (framing + CRC32 + buffered write; fsync excluded).
 	WALAppend walAppendResult `json:"wal_append"`
@@ -199,6 +216,19 @@ type pushWireResult struct {
 	PollBytesPerViewerSec float64 `json:"poll_bytes_per_viewer_sec"`
 	PushBytesPerViewerSec float64 `json:"push_bytes_per_viewer_sec"`
 	PollOverPushRatio     float64 `json:"poll_over_push_ratio"`
+}
+
+type clusterResult struct {
+	Nodes            int     `json:"nodes"`
+	Channels         int     `json:"channels"`
+	OpsPerSec        float64 `json:"ops_per_sec"`
+	OpsPerSecPerNode float64 `json:"ops_per_sec_per_node"`
+}
+
+type clusterScaleResult struct {
+	Nodes       int     `json:"nodes"`
+	IngestScale float64 `json:"ingest_scale_vs_1"`
+	ReadScale   float64 `json:"read_scale_vs_1"`
 }
 
 type cacheServeResult struct {
@@ -512,6 +542,52 @@ func runBenchJSON(path string) error {
 		// simulated duration (the last message's timestamp).
 		report.Results.PushWire = pushWireEstimate(
 			report.Results.PushFanout[n-1], msgs[len(msgs)-1].Time+1)
+	}
+
+	// Cluster-mode rows: both workloads at every node count, then the
+	// same-run scale ratios the gate holds a floor under.
+	const clusterReadPollers = 64
+	var clusterIngest1, clusterRead1 float64
+	for _, nodes := range perfcluster.NodeSweep {
+		var sink perfengine.ErrSink
+		r := testing.Benchmark(perfcluster.ClusterIngest(init, msgs, nodes, &sink))
+		name := fmt.Sprintf("cluster_ingest/nodes=%d", nodes)
+		if err := sink.Err(); err != nil {
+			return fmt.Errorf("bench-json: %s failed mid-run: %w", name, err)
+		}
+		if err := checkResult(name, r); err != nil {
+			return err
+		}
+		mps := r.Extra["msgs/sec"]
+		report.Results.ClusterIngest = append(report.Results.ClusterIngest, clusterResult{
+			Nodes: nodes, Channels: perfcluster.ClusterChannels,
+			OpsPerSec: mps, OpsPerSecPerNode: mps / float64(nodes),
+		})
+
+		var rsink perfengine.ErrSink
+		rr := testing.Benchmark(perfcluster.ClusterRead(init, msgs, nodes, clusterReadPollers, &rsink))
+		name = fmt.Sprintf("cluster_read/nodes=%d", nodes)
+		if err := rsink.Err(); err != nil {
+			return fmt.Errorf("bench-json: %s failed mid-run: %w", name, err)
+		}
+		if err := checkResult(name, rr); err != nil {
+			return err
+		}
+		rps := rr.Extra["reads/sec"]
+		report.Results.ClusterRead = append(report.Results.ClusterRead, clusterResult{
+			Nodes: nodes, Channels: perfcluster.ClusterChannels,
+			OpsPerSec: rps, OpsPerSecPerNode: rps / float64(nodes),
+		})
+
+		if nodes == 1 {
+			clusterIngest1, clusterRead1 = mps, rps
+		} else if clusterIngest1 > 0 && clusterRead1 > 0 {
+			report.Results.ClusterScale = append(report.Results.ClusterScale, clusterScaleResult{
+				Nodes:       nodes,
+				IngestScale: mps / clusterIngest1,
+				ReadScale:   rps / clusterRead1,
+			})
+		}
 	}
 
 	walDir, err := os.MkdirTemp("", "lightor-bench-wal")

@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"testing"
 	"time"
 
 	"lightor/internal/experiments"
@@ -32,6 +33,11 @@ func wrap[T interface{ Render() string }](f func(experiments.Config) (T, error))
 }
 
 func main() {
+	// The -bench-json path drives testing.Benchmark from a plain main
+	// package; testing.Init registers the framework's flag set so that
+	// b.Error/b.Fatal inside a failing measurement body report cleanly
+	// instead of dereferencing unregistered flags.
+	testing.Init()
 	scale := flag.String("scale", "default", "experiment scale: default|quick")
 	run := flag.String("run", "all", "comma-separated experiment ids (fig2a,fig2b,fig3,fig6a,fig6b,fig7a,fig7b,fig8,fig9,fig10,fig11,table1,ablations,classifier,windows) or 'all'")
 	benchJSON := flag.String("bench-json", "", "write a machine-readable hot-path perf report (Feed ns/op + allocs/op, window-close cost, batched/engine/HTTP ingest msgs/sec, WAL costs) to this path and exit")
@@ -39,6 +45,7 @@ func main() {
 	tolerance := flag.Float64("tolerance", 1.5, "baseline gate slack: time metrics may grow up to baseline*(1+tolerance), throughput may shrink to baseline/(1+tolerance)")
 	minSpeedup := flag.Float64("min-batch-speedup", 3.0, "baseline gate: required live-ingest msgs/sec ratio, batch 256 vs batch 1 (same-run, machine-independent)")
 	minReadSpeedup := flag.Float64("min-read-speedup", 5.0, "baseline gate: required live-dots reads/sec ratio, cached+conditional vs uncached, at >= 64 concurrent pollers (same-run, machine-independent)")
+	minClusterScale := flag.Float64("min-cluster-scale", 0.5, "baseline gate: required cluster aggregate-throughput ratio, N nodes vs 1, per workload (same-run; below 1.0 because single-core CI can only prove absence of collapse, not parallel speedup)")
 	flag.Parse()
 
 	if *benchJSON != "" {
@@ -46,7 +53,7 @@ func main() {
 			log.Fatal(err)
 		}
 		if *baseline != "" {
-			if err := runBaselineCheck(*benchJSON, *baseline, *tolerance, *minSpeedup, *minReadSpeedup); err != nil {
+			if err := runBaselineCheck(*benchJSON, *baseline, *tolerance, *minSpeedup, *minReadSpeedup, *minClusterScale); err != nil {
 				log.Fatal(err)
 			}
 		}

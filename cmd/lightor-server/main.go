@@ -23,6 +23,17 @@
 //	GET  /api/live/dots?channel=ID&cursor=N
 //	GET  /api/live/stream?channel=ID&cursor=N  (SSE push of dots since cursor)
 //	DELETE /api/live/session?channel=ID        (end broadcast, flush, free slot)
+//	GET  /api/healthz                          (node id, load, drain state)
+//
+// With -node-id/-peers the server is one node of a channel-sharded
+// cluster: a consistent-hash ring over the peer set maps every channel
+// and video id to its owner node, misrouted writes are forwarded to the
+// owner over pooled keep-alive connections, misrouted reads answer 307
+// so viewers stream straight from the owner, and the /api/cluster/*
+// endpoints (handoff, resume, route, down) rebalance live channels
+// between nodes without ending their broadcasts. Give each node its own
+// -data-dir. Without -peers nothing changes: single-node operation is
+// the default and pays no routing overhead.
 //
 // With -pprof-addr the standard net/http/pprof handlers are served on a
 // separate listener (off by default), so production ingest hot spots can
@@ -56,6 +67,7 @@ import (
 	"syscall"
 	"time"
 
+	"lightor/internal/cluster"
 	"lightor/internal/core"
 	"lightor/internal/engine"
 	"lightor/internal/platform"
@@ -78,8 +90,29 @@ func main() {
 	ckptInterval := flag.Duration("checkpoint-interval", 15*time.Second, "live-session checkpoint cadence with -data-dir (0 or negative disables the interval loop; emit and drain checkpoints always run)")
 	maxSubscribers := flag.Int("max-subscribers", 1<<20, "cap on concurrent /api/live/stream push subscribers across all channels; beyond it new subscribers get 503 + Retry-After")
 	sseHeartbeat := flag.Duration("sse-heartbeat", 15*time.Second, "SSE keepalive comment interval on /api/live/stream")
+	warmup := flag.Float64("warmup", 0, "live-detector warm-up window in stream seconds (0 = detector default, negative = disabled)")
+	nodeID := flag.String("node-id", "", "this node's id in cluster mode; must appear in -peers")
+	peersSpec := flag.String("peers", "", "cluster membership as id=host:port,... (all nodes, this one included); empty = single-node mode")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) so ingest hot spots are profileable in production; empty (the default) disables it entirely")
 	flag.Parse()
+
+	// Cluster membership, validated before anything expensive: both flags
+	// or neither, a parseable peer list, and this node actually in it.
+	var clusterNode *cluster.Node
+	if (*nodeID == "") != (*peersSpec == "") {
+		log.Fatalf("cluster mode needs BOTH -node-id and -peers (got -node-id=%q, -peers=%q)", *nodeID, *peersSpec)
+	}
+	if *peersSpec != "" {
+		peers, err := cluster.ParsePeers(*peersSpec)
+		if err != nil {
+			log.Fatalf("%v", err)
+		}
+		clusterNode, err = cluster.New(*nodeID, peers, cluster.DefaultVNodes)
+		if err != nil {
+			log.Fatalf("%v", err)
+		}
+		log.Printf("cluster mode: node %s among %d peers", *nodeID, len(peers))
+	}
 
 	// Opt-in profiling endpoint, on its own listener so the debug surface
 	// never shares a port (or a mux) with the public API.
@@ -189,7 +222,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("extractor: %v", err)
 	}
-	engCfg := engine.Config{SessionWorkers: *workers, RefineWorkers: *workers}
+	engCfg := engine.Config{SessionWorkers: *workers, RefineWorkers: *workers, Warmup: *warmup}
 	if durable {
 		engCfg.Checkpoints = store
 		engCfg.CheckpointInterval = *ckptInterval
@@ -220,6 +253,7 @@ func main() {
 		Store:          store,
 		Engine:         eng,
 		Crawler:        crawler,
+		Cluster:        clusterNode,
 		MaxSubscribers: *maxSubscribers,
 		PushHeartbeat:  *sseHeartbeat,
 	}

@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Peer is one cluster member: a stable node id and the HTTP address the
+// other members reach it on ("host:port"; the cluster speaks plain HTTP
+// on the same listener as the public API).
+type Peer struct {
+	ID   string
+	Addr string
+}
+
+// ParsePeers parses the -peers flag: a comma-separated list of id=addr
+// entries, e.g. "n1=10.0.0.1:8080,n2=10.0.0.2:8080,n3=10.0.0.3:8080".
+// Duplicate ids and duplicate addresses are rejected — a copy-pasted
+// address would silently route two nodes' traffic to one process.
+func ParsePeers(spec string) ([]Peer, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("cluster: empty -peers list")
+	}
+	var peers []Peer
+	ids := make(map[string]bool)
+	addrs := make(map[string]string)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		id, addr = strings.TrimSpace(id), strings.TrimSpace(addr)
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("cluster: bad peer entry %q (want id=host:port)", part)
+		}
+		if ids[id] {
+			return nil, fmt.Errorf("cluster: duplicate node id %q in -peers", id)
+		}
+		if prev, dup := addrs[addr]; dup {
+			return nil, fmt.Errorf("cluster: duplicate peer address %q (nodes %q and %q)", addr, prev, id)
+		}
+		ids[id] = true
+		addrs[addr] = id
+		peers = append(peers, Peer{ID: id, Addr: addr})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty -peers list")
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
+	return peers, nil
+}
+
+// routeState is the copy-on-write routing overlay on top of the static
+// ring: which members are marked down and which channels have an explicit
+// owner override (set during handoff, before the ring alone would agree).
+// Readers load the snapshot atomically — the request hot path costs two
+// nil-map lookups and never takes a lock or allocates.
+type routeState struct {
+	down      map[string]bool   // members excluded from ring placement
+	overrides map[string]string // channel → pinned owner (wins over the ring)
+}
+
+// Node is one member's view of the cluster: the shared ring, its own
+// identity, the peer address book, the mutable routing overlay, and a
+// pooled HTTP client for forwarding misrouted writes to their owners.
+type Node struct {
+	self  string
+	ring  *Ring
+	peers []Peer
+	addrs map[string]string // id → addr
+
+	state atomic.Pointer[routeState]
+	mu    sync.Mutex // serializes state updates (readers never take it)
+
+	clientOnce sync.Once
+	client     *http.Client
+}
+
+// New builds this process's cluster membership from its node id and the
+// full peer list. The id must itself appear in peers — a node that is not
+// in the ring would forward every request and own nothing, which is
+// always a misconfiguration.
+func New(self string, peers []Peer, vnodes int) (*Node, error) {
+	if self == "" {
+		return nil, fmt.Errorf("cluster: empty node id")
+	}
+	addrs := make(map[string]string, len(peers))
+	ids := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if _, dup := addrs[p.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", p.ID)
+		}
+		addrs[p.ID] = p.Addr
+		ids = append(ids, p.ID)
+	}
+	if _, ok := addrs[self]; !ok {
+		return nil, fmt.Errorf("cluster: -node-id %q does not appear in -peers (members: %s)",
+			self, strings.Join(ids, ", "))
+	}
+	ring, err := NewRing(ids, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		self:  self,
+		ring:  ring,
+		peers: append([]Peer(nil), peers...),
+		addrs: addrs,
+	}
+	n.state.Store(&routeState{})
+	return n, nil
+}
+
+// Self returns this node's id.
+func (n *Node) Self() string { return n.self }
+
+// Peers returns the full membership, sorted by id. Shared; do not mutate.
+func (n *Node) Peers() []Peer { return n.peers }
+
+// Ring returns the underlying consistent-hash ring.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Addr returns the HTTP address of a member.
+func (n *Node) Addr(id string) (string, bool) {
+	addr, ok := n.addrs[id]
+	return addr, ok
+}
+
+// Owner resolves the effective owner of a key: an explicit override wins
+// (a channel pinned by handoff), otherwise ring placement skipping
+// down-marked members. The common case — no overrides, nobody down —
+// is two nil-map lookups plus one ring binary search: lock-free and
+// allocation-free, cheap enough to run on every request.
+func (n *Node) Owner(key string) string {
+	st := n.state.Load()
+	if o, ok := st.overrides[key]; ok {
+		return o
+	}
+	owner := n.ring.Owner(key)
+	if len(st.down) == 0 || !st.down[owner] {
+		return owner
+	}
+	return n.ring.OwnerSkipping(key, func(id string) bool { return st.down[id] })
+}
+
+// OwnsLocally reports whether this node is the effective owner of key.
+func (n *Node) OwnsLocally(key string) bool { return n.Owner(key) == n.self }
+
+// mutate installs a new routeState produced by fn from a copy of the
+// current one.
+func (n *Node) mutate(fn func(st *routeState)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cur := n.state.Load()
+	next := &routeState{
+		down:      make(map[string]bool, len(cur.down)),
+		overrides: make(map[string]string, len(cur.overrides)),
+	}
+	for k, v := range cur.down {
+		next.down[k] = v
+	}
+	for k, v := range cur.overrides {
+		next.overrides[k] = v
+	}
+	fn(next)
+	n.state.Store(next)
+}
+
+// SetDown marks a member down (or back up). Keys owned by a down member
+// remap to their ring successors — and only those keys move. Marking a
+// node down does not transfer its state; resume its channels from their
+// checkpoints (POST /api/cluster/resume on the new owners) before
+// producers continue, or the channels restart fresh.
+func (n *Node) SetDown(id string, down bool) error {
+	if _, ok := n.addrs[id]; !ok {
+		return fmt.Errorf("cluster: unknown node %q", id)
+	}
+	if id == n.self && down {
+		return fmt.Errorf("cluster: refusing to mark self (%q) down", id)
+	}
+	n.mutate(func(st *routeState) {
+		if down {
+			st.down[id] = true
+		} else {
+			delete(st.down, id)
+		}
+	})
+	return nil
+}
+
+// Down reports whether a member is currently marked down.
+func (n *Node) Down(id string) bool { return n.state.Load().down[id] }
+
+// SetOverride pins a key to an explicit owner (handoff has moved it off
+// its ring position), or clears the pin with owner == "".
+func (n *Node) SetOverride(key, owner string) error {
+	if owner != "" {
+		if _, ok := n.addrs[owner]; !ok {
+			return fmt.Errorf("cluster: unknown node %q", owner)
+		}
+	}
+	n.mutate(func(st *routeState) {
+		if owner == "" {
+			delete(st.overrides, key)
+		} else {
+			st.overrides[key] = owner
+		}
+	})
+	return nil
+}
+
+// Overrides returns a copy of the current channel→owner pins.
+func (n *Node) Overrides() map[string]string {
+	st := n.state.Load()
+	out := make(map[string]string, len(st.overrides))
+	for k, v := range st.overrides {
+		out[k] = v
+	}
+	return out
+}
+
+// OwnedKeys filters keys down to those this node effectively owns.
+func (n *Node) OwnedKeys(keys []string) []string {
+	var out []string
+	for _, k := range keys {
+		if n.OwnsLocally(k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Client returns the shared forwarding client: keep-alive pooled
+// connections to each peer, so a steady trickle of misrouted writes rides
+// warm TCP connections instead of paying a dial per request. Timeouts are
+// generous — a forwarded ingest blocks only its own caller — but bounded,
+// so a hung peer cannot pin forwarder goroutines forever.
+func (n *Node) Client() *http.Client {
+	n.clientOnce.Do(func() {
+		n.client = &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     90 * time.Second,
+			},
+			// Server-side forwarding must never follow redirects: a peer
+			// answering 307 means ring disagreement, and following it from
+			// inside the cluster would hide the loop the hop counter exists
+			// to expose.
+			CheckRedirect: func(req *http.Request, via []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+		}
+	})
+	return n.client
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("n2=127.0.0.1:8082, n1=127.0.0.1:8081 ,n3=127.0.0.1:8083")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 3 {
+		t.Fatalf("got %d peers, want 3", len(peers))
+	}
+	// Sorted by id regardless of input order.
+	if peers[0].ID != "n1" || peers[0].Addr != "127.0.0.1:8081" {
+		t.Fatalf("peers[0] = %+v", peers[0])
+	}
+}
+
+func TestParsePeersRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"no addr":        "n1=",
+		"no id":          "=127.0.0.1:8081",
+		"no equals":      "n1:127.0.0.1:8081x,",
+		"duplicate id":   "n1=a:1,n1=b:2",
+		"duplicate addr": "n1=127.0.0.1:8081,n2=127.0.0.1:8081",
+	}
+	for name, spec := range cases {
+		if _, err := ParsePeers(spec); err == nil {
+			t.Errorf("%s: ParsePeers(%q) accepted", name, spec)
+		}
+	}
+	// The duplicate-address error must name both offending nodes.
+	_, err := ParsePeers("n1=127.0.0.1:8081,n2=127.0.0.1:8081")
+	if err == nil || !strings.Contains(err.Error(), "n1") || !strings.Contains(err.Error(), "n2") {
+		t.Errorf("duplicate-address error should name both nodes, got: %v", err)
+	}
+}
+
+func TestNewRequiresSelfInPeers(t *testing.T) {
+	peers, err := ParsePeers("n1=a:1,n2=b:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New("n3", peers, 0); err == nil {
+		t.Fatal("node id outside the peer list accepted")
+	}
+	if _, err := New("", peers, 0); err == nil {
+		t.Fatal("empty node id accepted")
+	}
+	if _, err := New("n1", peers, 0); err != nil {
+		t.Fatalf("valid membership rejected: %v", err)
+	}
+}
+
+func TestNodeDownRemapsOnlyDeadKeys(t *testing.T) {
+	peers, err := ParsePeers("n1=a:1,n2=b:2,n3=c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New("n1", peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(2000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = n.Owner(k)
+	}
+	if err := n.SetDown("n2", true); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		after := n.Owner(k)
+		if after == "n2" {
+			t.Fatalf("key %s still routed to down node", k)
+		}
+		if before[k] != "n2" && after != before[k] {
+			t.Fatalf("key %s moved %s→%s though its owner is alive", k, before[k], after)
+		}
+	}
+	// Recovery restores the original placement exactly.
+	if err := n.SetDown("n2", false); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if n.Owner(k) != before[k] {
+			t.Fatalf("key %s did not return to %s after recovery", k, before[k])
+		}
+	}
+}
+
+func TestNodeSetDownValidation(t *testing.T) {
+	peers, _ := ParsePeers("n1=a:1,n2=b:2")
+	n, err := New("n1", peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetDown("nope", true); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	if err := n.SetDown("n1", true); err == nil {
+		t.Fatal("marking self down accepted")
+	}
+}
+
+func TestNodeOverrides(t *testing.T) {
+	peers, _ := ParsePeers("n1=a:1,n2=b:2")
+	n, err := New("n1", peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringOwner := n.Owner("chX")
+	other := "n1"
+	if ringOwner == "n1" {
+		other = "n2"
+	}
+	if err := n.SetOverride("chX", other); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Owner("chX"); got != other {
+		t.Fatalf("override ignored: owner %s, want %s", got, other)
+	}
+	if err := n.SetOverride("chX", "ghost"); err == nil {
+		t.Fatal("override to unknown node accepted")
+	}
+	if err := n.SetOverride("chX", ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Owner("chX"); got != ringOwner {
+		t.Fatalf("cleared override: owner %s, want ring owner %s", got, ringOwner)
+	}
+}
+
+// TestOwnerZeroAlloc pins the routing hot path: resolving an owner on a
+// healthy cluster must not allocate (it runs on every request when
+// cluster mode is on).
+func TestOwnerZeroAlloc(t *testing.T) {
+	peers, _ := ParsePeers("n1=a:1,n2=b:2,n3=c:3")
+	n, err := New("n1", peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = n.Owner("channel00042")
+	})
+	if allocs != 0 {
+		t.Fatalf("Owner allocates %.1f per call, want 0", allocs)
+	}
+}

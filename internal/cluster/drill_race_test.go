@@ -1,0 +1,8 @@
+//go:build race
+
+package cluster_test
+
+// raceEnabled mirrors the race detector into the drill's server build so
+// the spawned lightor-server processes run under the same instrumentation
+// as the test that drives them.
+const raceEnabled = true

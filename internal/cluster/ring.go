@@ -1,0 +1,160 @@
+// Package cluster shards live channels (and recorded videos) across a
+// static set of lightor-server processes.
+//
+// Channel id is the partition key: the engine orders work per channel and
+// sessions share nothing, so any node can own any subset of channels
+// without coordination. A consistent-hash ring with replicated virtual
+// nodes maps each key to its owner; every node computes the same ring
+// from the same -peers flag, so routing needs no control plane — a node
+// either serves a request locally or knows exactly which peer should.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node replication factor: each member
+// contributes this many points on the ring. 128 keeps the key
+// distribution within ~±30% of fair share across 3–16 nodes (see the
+// ring property tests, which enforce that bound) while keeping ring
+// construction and the binary-searched lookup cheap.
+const DefaultVNodes = 128
+
+// fnvOffset64 and fnvPrime64 are the FNV-1a 64-bit parameters. The hash
+// is inlined (rather than hash/fnv) so Owner is allocation-free on the
+// request path, and because the ring's placement must be deterministic
+// across processes and releases — it is a wire-format-grade constant:
+// changing it remaps every channel.
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// hashKey is FNV-1a over the key bytes, finished with a splitmix64-style
+// avalanche mix. Raw FNV-1a diffuses poorly on short, near-identical keys
+// (exactly what "channel00042" and vnode labels are), which skews vnode
+// placement well past the documented fairness bound; the finalizer
+// restores full-width avalanche while staying deterministic everywhere.
+func hashKey(key string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// ringPoint is one virtual node: a position on the hash circle and the
+// index of the member that owns it.
+type ringPoint struct {
+	hash uint64
+	node int32
+}
+
+// Ring is an immutable consistent-hash ring over a static member set.
+// Construct once from the -peers flag; lookups are safe for concurrent
+// use and allocation-free.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	nodes  []string    // member ids, sorted; ringPoint.node indexes this
+}
+
+// NewRing builds a ring over the given member ids with vnodes virtual
+// nodes each (0 means DefaultVNodes). Ids are deduplicated and sorted, so
+// every process handed the same membership — in any order — computes an
+// identical ring.
+func NewRing(ids []string, vnodes int) (*Ring, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	nodes := append([]string(nil), ids...)
+	sort.Strings(nodes)
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i] == nodes[i-1] {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", nodes[i])
+		}
+	}
+	r := &Ring{
+		points: make([]ringPoint, 0, len(nodes)*vnodes),
+		nodes:  nodes,
+	}
+	for ni, id := range nodes {
+		for v := 0; v < vnodes; v++ {
+			// The vnode key is "id#v"; the separator keeps "n1" vnode 12
+			// distinct from "n11" vnode 2.
+			h := hashKey(id + "#" + strconv.Itoa(v))
+			r.points = append(r.points, ringPoint{hash: h, node: int32(ni)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Hash ties (vanishingly rare) break by node index so the sort —
+		// and therefore placement — stays deterministic.
+		return a.node < b.node
+	})
+	return r, nil
+}
+
+// Nodes returns the member ids, sorted. The slice is shared; do not
+// mutate.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// successor returns the index into r.points of the first point at or
+// clockwise-after the key's hash.
+func (r *Ring) successor(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap
+	}
+	return i
+}
+
+// Owner maps a key (channel or video id) to its owning node id.
+func (r *Ring) Owner(key string) string {
+	return r.nodes[r.points[r.successor(key)].node]
+}
+
+// OwnerSkipping maps a key to the first node walking clockwise from the
+// key's position for which skip returns false. This is the failover
+// placement rule: with a dead node skipped, only ITS keys move (each to
+// its ring successor) and every other key keeps its owner — the
+// minimal-movement property the ring exists for. Returns "" if skip
+// rejects every member.
+func (r *Ring) OwnerSkipping(key string, skip func(id string) bool) string {
+	start := r.successor(key)
+	// Walk at most every point; track visited members so a fully-skipped
+	// ring terminates. Member count is small (≤ dozens), so a linear
+	// "seen" scan beats allocating a set.
+	seen := make([]int32, 0, 8)
+walk:
+	for off := 0; off < len(r.points); off++ {
+		p := r.points[(start+off)%len(r.points)]
+		for _, s := range seen {
+			if s == p.node {
+				continue walk
+			}
+		}
+		seen = append(seen, p.node)
+		if id := r.nodes[p.node]; !skip(id) {
+			return id
+		}
+		if len(seen) == len(r.nodes) {
+			break
+		}
+	}
+	return ""
+}

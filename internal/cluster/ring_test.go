@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("channel%05d", i)
+	}
+	return keys
+}
+
+func nodeIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node%02d", i)
+	}
+	return ids
+}
+
+// TestRingDistribution is the documented fairness bound: with
+// DefaultVNodes replication, every member's share of a large key space
+// stays within ±50% of fair share for 3–16 nodes. (Consistent hashing
+// with v vnodes concentrates around fair share with relative stddev
+// ~1/sqrt(v) ≈ 9% at v=128; the 50% bound leaves wide slack so the test
+// pins the property, not the luck of one hash function.)
+func TestRingDistribution(t *testing.T) {
+	const nkeys = 20000
+	keys := testKeys(nkeys)
+	for nodes := 3; nodes <= 16; nodes++ {
+		r, err := NewRing(nodeIDs(nodes), 0)
+		if err != nil {
+			t.Fatalf("NewRing(%d): %v", nodes, err)
+		}
+		counts := make(map[string]int)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		fair := float64(nkeys) / float64(nodes)
+		for _, id := range r.Nodes() {
+			got := float64(counts[id])
+			if got < fair*0.5 || got > fair*1.5 {
+				t.Errorf("%d nodes: %s owns %.0f keys, fair share %.0f (outside ±50%%)",
+					nodes, id, got, fair)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovementOnJoin: adding one node to an N-node ring must
+// remap only the keys the new node takes — roughly 1/(N+1) of them — and
+// every remapped key must move TO the new node (nothing shuffles between
+// survivors).
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	const nkeys = 20000
+	keys := testKeys(nkeys)
+	for nodes := 3; nodes <= 8; nodes++ {
+		before, err := NewRing(nodeIDs(nodes), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joined := "node99"
+		after, err := NewRing(append(nodeIDs(nodes), joined), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keys {
+			ob, oa := before.Owner(k), after.Owner(k)
+			if ob == oa {
+				continue
+			}
+			moved++
+			if oa != joined {
+				t.Fatalf("%d nodes: key %s moved %s→%s, not to the joining node", nodes, k, ob, oa)
+			}
+		}
+		fair := float64(nkeys) / float64(nodes+1)
+		if f := float64(moved); f > 2*fair {
+			t.Errorf("%d nodes: join moved %d keys, expected ~%.0f (1/N+1 of %d)", nodes, moved, fair, nkeys)
+		}
+		if moved == 0 {
+			t.Errorf("%d nodes: join moved no keys at all", nodes)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnLeave: removing one node must remap only that
+// node's keys; every key owned by a survivor keeps its owner. This is
+// verified against both a rebuilt smaller ring and — the form failover
+// actually uses — OwnerSkipping on the original ring, which must agree
+// with the rebuilt ring exactly.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	const nkeys = 20000
+	keys := testKeys(nkeys)
+	for nodes := 3; nodes <= 8; nodes++ {
+		ids := nodeIDs(nodes)
+		full, err := NewRing(ids, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dead := ids[nodes/2]
+		var surviving []string
+		for _, id := range ids {
+			if id != dead {
+				surviving = append(surviving, id)
+			}
+		}
+		shrunk, err := NewRing(surviving, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		skip := func(id string) bool { return id == dead }
+		moved := 0
+		for _, k := range keys {
+			ob := full.Owner(k)
+			oa := shrunk.Owner(k)
+			if os := full.OwnerSkipping(k, skip); os != oa {
+				t.Fatalf("OwnerSkipping(%s)=%s disagrees with rebuilt ring owner %s", k, os, oa)
+			}
+			if ob != dead && oa != ob {
+				t.Fatalf("%d nodes: surviving key %s moved %s→%s on leave of %s", nodes, k, ob, oa, dead)
+			}
+			if ob == dead {
+				moved++
+			}
+		}
+		fair := float64(nkeys) / float64(nodes)
+		if f := float64(moved); f > 2*fair {
+			t.Errorf("%d nodes: leave remapped %d keys, expected ~%.0f", nodes, moved, fair)
+		}
+	}
+}
+
+// TestRingDeterminism: the ring must be identical regardless of member
+// list order — every process computes placement independently from its
+// own -peers flag.
+func TestRingDeterminism(t *testing.T) {
+	a, err := NewRing([]string{"n1", "n2", "n3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3", "n1", "n2"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(1000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("order-dependent placement for %s: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestRingRejectsDuplicatesAndEmpty(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate node id accepted")
+	}
+}
+
+func TestOwnerSkippingAllDown(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.OwnerSkipping("ch", func(string) bool { return true }); got != "" {
+		t.Fatalf("all-skipped ring returned %q, want empty", got)
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	r, err := NewRing(nodeIDs(3), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Owner("channel00042")
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"sort"
 	"time"
 
-	"lightor/internal/core"
 )
 
 // CheckpointStore is the durability seam for live sessions: the engine
@@ -144,27 +143,12 @@ func (m *SessionManager) ResumeSessions() ([]string, error) {
 	var resumed []string
 	var errs []error
 	for channel, state := range m.ckpt.Checkpoints() {
-		od, err := core.NewOnlineDetector(m.init, m.threshold)
-		if err != nil {
-			return nil, err
-		}
-		if err := od.RestoreSnapshot(state); err != nil {
-			errs = append(errs, fmt.Errorf("engine: resuming %q: %w", channel, err))
-			continue
-		}
-		// Seed the restored state between prepare and register: the
-		// watermark and emission history are in place BEFORE the session
-		// becomes visible, so no reader can observe a restored watermark
-		// with an empty dot history and no concurrent ingest can
-		// interleave its publishDots with the wholesale restore.
-		s, err := m.prepare(channel, onlineBackend{od: od})
-		if err != nil {
-			errs = append(errs, fmt.Errorf("engine: resuming %q: %w", channel, err))
-			continue
-		}
-		s.watermark = od.Now()
-		s.restoreDots(od.Emitted())
-		if _, err := m.register(s); err != nil {
+		// restoreFromState (shared with live handoff, handoff.go) seeds
+		// the watermark and emission history between prepare and register,
+		// so no reader can observe a restored watermark with an empty dot
+		// history and no concurrent ingest can interleave its publishDots
+		// with the wholesale restore.
+		if _, err := m.restoreFromState(channel, state); err != nil {
 			errs = append(errs, fmt.Errorf("engine: resuming %q: %w", channel, err))
 			continue
 		}

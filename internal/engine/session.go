@@ -101,7 +101,8 @@ type envelope struct {
 	advance    float64
 	flush      bool
 	checkpoint bool
-	done       chan struct{} // non-nil for flush: closed when processed
+	detach     bool          // serialize the detector for handoff (see handoff.go)
+	done       chan struct{} // non-nil for flush/detach: closed when processed
 	ckptRes    chan error    // non-nil for blocking checkpoint: receives the result
 }
 
@@ -253,6 +254,12 @@ type Session struct {
 	flushDone chan struct{} // non-nil once a flush is enqueued; closed when processed
 	watermark float64       // highest timestamp accepted so far
 	flushErr  error
+
+	// Handoff state (see handoff.go): set once a detach is enqueued /
+	// processed. Guarded by mu.
+	detachDone  chan struct{}
+	detachState []byte
+	detachErr   error
 
 	detMu   sync.Mutex // guards det across worker/flush handoffs
 	det     sessionDetector
@@ -463,6 +470,24 @@ func (s *Session) process(env *envelope) {
 	case env.msgs != nil:
 		dots, err = s.det.feedAll(env.msgs)
 		env.release()
+	case env.detach:
+		// Handoff: serialize the detector as-is — open windows, pending
+		// normalization, emission history — WITHOUT flushing (the new
+		// owner continues the broadcast, it does not end it). The state
+		// is also checkpointed locally first, so a crash between this
+		// point and the transfer's confirmation still has the latest
+		// state durable on this node.
+		if snap, ok := s.det.(snapshotter); ok {
+			state := snap.snapshotInto(nil)
+			_ = s.checkpointLocked()
+			s.mu.Lock()
+			s.detachState = state
+			s.mu.Unlock()
+		} else {
+			s.mu.Lock()
+			s.detachErr = errNotSnapshottable
+			s.mu.Unlock()
+		}
 	case env.flush:
 		dots, err = s.det.flush()
 	default:

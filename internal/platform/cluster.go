@@ -1,0 +1,395 @@
+package platform
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+
+	"lightor/internal/engine"
+)
+
+// Cluster routing: the service half of channel-sharded scale-out.
+//
+// When Service.Cluster is set, every channel- or video-keyed endpoint
+// first resolves the key's owner on the consistent-hash ring. Owned keys
+// are served exactly as in single-node mode — the owner check is two
+// nil-map lookups and a binary search, lock-free and allocation-free.
+// Misrouted requests take one of two paths:
+//
+//	writes (chat ingest, advance, close, interactions, refine)
+//	   → forwarded server-side over the pooled keep-alive transport,
+//	     body verbatim, so producers never have to re-send
+//	reads (dots, stream/SSE, highlights, interaction pages)
+//	   → 307-redirected, so the millions-of-viewers read fast lane
+//	     always runs directly between viewer and owner — no node pays
+//	     proxy bandwidth for another node's audience
+//
+// 307 (not 301/302) because clients repeat the request verbatim —
+// method, If-None-Match, Last-Event-ID all survive, so conditional GETs
+// and SSE resumes work unchanged across the redirect.
+//
+// With Service.Cluster nil (the default) none of this exists: handlers
+// check one nil field and proceed, so single-node hot paths keep their
+// zero-allocation contracts bit-for-bit.
+
+// hopHeader counts server-side forwards of one logical request. Nodes
+// agree on ring placement by construction, so a forwarded request lands
+// on a node that serves it locally (hop 1); a second forward can only
+// mean membership disagreement (a node restarted with different -peers),
+// and the counter turns that ping-pong into a visible 508.
+const hopHeader = "X-Lightor-Hop"
+
+// maxForwardHops is the forward budget: the first hop is the legitimate
+// misroute correction; reaching the limit means the ring is split.
+const maxForwardHops = 2
+
+// routeAction says how a misrouted request travels to its owner.
+type routeAction bool
+
+const (
+	routeForward  routeAction = true  // server-side proxy (writes)
+	routeRedirect routeAction = false // 307 to the owner (reads)
+)
+
+// route resolves the owner of key and reports whether the request should
+// be handled locally. Misrouted requests are answered here (forward or
+// redirect) and the handler must return. Single-node (Cluster nil) always
+// serves locally at the cost of one nil check.
+func (s *Service) route(w http.ResponseWriter, r *http.Request, key string, action routeAction) bool {
+	c := s.Cluster
+	if c == nil {
+		return true
+	}
+	owner := c.Owner(key)
+	if owner == c.Self() {
+		return true
+	}
+	addr, ok := c.Addr(owner)
+	if !ok || owner == "" {
+		http.Error(w, fmt.Sprintf("no live owner for %q (cluster unhealthy)", key), http.StatusBadGateway)
+		return false
+	}
+	if action == routeForward {
+		s.forwardToOwner(w, r, owner, addr)
+	} else {
+		// The cluster speaks plain HTTP on the peer addresses; the
+		// redirect carries the original path and query verbatim.
+		http.Redirect(w, r, "http://"+addr+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+	}
+	return false
+}
+
+// forwardBufPool recycles body and copy buffers for the forwarding path,
+// so a steady trickle of misrouted ingest does not allocate a fresh
+// buffer per request.
+var forwardBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// maxPooledForwardBuf caps buffers retained by the pool; a one-off giant
+// body should not pin its memory forever.
+const maxPooledForwardBuf = 1 << 20
+
+// forwardToOwner proxies the request to the owning peer over the pooled
+// keep-alive client and relays the response verbatim. The body is staged
+// through a pooled buffer (bodies are bounded request payloads — chat
+// batches, interaction batches) so retries and Content-Length are exact
+// and steady-state forwarding reuses both buffers and connections.
+func (s *Service) forwardToOwner(w http.ResponseWriter, r *http.Request, owner, addr string) {
+	hops := 0
+	if hv := r.Header.Get(hopHeader); hv != "" {
+		if n, err := strconv.Atoi(hv); err == nil {
+			hops = n
+		}
+	}
+	if hops+1 >= maxForwardHops {
+		http.Error(w, fmt.Sprintf(
+			"forwarding loop: this node and %s disagree on ownership (inconsistent -peers?)", owner),
+			http.StatusLoopDetected)
+		return
+	}
+
+	buf := forwardBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= maxPooledForwardBuf {
+			forwardBufPool.Put(buf)
+		}
+	}()
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		http.Error(w, fmt.Sprintf("reading body to forward: %v", err), http.StatusBadRequest)
+		return
+	}
+
+	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+		"http://"+addr+r.URL.RequestURI(), bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("building forward request: %v", err), http.StatusInternalServerError)
+		return
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(hopHeader, strconv.Itoa(hops+1))
+	resp, err := s.Cluster.Client().Do(req)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("forwarding to owner %s: %v", owner, err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	h := w.Header()
+	for k, vv := range resp.Header {
+		h[k] = vv
+	}
+	w.WriteHeader(resp.StatusCode)
+	cp := forwardBufPool.Get().(*bytes.Buffer)
+	cp.Reset()
+	cp.Grow(32 << 10)
+	b := cp.Bytes()[:cp.Cap()]
+	_, _ = io.CopyBuffer(w, resp.Body, b)
+	if cp.Cap() <= maxPooledForwardBuf {
+		forwardBufPool.Put(cp)
+	}
+}
+
+// HealthResponse is the payload of GET /api/healthz: one node's identity
+// and load, for routers, the kill-a-node drill, and operators watching a
+// handoff converge.
+type HealthResponse struct {
+	Node          string   `json:"node,omitempty"`  // cluster node id ("" single-node)
+	Peers         int      `json:"peers,omitempty"` // cluster size
+	Sessions      int      `json:"sessions"`        // live sessions resident here
+	OwnedChannels int      `json:"owned_channels"`  // resident sessions this node owns
+	Channels      []string `json:"channels"`        // resident channel ids, sorted
+	Subscribers   int64    `json:"subscribers"`     // current SSE push subscribers
+	Draining      bool     `json:"draining"`        // push hub closed (shutdown under way)
+}
+
+// handleHealthz reports this node's status. Always registered — a
+// single-node deployment answers with empty cluster fields — so probes
+// and dashboards need no mode switch.
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	channels := s.Engine.Sessions().Channels()
+	resp := HealthResponse{
+		Sessions:    len(channels),
+		Channels:    channels,
+		Subscribers: s.PushStats().Subscribers,
+		Draining:    s.pushDraining(),
+	}
+	if channels == nil {
+		resp.Channels = []string{}
+	}
+	if c := s.Cluster; c != nil {
+		resp.Node = c.Self()
+		resp.Peers = len(c.Peers())
+		for _, ch := range channels {
+			if c.OwnsLocally(ch) {
+				resp.OwnedChannels++
+			}
+		}
+	} else {
+		resp.OwnedChannels = len(channels)
+	}
+	writeJSON(w, resp)
+}
+
+// HandoffResponse is the payload of POST /api/cluster/handoff and
+// /api/cluster/resume: where the channel now lives and the resume point
+// its producer should continue from.
+type HandoffResponse struct {
+	Channel   string  `json:"channel"`
+	Owner     string  `json:"owner"`
+	Watermark float64 `json:"watermark"` // highest timestamp in the moved state
+	Cursor    int     `json:"cursor"`    // emission-history length carried over
+}
+
+// handleClusterHandoff moves a live channel this node owns to a target
+// peer, without ending the broadcast:
+//
+//  1. DetachSession: intake stops, the mailbox drains, the detector
+//     serializes mid-stream; push subscribers get the terminal
+//     "end: closed" event and this node's response-cache entries for the
+//     channel are dropped (both via the SessionClosed listener, BEFORE
+//     the channel becomes routable anywhere else — no viewer can be
+//     served a stale catch-up frame across the handoff).
+//  2. The snapshot bytes POST to the target's /api/cluster/resume, which
+//     restores the session bit-identically (PR 3 machinery) and
+//     checkpoints it into the target's own store.
+//  3. Only after the target confirms does this node pin the route
+//     (Cluster.SetOverride), forget its local checkpoint, and
+//     best-effort notify the remaining peers. On transfer failure the
+//     state is restored locally and the handoff reports 502 — the
+//     channel never leaves limbo.
+func (s *Service) handleClusterHandoff(w http.ResponseWriter, r *http.Request) {
+	c := s.Cluster
+	channel := r.URL.Query().Get("channel")
+	target := r.URL.Query().Get("target")
+	if channel == "" || target == "" {
+		http.Error(w, "missing channel or target parameter", http.StatusBadRequest)
+		return
+	}
+	addr, ok := c.Addr(target)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown target node %q", target), http.StatusBadRequest)
+		return
+	}
+	if target == c.Self() {
+		http.Error(w, "target is this node; nothing to hand off", http.StatusBadRequest)
+		return
+	}
+	if owner := c.Owner(channel); owner != c.Self() {
+		http.Error(w, fmt.Sprintf("channel %q is owned by %q, not this node", channel, owner),
+			http.StatusConflict)
+		return
+	}
+
+	state, err := s.Engine.Sessions().DetachSession(r.Context(), channel)
+	if errors.Is(err, engine.ErrUnknownSession) {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		writeLiveError(w, err)
+		return
+	}
+
+	resp, err := s.clusterPost(r, "http://"+addr+"/api/cluster/resume?channel="+url.QueryEscape(channel), state)
+	if err != nil {
+		// Undo: the channel comes back to life here; its checkpoint never
+		// left this node, so even a crash now loses nothing.
+		if _, rerr := s.Engine.Sessions().RestoreSession(channel, state); rerr != nil {
+			http.Error(w, fmt.Sprintf("transfer failed (%v) AND local restore failed (%v); channel %q recoverable from local checkpoint",
+				err, rerr, channel), http.StatusBadGateway)
+			return
+		}
+		http.Error(w, fmt.Sprintf("transfer to %s failed, channel restored locally: %v", target, err),
+			http.StatusBadGateway)
+		return
+	}
+
+	// Confirmed: the channel's durable home is the target now.
+	_ = s.Engine.Sessions().ForgetCheckpoint(channel)
+	_ = c.SetOverride(channel, target)
+	for _, p := range c.Peers() {
+		if p.ID == c.Self() || p.ID == target {
+			continue
+		}
+		if _, err := s.clusterPost(r, "http://"+p.Addr+"/api/cluster/route?channel="+url.QueryEscape(channel)+"&owner="+url.QueryEscape(target), nil); err != nil {
+			// Best-effort: an unnotified peer forwards/redirects through
+			// the ring owner (this node), which now pins to the target —
+			// one extra hop, never a wrong answer.
+			continue
+		}
+	}
+	resp.Owner = target
+	writeJSON(w, resp)
+}
+
+// clusterPost POSTs body to a peer endpoint and decodes the
+// HandoffResponse, surfacing non-2xx answers as errors.
+func (s *Service) clusterPost(r *http.Request, url string, body []byte) (HandoffResponse, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return HandoffResponse{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := s.Cluster.Client().Do(req)
+	if err != nil {
+		return HandoffResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return HandoffResponse{}, fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+	}
+	var out HandoffResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return HandoffResponse{}, err
+	}
+	return out, nil
+}
+
+// maxResumeState caps an accepted snapshot transfer. Detector snapshots
+// are compact (histogram + windows + emission history); anything near
+// this limit is not one.
+const maxResumeState = 64 << 20
+
+// handleClusterResume adopts a channel: the body is the serialized
+// detector state (from a handoff, or read out of a dead node's data-dir
+// by an operator), restored with the same machinery as crash recovery and
+// checkpointed into THIS node's store. The route is pinned to this node
+// so subsequent requests stay local even where the ring disagrees.
+func (s *Service) handleClusterResume(w http.ResponseWriter, r *http.Request) {
+	channel := r.URL.Query().Get("channel")
+	if channel == "" {
+		http.Error(w, "missing channel parameter", http.StatusBadRequest)
+		return
+	}
+	state, err := io.ReadAll(io.LimitReader(r.Body, maxResumeState+1))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("reading state: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(state) > maxResumeState {
+		http.Error(w, "snapshot too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	sess, err := s.Engine.Sessions().RestoreSession(channel, state)
+	if err != nil {
+		writeLiveError(w, err)
+		return
+	}
+	// Stale entries from a previous local life of this channel cannot be
+	// addressed (versions are process-unique), but drop them anyway so
+	// the adoption starts clean.
+	s.dotsCache.drop(channel)
+	_ = s.Cluster.SetOverride(channel, s.Cluster.Self())
+	_, cursor, _ := sess.DotsPage(0)
+	writeJSON(w, HandoffResponse{
+		Channel:   channel,
+		Owner:     s.Cluster.Self(),
+		Watermark: sess.Watermark(),
+		Cursor:    cursor,
+	})
+}
+
+// handleClusterRoute pins (or clears, with owner="") a channel's owner on
+// this node's routing overlay. Handoffs broadcast it so peers route
+// straight to the new owner instead of through the ring position.
+func (s *Service) handleClusterRoute(w http.ResponseWriter, r *http.Request) {
+	channel := r.URL.Query().Get("channel")
+	if channel == "" {
+		http.Error(w, "missing channel parameter", http.StatusBadRequest)
+		return
+	}
+	owner := r.URL.Query().Get("owner")
+	if err := s.Cluster.SetOverride(channel, owner); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, HandoffResponse{Channel: channel, Owner: owner})
+}
+
+// handleClusterDown marks a peer down (down=true) or back up (down=false)
+// on this node's routing overlay: keys owned by a down node remap to
+// their ring successors, and only those keys. Marking a node down does
+// not move state — resume its channels from their checkpoints on the new
+// owners (POST /api/cluster/resume) before producers continue, or the
+// channels restart fresh there.
+func (s *Service) handleClusterDown(w http.ResponseWriter, r *http.Request) {
+	node := r.URL.Query().Get("node")
+	if node == "" {
+		http.Error(w, "missing node parameter", http.StatusBadRequest)
+		return
+	}
+	down := r.URL.Query().Get("down") != "false"
+	if err := s.Cluster.SetDown(node, down); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -165,6 +165,15 @@ func (h *dotHub) DotsPublished(sess *engine.Session) {
 // subscribers still observe the full history (a queue overflowed by the
 // final burst resyncs before the terminal frame is surfaced).
 func (h *dotHub) SessionClosed(channel string) {
+	// Teardown order matters across a handoff: this hook runs inside
+	// CloseSession/DetachSession, BEFORE the channel becomes routable to
+	// a new owner (the handoff pins its route only after detach returns).
+	// Dropping the response-cache entries first and then ending every
+	// push subscriber ("end: closed") guarantees no viewer is served a
+	// stale catch-up frame for a channel that has already moved — by the
+	// time any router points elsewhere, this node holds no cached frames
+	// and no live subscriptions for the channel.
+	h.svc.dotsCache.drop(channel)
 	h.mu.Lock()
 	ch := h.chans[channel]
 	delete(h.chans, channel)
@@ -501,6 +510,15 @@ func (s *Service) ClosePush() {
 	}
 }
 
+// pushDraining reports whether ClosePush has run — the drain state
+// surfaced by GET /api/healthz.
+func (s *Service) pushDraining() bool {
+	h := &s.push
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.closed
+}
+
 // PushStats snapshots the hub's delivery counters.
 func (s *Service) PushStats() PushStats {
 	h := &s.push
@@ -543,6 +561,13 @@ func (s *Service) handleLiveStream(w http.ResponseWriter, r *http.Request) {
 	channel := r.URL.Query().Get("channel")
 	if channel == "" {
 		http.Error(w, "missing channel parameter", http.StatusBadRequest)
+		return
+	}
+	// Redirected (not proxied): an SSE response is long-lived, and
+	// relaying it would pin forwarder resources on the wrong node for the
+	// whole broadcast. 307 repeats the request verbatim, so Last-Event-ID
+	// survives and resumes land at the right cursor on the owner.
+	if !s.route(w, r, channel, routeRedirect) {
 		return
 	}
 	cursor := 0

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"lightor/internal/cluster"
 	"lightor/internal/core"
 	"lightor/internal/engine"
 	"lightor/internal/play"
@@ -52,6 +53,14 @@ type Service struct {
 	// Crawler, when set, fetches chat on demand for unknown videos (the
 	// online crawling mode of Section VI-A).
 	Crawler *Crawler
+	// Cluster, when set, makes this service one node of a channel-sharded
+	// cluster: channel/video-keyed requests for keys this node does not
+	// own are forwarded (writes) or 307-redirected (reads) to the owner,
+	// and the /api/cluster/* handoff endpoints are registered. Nil (the
+	// default) is single-node operation, unchanged: handlers check one
+	// nil field, so the hot paths keep their zero-allocation contracts.
+	// See cluster.go.
+	Cluster *cluster.Node
 	// DefaultK is the number of red dots served when the request does not
 	// specify k (default 5).
 	DefaultK int
@@ -140,6 +149,13 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /api/live/dots", s.handleLiveDots)
 	mux.HandleFunc("GET /api/live/stream", s.handleLiveStream)
 	mux.HandleFunc("DELETE /api/live/session", s.handleLiveClose)
+	mux.HandleFunc("GET /api/healthz", s.handleHealthz)
+	if s.Cluster != nil {
+		mux.HandleFunc("POST /api/cluster/handoff", s.handleClusterHandoff)
+		mux.HandleFunc("POST /api/cluster/resume", s.handleClusterResume)
+		mux.HandleFunc("POST /api/cluster/route", s.handleClusterRoute)
+		mux.HandleFunc("POST /api/cluster/down", s.handleClusterDown)
+	}
 	s.initPush()
 	return mux
 }
@@ -165,6 +181,9 @@ func (s *Service) handleHighlights(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		k = parsed
+	}
+	if !s.route(w, r, id, routeRedirect) {
+		return
 	}
 
 	// The serving path reads through the zero-copy HighlightView — no
@@ -312,6 +331,9 @@ func (s *Service) handleInteractions(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing video parameter", http.StatusBadRequest)
 		return
 	}
+	if !s.route(w, r, id, routeForward) {
+		return
+	}
 	dec := eventDecPool.Get().(*streamDecoder[play.Event])
 	events, err := dec.decode(r.Body)
 	if err != nil {
@@ -354,6 +376,9 @@ func (s *Service) handleInteractionsPage(w http.ResponseWriter, r *http.Request)
 	id := r.URL.Query().Get("video")
 	if id == "" {
 		http.Error(w, "missing video parameter", http.StatusBadRequest)
+		return
+	}
+	if !s.route(w, r, id, routeRedirect) {
 		return
 	}
 	if !s.Store.HasVideo(id) {
@@ -404,6 +429,12 @@ func (s *Service) handleRefine(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("video")
 	if id == "" {
 		http.Error(w, "missing video parameter", http.StatusBadRequest)
+		return
+	}
+	// Refinement runs on the video's owner (its interaction log lives
+	// there); the job id in the 202 is node-local, so poll status on the
+	// node that answered.
+	if !s.route(w, r, id, routeForward) {
 		return
 	}
 	rec, ok := s.Store.Video(id)
@@ -489,6 +520,9 @@ func (s *Service) handleLiveChat(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing channel parameter", http.StatusBadRequest)
 		return
 	}
+	if !s.route(w, r, channel, routeForward) {
+		return
+	}
 	ci := chatIngestPool.Get().(*chatIngest)
 	msgs, err := ci.decode(r.Body)
 	if err != nil {
@@ -522,6 +556,9 @@ func (s *Service) handleLiveAdvance(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing channel parameter", http.StatusBadRequest)
 		return
 	}
+	if !s.route(w, r, channel, routeForward) {
+		return
+	}
 	now, err := strconv.ParseFloat(r.URL.Query().Get("now"), 64)
 	if err != nil || now < 0 {
 		http.Error(w, "invalid now parameter", http.StatusBadRequest)
@@ -549,6 +586,9 @@ func (s *Service) handleLiveClose(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing channel parameter", http.StatusBadRequest)
 		return
 	}
+	if !s.route(w, r, channel, routeForward) {
+		return
+	}
 	dots, err := s.Engine.Sessions().CloseSession(r.Context(), channel)
 	if errors.Is(err, engine.ErrUnknownSession) {
 		http.Error(w, err.Error(), http.StatusNotFound)
@@ -572,6 +612,9 @@ func (s *Service) handleLiveDots(w http.ResponseWriter, r *http.Request) {
 	channel := r.URL.Query().Get("channel")
 	if channel == "" {
 		http.Error(w, "missing channel parameter", http.StatusBadRequest)
+		return
+	}
+	if !s.route(w, r, channel, routeRedirect) {
 		return
 	}
 	cursor := 0
