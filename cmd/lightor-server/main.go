@@ -30,10 +30,14 @@
 // and video id to its owner node, misrouted writes are forwarded to the
 // owner over pooled keep-alive connections, misrouted reads answer 307
 // so viewers stream straight from the owner, and the /api/cluster/*
-// endpoints (handoff, resume, route, down) rebalance live channels
-// between nodes without ending their broadcasts. Give each node its own
-// -data-dir. Without -peers nothing changes: single-node operation is
-// the default and pays no routing overhead.
+// endpoints (handoff, resume, route, down, owned) rebalance live
+// channels between nodes without ending their broadcasts. The control
+// plane shares the public listener, so cluster mode requires
+// -cluster-secret (the same value on every node); /api/cluster/*
+// requests without the matching X-Lightor-Cluster-Key header are
+// refused. Give each node its own -data-dir. Without -peers nothing
+// changes: single-node operation is the default and pays no routing
+// overhead.
 //
 // With -pprof-addr the standard net/http/pprof handlers are served on a
 // separate listener (off by default), so production ingest hot spots can
@@ -93,6 +97,7 @@ func main() {
 	warmup := flag.Float64("warmup", 0, "live-detector warm-up window in stream seconds (0 = detector default, negative = disabled)")
 	nodeID := flag.String("node-id", "", "this node's id in cluster mode; must appear in -peers")
 	peersSpec := flag.String("peers", "", "cluster membership as id=host:port,... (all nodes, this one included); empty = single-node mode")
+	clusterSecret := flag.String("cluster-secret", "", "shared secret authenticating the /api/cluster/* control plane; required in cluster mode and must match on every node")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) so ingest hot spots are profileable in production; empty (the default) disables it entirely")
 	flag.Parse()
 
@@ -103,6 +108,13 @@ func main() {
 		log.Fatalf("cluster mode needs BOTH -node-id and -peers (got -node-id=%q, -peers=%q)", *nodeID, *peersSpec)
 	}
 	if *peersSpec != "" {
+		// The control plane can inject detector state, repin routing, and
+		// mark nodes down — and it listens on the public API port. A
+		// cluster node therefore refuses to start without the shared
+		// secret that gates it.
+		if *clusterSecret == "" {
+			log.Fatalf("cluster mode requires -cluster-secret (the /api/cluster/* control plane shares the public listener)")
+		}
 		peers, err := cluster.ParsePeers(*peersSpec)
 		if err != nil {
 			log.Fatalf("%v", err)
@@ -111,6 +123,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("%v", err)
 		}
+		clusterNode.Secret = *clusterSecret
 		log.Printf("cluster mode: node %s among %d peers", *nodeID, len(peers))
 	}
 

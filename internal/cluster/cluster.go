@@ -57,19 +57,28 @@ func ParsePeers(spec string) ([]Peer, error) {
 }
 
 // routeState is the copy-on-write routing overlay on top of the static
-// ring: which members are marked down and which channels have an explicit
-// owner override (set during handoff, before the ring alone would agree).
-// Readers load the snapshot atomically — the request hot path costs two
-// nil-map lookups and never takes a lock or allocates.
+// ring: which members are marked down, which channels have an explicit
+// owner override (set during handoff, before the ring alone would agree),
+// and which channels are mid-handoff on this node. Readers load the
+// snapshot atomically — the request hot path costs a few nil-map lookups
+// and never takes a lock or allocates.
 type routeState struct {
 	down      map[string]bool   // members excluded from ring placement
 	overrides map[string]string // channel → pinned owner (wins over the ring)
+	moving    map[string]bool   // channels this node is handing off right now
 }
 
 // Node is one member's view of the cluster: the shared ring, its own
 // identity, the peer address book, the mutable routing overlay, and a
 // pooled HTTP client for forwarding misrouted writes to their owners.
 type Node struct {
+	// Secret, when non-empty, authenticates the /api/cluster/* control
+	// plane: every peer-to-peer control call carries it in a header and
+	// receivers reject requests without it, so a public client cannot
+	// inject detector state, hijack routing, or mark nodes down. All
+	// nodes must share the same value.
+	Secret string
+
 	self  string
 	ring  *Ring
 	peers []Peer
@@ -133,20 +142,37 @@ func (n *Node) Addr(id string) (string, bool) {
 }
 
 // Owner resolves the effective owner of a key: an explicit override wins
-// (a channel pinned by handoff), otherwise ring placement skipping
-// down-marked members. The common case — no overrides, nobody down —
-// is two nil-map lookups plus one ring binary search: lock-free and
-// allocation-free, cheap enough to run on every request.
+// (a channel pinned by handoff) unless its target is marked down — a
+// pinned channel must not keep routing to a dead node forever, so the
+// pin is skipped (not deleted: the target coming back up is still where
+// the session lives) and placement falls back to the ring. Otherwise
+// ring placement skipping down-marked members. The common case — no
+// overrides, nobody down, nothing moving — is three nil-map lookups plus
+// one ring binary search: lock-free and allocation-free, cheap enough to
+// run on every request.
 func (n *Node) Owner(key string) string {
+	owner, _ := n.Resolve(key)
+	return owner
+}
+
+// Resolve is Owner plus the mid-handoff flag: moving == true means this
+// node is handing the key off RIGHT NOW (between detach and commit), and
+// the caller must not serve or re-create state for it — answer 503 and
+// let the client retry after the move settles. One snapshot load answers
+// both questions, so the request hot path pays no second atomic read.
+func (n *Node) Resolve(key string) (owner string, moving bool) {
 	st := n.state.Load()
-	if o, ok := st.overrides[key]; ok {
-		return o
+	if st.moving[key] {
+		return n.self, true
 	}
-	owner := n.ring.Owner(key)
+	if o, ok := st.overrides[key]; ok && !st.down[o] {
+		return o, false
+	}
+	owner = n.ring.Owner(key)
 	if len(st.down) == 0 || !st.down[owner] {
-		return owner
+		return owner, false
 	}
-	return n.ring.OwnerSkipping(key, func(id string) bool { return st.down[id] })
+	return n.ring.OwnerSkipping(key, func(id string) bool { return st.down[id] }), false
 }
 
 // OwnsLocally reports whether this node is the effective owner of key.
@@ -161,12 +187,16 @@ func (n *Node) mutate(fn func(st *routeState)) {
 	next := &routeState{
 		down:      make(map[string]bool, len(cur.down)),
 		overrides: make(map[string]string, len(cur.overrides)),
+		moving:    make(map[string]bool, len(cur.moving)),
 	}
 	for k, v := range cur.down {
 		next.down[k] = v
 	}
 	for k, v := range cur.overrides {
 		next.overrides[k] = v
+	}
+	for k, v := range cur.moving {
+		next.moving[k] = v
 	}
 	fn(next)
 	n.state.Store(next)
@@ -214,6 +244,55 @@ func (n *Node) SetOverride(key, owner string) error {
 	})
 	return nil
 }
+
+// Override returns the explicit owner pin for a key, if any.
+func (n *Node) Override(key string) (string, bool) {
+	o, ok := n.state.Load().overrides[key]
+	return o, ok
+}
+
+// BeginMove claims a key for handoff: until CommitMove or AbortMove,
+// Resolve reports it as moving and the routing layer fences requests for
+// it with a retryable error instead of serving (or re-creating) state
+// locally. This closes the window between detaching the session and
+// installing the post-transfer override — without it, a producer request
+// arriving mid-transfer would find no session, silently open a fresh
+// empty one on this node, and lose its messages once the override lands.
+// Returns false if the key is already mid-move (a concurrent handoff).
+func (n *Node) BeginMove(key string) bool {
+	claimed := false
+	n.mutate(func(st *routeState) {
+		if st.moving[key] {
+			return
+		}
+		st.moving[key] = true
+		claimed = true
+	})
+	return claimed
+}
+
+// CommitMove completes a handoff in one atomic overlay swap: the key's
+// owner pin is installed and the moving fence lifted, so no reader can
+// observe the gap between them.
+func (n *Node) CommitMove(key, owner string) error {
+	if _, ok := n.addrs[owner]; !ok {
+		return fmt.Errorf("cluster: unknown node %q", owner)
+	}
+	n.mutate(func(st *routeState) {
+		delete(st.moving, key)
+		st.overrides[key] = owner
+	})
+	return nil
+}
+
+// AbortMove lifts a key's moving fence without installing an override —
+// the failed-transfer path, after the session has been restored locally.
+func (n *Node) AbortMove(key string) {
+	n.mutate(func(st *routeState) { delete(st.moving, key) })
+}
+
+// Moving reports whether a key is currently fenced mid-handoff.
+func (n *Node) Moving(key string) bool { return n.state.Load().moving[key] }
 
 // Overrides returns a copy of the current channel→owner pins.
 func (n *Node) Overrides() map[string]string {

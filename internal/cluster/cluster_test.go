@@ -151,3 +151,108 @@ func TestOwnerZeroAlloc(t *testing.T) {
 		t.Fatalf("Owner allocates %.1f per call, want 0", allocs)
 	}
 }
+
+// TestOverrideSkippedWhenTargetDown: a pin to a node that is marked down
+// must not keep forwarding traffic into a dead address. Routing falls
+// back to live ring placement while the target is down, and snaps back
+// to the pin the moment it returns — the pin itself survives, because
+// the channel's state is still resident on that node.
+func TestOverrideSkippedWhenTargetDown(t *testing.T) {
+	peers, _ := ParsePeers("n1=a:1,n2=b:2,n3=c:3")
+	n, err := New("n1", peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "pinned-chan"
+	ringOwner := n.Owner(key)
+	var pin string
+	for _, id := range []string{"n2", "n3"} { // not self: SetDown refuses n1
+		if id != ringOwner {
+			pin = id
+			break
+		}
+	}
+	if err := n.SetOverride(key, pin); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Owner(key); got != pin {
+		t.Fatalf("owner %s, want pinned %s", got, pin)
+	}
+
+	if err := n.SetDown(pin, true); err != nil {
+		t.Fatal(err)
+	}
+	got := n.Owner(key)
+	if got == pin {
+		t.Fatalf("owner still %s while it is down", pin)
+	}
+	if n.Down(got) {
+		t.Fatalf("fallback owner %s is itself down", got)
+	}
+	if o, pinned := n.Override(key); !pinned || o != pin {
+		t.Fatalf("override evicted by SetDown: got %q pinned=%v", o, pinned)
+	}
+
+	if err := n.SetDown(pin, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Owner(key); got != pin {
+		t.Fatalf("owner %s after recovery, want pin %s restored", got, pin)
+	}
+}
+
+// TestMoveLifecycle pins the handoff fence state machine: BeginMove
+// claims the key exclusively, Resolve reports it as moving (routing
+// turns that into a retryable 503), and Commit/Abort both release the
+// fence — Commit atomically swapping it for the override so there is no
+// instant where the key is neither fenced nor pinned.
+func TestMoveLifecycle(t *testing.T) {
+	peers, _ := ParsePeers("n1=a:1,n2=b:2")
+	n, err := New("n1", peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "moving-chan"
+
+	if !n.BeginMove(key) {
+		t.Fatal("BeginMove refused on an idle key")
+	}
+	if n.BeginMove(key) {
+		t.Fatal("second BeginMove claimed an already-moving key")
+	}
+	if !n.Moving(key) {
+		t.Fatal("Moving false mid-move")
+	}
+	if owner, moving := n.Resolve(key); !moving || owner != "n1" {
+		t.Fatalf("Resolve mid-move = (%q, %v), want (n1, true)", owner, moving)
+	}
+
+	if err := n.CommitMove(key, "n2"); err != nil {
+		t.Fatal(err)
+	}
+	if n.Moving(key) {
+		t.Fatal("still moving after CommitMove")
+	}
+	owner, moving := n.Resolve(key)
+	if moving || owner != "n2" {
+		t.Fatalf("Resolve after commit = (%q, %v), want (n2, false)", owner, moving)
+	}
+	if err := n.CommitMove(key, "ghost"); err == nil {
+		t.Fatal("CommitMove to unknown node accepted")
+	}
+
+	// Abort releases the fence without installing a pin.
+	if err := n.SetOverride(key, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !n.BeginMove(key) {
+		t.Fatal("BeginMove refused after a completed move")
+	}
+	n.AbortMove(key)
+	if n.Moving(key) {
+		t.Fatal("still moving after AbortMove")
+	}
+	if _, pinned := n.Override(key); pinned {
+		t.Fatal("AbortMove left an override behind")
+	}
+}

@@ -53,6 +53,11 @@ var drillTrainArgs = []string{
 	"-drain", "5s",
 }
 
+// drillSecret is the shared cluster secret the drill's nodes start with;
+// every /api/cluster/* call the drill makes must present it, exactly as
+// a real recovery operator would.
+const drillSecret = "drill-cluster-secret"
+
 // buildDrillServer compiles cmd/lightor-server once per drill run,
 // with -race iff this test binary itself is race-instrumented.
 func buildDrillServer(t *testing.T) string {
@@ -205,6 +210,27 @@ func drillPost(t *testing.T, url string, body any) *http.Response {
 	return resp
 }
 
+// drillClusterPost is drillPost with the shared cluster secret attached —
+// the /api/cluster/* control plane refuses requests without it.
+func drillClusterPost(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, rd)
+	if err != nil {
+		t.Fatalf("building cluster POST: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(platform.ClusterKeyHeader, drillSecret)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
 func drillIngest(t *testing.T, base, channel string, batch []chat.Message) {
 	t.Helper()
 	resp := drillPost(t, base+"/api/live/chat?channel="+channel, batch)
@@ -328,7 +354,7 @@ func TestClusterKillNodeDrill(t *testing.T) {
 	for _, id := range ids {
 		dirs[id] = filepath.Join(t.TempDir(), id)
 		nodes[id] = startDrillServer(t, bin, id, addrs[id],
-			"-node-id", id, "-peers", peers,
+			"-node-id", id, "-peers", peers, "-cluster-secret", drillSecret,
 			"-data-dir", dirs[id], "-checkpoint-interval", "150ms")
 	}
 	for _, id := range ids {
@@ -390,7 +416,7 @@ func TestClusterKillNodeDrill(t *testing.T) {
 		}
 	}
 	for _, id := range survivors {
-		resp := drillPost(t, nodes[id].base+"/api/cluster/down?node="+victim, nil)
+		resp := drillClusterPost(t, nodes[id].base+"/api/cluster/down?node="+victim, nil)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusNoContent {
 			t.Fatalf("marking %s down on %s: status %d", victim, id, resp.StatusCode)
@@ -424,7 +450,7 @@ func TestClusterKillNodeDrill(t *testing.T) {
 		if newOwner == "" || newOwner == victim {
 			t.Fatalf("no successor for %s", ch)
 		}
-		resp := drillPost(t, nodes[newOwner].base+"/api/cluster/resume?channel="+ch, state)
+		resp := drillClusterPost(t, nodes[newOwner].base+"/api/cluster/resume?channel="+ch, state)
 		var hr platform.HandoffResponse
 		if resp.StatusCode != http.StatusOK {
 			body, _ := io.ReadAll(resp.Body)
@@ -442,7 +468,7 @@ func TestClusterKillNodeDrill(t *testing.T) {
 			if id == newOwner {
 				continue
 			}
-			rresp := drillPost(t, nodes[id].base+"/api/cluster/route?channel="+ch+"&owner="+newOwner, nil)
+			rresp := drillClusterPost(t, nodes[id].base+"/api/cluster/route?channel="+ch+"&owner="+newOwner, nil)
 			rresp.Body.Close()
 			if rresp.StatusCode != http.StatusOK {
 				t.Fatalf("routing %s->%s on %s: status %d", ch, newOwner, id, rresp.StatusCode)

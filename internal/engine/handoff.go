@@ -82,6 +82,35 @@ func (m *SessionManager) DetachSession(ctx context.Context, channel string) ([]b
 	return state, nil
 }
 
+// BarOpen fences a channel against re-creation: until UnbarOpen (or a
+// successful RestoreSession, which lifts the bar atomically with
+// registration), Open and GetOrOpen return ErrHandoff for it. Call it
+// BEFORE DetachSession: between the detach removing the session and the
+// routing layer learning the channel's new home there is a full network
+// round trip, and without the bar a producer request in that window
+// would silently open a fresh empty session whose messages are lost —
+// and whose checkpoints would re-write the channel into this node's
+// store after ForgetCheckpoint — the moment the transfer completes.
+// Sessions already live are unaffected; only creation is fenced.
+func (m *SessionManager) BarOpen(channel string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.barred == nil {
+		m.barred = make(map[string]struct{})
+	}
+	m.barred[channel] = struct{}{}
+}
+
+// UnbarOpen lifts a channel's handoff bar without restoring state: the
+// aborted-handoff path, and the moment a handed-off channel's broadcast
+// ends for good (the override clears, so the ring may place a successor
+// broadcast here again).
+func (m *SessionManager) UnbarOpen(channel string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.barred, channel)
+}
+
 // ForgetCheckpoint removes a channel's durable checkpoint from this
 // node's store — the final step of a confirmed handoff, after which the
 // new owner's copy is authoritative. No-op without a checkpoint store.
@@ -111,7 +140,11 @@ func (m *SessionManager) restoreFromState(channel string, state []byte) (*Sessio
 	}
 	s.watermark = od.Now()
 	s.restoreDots(od.Emitted())
-	return m.register(s)
+	// Restoring makes the channel live here again, so any handoff bar is
+	// lifted in the same critical section that registers — no window where
+	// the session exists but opens are still refused, and no window where
+	// the bar is gone but the session is not yet visible.
+	return m.registerWith(s, true)
 }
 
 // RestoreSession adopts a channel handed off from another node: the

@@ -29,6 +29,12 @@ var (
 	// the engine's session cap — backpressure against unbounded channel
 	// creation by misbehaving clients.
 	ErrTooManySessions = errors.New("engine: too many open sessions")
+	// ErrHandoff is returned by Open/GetOrOpen while a channel is barred
+	// mid-handoff (BarOpen): its state is in flight to another node, and
+	// opening a fresh empty session here would shadow it and lose the
+	// caller's messages. Retryable — the move settles in one transfer
+	// round trip.
+	ErrHandoff = errors.New("engine: channel handoff in progress")
 )
 
 // sessionDetector is the per-session detection backend. Live sessions wrap
@@ -551,7 +557,12 @@ type SessionManager struct {
 
 	mu       sync.Mutex
 	sessions map[string]*Session
-	closed   bool
+	// barred holds channels whose re-open is refused (ErrHandoff): their
+	// state is mid-transfer to another node, and a fresh empty session
+	// here would shadow it. See BarOpen/UnbarOpen in handoff.go. Restore
+	// paths lift the bar atomically with registration (registerWith).
+	barred map[string]struct{}
+	closed bool
 
 	work     chan *Session
 	workerWG sync.WaitGroup
@@ -701,12 +712,26 @@ func (m *SessionManager) prepare(channel string, det sessionDetector) (*Session,
 }
 
 // register makes a prepared session visible, enforcing the manager's
-// lifecycle and capacity invariants.
+// lifecycle and capacity invariants. A channel barred mid-handoff is
+// refused — the bar is checked under the same lock that registers, so a
+// racing open can never slip a fresh session in behind BarOpen.
 func (m *SessionManager) register(s *Session) (*Session, error) {
+	return m.registerWith(s, false)
+}
+
+// registerWith is register with the restore paths' variant: liftBar
+// atomically clears the channel's handoff bar and registers, because a
+// successful restore means the state lives here again.
+func (m *SessionManager) registerWith(s *Session, liftBar bool) (*Session, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil, ErrClosed
+	}
+	if liftBar {
+		delete(m.barred, s.channel)
+	} else if _, ok := m.barred[s.channel]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrHandoff, s.channel)
 	}
 	if _, ok := m.sessions[s.channel]; ok {
 		return nil, fmt.Errorf("%w: %q", errDuplicate, s.channel)

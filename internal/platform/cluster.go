@@ -2,6 +2,8 @@ package platform
 
 import (
 	"bytes"
+	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -59,14 +61,24 @@ const (
 
 // route resolves the owner of key and reports whether the request should
 // be handled locally. Misrouted requests are answered here (forward or
-// redirect) and the handler must return. Single-node (Cluster nil) always
-// serves locally at the cost of one nil check.
+// redirect) and the handler must return. A key fenced mid-handoff on
+// this node answers 503 + Retry-After: its state is in flight to another
+// node, so neither serving locally (the session is detached) nor routing
+// away (the new owner is not confirmed yet) is correct — the client
+// retries after the one-transfer-round-trip move settles. Single-node
+// (Cluster nil) always serves locally at the cost of one nil check.
 func (s *Service) route(w http.ResponseWriter, r *http.Request, key string, action routeAction) bool {
 	c := s.Cluster
 	if c == nil {
 		return true
 	}
-	owner := c.Owner(key)
+	owner, moving := c.Resolve(key)
+	if moving {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, fmt.Sprintf("channel %q is being handed off; retry", key),
+			http.StatusServiceUnavailable)
+		return false
+	}
 	if owner == c.Self() {
 		return true
 	}
@@ -96,6 +108,37 @@ var forwardBufPool = sync.Pool{
 // body should not pin its memory forever.
 const maxPooledForwardBuf = 1 << 20
 
+// maxForwardBody caps a misrouted request body staged for forwarding.
+// The largest legitimate forwarded payloads are chat and interaction
+// batches — single-digit megabytes at the bench's batch sizes — so 16 MB
+// leaves an order of magnitude of headroom while keeping one hostile
+// POST to a non-owned channel from allocating unbounded memory on the
+// forwarding node. (Snapshot transfers never forward: /api/cluster/*
+// calls go peer-to-peer, not through route.)
+const maxForwardBody = 16 << 20
+
+// ClusterKeyHeader carries the shared cluster secret (cluster.Node.Secret)
+// on every /api/cluster/* control-plane request. Requests without the
+// right value are refused: the control plane can inject detector state,
+// repin routing, and mark nodes down, so it must not be callable by the
+// public clients that share the listener.
+const ClusterKeyHeader = "X-Lightor-Cluster-Key"
+
+// requireClusterKey gates a control-plane handler behind the shared
+// cluster secret. An empty configured secret leaves the gate open — the
+// in-process test fixtures' mode; the server binary refuses to start a
+// cluster node without one.
+func (s *Service) requireClusterKey(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if secret := s.Cluster.Secret; secret != "" &&
+			subtle.ConstantTimeCompare([]byte(r.Header.Get(ClusterKeyHeader)), []byte(secret)) != 1 {
+			http.Error(w, "missing or invalid "+ClusterKeyHeader, http.StatusForbidden)
+			return
+		}
+		h(w, r)
+	}
+}
+
 // forwardToOwner proxies the request to the owning peer over the pooled
 // keep-alive client and relays the response verbatim. The body is staged
 // through a pooled buffer (bodies are bounded request payloads — chat
@@ -122,7 +165,13 @@ func (s *Service) forwardToOwner(w http.ResponseWriter, r *http.Request, owner, 
 			forwardBufPool.Put(buf)
 		}
 	}()
-	if _, err := buf.ReadFrom(r.Body); err != nil {
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxForwardBody)); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("body exceeds the %d-byte forwarding limit", maxForwardBody),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, fmt.Sprintf("reading body to forward: %v", err), http.StatusBadRequest)
 		return
 	}
@@ -210,20 +259,30 @@ type HandoffResponse struct {
 // handleClusterHandoff moves a live channel this node owns to a target
 // peer, without ending the broadcast:
 //
-//  1. DetachSession: intake stops, the mailbox drains, the detector
+//  1. The channel is fenced first — Cluster.BeginMove makes route answer
+//     503 + Retry-After for it, and SessionManager.BarOpen makes a
+//     racing request that already passed route unable to re-create the
+//     session — so nothing can serve or resurrect the channel here
+//     while its state is in flight.
+//  2. DetachSession: intake stops, the mailbox drains, the detector
 //     serializes mid-stream; push subscribers get the terminal
 //     "end: closed" event and this node's response-cache entries for the
 //     channel are dropped (both via the SessionClosed listener, BEFORE
 //     the channel becomes routable anywhere else — no viewer can be
 //     served a stale catch-up frame across the handoff).
-//  2. The snapshot bytes POST to the target's /api/cluster/resume, which
+//  3. The snapshot bytes POST to the target's /api/cluster/resume, which
 //     restores the session bit-identically (PR 3 machinery) and
-//     checkpoints it into the target's own store.
-//  3. Only after the target confirms does this node pin the route
-//     (Cluster.SetOverride), forget its local checkpoint, and
-//     best-effort notify the remaining peers. On transfer failure the
-//     state is restored locally and the handoff reports 502 — the
-//     channel never leaves limbo.
+//     checkpoints it into the target's own store. The transfer runs on a
+//     context detached from the admin request: a caller hanging up after
+//     the target adopted the channel must not be able to turn a
+//     completed transfer into a local-restore split brain.
+//  4. Only after the target confirms does this node commit the move
+//     (checkpoint forgotten, route pinned, fence lifted — atomically)
+//     and best-effort notify the remaining peers. A failed transfer is
+//     probed before it is believed: if the target actually holds the
+//     channel (the response was lost, not the transfer), the move
+//     commits; only a target provably without it restores the state
+//     locally. The channel never leaves limbo.
 func (s *Service) handleClusterHandoff(w http.ResponseWriter, r *http.Request) {
 	c := s.Cluster
 	channel := r.URL.Query().Get("channel")
@@ -246,39 +305,75 @@ func (s *Service) handleClusterHandoff(w http.ResponseWriter, r *http.Request) {
 			http.StatusConflict)
 		return
 	}
-
-	state, err := s.Engine.Sessions().DetachSession(r.Context(), channel)
-	if errors.Is(err, engine.ErrUnknownSession) {
-		http.Error(w, err.Error(), http.StatusNotFound)
+	if !c.BeginMove(channel) {
+		http.Error(w, fmt.Sprintf("channel %q is already mid-handoff", channel), http.StatusConflict)
 		return
 	}
+	mgr := s.Engine.Sessions()
+	mgr.BarOpen(channel)
+
+	state, err := mgr.DetachSession(r.Context(), channel)
 	if err != nil {
+		c.AbortMove(channel)
+		mgr.UnbarOpen(channel)
+		if errors.Is(err, engine.ErrUnknownSession) {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
 		writeLiveError(w, err)
 		return
 	}
 
-	resp, err := s.clusterPost(r, "http://"+addr+"/api/cluster/resume?channel="+url.QueryEscape(channel), state)
+	// Detached from the admin request: once the state is off this node's
+	// engine, the transfer must run to a definite outcome even if the
+	// handoff caller disconnects. The pooled client's own timeout bounds
+	// each leg.
+	ctx := context.WithoutCancel(r.Context())
+	resumeURL := "http://" + addr + "/api/cluster/resume?channel=" + url.QueryEscape(channel)
+	resp, err := s.clusterDo(ctx, http.MethodPost, resumeURL, state)
+	if err != nil {
+		// Ambiguous failure: the target may have restored and pinned the
+		// channel before the error (a lost response, a broken connection
+		// after commit). Restoring locally on faith would put the channel
+		// live on BOTH nodes, each with a durable checkpoint — so ask the
+		// target whether it holds the channel before deciding.
+		if probed, perr := s.clusterDo(ctx, http.MethodGet,
+			"http://"+addr+"/api/cluster/owned?channel="+url.QueryEscape(channel), nil); perr == nil {
+			resp, err = probed, nil
+		}
+	}
 	if err != nil {
 		// Undo: the channel comes back to life here; its checkpoint never
-		// left this node, so even a crash now loses nothing.
-		if _, rerr := s.Engine.Sessions().RestoreSession(channel, state); rerr != nil {
+		// left this node, so even a crash now loses nothing. RestoreSession
+		// lifts the open bar atomically with registration; the route fence
+		// lifts after, so no request can race the restore itself.
+		if _, rerr := mgr.RestoreSession(channel, state); rerr != nil {
+			// Fence deliberately left up: the durable checkpoint is the
+			// only good copy, and letting traffic open a fresh empty
+			// session would shadow it. A restart resumes the channel from
+			// the checkpoint.
 			http.Error(w, fmt.Sprintf("transfer failed (%v) AND local restore failed (%v); channel %q recoverable from local checkpoint",
 				err, rerr, channel), http.StatusBadGateway)
 			return
 		}
+		c.AbortMove(channel)
 		http.Error(w, fmt.Sprintf("transfer to %s failed, channel restored locally: %v", target, err),
 			http.StatusBadGateway)
 		return
 	}
 
-	// Confirmed: the channel's durable home is the target now.
-	_ = s.Engine.Sessions().ForgetCheckpoint(channel)
-	_ = c.SetOverride(channel, target)
+	// Confirmed: the channel's durable home is the target now. The open
+	// bar stays until the override clears (the broadcast's eventual close
+	// lifts both), so a straggler request that passed route before the
+	// fence still cannot resurrect the channel here.
+	_ = mgr.ForgetCheckpoint(channel)
+	_ = c.CommitMove(channel, target)
 	for _, p := range c.Peers() {
 		if p.ID == c.Self() || p.ID == target {
 			continue
 		}
-		if _, err := s.clusterPost(r, "http://"+p.Addr+"/api/cluster/route?channel="+url.QueryEscape(channel)+"&owner="+url.QueryEscape(target), nil); err != nil {
+		if _, err := s.clusterDo(ctx, http.MethodPost,
+			"http://"+p.Addr+"/api/cluster/route?channel="+url.QueryEscape(channel)+"&owner="+url.QueryEscape(target), nil); err != nil {
 			// Best-effort: an unnotified peer forwards/redirects through
 			// the ring owner (this node), which now pins to the target —
 			// one extra hop, never a wrong answer.
@@ -289,14 +384,22 @@ func (s *Service) handleClusterHandoff(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// clusterPost POSTs body to a peer endpoint and decodes the
-// HandoffResponse, surfacing non-2xx answers as errors.
-func (s *Service) clusterPost(r *http.Request, url string, body []byte) (HandoffResponse, error) {
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url, bytes.NewReader(body))
+// clusterDo sends a control-plane request (with the shared cluster
+// secret attached) to a peer endpoint and decodes the HandoffResponse,
+// surfacing non-2xx answers as errors.
+func (s *Service) clusterDo(ctx context.Context, method, url string, body []byte) (HandoffResponse, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
 		return HandoffResponse{}, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if s.Cluster.Secret != "" {
+		req.Header.Set(ClusterKeyHeader, s.Cluster.Secret)
+	}
 	resp, err := s.Cluster.Client().Do(req)
 	if err != nil {
 		return HandoffResponse{}, err
@@ -357,9 +460,36 @@ func (s *Service) handleClusterResume(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleClusterOwned reports whether this node currently holds a live
+// session for a channel, with its resume point. The handoff's
+// ambiguous-failure probe: a source whose transfer leg errored asks the
+// target this before restoring locally, so a lost response cannot turn
+// a completed transfer into a channel live on two nodes at once.
+func (s *Service) handleClusterOwned(w http.ResponseWriter, r *http.Request) {
+	channel := r.URL.Query().Get("channel")
+	if channel == "" {
+		http.Error(w, "missing channel parameter", http.StatusBadRequest)
+		return
+	}
+	sess, ok := s.Engine.Sessions().Get(channel)
+	if !ok {
+		http.Error(w, fmt.Sprintf("channel %q is not resident on this node", channel), http.StatusNotFound)
+		return
+	}
+	_, cursor, _ := sess.DotsPage(0)
+	writeJSON(w, HandoffResponse{
+		Channel:   channel,
+		Owner:     s.Cluster.Self(),
+		Watermark: sess.Watermark(),
+		Cursor:    cursor,
+	})
+}
+
 // handleClusterRoute pins (or clears, with owner="") a channel's owner on
 // this node's routing overlay. Handoffs broadcast it so peers route
-// straight to the new owner instead of through the ring position.
+// straight to the new owner instead of through the ring position; closes
+// broadcast the clear so pins (and the re-open bars backing them) don't
+// accumulate across a channel's handoff history.
 func (s *Service) handleClusterRoute(w http.ResponseWriter, r *http.Request) {
 	channel := r.URL.Query().Get("channel")
 	if channel == "" {
@@ -371,7 +501,47 @@ func (s *Service) handleClusterRoute(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if owner == "" {
+		// The channel's broadcast is over and its pin is gone: the ring
+		// may place a successor broadcast here, so re-opening must work.
+		s.Engine.Sessions().UnbarOpen(channel)
+	}
 	writeJSON(w, HandoffResponse{Channel: channel, Owner: owner})
+}
+
+// retireOverride cleans up a handed-off channel's routing pin once its
+// broadcast ends: every peer is told to clear its override (which also
+// lifts the re-open bar a past handoff left on the old owner), and this
+// node's own pin clears only if ALL peers acked — a partially-notified
+// cluster keeps forwarding through this node's pin (one extra hop, never
+// a wrong answer) instead of ping-ponging between ring and override
+// placements. Channels that never handed off carry no pin and return
+// immediately, so the ordinary close path pays one nil-map lookup.
+func (s *Service) retireOverride(r *http.Request, channel string) {
+	c := s.Cluster
+	if c == nil {
+		return
+	}
+	if _, pinned := c.Override(channel); !pinned {
+		return
+	}
+	// Detached like the handoff's transfer leg: the close has already
+	// happened, so the cleanup must not die with the caller.
+	ctx := context.WithoutCancel(r.Context())
+	allAcked := true
+	for _, p := range c.Peers() {
+		if p.ID == c.Self() {
+			continue
+		}
+		if _, err := s.clusterDo(ctx, http.MethodPost,
+			"http://"+p.Addr+"/api/cluster/route?channel="+url.QueryEscape(channel)+"&owner=", nil); err != nil {
+			allAcked = false
+		}
+	}
+	if allAcked {
+		_ = c.SetOverride(channel, "")
+		s.Engine.Sessions().UnbarOpen(channel)
+	}
 }
 
 // handleClusterDown marks a peer down (down=true) or back up (down=false)

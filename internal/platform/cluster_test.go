@@ -2,14 +2,17 @@ package platform
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -31,9 +34,21 @@ type clusterNode struct {
 	srv   *httptest.Server
 }
 
+// testClusterSecret is the shared secret every test cluster runs with,
+// so the /api/cluster/* auth gate is exercised by every control-plane
+// call the tests make.
+const testClusterSecret = "test-cluster-secret"
+
 // startCluster stands up n cluster nodes. dirs[i] != "" gives node i a
 // durable file backend (and checkpointing engine); "" keeps it in-memory.
 func startCluster(t *testing.T, init *core.Initializer, n int, dirs []string) []*clusterNode {
+	return startClusterWrapped(t, init, n, dirs, nil)
+}
+
+// startClusterWrapped is startCluster with a per-node handler middleware
+// (nil passes the service handler through) — fault-injection tests wrap
+// a node to stall or corrupt specific peer calls.
+func startClusterWrapped(t *testing.T, init *core.Initializer, n int, dirs []string, wrap func(i int, h http.Handler) http.Handler) []*clusterNode {
 	t.Helper()
 	nodes := make([]*clusterNode, n)
 	var peerSpec []string
@@ -57,6 +72,7 @@ func startCluster(t *testing.T, init *core.Initializer, n int, dirs []string) []
 		if err != nil {
 			t.Fatal(err)
 		}
+		cn.node.Secret = testClusterSecret
 		cfg := engine.Config{Warmup: -1}
 		if dirs != nil && dirs[i] != "" {
 			be, err := OpenFileBackend(dirs[i], FileConfig{SyncInterval: time.Millisecond})
@@ -74,7 +90,13 @@ func startCluster(t *testing.T, init *core.Initializer, n int, dirs []string) []
 			t.Fatal(err)
 		}
 		cn.svc = &Service{Store: cn.store, Engine: cn.eng, Cluster: cn.node}
-		cn.srv.Config.Handler = cn.svc.Handler()
+		handler := http.Handler(cn.svc.Handler())
+		if wrap != nil {
+			if wrapped := wrap(i, handler); wrapped != nil {
+				handler = wrapped
+			}
+		}
+		cn.srv.Config.Handler = handler
 		cn.srv.Start()
 	}
 	t.Cleanup(func() {
@@ -426,7 +448,7 @@ func TestClusterHandoffTeardownOrder(t *testing.T) {
 	}()
 
 	// Hand the channel to the other node.
-	hresp := postJSON(t, owner.srv.URL+"/api/cluster/handoff?channel="+channel+"&target="+other.id, nil)
+	hresp := clusterControlPost(t, owner.srv.URL+"/api/cluster/handoff?channel="+channel+"&target="+other.id)
 	var h HandoffResponse
 	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
 		t.Fatal(err)
@@ -588,6 +610,349 @@ func waitForDots(t *testing.T, cn *clusterNode, channel string) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatalf("channel %q never emitted", channel)
+}
+
+// clusterControlPost POSTs to a /api/cluster/* endpoint with the shared
+// cluster secret attached, as every control-plane caller must.
+func clusterControlPost(t *testing.T, url string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(ClusterKeyHeader, testClusterSecret)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestClusterControlPlaneAuth: /api/cluster/* can repin routing, inject
+// detector state, and mark nodes down, so it must refuse requests that
+// do not present the shared cluster secret — missing and wrong keys both
+// answer 403 and change nothing.
+func TestClusterControlPlaneAuth(t *testing.T) {
+	init, _ := trainedInitializer(t)
+	nodes := startCluster(t, init, 2, nil)
+	a, b := nodes[0], nodes[1]
+	routeURL := a.srv.URL + "/api/cluster/route?channel=auth-chan&owner=" + b.id
+
+	for _, tc := range []struct{ name, key string }{
+		{"missing key", ""},
+		{"wrong key", "not-the-secret"},
+	} {
+		req, err := http.NewRequest(http.MethodPost, routeURL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.key != "" {
+			req.Header.Set(ClusterKeyHeader, tc.key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusForbidden {
+			t.Fatalf("%s: status %d, want 403", tc.name, resp.StatusCode)
+		}
+		if _, pinned := a.node.Override("auth-chan"); pinned {
+			t.Fatalf("%s: unauthenticated request still installed an override", tc.name)
+		}
+	}
+
+	// The right key works, on every control endpoint the drill uses.
+	resp := clusterControlPost(t, routeURL)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authenticated route: status %d", resp.StatusCode)
+	}
+	if o, _ := a.node.Override("auth-chan"); o != b.id {
+		t.Fatalf("authenticated route did not install the override (got %q)", o)
+	}
+	resp = clusterControlPost(t, a.srv.URL+"/api/cluster/down?node="+b.id+"&down=false")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("authenticated down: status %d", resp.StatusCode)
+	}
+}
+
+// TestClusterHandoffFencesTrafficMidMove is the handoff-race regression:
+// between the session detaching and the transfer confirming there is a
+// full network round trip during which the source is still the ring
+// owner — a producer POST in that window must NOT re-create a fresh
+// empty session (silently losing its messages once the override lands);
+// it gets a retryable 503 until the move settles.
+func TestClusterHandoffFencesTrafficMidMove(t *testing.T) {
+	init, target := trainedInitializer(t)
+	msgs := target.Chat.Log.Messages()
+	const channel = "fence-chan"
+
+	stalling := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var stall atomic.Bool
+	wrap := func(i int, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if stall.Load() && r.URL.Path == "/api/cluster/resume" {
+				stalling <- struct{}{}
+				<-release
+			}
+			h.ServeHTTP(w, r)
+		})
+	}
+	nodes := startClusterWrapped(t, init, 2, []string{t.TempDir(), t.TempDir()}, wrap)
+	owner, other := ownerOf(t, nodes, channel)
+
+	resp := postJSON(t, owner.srv.URL+"/api/live/chat?channel="+channel, msgs[:200])
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("seed ingest = %d", resp.StatusCode)
+	}
+
+	stall.Store(true)
+	handoffDone := make(chan int, 1)
+	go func() {
+		hresp := clusterControlPost(t, owner.srv.URL+"/api/cluster/handoff?channel="+channel+"&target="+other.id)
+		hresp.Body.Close()
+		handoffDone <- hresp.StatusCode
+	}()
+	<-stalling // the snapshot is in flight; the race window is open
+
+	// A producer racing the transfer: the routing layer must fence, not
+	// serve — and certainly not open a fresh session.
+	mid := postJSON(t, owner.srv.URL+"/api/live/chat?channel="+channel, msgs[200:210])
+	if mid.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("mid-move ingest = %d, want 503", mid.StatusCode)
+	}
+	if mid.Header.Get("Retry-After") == "" {
+		t.Error("mid-move 503 carries no Retry-After")
+	}
+	mid.Body.Close()
+	// Even a request that slipped past routing cannot re-create the
+	// session: the engine's open bar refuses.
+	if _, err := owner.eng.Sessions().GetOrOpen(channel); !errors.Is(err, engine.ErrHandoff) {
+		t.Errorf("mid-move GetOrOpen err = %v, want ErrHandoff", err)
+	}
+	if _, ok := owner.eng.Sessions().Get(channel); ok {
+		t.Error("a session exists on the source mid-move")
+	}
+
+	stall.Store(false)
+	close(release)
+	if code := <-handoffDone; code != http.StatusOK {
+		t.Fatalf("handoff = %d", code)
+	}
+
+	// The fence lifted into the committed route: producers continue
+	// through the source and land on the target, gap-free.
+	resp = postJSON(t, owner.srv.URL+"/api/live/chat?channel="+channel, msgs[200:400])
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-move ingest = %d", resp.StatusCode)
+	}
+	if _, ok := owner.eng.Sessions().Get(channel); ok {
+		t.Error("session re-appeared on the source after the move")
+	}
+	if _, ok := other.eng.Sessions().Get(channel); !ok {
+		t.Error("session missing on the target after the move")
+	}
+}
+
+// TestClusterHandoffTransferFailureRestoresLocally: a target that cannot
+// be reached fails the transfer cleanly — the channel comes back to life
+// on the source, the fence lifts, and producers continue as if the
+// handoff had never been attempted.
+func TestClusterHandoffTransferFailureRestoresLocally(t *testing.T) {
+	init, target := trainedInitializer(t)
+	msgs := target.Chat.Log.Messages()
+	const channel = "failover-chan"
+
+	nodes := startCluster(t, init, 2, []string{t.TempDir(), t.TempDir()})
+	owner, other := ownerOf(t, nodes, channel)
+	resp := postJSON(t, owner.srv.URL+"/api/live/chat?channel="+channel, msgs[:200])
+	resp.Body.Close()
+	waitForDots(t, owner, channel)
+
+	other.srv.Close() // the target is unreachable; probe and transfer both fail
+	hresp := clusterControlPost(t, owner.srv.URL+"/api/cluster/handoff?channel="+channel+"&target="+other.id)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("handoff to dead target = %d, want 502", hresp.StatusCode)
+	}
+	if owner.node.Moving(channel) {
+		t.Error("move fence still up after a failed transfer")
+	}
+	if _, ok := owner.eng.Sessions().Get(channel); !ok {
+		t.Fatal("session not restored on the source after transfer failure")
+	}
+	if _, ok := owner.store.Checkpoints()[channel]; !ok {
+		t.Error("source lost its checkpoint across a failed transfer")
+	}
+	// The channel serves again, bar and fence both lifted.
+	resp = postJSON(t, owner.srv.URL+"/api/live/chat?channel="+channel, msgs[200:400])
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-failure ingest = %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestClusterHandoffLostResponseCommits is the split-brain regression:
+// when the target restores the channel but the transfer RESPONSE is
+// lost, restoring locally on faith would leave the channel live on both
+// nodes with two durable checkpoints. The source must probe the target
+// and, finding the channel resident, commit the move instead.
+func TestClusterHandoffLostResponseCommits(t *testing.T) {
+	init, target := trainedInitializer(t)
+	msgs := target.Chat.Log.Messages()
+	const channel = "ghost-chan"
+
+	var lose atomic.Bool
+	wrap := func(i int, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if lose.Load() && r.URL.Path == "/api/cluster/resume" {
+				lose.Store(false)
+				// The restore happens for real; only the response is lost.
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, r)
+				if rec.Code != http.StatusOK {
+					panic(fmt.Sprintf("stalled resume failed: %d %s", rec.Code, rec.Body.String()))
+				}
+				hj, ok := w.(http.Hijacker)
+				if !ok {
+					panic("test server response is not hijackable")
+				}
+				conn, _, err := hj.Hijack()
+				if err != nil {
+					panic(err)
+				}
+				conn.Close()
+				return
+			}
+			h.ServeHTTP(w, r)
+		})
+	}
+	nodes := startClusterWrapped(t, init, 2, []string{t.TempDir(), t.TempDir()}, wrap)
+	owner, other := ownerOf(t, nodes, channel)
+	resp := postJSON(t, owner.srv.URL+"/api/live/chat?channel="+channel, msgs[:200])
+	resp.Body.Close()
+	waitForDots(t, owner, channel)
+
+	lose.Store(true)
+	hresp := clusterControlPost(t, owner.srv.URL+"/api/cluster/handoff?channel="+channel+"&target="+other.id)
+	var h HandoffResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || h.Owner != other.id {
+		t.Fatalf("lost-response handoff: status %d owner %q, want 200/%q", hresp.StatusCode, h.Owner, other.id)
+	}
+
+	// Exactly one node holds the channel — the target.
+	if _, ok := owner.eng.Sessions().Get(channel); ok {
+		t.Error("split brain: source still holds the session")
+	}
+	if _, ok := other.eng.Sessions().Get(channel); !ok {
+		t.Fatal("target does not hold the session")
+	}
+	if _, ok := owner.store.Checkpoints()[channel]; ok {
+		t.Error("split brain: source kept its checkpoint")
+	}
+	if _, ok := other.store.Checkpoints()[channel]; !ok {
+		t.Error("target has no checkpoint for the adopted channel")
+	}
+	if o, _ := owner.node.Override(channel); o != other.id {
+		t.Errorf("source routes %q to %q, want %q", channel, o, other.id)
+	}
+	// And the broadcast continues through the source, forwarded.
+	resp = postJSON(t, owner.srv.URL+"/api/live/chat?channel="+channel, msgs[200:400])
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-commit ingest = %d", resp.StatusCode)
+	}
+}
+
+// TestClusterForwardBodyTooLarge: the forwarding path stages bodies in
+// memory, so a misrouted POST beyond any legitimate batch size must be
+// refused with 413 instead of buffered without bound.
+func TestClusterForwardBodyTooLarge(t *testing.T) {
+	init, _ := trainedInitializer(t)
+	const channel = "big-chan"
+	nodes := startCluster(t, init, 2, nil)
+	_, other := ownerOf(t, nodes, channel)
+
+	body := bytes.Repeat([]byte("x"), maxForwardBody+1)
+	resp, err := http.Post(other.srv.URL+"/api/live/chat?channel="+channel,
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized forward = %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestClusterCloseRetiresOverride: the pins a handoff spreads across the
+// cluster die with the broadcast — after the handed-off channel closes,
+// every node is back on pure ring placement and a successor broadcast
+// with the same id opens on the ring owner again (the re-open bar is
+// lifted along with the pin).
+func TestClusterCloseRetiresOverride(t *testing.T) {
+	init, target := trainedInitializer(t)
+	msgs := target.Chat.Log.Messages()
+	const channel = "retire-chan"
+
+	nodes := startCluster(t, init, 2, []string{t.TempDir(), t.TempDir()})
+	owner, other := ownerOf(t, nodes, channel)
+	resp := postJSON(t, owner.srv.URL+"/api/live/chat?channel="+channel, msgs[:200])
+	resp.Body.Close()
+	waitForDots(t, owner, channel)
+
+	hresp := clusterControlPost(t, owner.srv.URL+"/api/cluster/handoff?channel="+channel+"&target="+other.id)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("handoff = %d", hresp.StatusCode)
+	}
+	for _, cn := range nodes {
+		if o, pinned := cn.node.Override(channel); !pinned || o != other.id {
+			t.Fatalf("after handoff, %s pins %q to %q (pinned=%v), want %q", cn.id, channel, o, pinned, other.id)
+		}
+	}
+
+	// Close through the source (forwarded to the pinned owner).
+	creq, err := http.NewRequest(http.MethodDelete, owner.srv.URL+"/api/live/session?channel="+channel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp, err := http.DefaultClient.Do(creq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("close = %d", cresp.StatusCode)
+	}
+	for _, cn := range nodes {
+		if o, pinned := cn.node.Override(channel); pinned {
+			t.Errorf("after close, %s still pins %q to %q", cn.id, channel, o)
+		}
+	}
+
+	// A successor broadcast with the same channel id opens on the ring
+	// owner — the old owner's bar is gone.
+	resp = postJSON(t, owner.srv.URL+"/api/live/chat?channel="+channel, msgs[:50])
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("successor ingest = %d", resp.StatusCode)
+	}
+	if _, ok := owner.eng.Sessions().Get(channel); !ok {
+		t.Error("successor broadcast did not open on the ring owner")
+	}
+	if _, ok := other.eng.Sessions().Get(channel); ok {
+		t.Error("successor broadcast leaked onto the old handoff target")
+	}
 }
 
 // getBody GETs a URL (following redirects) and returns body and ETag.

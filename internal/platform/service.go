@@ -151,10 +151,15 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /api/live/session", s.handleLiveClose)
 	mux.HandleFunc("GET /api/healthz", s.handleHealthz)
 	if s.Cluster != nil {
-		mux.HandleFunc("POST /api/cluster/handoff", s.handleClusterHandoff)
-		mux.HandleFunc("POST /api/cluster/resume", s.handleClusterResume)
-		mux.HandleFunc("POST /api/cluster/route", s.handleClusterRoute)
-		mux.HandleFunc("POST /api/cluster/down", s.handleClusterDown)
+		// The control plane shares the public listener but not the public
+		// trust level: it can inject detector state, repin routing, and
+		// mark nodes down, so every endpoint sits behind the shared
+		// cluster secret (see requireClusterKey).
+		mux.HandleFunc("POST /api/cluster/handoff", s.requireClusterKey(s.handleClusterHandoff))
+		mux.HandleFunc("POST /api/cluster/resume", s.requireClusterKey(s.handleClusterResume))
+		mux.HandleFunc("POST /api/cluster/route", s.requireClusterKey(s.handleClusterRoute))
+		mux.HandleFunc("POST /api/cluster/down", s.requireClusterKey(s.handleClusterDown))
+		mux.HandleFunc("GET /api/cluster/owned", s.requireClusterKey(s.handleClusterOwned))
 	}
 	s.initPush()
 	return mux
@@ -602,6 +607,9 @@ func (s *Service) handleLiveClose(w http.ResponseWriter, r *http.Request) {
 	// sessions, so a successor broadcast on this channel could never hit
 	// these entries — dropping them just frees the memory promptly.
 	s.dotsCache.drop(channel)
+	// If a past handoff pinned this channel off its ring position, the
+	// pin (and the old owner's re-open bar) dies with the broadcast.
+	s.retireOverride(r, channel)
 	if dots == nil {
 		dots = []core.RedDot{}
 	}
@@ -691,6 +699,9 @@ func writeLiveError(w http.ResponseWriter, err error) {
 		http.Error(w, err.Error(), http.StatusConflict)
 	case errors.Is(err, engine.ErrClosed):
 		http.Error(w, "service is draining", http.StatusServiceUnavailable)
+	case errors.Is(err, engine.ErrHandoff):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case errors.Is(err, engine.ErrTooManySessions):
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 	default:
