@@ -21,6 +21,7 @@ import (
 	"lightor/internal/perf/perfcluster"
 	"lightor/internal/perf/perfengine"
 	"lightor/internal/perf/perfhttp"
+	"lightor/internal/perf/perfload"
 	"lightor/internal/perf/perfwal"
 	"lightor/internal/play"
 	"lightor/internal/sim"
@@ -460,6 +461,31 @@ func BenchmarkHTTPDotsReadRacingIngest(b *testing.B) {
 	init, d := benchTrainedEngine(b)
 	msgs := d.Chat.Log.Messages()
 	b.Run("pollers=64", perfhttp.DotsReadRacingIngest(init, msgs, 64, nil))
+}
+
+// BenchmarkZipfMixedLoad is the adversarial-load harness under static
+// Zipf channel popularity: mixed read/write/SSE/refine traffic against 64
+// live channels through the real handler, reporting p50/p99/p999 (and
+// the cold-channel read tail) from merged per-worker log-bucketed
+// histograms. The p999/p50 dispersion of these rows is CI-gated.
+func BenchmarkZipfMixedLoad(b *testing.B) {
+	init, d := benchTrainedEngine(b)
+	msgs := d.Chat.Log.Messages()
+	for _, mix := range []perfload.Mix{perfload.ReadHeavy, perfload.WriteHeavy} {
+		b.Run("mix="+mix.Name, perfload.ZipfMixed(init, msgs, mix, perfload.DefaultOptions(), nil))
+	}
+}
+
+// BenchmarkFlashCrowd steps a mid-rank channel to 100× its Zipf share
+// halfway through each schedule. admission=on sheds the hot channel's
+// excess writes (429 + Retry-After) and keeps cold-channel reads fast;
+// admission=off lets the hot mailbox grow without bound — the
+// differential BENCH_PR8.json records.
+func BenchmarkFlashCrowd(b *testing.B) {
+	init, d := benchTrainedEngine(b)
+	msgs := d.Chat.Log.Messages()
+	b.Run("admission=on", perfload.FlashCrowd(init, msgs, true, perfload.DefaultOptions(), nil))
+	b.Run("admission=off", perfload.FlashCrowd(init, msgs, false, perfload.DefaultOptions(), nil))
 }
 
 // BenchmarkClusterIngest shards the fixed 12-channel live-ingest fleet

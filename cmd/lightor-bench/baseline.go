@@ -64,8 +64,27 @@ const (
 	minPushWireRatio = 10.0
 )
 
+// Tail-latency invariants (PR 8). Dispersion (p999/p50) and the flash
+// cold-read ratio are same-run ratios, so machine speed cancels; the
+// backlog bound is structural (requests counted, not timed).
+const (
+	// latencySlackFactor widens the relative-to-baseline band for the
+	// latency quantile rows the same way diskSlackFactor does for
+	// disk-bound metrics: tail quantiles under concurrent load are
+	// dominated by scheduler jitter, which swings far more run-to-run
+	// than a mean does. The band still catches a lost fast path turning
+	// µs tails into ms tails.
+	latencySlackFactor = 4.0
+	// flashBacklogSlack is the admitted-over-budget headroom the flash
+	// gate allows on hot_backlog: admission checks Pending() before
+	// enqueueing without a lock, so each concurrent writer can slip one
+	// batch past the budget in the race window. Default options run 8
+	// workers; ×2 for drains racing the final sample.
+	flashBacklogSlack = 16
+)
+
 // checkBaseline returns the list of violations (empty = pass).
-func checkBaseline(cur, base benchReport, tol, minSpeedup, minReadSpeedup, minClusterScale float64) []string {
+func checkBaseline(cur, base benchReport, tol, minSpeedup, minReadSpeedup, minClusterScale, maxDispersion, maxFlashColdRatio float64) []string {
 	var v []string
 	slower := func(name string, cur, base float64) {
 		if base > 0 && cur > base*(1+tol) {
@@ -270,8 +289,83 @@ func checkBaseline(cur, base benchReport, tol, minSpeedup, minReadSpeedup, minCl
 	if len(cur.Results.ClusterScale) == 0 && len(base.Results.ClusterScale) > 0 {
 		v = append(v, "cluster_scale: missing from report")
 	}
+
+	// Tail-latency rows: same-run dispersion + Retry-After invariants on
+	// every gated row, relative-to-baseline p99 banding (latency slack),
+	// and the flash-crowd survival contract on the admission=on row. The
+	// admission=off row is the collapse exhibit — recorded, not gated.
+	slowerLat := func(name string, cur, base float64) {
+		if base > 0 && cur > base*(1+tol)*latencySlackFactor {
+			v = append(v, fmt.Sprintf("%s: %.1f µs vs baseline %.1f µs (allowed ×%.2f, tail-latency band)",
+				name, cur, base, (1+tol)*latencySlackFactor))
+		}
+	}
+	dispersion := func(name string, p50, p999 float64) {
+		if p50 > 0 && p999/p50 > maxDispersion {
+			v = append(v, fmt.Sprintf("%s: p999/p50 dispersion %.0f× > allowed %.0f× (tail blew out relative to the median)",
+				name, p999/p50, maxDispersion))
+		}
+	}
+	baseZipf := map[string]latencyMixResult{}
+	for _, row := range base.Results.LatencyZipf {
+		baseZipf[row.Mix] = row
+	}
+	var steadyColdP99 float64
+	for _, row := range cur.Results.LatencyZipf {
+		name := fmt.Sprintf("latency_zipf[mix=%s]", row.Mix)
+		dispersion(name, row.P50Us, row.P999Us)
+		if !row.RetryAfterOK {
+			v = append(v, name+": a shed response was missing Retry-After (every 429/503 must carry one)")
+		}
+		slowerLat(name+".p99_us", row.P99Us, baseZipf[row.Mix].P99Us)
+		if row.Mix == perfloadReadHeavyMix {
+			steadyColdP99 = row.ColdP99Us
+		}
+	}
+	if len(cur.Results.LatencyZipf) == 0 && len(base.Results.LatencyZipf) > 0 {
+		v = append(v, "latency_zipf: missing from report")
+	}
+	var flashOn, flashOff *flashCrowdResult
+	for i := range cur.Results.LatencyFlashCrowd {
+		row := &cur.Results.LatencyFlashCrowd[i]
+		if row.Admission {
+			flashOn = row
+		} else {
+			flashOff = row
+		}
+	}
+	if len(cur.Results.LatencyFlashCrowd) > 0 || len(base.Results.LatencyFlashCrowd) > 0 {
+		if flashOn == nil {
+			v = append(v, "latency_flash_crowd[admission=on]: missing from report")
+		}
+		if flashOff == nil {
+			v = append(v, "latency_flash_crowd[admission=off]: missing from report (the differential needs both runs)")
+		}
+	}
+	if flashOn != nil {
+		const name = "latency_flash_crowd[admission=on]"
+		if flashOn.BacklogBudget <= 0 {
+			v = append(v, name+": backlog_budget missing — the backlog bound cannot be checked")
+		} else if flashOn.HotBacklog > float64(flashOn.BacklogBudget+flashBacklogSlack) {
+			v = append(v, fmt.Sprintf("%s: hot_backlog %.0f > budget %d + slack %d (admission failed to bound the flash channel's mailbox)",
+				name, flashOn.HotBacklog, flashOn.BacklogBudget, flashBacklogSlack))
+		}
+		dispersion(name, flashOn.P50Us, flashOn.P999Us)
+		if !flashOn.RetryAfterOK {
+			v = append(v, name+": a shed response was missing Retry-After (every 429/503 must carry one)")
+		}
+		if steadyColdP99 > 0 && flashOn.ColdP99Us > steadyColdP99*maxFlashColdRatio {
+			v = append(v, fmt.Sprintf("%s: cold-channel read p99 %.1f µs > %.0f× the steady-state row's %.1f µs (flash crowd leaked into cold channels)",
+				name, flashOn.ColdP99Us, maxFlashColdRatio, steadyColdP99))
+		}
+	}
 	return v
 }
+
+// perfloadReadHeavyMix mirrors perfload.ReadHeavy.Name. baseline.go
+// deliberately avoids importing internal/perf/perfload: the gate must be
+// able to judge a hand-fed report by its JSON alone.
+const perfloadReadHeavyMix = "read-heavy"
 
 func loadReport(path string) (benchReport, error) {
 	var r benchReport
@@ -286,7 +380,7 @@ func loadReport(path string) (benchReport, error) {
 }
 
 // runBaselineCheck loads both reports and fails loudly on any violation.
-func runBaselineCheck(reportPath, baselinePath string, tol, minSpeedup, minReadSpeedup, minClusterScale float64) error {
+func runBaselineCheck(reportPath, baselinePath string, tol, minSpeedup, minReadSpeedup, minClusterScale, maxDispersion, maxFlashColdRatio float64) error {
 	cur, err := loadReport(reportPath)
 	if err != nil {
 		return err
@@ -295,11 +389,11 @@ func runBaselineCheck(reportPath, baselinePath string, tol, minSpeedup, minReadS
 	if err != nil {
 		return err
 	}
-	if violations := checkBaseline(cur, base, tol, minSpeedup, minReadSpeedup, minClusterScale); len(violations) > 0 {
+	if violations := checkBaseline(cur, base, tol, minSpeedup, minReadSpeedup, minClusterScale, maxDispersion, maxFlashColdRatio); len(violations) > 0 {
 		return fmt.Errorf("baseline: %d perf regression(s) vs %s:\n  %s",
 			len(violations), baselinePath, strings.Join(violations, "\n  "))
 	}
-	fmt.Printf("baseline: %s within tolerance of %s (×%.2f, min batch speedup %.1f×, min read speedup %.1f×, min cluster scale %.2f×)\n",
-		reportPath, baselinePath, 1+tol, minSpeedup, minReadSpeedup, minClusterScale)
+	fmt.Printf("baseline: %s within tolerance of %s (×%.2f, min batch speedup %.1f×, min read speedup %.1f×, min cluster scale %.2f×, max latency dispersion %.0f×)\n",
+		reportPath, baselinePath, 1+tol, minSpeedup, minReadSpeedup, minClusterScale, maxDispersion)
 	return nil
 }

@@ -60,6 +60,20 @@ func refReport() benchReport {
 		{Nodes: 3, Channels: 12, OpsPerSec: 4.2e5, OpsPerSecPerNode: 1.4e5},
 	}
 	r.Results.ClusterScale = []clusterScaleResult{{Nodes: 3, IngestScale: 1.1, ReadScale: 1.05}}
+	r.Results.LatencyZipf = []latencyMixResult{
+		{Mix: "read-heavy", OpsPerSec: 5.5e4, P50Us: 2.6, P99Us: 65, P999Us: 156,
+			ColdP50Us: 2.5, ColdP99Us: 17, ColdP999Us: 60, ShedPct: 0.4, RetryAfterOK: true},
+		{Mix: "write-heavy", OpsPerSec: 3.5e4, P50Us: 2.9, P99Us: 74, P999Us: 111,
+			ColdP50Us: 2.8, ColdP99Us: 20, ColdP999Us: 70, ShedPct: 14.2, RetryAfterOK: true},
+	}
+	r.Results.LatencyFlashCrowd = []flashCrowdResult{
+		{Admission: true, OpsPerSec: 1.7e4, P50Us: 3.5, P99Us: 120, P999Us: 352,
+			ColdP99Us: 17, HotWriteP99Us: 369, HotBacklog: 64, BacklogBudget: 64,
+			ShedPct: 8.5, RetryAfterOK: true},
+		{Admission: false, OpsPerSec: 1.3e4, P50Us: 3.6, P99Us: 600, P999Us: 1376,
+			ColdP99Us: 19, HotWriteP99Us: 3998, HotBacklog: 807, BacklogBudget: 64,
+			ShedPct: 0, RetryAfterOK: true},
+	}
 	return r
 }
 
@@ -70,7 +84,7 @@ func TestCheckBaselinePasses(t *testing.T) {
 	cur.Results.OnlineFeedSteadyState.NsPerOp = 480
 	cur.Results.MultiChannelIngest[0].MsgsPerSec = 1.25e6
 	cur.Results.HTTPDotsRead[3].ReadsPerSec = 3.9e5
-	if v := checkBaseline(cur, base, 1.5, 3.0, 5.0, 0.5); len(v) != 0 {
+	if v := checkBaseline(cur, base, 1.5, 3.0, 5.0, 0.5, 2000, 50); len(v) != 0 {
 		t.Fatalf("noise flagged as regression: %v", v)
 	}
 }
@@ -83,7 +97,7 @@ func TestCheckBaselineCatchesRegressions(t *testing.T) {
 	cur.Results.OnlineFeedSteadyState.AllocsPerOp = 2   // zero-alloc broken
 	cur.Results.LiveHTTPIngest[1].MsgsPerSec = 1.2e5    // throughput collapse
 	cur.Results.LiveHTTPIngestSpeedup[0].Speedup = 1.4  // batching win lost
-	v := checkBaseline(cur, base, 1.5, 3.0, 5.0, 0.5)
+	v := checkBaseline(cur, base, 1.5, 3.0, 5.0, 0.5, 2000, 50)
 	if len(v) != 4 {
 		t.Fatalf("expected 4 violations, got %d: %v", len(v), v)
 	}
@@ -104,12 +118,12 @@ func TestCheckBaselineCatchesRegressions(t *testing.T) {
 	weather := refReport()
 	weather.Results.WALAppend.NsPerOp = 8000
 	weather.Results.Checkpoint.NsPerOp = 60000
-	if v := checkBaseline(weather, base, 1.5, 3.0, 5.0, 0.5); len(v) != 0 {
+	if v := checkBaseline(weather, base, 1.5, 3.0, 5.0, 0.5, 2000, 50); len(v) != 0 {
 		t.Fatalf("disk IO weather flagged as regression: %v", v)
 	}
 	disk := refReport()
 	disk.Results.WALAppend.NsPerOp = 11000
-	if v := checkBaseline(disk, base, 1.5, 3.0, 5.0, 0.5); len(v) != 1 ||
+	if v := checkBaseline(disk, base, 1.5, 3.0, 5.0, 0.5, 2000, 50); len(v) != 1 ||
 		!strings.Contains(v[0], "wal_append.ns_per_op") || !strings.Contains(v[0], "disk-bound") {
 		t.Fatalf("11x WAL append slowdown not flagged past the disk band: %v", v)
 	}
@@ -117,7 +131,7 @@ func TestCheckBaselineCatchesRegressions(t *testing.T) {
 	// A report with no speedup rows must fail, not silently pass.
 	empty := refReport()
 	empty.Results.LiveHTTPIngestSpeedup = nil
-	if v := checkBaseline(empty, base, 1.5, 3.0, 5.0, 0.5); len(v) != 1 || !strings.Contains(v[0], "missing") {
+	if v := checkBaseline(empty, base, 1.5, 3.0, 5.0, 0.5, 2000, 50); len(v) != 1 || !strings.Contains(v[0], "missing") {
 		t.Fatalf("missing speedup rows not flagged: %v", v)
 	}
 }
@@ -132,7 +146,7 @@ func TestCheckBaselineCatchesReadRegressions(t *testing.T) {
 	cur.Results.HTTPDotsRead[3].ReadsPerSec = 4e4          // hot read throughput collapse
 	cur.Results.HTTPDotsReadSpeedup[1].Speedup = 3.0       // cache win lost at 64 pollers
 	cur.Results.HTTPHighlightsReadSpeedup[0].Speedup = 0.9 // hot slower than cold
-	v := checkBaseline(cur, base, 1.5, 3.0, 5.0, 0.5)
+	v := checkBaseline(cur, base, 1.5, 3.0, 5.0, 0.5, 2000, 50)
 	if len(v) != 6 {
 		t.Fatalf("expected 6 violations, got %d: %v", len(v), v)
 	}
@@ -154,19 +168,19 @@ func TestCheckBaselineCatchesReadRegressions(t *testing.T) {
 	// 2.0× at pollers=1 passes, 1.1× does not.
 	sane := refReport()
 	sane.Results.HTTPDotsReadSpeedup[0].Speedup = 2.0
-	if v := checkBaseline(sane, base, 1.5, 3.0, 5.0, 0.5); len(v) != 0 {
+	if v := checkBaseline(sane, base, 1.5, 3.0, 5.0, 0.5, 2000, 50); len(v) != 0 {
 		t.Fatalf("pollers=1 speedup 2.0x wrongly flagged: %v", v)
 	}
 	insane := refReport()
 	insane.Results.HTTPDotsReadSpeedup[0].Speedup = 1.1
-	if v := checkBaseline(insane, base, 1.5, 3.0, 5.0, 0.5); len(v) != 1 || !strings.Contains(v[0], "pollers=1") {
+	if v := checkBaseline(insane, base, 1.5, 3.0, 5.0, 0.5, 2000, 50); len(v) != 1 || !strings.Contains(v[0], "pollers=1") {
 		t.Fatalf("pollers=1 speedup below sanity floor not flagged: %v", v)
 	}
 
 	// Missing read-speedup rows must fail, not silently pass.
 	missing := refReport()
 	missing.Results.HTTPDotsReadSpeedup = nil
-	if v := checkBaseline(missing, base, 1.5, 3.0, 5.0, 0.5); len(v) != 1 || !strings.Contains(v[0], "http_dots_read_speedup: missing") {
+	if v := checkBaseline(missing, base, 1.5, 3.0, 5.0, 0.5, 2000, 50); len(v) != 1 || !strings.Contains(v[0], "http_dots_read_speedup: missing") {
 		t.Fatalf("missing read speedup rows not flagged: %v", v)
 	}
 }
@@ -178,7 +192,7 @@ func TestCheckBaselineCatchesClusterRegressions(t *testing.T) {
 	cur.Results.ClusterIngest[1].OpsPerSec = 1e5  // 3-node aggregate collapse vs baseline
 	cur.Results.ClusterScale[0].IngestScale = 0.3 // sharding tax blew the same-run floor
 	cur.Results.ClusterScale[0].ReadScale = 0.2
-	v := checkBaseline(cur, base, 1.5, 3.0, 5.0, 0.5)
+	v := checkBaseline(cur, base, 1.5, 3.0, 5.0, 0.5, 2000, 50)
 	if len(v) != 3 {
 		t.Fatalf("expected 3 violations, got %d: %v", len(v), v)
 	}
@@ -197,7 +211,7 @@ func TestCheckBaselineCatchesClusterRegressions(t *testing.T) {
 	// baseline has them.
 	missing := refReport()
 	missing.Results.ClusterScale = nil
-	if v := checkBaseline(missing, base, 1.5, 3.0, 5.0, 0.5); len(v) != 1 || !strings.Contains(v[0], "cluster_scale: missing") {
+	if v := checkBaseline(missing, base, 1.5, 3.0, 5.0, 0.5, 2000, 50); len(v) != 1 || !strings.Contains(v[0], "cluster_scale: missing") {
 		t.Fatalf("missing cluster scale rows not flagged: %v", v)
 	}
 
@@ -205,7 +219,7 @@ func TestCheckBaselineCatchesClusterRegressions(t *testing.T) {
 	flat := refReport()
 	flat.Results.ClusterScale[0].IngestScale = 0.95
 	flat.Results.ClusterScale[0].ReadScale = 0.9
-	if v := checkBaseline(flat, base, 1.5, 3.0, 5.0, 0.5); len(v) != 0 {
+	if v := checkBaseline(flat, base, 1.5, 3.0, 5.0, 0.5, 2000, 50); len(v) != 0 {
 		t.Fatalf("flat single-core scaling wrongly flagged: %v", v)
 	}
 }
@@ -218,7 +232,7 @@ func TestCheckBaselineCatchesPushRegressions(t *testing.T) {
 	// Marginal allocs: 0.02 allocs per extra delivery across the sweep.
 	cur.Results.PushFanout[1].AllocsPerIter = 4000 + 0.02*(3e6-3e4)
 	cur.Results.PushWire.PollOverPushRatio = 4.0 // wire win collapsed
-	v := checkBaseline(cur, base, 1.5, 3.0, 5.0, 0.5)
+	v := checkBaseline(cur, base, 1.5, 3.0, 5.0, 0.5, 2000, 50)
 	if len(v) != 3 {
 		t.Fatalf("expected 3 violations, got %d: %v", len(v), v)
 	}
@@ -237,7 +251,7 @@ func TestCheckBaselineCatchesPushRegressions(t *testing.T) {
 	// against the same-run hot-poll floor (4.4e5 reads/sec at 64 pollers).
 	slow := refReport()
 	slow.Results.PushFanout[1].DeliveriesPerSec = 1e5
-	v = checkBaseline(slow, base, 1.5, 3.0, 5.0, 0.5)
+	v = checkBaseline(slow, base, 1.5, 3.0, 5.0, 0.5, 2000, 50)
 	if len(v) != 2 {
 		t.Fatalf("expected 2 violations, got %d: %v", len(v), v)
 	}
@@ -255,12 +269,81 @@ func TestCheckBaselineCatchesPushRegressions(t *testing.T) {
 	missing := refReport()
 	missing.Results.PushFanout = nil
 	missing.Results.PushWire = pushWireResult{}
-	v = checkBaseline(missing, base, 1.5, 3.0, 5.0, 0.5)
+	v = checkBaseline(missing, base, 1.5, 3.0, 5.0, 0.5, 2000, 50)
 	if len(v) != 2 {
 		t.Fatalf("missing push rows not flagged as 2 violations: %v", v)
 	}
 	joined = strings.Join(v, "\n")
 	if !strings.Contains(joined, "push_fanout: missing") || !strings.Contains(joined, "push_wire_poll_vs_push: missing") {
 		t.Fatalf("missing push rows not flagged: %v", v)
+	}
+}
+
+func TestCheckBaselineCatchesLatencyRegressions(t *testing.T) {
+	base := refReport()
+
+	cur := refReport()
+	cur.Results.LatencyZipf[0].P999Us = 2.6 * 2500       // p999/p50 dispersion past the 2000× ceiling
+	cur.Results.LatencyZipf[1].RetryAfterOK = false      // a shed response dropped Retry-After
+	cur.Results.LatencyFlashCrowd[0].HotBacklog = 807    // admission failed to bound the mailbox
+	cur.Results.LatencyFlashCrowd[0].ColdP99Us = 17 * 60 // flash crowd leaked into cold channels
+	v := checkBaseline(cur, base, 1.5, 3.0, 5.0, 0.5, 2000, 50)
+	if len(v) != 4 {
+		t.Fatalf("expected 4 violations, got %d: %v", len(v), v)
+	}
+	joined := strings.Join(v, "\n")
+	for _, want := range []string{
+		"latency_zipf[mix=read-heavy]: p999/p50 dispersion",
+		"latency_zipf[mix=write-heavy]: a shed response was missing Retry-After",
+		"hot_backlog 807 > budget 64",
+		"cold-channel read p99",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("violations missing %q:\n%s", want, joined)
+		}
+	}
+
+	// Tail quantiles get the widened relative band (×2.5 tolerance ×4
+	// latency slack = ×10): 8× slower p99 is scheduler weather, 15× is a
+	// lost fast path.
+	weather := refReport()
+	weather.Results.LatencyZipf[0].P99Us = 65 * 8
+	weather.Results.LatencyZipf[0].P999Us = 156 * 8 // keeps dispersion in bounds too
+	if v := checkBaseline(weather, base, 1.5, 3.0, 5.0, 0.5, 2000, 50); len(v) != 0 {
+		t.Fatalf("tail-latency weather flagged as regression: %v", v)
+	}
+	slow := refReport()
+	slow.Results.LatencyZipf[0].P99Us = 65 * 15
+	if v := checkBaseline(slow, base, 1.5, 3.0, 5.0, 0.5, 2000, 50); len(v) != 1 ||
+		!strings.Contains(v[0], "latency_zipf[mix=read-heavy].p99_us") {
+		t.Fatalf("15x p99 regression not flagged past the latency band: %v", v)
+	}
+
+	// The admission=on flash row must stay within its structural backlog
+	// budget plus racing-admit slack: exactly at the edge passes.
+	edge := refReport()
+	edge.Results.LatencyFlashCrowd[0].HotBacklog = 64 + 16
+	if v := checkBaseline(edge, base, 1.5, 3.0, 5.0, 0.5, 2000, 50); len(v) != 0 {
+		t.Fatalf("hot_backlog at budget+slack wrongly flagged: %v", v)
+	}
+
+	// Missing latency rows must fail, not silently pass.
+	missing := refReport()
+	missing.Results.LatencyZipf = nil
+	if v := checkBaseline(missing, base, 1.5, 3.0, 5.0, 0.5, 2000, 50); len(v) != 1 ||
+		!strings.Contains(v[0], "latency_zipf: missing") {
+		t.Fatalf("missing zipf latency rows not flagged: %v", v)
+	}
+	noFlash := refReport()
+	noFlash.Results.LatencyFlashCrowd = nil
+	if v := checkBaseline(noFlash, base, 1.5, 3.0, 5.0, 0.5, 2000, 50); len(v) != 2 {
+		t.Fatalf("missing flash-crowd rows not flagged as 2 violations: %v", v)
+	}
+	// Dropping only the admission=off run hides the differential — flagged.
+	noOff := refReport()
+	noOff.Results.LatencyFlashCrowd = noOff.Results.LatencyFlashCrowd[:1]
+	if v := checkBaseline(noOff, base, 1.5, 3.0, 5.0, 0.5, 2000, 50); len(v) != 1 ||
+		!strings.Contains(v[0], "latency_flash_crowd[admission=off]: missing") {
+		t.Fatalf("missing admission=off row not flagged: %v", v)
 	}
 }

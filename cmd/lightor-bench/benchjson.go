@@ -14,6 +14,7 @@ import (
 	"lightor/internal/perf/perfcluster"
 	"lightor/internal/perf/perfengine"
 	"lightor/internal/perf/perfhttp"
+	"lightor/internal/perf/perfload"
 	"lightor/internal/perf/perfwal"
 )
 
@@ -107,6 +108,21 @@ type benchResult struct {
 	// -min-cluster-scale floor: sharding a fixed fleet redistributes the
 	// work but must never collapse aggregate throughput.
 	ClusterScale []clusterScaleResult `json:"cluster_scale"`
+	// LatencyZipf is per-request latency under mixed traffic with static
+	// Zipf(1.2) channel popularity — the platform's everyday shape — one
+	// row per canonical mix. The gate bounds p999/p50 dispersion (a
+	// same-run ratio, so machine speed cancels) and requires every shed
+	// response to have carried Retry-After.
+	LatencyZipf []latencyMixResult `json:"latency_zipf"`
+	// LatencyFlashCrowd is the stampede differential: the same write-heavy
+	// schedule with one mid-rank channel stepped to 100× its Zipf share
+	// mid-run, once with admission control on and once off (the
+	// DisableAdmission knob). With admission on, the flash channel's
+	// mailbox backlog is structurally capped (CI-gated ≤ budget + slack)
+	// and the cold channels' read p99 stays near the steady-state row's;
+	// with it off, the backlog compounds — that row is recorded as the
+	// exhibit, not gated.
+	LatencyFlashCrowd []flashCrowdResult `json:"latency_flash_crowd"`
 	// WALAppend is the CPU cost the write-ahead log adds to each accepted
 	// mutation (framing + CRC32 + buffered write; fsync excluded).
 	WALAppend walAppendResult `json:"wal_append"`
@@ -229,6 +245,42 @@ type clusterScaleResult struct {
 	Nodes       int     `json:"nodes"`
 	IngestScale float64 `json:"ingest_scale_vs_1"`
 	ReadScale   float64 `json:"read_scale_vs_1"`
+}
+
+// latencyMixResult is one Zipf mixed-traffic latency row. Quantiles are
+// per-request server latency in microseconds (log-bucketed histogram,
+// ≤ 3.1% bucket error); Cold* covers only reads against channels other
+// than the flash target — the tail the SLO protects.
+type latencyMixResult struct {
+	Mix          string  `json:"mix"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	P50Us        float64 `json:"p50_us"`
+	P99Us        float64 `json:"p99_us"`
+	P999Us       float64 `json:"p999_us"`
+	ColdP50Us    float64 `json:"cold_p50_us"`
+	ColdP99Us    float64 `json:"cold_p99_us"`
+	ColdP999Us   float64 `json:"cold_p999_us"`
+	ShedPct      float64 `json:"shed_pct"`
+	RetryAfterOK bool    `json:"retry_after_ok"`
+}
+
+// flashCrowdResult is one flash-crowd run. HotBacklog is the maximum
+// mailbox depth the flash channel carried at an iteration boundary — the
+// drain debt the stampede leaves behind, and the bounded-vs-unbounded
+// differential: with admission on it cannot exceed BacklogBudget plus
+// racing-admit slack; with admission off it compounds without limit.
+type flashCrowdResult struct {
+	Admission     bool    `json:"admission"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	P50Us         float64 `json:"p50_us"`
+	P99Us         float64 `json:"p99_us"`
+	P999Us        float64 `json:"p999_us"`
+	ColdP99Us     float64 `json:"cold_p99_us"`
+	HotWriteP99Us float64 `json:"hot_write_p99_us"`
+	HotBacklog    float64 `json:"hot_backlog"`
+	BacklogBudget int     `json:"backlog_budget"`
+	ShedPct       float64 `json:"shed_pct"`
+	RetryAfterOK  bool    `json:"retry_after_ok"`
 }
 
 type cacheServeResult struct {
@@ -588,6 +640,60 @@ func runBenchJSON(path string) error {
 				ReadScale:   rps / clusterRead1,
 			})
 		}
+	}
+
+	// Tail-latency rows: mixed Zipf traffic per canonical mix, then the
+	// flash-crowd differential with admission on and off. retry_ok is a
+	// hard invariant inside the harness (a shed without Retry-After fails
+	// the benchmark body), so a row that reached this point with
+	// RetryAfterOK=false can only come from a hand-edited report — the
+	// gate still checks it.
+	for _, mix := range []perfload.Mix{perfload.ReadHeavy, perfload.WriteHeavy} {
+		var sink perfengine.ErrSink
+		r := testing.Benchmark(perfload.ZipfMixed(init, msgs, mix, perfload.DefaultOptions(), &sink))
+		name := "latency_zipf/mix=" + mix.Name
+		if err := sink.Err(); err != nil {
+			return fmt.Errorf("bench-json: %s failed mid-run: %w", name, err)
+		}
+		if err := checkResult(name, r); err != nil {
+			return err
+		}
+		report.Results.LatencyZipf = append(report.Results.LatencyZipf, latencyMixResult{
+			Mix:          mix.Name,
+			OpsPerSec:    r.Extra["ops/sec"],
+			P50Us:        r.Extra["p50_us"],
+			P99Us:        r.Extra["p99_us"],
+			P999Us:       r.Extra["p999_us"],
+			ColdP50Us:    r.Extra["cold_p50_us"],
+			ColdP99Us:    r.Extra["cold_p99_us"],
+			ColdP999Us:   r.Extra["cold_p999_us"],
+			ShedPct:      r.Extra["shed_pct"],
+			RetryAfterOK: r.Extra["retry_ok"] >= 1,
+		})
+	}
+	for _, admission := range []bool{true, false} {
+		var sink perfengine.ErrSink
+		r := testing.Benchmark(perfload.FlashCrowd(init, msgs, admission, perfload.DefaultOptions(), &sink))
+		name := fmt.Sprintf("latency_flash_crowd/admission=%t", admission)
+		if err := sink.Err(); err != nil {
+			return fmt.Errorf("bench-json: %s failed mid-run: %w", name, err)
+		}
+		if err := checkResult(name, r); err != nil {
+			return err
+		}
+		report.Results.LatencyFlashCrowd = append(report.Results.LatencyFlashCrowd, flashCrowdResult{
+			Admission:     admission,
+			OpsPerSec:     r.Extra["ops/sec"],
+			P50Us:         r.Extra["p50_us"],
+			P99Us:         r.Extra["p99_us"],
+			P999Us:        r.Extra["p999_us"],
+			ColdP99Us:     r.Extra["cold_p99_us"],
+			HotWriteP99Us: r.Extra["hotw_p99_us"],
+			HotBacklog:    r.Extra["hot_backlog"],
+			BacklogBudget: perfload.DefaultOptions().MaxChannelBacklog,
+			ShedPct:       r.Extra["shed_pct"],
+			RetryAfterOK:  r.Extra["retry_ok"] >= 1,
+		})
 	}
 
 	walDir, err := os.MkdirTemp("", "lightor-bench-wal")

@@ -46,6 +46,8 @@ func main() {
 	minSpeedup := flag.Float64("min-batch-speedup", 3.0, "baseline gate: required live-ingest msgs/sec ratio, batch 256 vs batch 1 (same-run, machine-independent)")
 	minReadSpeedup := flag.Float64("min-read-speedup", 5.0, "baseline gate: required live-dots reads/sec ratio, cached+conditional vs uncached, at >= 64 concurrent pollers (same-run, machine-independent)")
 	minClusterScale := flag.Float64("min-cluster-scale", 0.5, "baseline gate: required cluster aggregate-throughput ratio, N nodes vs 1, per workload (same-run; below 1.0 because single-core CI can only prove absence of collapse, not parallel speedup)")
+	maxDispersion := flag.Float64("max-latency-dispersion", 2000, "baseline gate: allowed p999/p50 ratio on the Zipf and flash-crowd(admission=on) latency rows (same-run, machine-independent; observed ~40-100, the ceiling catches a tail collapsing into queueing)")
+	maxFlashColdRatio := flag.Float64("max-flash-cold-p99x", 50, "baseline gate: allowed cold-channel read p99 under flash crowd as a multiple of the steady-state read-heavy row's (same-run; admission must keep the stampede from leaking into cold channels)")
 	flag.Parse()
 
 	if *benchJSON != "" {
@@ -53,7 +55,7 @@ func main() {
 			log.Fatal(err)
 		}
 		if *baseline != "" {
-			if err := runBaselineCheck(*benchJSON, *baseline, *tolerance, *minSpeedup, *minReadSpeedup, *minClusterScale); err != nil {
+			if err := runBaselineCheck(*benchJSON, *baseline, *tolerance, *minSpeedup, *minReadSpeedup, *minClusterScale, *maxDispersion, *maxFlashColdRatio); err != nil {
 				log.Fatal(err)
 			}
 		}

@@ -99,6 +99,10 @@ func main() {
 	peersSpec := flag.String("peers", "", "cluster membership as id=host:port,... (all nodes, this one included); empty = single-node mode")
 	clusterSecret := flag.String("cluster-secret", "", "shared secret authenticating the /api/cluster/* control plane; required in cluster mode and must match on every node")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) so ingest hot spots are profileable in production; empty (the default) disables it entirely")
+	maxInflightWrites := flag.Int("max-inflight-writes", 1024, "global in-flight write budget across all mutating endpoints; beyond it writes get 503 + Retry-After")
+	maxChannelBacklog := flag.Int("max-channel-backlog", 256, "per-channel mailbox backlog budget (queued ingest batches); beyond it that channel's writes get 429 + Retry-After while other channels are unaffected")
+	maxRefineQueue := flag.Int("max-refine-queue", 256, "cap on admitted-but-unfinished refine jobs; beyond it POST /api/refine gets 429 + Retry-After (negative disables)")
+	disableAdmission := flag.Bool("disable-admission", false, "turn off admission control entirely (unbounded queues under overload) — for load experiments only, never production")
 	flag.Parse()
 
 	// Cluster membership, validated before anything expensive: both flags
@@ -235,7 +239,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("extractor: %v", err)
 	}
-	engCfg := engine.Config{SessionWorkers: *workers, RefineWorkers: *workers, Warmup: *warmup}
+	engCfg := engine.Config{
+		SessionWorkers:   *workers,
+		RefineWorkers:    *workers,
+		Warmup:           *warmup,
+		MaxQueuedRefines: *maxRefineQueue,
+	}
 	if durable {
 		engCfg.Checkpoints = store
 		engCfg.CheckpointInterval = *ckptInterval
@@ -263,12 +272,18 @@ func main() {
 	}
 
 	svc := &platform.Service{
-		Store:          store,
-		Engine:         eng,
-		Crawler:        crawler,
-		Cluster:        clusterNode,
-		MaxSubscribers: *maxSubscribers,
-		PushHeartbeat:  *sseHeartbeat,
+		Store:             store,
+		Engine:            eng,
+		Crawler:           crawler,
+		Cluster:           clusterNode,
+		MaxSubscribers:    *maxSubscribers,
+		PushHeartbeat:     *sseHeartbeat,
+		MaxInflightWrites: *maxInflightWrites,
+		MaxChannelBacklog: *maxChannelBacklog,
+		DisableAdmission:  *disableAdmission,
+	}
+	if *disableAdmission {
+		log.Printf("WARNING: admission control disabled — queues are unbounded under overload")
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}

@@ -74,6 +74,12 @@ type Config struct {
 	// RefineWorkers bounds concurrent per-dot refinements across all jobs
 	// (default GOMAXPROCS).
 	RefineWorkers int
+	// MaxQueuedRefines caps refine jobs admitted but not yet finished
+	// (queued + running). Enqueue beyond the cap returns ErrRefineBusy —
+	// explicit admission rejection instead of an unbounded goroutine pileup
+	// when clients submit faster than refinement drains (default 256,
+	// matching the retention cap; negative disables the bound).
+	MaxQueuedRefines int
 	// MaxSessions caps concurrently open sessions, live and replay
 	// combined (default 4096). Opening beyond the cap returns
 	// ErrTooManySessions — backpressure instead of unbounded memory when
@@ -105,6 +111,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.RefineWorkers <= 0 {
 		c.RefineWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueuedRefines == 0 {
+		c.MaxQueuedRefines = maxRetainedJobs
 	}
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 4096
@@ -138,7 +147,7 @@ func New(init *core.Initializer, ext *core.Extractor, cfg Config) (*Engine, erro
 		ext:  ext,
 		sessions: newSessionManager(init, cfg.Threshold, cfg.Warmup,
 			cfg.SessionWorkers, cfg.MaxSessions, cfg.Checkpoints, cfg.CheckpointInterval),
-		refine: newRefineQueue(ext, cfg.RefineWorkers),
+		refine: newRefineQueue(ext, cfg.RefineWorkers, cfg.MaxQueuedRefines),
 	}, nil
 }
 

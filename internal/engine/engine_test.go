@@ -443,6 +443,55 @@ func TestRefineQueueBoundedRetention(t *testing.T) {
 	}
 }
 
+// gateSource blocks every Interactions call until the gate closes —
+// lets a test pin refine jobs in flight deterministically.
+type gateSource struct{ gate chan struct{} }
+
+func (g gateSource) Interactions(float64) []play.Play {
+	<-g.gate
+	return nil
+}
+
+func TestRefineQueueAdmission(t *testing.T) {
+	init, _ := trainedFixture(t)
+	eng := newTestEngine(t, init, Config{MaxQueuedRefines: 2, RefineWorkers: 1})
+	ctx := context.Background()
+
+	gate := make(chan struct{})
+	src := gateSource{gate: gate}
+	dots := []core.RedDot{{Time: 10}}
+
+	// Two jobs fill the admission budget (one refining, one waiting on the
+	// single worker slot); the third is rejected at intake, not queued.
+	j1, err := eng.Refine().Enqueue("vid", dots, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := eng.Refine().Enqueue("vid", dots, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Refine().Enqueue("vid", dots, src, nil); !errors.Is(err, ErrRefineBusy) {
+		t.Fatalf("Enqueue over budget = %v, want ErrRefineBusy", err)
+	}
+
+	// Draining the queue frees slots: once the blocked jobs finish, intake
+	// admits again.
+	close(gate)
+	for _, id := range []string{j1.ID, j2.ID} {
+		if _, err := eng.Refine().Wait(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j4, err := eng.Refine().Enqueue("vid", dots, fixedSource(nil), nil)
+	if err != nil {
+		t.Fatalf("Enqueue after drain = %v, want admitted", err)
+	}
+	if _, err := eng.Refine().Wait(ctx, j4.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestEngineValidation(t *testing.T) {
 	init, _ := trainedFixture(t)
 	if _, err := New(nil, mustExt(t), Config{}); err == nil {

@@ -2,12 +2,21 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"lightor/internal/core"
 	"lightor/internal/play"
 )
+
+// ErrRefineBusy means the refine queue is over its admission budget:
+// MaxQueuedRefines jobs are already admitted and not yet finished. The
+// caller should retry later — the platform layer maps this to
+// 429 + Retry-After. Before this sentinel existed the queue accepted
+// unboundedly and the retention cap silently evicted finished history;
+// now overload is an explicit, observable rejection at intake.
+var ErrRefineBusy = errors.New("engine: refine queue at capacity")
 
 // JobStatus is the lifecycle of a refinement job.
 type JobStatus string
@@ -43,12 +52,14 @@ type refineJob struct {
 // Workflow.Run left on the table. A global semaphore bounds concurrent
 // refinements across all jobs.
 type RefineQueue struct {
-	ext *core.Extractor
-	sem chan struct{}
+	ext       *core.Extractor
+	sem       chan struct{}
+	maxQueued int // admission cap on unfinished jobs; <= 0 → unbounded
 
 	mu     sync.Mutex
 	jobs   map[string]*refineJob
 	order  []string // insertion order, for bounded retention
+	active int      // jobs admitted and not yet finished
 	seq    int
 	closed bool
 	wg     sync.WaitGroup
@@ -61,11 +72,12 @@ type RefineQueue struct {
 // bound.
 const maxRetainedJobs = 256
 
-func newRefineQueue(ext *core.Extractor, workers int) *RefineQueue {
+func newRefineQueue(ext *core.Extractor, workers, maxQueued int) *RefineQueue {
 	return &RefineQueue{
-		ext:  ext,
-		sem:  make(chan struct{}, workers),
-		jobs: make(map[string]*refineJob),
+		ext:       ext,
+		sem:       make(chan struct{}, workers),
+		maxQueued: maxQueued,
+		jobs:      make(map[string]*refineJob),
 	}
 }
 
@@ -79,6 +91,11 @@ func (q *RefineQueue) Enqueue(videoID string, dots []core.RedDot, source core.In
 		q.mu.Unlock()
 		return RefineJob{}, ErrClosed
 	}
+	if q.maxQueued > 0 && q.active >= q.maxQueued {
+		q.mu.Unlock()
+		return RefineJob{}, fmt.Errorf("%w (%d jobs in flight)", ErrRefineBusy, q.maxQueued)
+	}
+	q.active++
 	q.seq++
 	id := fmt.Sprintf("refine-%d", q.seq)
 	j := &refineJob{
@@ -117,6 +134,11 @@ func (q *RefineQueue) run(j *refineJob, source core.InteractionSource, onDone fu
 	if onDone != nil {
 		onDone(snap)
 	}
+	// Release the admission slot before signalling completion so a waiter
+	// that saw the job finish can immediately enqueue another.
+	q.mu.Lock()
+	q.active--
+	q.mu.Unlock()
 	close(j.done)
 }
 

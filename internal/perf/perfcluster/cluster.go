@@ -94,7 +94,10 @@ func newClusterFixture(init *core.Initializer, n int, threshold float64) (*clust
 			fx.closeAll()
 			return nil, err
 		}
-		svc := &platform.Service{Store: platform.NewStore(), Engine: eng, Cluster: node}
+		// DisableAdmission: the sharding benchmarks queue far past the
+		// backlog budget by design; admission policy is priced separately
+		// in perfload.
+		svc := &platform.Service{Store: platform.NewStore(), Engine: eng, Cluster: node, DisableAdmission: true}
 		fx.engs = append(fx.engs, eng)
 		fx.mux = append(fx.mux, svc.Handler())
 	}

@@ -69,7 +69,10 @@ func LiveChatBurst(init *core.Initializer, msgs []chat.Message, channels, batch 
 			return
 		}
 		defer eng.Close(context.Background())
-		handler := (&platform.Service{Store: platform.NewStore(), Engine: eng}).Handler()
+		// DisableAdmission: this body prices the wire path itself — it
+		// deliberately queues the whole log ahead of the asynchronous
+		// drain, which is exactly what the backlog budget exists to shed.
+		handler := (&platform.Service{Store: platform.NewStore(), Engine: eng, DisableAdmission: true}).Handler()
 		bodies, err := EncodeBatches(msgs, batch)
 		if err != nil {
 			fail(err)

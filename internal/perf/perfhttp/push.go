@@ -70,7 +70,7 @@ func newPushFixture(init *core.Initializer, msgs []chat.Message) (*readFixture, 
 		eng.Close(context.Background())
 		return nil, fmt.Errorf("perfhttp: push fixture emitted no dots")
 	}
-	svc := &platform.Service{Store: store, Engine: eng}
+	svc := &platform.Service{Store: store, Engine: eng, DisableAdmission: true}
 	return &readFixture{eng: eng, svc: svc, handler: svc.Handler(), session: s, dots: n}, nil
 }
 

@@ -100,7 +100,7 @@ func newReadFixture(init *core.Initializer, msgs []chat.Message, disableCache bo
 		eng.Close(context.Background())
 		return nil, err
 	}
-	svc := &platform.Service{Store: store, Engine: eng, DisableReadCache: disableCache}
+	svc := &platform.Service{Store: store, Engine: eng, DisableReadCache: disableCache, DisableAdmission: true}
 	return &readFixture{eng: eng, svc: svc, handler: svc.Handler(), session: s, dots: n}, nil
 }
 

@@ -74,9 +74,9 @@ func (s *Service) route(w http.ResponseWriter, r *http.Request, key string, acti
 	}
 	owner, moving := c.Resolve(key)
 	if moving {
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, fmt.Sprintf("channel %q is being handed off; retry", key),
-			http.StatusServiceUnavailable)
+		s.shed.handoff.Add(1)
+		shedError(w, http.StatusServiceUnavailable, handoffRetryAfterSeconds,
+			fmt.Sprintf("channel %q is being handed off; retry", key))
 		return false
 	}
 	if owner == c.Self() {
@@ -216,6 +216,12 @@ type HealthResponse struct {
 	Channels      []string `json:"channels"`        // resident channel ids, sorted
 	Subscribers   int64    `json:"subscribers"`     // current SSE push subscribers
 	Draining      bool     `json:"draining"`        // push hub closed (shutdown under way)
+	// Latency is the per-endpoint p50/p99/p999 digest since process start
+	// (endpoints that have served nothing are omitted); Shed counts shed
+	// responses by cause. Operators see the same numbers the load harness
+	// gates on — see admission.go.
+	Latency map[string]LatencySummary `json:"latency,omitempty"`
+	Shed    map[string]uint64         `json:"shed"`
 }
 
 // handleHealthz reports this node's status. Always registered — a
@@ -228,6 +234,8 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Channels:    channels,
 		Subscribers: s.PushStats().Subscribers,
 		Draining:    s.pushDraining(),
+		Latency:     s.latencySnapshot(),
+		Shed:        s.shed.snapshot(),
 	}
 	if channels == nil {
 		resp.Channels = []string{}
@@ -320,7 +328,7 @@ func (s *Service) handleClusterHandoff(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
-		writeLiveError(w, err)
+		s.writeLiveError(w, err)
 		return
 	}
 
@@ -443,7 +451,7 @@ func (s *Service) handleClusterResume(w http.ResponseWriter, r *http.Request) {
 	}
 	sess, err := s.Engine.Sessions().RestoreSession(channel, state)
 	if err != nil {
-		writeLiveError(w, err)
+		s.writeLiveError(w, err)
 		return
 	}
 	// Stale entries from a previous local life of this channel cannot be

@@ -609,12 +609,12 @@ func (s *Service) ServeLiveStream(w http.ResponseWriter, r *http.Request, channe
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	case errors.Is(err, ErrTooManySubscribers):
-		w.Header().Set("Retry-After", pushRetryAfterSeconds)
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		s.shed.subscribers.Add(1)
+		shedError(w, http.StatusServiceUnavailable, pushRetryAfterSeconds, err.Error())
 		return
 	case errors.Is(err, ErrPushDraining):
-		w.Header().Set("Retry-After", drainRetryAfterSeconds)
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		s.shed.draining.Add(1)
+		shedError(w, http.StatusServiceUnavailable, drainRetryAfterSeconds, err.Error())
 		return
 	case err != nil:
 		http.Error(w, err.Error(), http.StatusInternalServerError)

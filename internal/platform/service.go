@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lightor/internal/cluster"
@@ -80,6 +81,22 @@ type Service struct {
 	// 32). A subscriber that falls further behind is dropped to the
 	// coalesced resync path; see push.go.
 	PushQueueLen int
+	// MaxInflightWrites is the global write-path admission budget: the
+	// number of chat/interaction/advance/refine requests allowed in flight
+	// at once (default 1024). Past it the node sheds with 503 +
+	// Retry-After. See admission.go.
+	MaxInflightWrites int
+	// MaxChannelBacklog is the per-channel admission budget: the number of
+	// mailbox envelopes a channel may have queued before its chat ingest
+	// sheds with 429 + Retry-After (default 256). Bounds how far one
+	// flash-crowded channel can fall behind without touching cold
+	// channels.
+	MaxChannelBacklog int
+	// DisableAdmission turns off both admission budgets (requests are
+	// never shed; queues grow without bound under overload). Mirrors
+	// DisableReadCache: the knob exists for the differential benchmarks
+	// that measure what admission control buys.
+	DisableAdmission bool
 
 	// Read-path response caches: pre-encoded bodies keyed by
 	// (channel, cursor, dot-snapshot version) for /api/live/dots and
@@ -98,6 +115,13 @@ type Service struct {
 	// engine's dot-publication hook on first use.
 	push     dotHub
 	pushOnce sync.Once
+
+	// Observability + admission state (admission.go): per-endpoint latency
+	// histograms, shed counters by cause, and the global write-path
+	// in-flight count.
+	metrics        endpointMetrics
+	shed           shedCounters
+	inflightWrites atomic.Int64
 }
 
 // HighlightsResponse is the payload of GET /api/highlights.
@@ -139,16 +163,19 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("GET /api/highlights", s.handleHighlights)
-	mux.HandleFunc("POST /api/interactions", s.handleInteractions)
-	mux.HandleFunc("GET /api/interactions", s.handleInteractionsPage)
-	mux.HandleFunc("POST /api/refine", s.handleRefine)
-	mux.HandleFunc("GET /api/refine/status", s.handleRefineStatus)
-	mux.HandleFunc("POST /api/live/chat", s.handleLiveChat)
-	mux.HandleFunc("POST /api/live/advance", s.handleLiveAdvance)
-	mux.HandleFunc("GET /api/live/dots", s.handleLiveDots)
+	// Every request-scoped endpoint is timed into its own histogram
+	// (surfaced on /api/healthz); /api/live/stream is not — an SSE
+	// request's duration is its subscription lifetime, not a latency.
+	mux.HandleFunc("GET /api/highlights", timed(&s.metrics.highlights, s.handleHighlights))
+	mux.HandleFunc("POST /api/interactions", timed(&s.metrics.interactionsPost, s.handleInteractions))
+	mux.HandleFunc("GET /api/interactions", timed(&s.metrics.interactionsGet, s.handleInteractionsPage))
+	mux.HandleFunc("POST /api/refine", timed(&s.metrics.refine, s.handleRefine))
+	mux.HandleFunc("GET /api/refine/status", timed(&s.metrics.refineStatus, s.handleRefineStatus))
+	mux.HandleFunc("POST /api/live/chat", timed(&s.metrics.liveChat, s.handleLiveChat))
+	mux.HandleFunc("POST /api/live/advance", timed(&s.metrics.liveAdvance, s.handleLiveAdvance))
+	mux.HandleFunc("GET /api/live/dots", timed(&s.metrics.liveDots, s.handleLiveDots))
 	mux.HandleFunc("GET /api/live/stream", s.handleLiveStream)
-	mux.HandleFunc("DELETE /api/live/session", s.handleLiveClose)
+	mux.HandleFunc("DELETE /api/live/session", timed(&s.metrics.liveClose, s.handleLiveClose))
 	mux.HandleFunc("GET /api/healthz", s.handleHealthz)
 	if s.Cluster != nil {
 		// The control plane shares the public listener but not the public
@@ -339,6 +366,10 @@ func (s *Service) handleInteractions(w http.ResponseWriter, r *http.Request) {
 	if !s.route(w, r, id, routeForward) {
 		return
 	}
+	if !s.acquireWrite(w) {
+		return
+	}
+	defer s.releaseWrite()
 	dec := eventDecPool.Get().(*streamDecoder[play.Event])
 	events, err := dec.decode(r.Body)
 	if err != nil {
@@ -442,6 +473,10 @@ func (s *Service) handleRefine(w http.ResponseWriter, r *http.Request) {
 	if !s.route(w, r, id, routeForward) {
 		return
 	}
+	if !s.acquireWrite(w) {
+		return
+	}
+	defer s.releaseWrite()
 	rec, ok := s.Store.Video(id)
 	if !ok {
 		http.Error(w, fmt.Sprintf("unknown video %q", id), http.StatusNotFound)
@@ -462,12 +497,10 @@ func (s *Service) handleRefine(w http.ResponseWriter, r *http.Request) {
 			// swapped out underneath a running service.
 			_ = store.SetRefined(id, dots, spans)
 		})
-	if errors.Is(err, engine.ErrClosed) {
-		http.Error(w, "service is draining", http.StatusServiceUnavailable)
-		return
-	}
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		// ErrRefineBusy and ErrClosed are sheds (429/503 + Retry-After);
+		// anything else is a server fault.
+		s.writeLiveError(w, err)
 		return
 	}
 	writeJSONStatus(w, http.StatusAccepted, refineResponse(job))
@@ -528,6 +561,15 @@ func (s *Service) handleLiveChat(w http.ResponseWriter, r *http.Request) {
 	if !s.route(w, r, channel, routeForward) {
 		return
 	}
+	// Admission runs before the body decode: a shed request under overload
+	// costs two atomic checks, not a JSON parse.
+	if !s.acquireWrite(w) {
+		return
+	}
+	defer s.releaseWrite()
+	if !s.admitChannelWrite(w, channel) {
+		return
+	}
 	ci := chatIngestPool.Get().(*chatIngest)
 	msgs, err := ci.decode(r.Body)
 	if err != nil {
@@ -538,7 +580,7 @@ func (s *Service) handleLiveChat(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.Engine.Sessions().GetOrOpen(channel)
 	if err != nil {
 		ci.release()
-		writeLiveError(w, err)
+		s.writeLiveError(w, err)
 		return
 	}
 	// Ingest copies the batch into the engine's own pooled mailbox buffer,
@@ -547,7 +589,7 @@ func (s *Service) handleLiveChat(w http.ResponseWriter, r *http.Request) {
 	accepted := len(msgs)
 	ci.release()
 	if err != nil {
-		writeLiveError(w, err)
+		s.writeLiveError(w, err)
 		return
 	}
 	writeJSONStatus(w, http.StatusAccepted, LiveIngestResponse{Channel: channel, Accepted: accepted})
@@ -564,6 +606,13 @@ func (s *Service) handleLiveAdvance(w http.ResponseWriter, r *http.Request) {
 	if !s.route(w, r, channel, routeForward) {
 		return
 	}
+	if !s.acquireWrite(w) {
+		return
+	}
+	defer s.releaseWrite()
+	if !s.admitChannelWrite(w, channel) {
+		return
+	}
 	now, err := strconv.ParseFloat(r.URL.Query().Get("now"), 64)
 	if err != nil || now < 0 {
 		http.Error(w, "invalid now parameter", http.StatusBadRequest)
@@ -575,7 +624,7 @@ func (s *Service) handleLiveAdvance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := sess.Advance(now); err != nil {
-		writeLiveError(w, err)
+		s.writeLiveError(w, err)
 		return
 	}
 	writeJSONStatus(w, http.StatusAccepted, LiveIngestResponse{Channel: channel})
@@ -600,7 +649,7 @@ func (s *Service) handleLiveClose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		writeLiveError(w, err)
+		s.writeLiveError(w, err)
 		return
 	}
 	// Hygiene, not correctness: dot-snapshot versions are unique across
@@ -692,18 +741,25 @@ func (s *Service) liveDotsEntry(sess *engine.Session, channel string, cursor int
 }
 
 // writeLiveError maps engine errors onto HTTP statuses: out-of-order chat
-// is the caller's bug (409), a draining engine is temporary (503).
-func writeLiveError(w http.ResponseWriter, err error) {
+// is the caller's bug (409); drain, handoff, the session cap, and refine
+// admission are sheds — temporary, counted, and always answered with
+// Retry-After through shedError.
+func (s *Service) writeLiveError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, engine.ErrOutOfOrder):
 		http.Error(w, err.Error(), http.StatusConflict)
 	case errors.Is(err, engine.ErrClosed):
-		http.Error(w, "service is draining", http.StatusServiceUnavailable)
+		s.shed.draining.Add(1)
+		shedError(w, http.StatusServiceUnavailable, drainRetryAfterSeconds, "service is draining")
 	case errors.Is(err, engine.ErrHandoff):
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		s.shed.handoff.Add(1)
+		shedError(w, http.StatusServiceUnavailable, handoffRetryAfterSeconds, err.Error())
 	case errors.Is(err, engine.ErrTooManySessions):
-		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		s.shed.sessionsCap.Add(1)
+		shedError(w, http.StatusTooManyRequests, capacityRetryAfterSeconds, err.Error())
+	case errors.Is(err, engine.ErrRefineBusy):
+		s.shed.refineBusy.Add(1)
+		shedError(w, http.StatusTooManyRequests, capacityRetryAfterSeconds, err.Error())
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
