@@ -74,6 +74,7 @@ import (
 	"lightor/internal/cluster"
 	"lightor/internal/core"
 	"lightor/internal/engine"
+	"lightor/internal/fault"
 	"lightor/internal/platform"
 	"lightor/internal/sim"
 	"lightor/internal/stats"
@@ -103,7 +104,21 @@ func main() {
 	maxChannelBacklog := flag.Int("max-channel-backlog", 256, "per-channel mailbox backlog budget (queued ingest batches); beyond it that channel's writes get 429 + Retry-After while other channels are unaffected")
 	maxRefineQueue := flag.Int("max-refine-queue", 256, "cap on admitted-but-unfinished refine jobs; beyond it POST /api/refine gets 429 + Retry-After (negative disables)")
 	disableAdmission := flag.Bool("disable-admission", false, "turn off admission control entirely (unbounded queues under overload) — for load experiments only, never production")
+	heartbeatInterval := flag.Duration("heartbeat-interval", time.Second, "cluster peer liveness probe cadence (0 disables heartbeats; down-marking then requires POST /api/cluster/down)")
+	heartbeatMisses := flag.Int("heartbeat-misses", 3, "consecutive missed heartbeats before a peer is marked down (one success marks it back up)")
+	heartbeatTimeout := flag.Duration("heartbeat-timeout", 0, "per-probe deadline (0 = -heartbeat-interval)")
+	clusterCallTimeout := flag.Duration("cluster-call-timeout", 10*time.Second, "per-attempt deadline on node-to-node calls (forwarded writes and control plane)")
+	clusterRetries := flag.Int("cluster-retries", 3, "attempts per node-to-node call; transport failures retry with jittered backoff, any HTTP response is final")
 	flag.Parse()
+
+	// Fault injection is opt-in via LIGHTOR_FAILPOINTS and refuses to be
+	// subtle: a malformed spec is fatal, an armed one is shouted at
+	// startup and reported on /api/healthz.
+	if armed, err := fault.ArmFromEnv(); err != nil {
+		log.Fatalf("%s: %v", fault.EnvVar, err)
+	} else if len(armed) > 0 {
+		log.Printf("WARNING: fault injection ARMED via %s: %v — never run this in production", fault.EnvVar, armed)
+	}
 
 	// Cluster membership, validated before anything expensive: both flags
 	// or neither, a parseable peer list, and this node actually in it.
@@ -128,7 +143,19 @@ func main() {
 			log.Fatalf("%v", err)
 		}
 		clusterNode.Secret = *clusterSecret
+		clusterNode.CallTimeout = *clusterCallTimeout
+		clusterNode.CallAttempts = *clusterRetries
 		log.Printf("cluster mode: node %s among %d peers", *nodeID, len(peers))
+		if *heartbeatInterval > 0 {
+			clusterNode.StartHeartbeats(cluster.HeartbeatConfig{
+				Interval: *heartbeatInterval,
+				Timeout:  *heartbeatTimeout,
+				Misses:   *heartbeatMisses,
+			})
+			defer clusterNode.StopHeartbeats()
+			log.Printf("heartbeats: probing %d peers every %s (down after %d misses)",
+				len(peers)-1, *heartbeatInterval, *heartbeatMisses)
+		}
 	}
 
 	// Opt-in profiling endpoint, on its own listener so the debug surface

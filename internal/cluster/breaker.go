@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker state names, as reported on /api/healthz.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// Breaker is a per-peer circuit breaker over the node-to-node transport.
+// Closed (the healthy state) admits every call. `threshold` CONSECUTIVE
+// transport failures open it: calls fail fast without touching the
+// network, so a dead peer costs one error instead of attempts × timeout,
+// and the peer gets breathing room instead of a retry storm. After
+// `cooldown` the next Allow admits exactly one half-open probe; its
+// outcome closes the breaker or re-opens it for another cooldown.
+//
+// Only transport-level failures count — an HTTP response with any status
+// proves the peer is alive and resets the streak. Heartbeats are
+// deliberately not wired into the breaker: liveness probing and call
+// admission heal on their own evidence.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    string
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// NewBreaker returns a closed breaker tripping after `threshold`
+// consecutive failures and cooling down for `cooldown` before each
+// half-open probe.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{threshold: threshold, cooldown: cooldown, state: BreakerClosed}
+}
+
+// Allow reports whether a call to the peer may proceed. In the open state
+// it admits a single probe once the cooldown has elapsed (flipping to
+// half-open); callers that get true must report the outcome via Success
+// or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if time.Since(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful call: the breaker closes and the failure
+// streak resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Failure records a transport failure: it extends the streak (opening the
+// breaker at the threshold) or re-opens a half-open breaker immediately.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+		b.probing = false
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = time.Now()
+		}
+	}
+}
+
+// State returns the current state name: "closed", "open", or "half-open".
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := NewBreaker(3, time.Hour)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused call %d", i+1)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2/3 failures = %s", b.State())
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3/3 failures = %s", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(3, time.Hour)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("non-consecutive failures opened the breaker: %s", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := NewBreaker(1, 30*time.Millisecond)
+	b.Failure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("breaker should be open and refusing")
+	}
+	time.Sleep(40 * time.Millisecond)
+	// Cooldown elapsed: exactly one probe passes.
+	if !b.Allow() {
+		t.Fatal("half-open probe refused after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during probe = %s", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Failed probe re-opens for another full cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	time.Sleep(40 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe refused after second cooldown")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+func TestNodeBreakerPerPeer(t *testing.T) {
+	n, err := New("n1", []Peer{{ID: "n1", Addr: "a:1"}, {ID: "n2", Addr: "a:2"}, {ID: "n3", Addr: "a:3"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Breaker("n2") != n.Breaker("n2") {
+		t.Fatal("Breaker not stable per peer")
+	}
+	if n.Breaker("n2") == n.Breaker("n3") {
+		t.Fatal("peers share a breaker")
+	}
+	n.BreakerThreshold = 0 // defaults apply
+	for i := 0; i < defaultBreakerThreshold; i++ {
+		n.Breaker("n2").Failure()
+	}
+	if n.Breaker("n2").State() != BreakerOpen {
+		t.Fatal("n2 breaker should be open")
+	}
+	if n.Breaker("n3").State() != BreakerClosed {
+		t.Fatal("n3 breaker tripped by n2 failures")
+	}
+}
+
+func TestRetryDelayBounded(t *testing.T) {
+	n, err := New("n1", []Peer{{ID: "n1", Addr: "a:1"}, {ID: "n2", Addr: "a:2"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 1; attempt <= 10; attempt++ {
+		for i := 0; i < 50; i++ {
+			d := n.RetryDelay(attempt)
+			if d <= 0 {
+				t.Fatalf("RetryDelay(%d) = %v, want > 0", attempt, d)
+			}
+			if d > defaultRetryBackoffMax+defaultRetryBackoffMax/2 {
+				t.Fatalf("RetryDelay(%d) = %v, exceeds bound", attempt, d)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"sort"
 	"strings"
@@ -68,6 +69,30 @@ type routeState struct {
 	moving    map[string]bool   // channels this node is handing off right now
 }
 
+// Default node-to-node call policy; override with the Node fields.
+const (
+	defaultCallTimeout      = 10 * time.Second
+	defaultCallAttempts     = 3
+	defaultRetryBackoff     = 25 * time.Millisecond
+	defaultRetryBackoffMax  = 500 * time.Millisecond
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = 2 * time.Second
+)
+
+// Failpoint sites (package fault) in the node-to-node transport. The
+// service hits them immediately before each attempt of the corresponding
+// call, so an armed error behaves exactly like a transport failure —
+// retried, counted against the peer's breaker, surfaced as 502 when
+// exhausted.
+const (
+	// FailpointForward fires per forwarding attempt (misrouted writes
+	// relayed to their owner).
+	FailpointForward = "cluster/forward"
+	// FailpointControl fires per control-plane call attempt (handoff,
+	// resume, route broadcast, owned probe).
+	FailpointControl = "cluster/control"
+)
+
 // Node is one member's view of the cluster: the shared ring, its own
 // identity, the peer address book, the mutable routing overlay, and a
 // pooled HTTP client for forwarding misrouted writes to their owners.
@@ -79,6 +104,21 @@ type Node struct {
 	// nodes must share the same value.
 	Secret string
 
+	// CallTimeout bounds each ATTEMPT of a node-to-node call (forwarded
+	// write or control-plane call); retries get a fresh deadline. Zero
+	// means defaultCallTimeout. Flag: -cluster-call-timeout.
+	CallTimeout time.Duration
+	// CallAttempts is how many times a node-to-node call is tried before
+	// the failure surfaces (transport errors only — an HTTP response,
+	// whatever its status, is authoritative and never retried). Zero means
+	// defaultCallAttempts. Flag: -cluster-retries.
+	CallAttempts int
+	// BreakerThreshold and BreakerCooldown tune the per-peer circuit
+	// breakers (zero = defaults): threshold consecutive transport failures
+	// open a peer's breaker; after cooldown one half-open probe may pass.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
 	self  string
 	ring  *Ring
 	peers []Peer
@@ -89,6 +129,12 @@ type Node struct {
 
 	clientOnce sync.Once
 	client     *http.Client
+
+	brMu     sync.Mutex
+	breakers map[string]*Breaker
+
+	hbMu sync.Mutex
+	hb   *heartbeatMonitor
 }
 
 // New builds this process's cluster membership from its node id and the
@@ -313,6 +359,60 @@ func (n *Node) OwnedKeys(keys []string) []string {
 		}
 	}
 	return out
+}
+
+// callTimeout returns the per-attempt deadline for node-to-node calls.
+func (n *Node) callTimeout() time.Duration {
+	if n.CallTimeout > 0 {
+		return n.CallTimeout
+	}
+	return defaultCallTimeout
+}
+
+// Timeout is the exported form of the per-attempt call deadline.
+func (n *Node) Timeout() time.Duration { return n.callTimeout() }
+
+// Attempts returns how many times each node-to-node call may be tried.
+func (n *Node) Attempts() int {
+	if n.CallAttempts > 0 {
+		return n.CallAttempts
+	}
+	return defaultCallAttempts
+}
+
+// RetryDelay returns the backoff before retry attempt (1-based across
+// retries: the delay before the second try is RetryDelay(1)): bounded
+// exponential with full jitter, so a burst of callers retrying against
+// the same recovering peer spreads out instead of stampeding in phase.
+func (n *Node) RetryDelay(attempt int) time.Duration {
+	d := defaultRetryBackoff << (attempt - 1)
+	if d > defaultRetryBackoffMax || d <= 0 {
+		d = defaultRetryBackoffMax
+	}
+	return time.Duration(rand.Int64N(int64(d))) + d/2
+}
+
+// Breaker returns the circuit breaker guarding calls to a peer, creating
+// it on first use.
+func (n *Node) Breaker(id string) *Breaker {
+	n.brMu.Lock()
+	defer n.brMu.Unlock()
+	if n.breakers == nil {
+		n.breakers = make(map[string]*Breaker)
+	}
+	b, ok := n.breakers[id]
+	if !ok {
+		threshold, cooldown := n.BreakerThreshold, n.BreakerCooldown
+		if threshold <= 0 {
+			threshold = defaultBreakerThreshold
+		}
+		if cooldown <= 0 {
+			cooldown = defaultBreakerCooldown
+		}
+		b = NewBreaker(threshold, cooldown)
+		n.breakers[id] = b
+	}
+	return b
 }
 
 // Client returns the shared forwarding client: keep-alive pooled

@@ -103,9 +103,19 @@ func freeAddr(t *testing.T) string {
 
 func startDrillServer(t *testing.T, bin, id, addr string, extra ...string) *drillProc {
 	t.Helper()
+	return startDrillServerEnv(t, bin, id, addr, nil, extra...)
+}
+
+// startDrillServerEnv is startDrillServer with extra environment variables
+// appended — the chaos drill arms per-node failpoints via LIGHTOR_FAILPOINTS.
+func startDrillServerEnv(t *testing.T, bin, id, addr string, env []string, extra ...string) *drillProc {
+	t.Helper()
 	args := append([]string{"-addr", addr}, drillTrainArgs...)
 	args = append(args, extra...)
 	cmd := exec.Command(bin, args...)
+	if len(env) > 0 {
+		cmd.Env = append(os.Environ(), env...)
+	}
 	logPath := filepath.Join(t.TempDir(), "server.log")
 	logFile, err := os.Create(logPath)
 	if err != nil {

@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Heartbeat defaults; override with HeartbeatConfig.
+const (
+	defaultHeartbeatInterval = time.Second
+	defaultHeartbeatMisses   = 3
+)
+
+// HeartbeatConfig tunes the liveness monitor started by StartHeartbeats.
+type HeartbeatConfig struct {
+	// Interval is the probe cadence per peer (default 1s).
+	Interval time.Duration
+	// Timeout bounds each probe (default = Interval): no probe can hang
+	// past the next tick.
+	Timeout time.Duration
+	// Misses is how many CONSECUTIVE failed probes mark a peer down
+	// (default 3). One miss makes the peer "suspect"; a single success at
+	// any point resets the streak and, if the peer was down, un-downs it.
+	Misses int
+	// Path is the endpoint probed on each peer (default /api/healthz —
+	// the public health endpoint, so probes need no cluster secret).
+	Path string
+}
+
+func (c *HeartbeatConfig) fillDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = defaultHeartbeatInterval
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = c.Interval
+	}
+	if c.Misses <= 0 {
+		c.Misses = defaultHeartbeatMisses
+	}
+	if c.Path == "" {
+		c.Path = "/api/healthz"
+	}
+}
+
+// PeerHealth is one peer's liveness row in the healthz "peers_health"
+// detail: heartbeat state, last-beat age, and the transport breaker state.
+type PeerHealth struct {
+	ID    string `json:"id"`
+	Addr  string `json:"addr"`
+	State string `json:"state"` // "alive" | "suspect" | "down" | "unknown"
+	// LastBeatMs is the age of the last successful probe in milliseconds,
+	// or -1 when the peer has never answered (or heartbeats are off).
+	LastBeatMs int64 `json:"last_beat_ms"`
+	// Misses is the current consecutive-failure streak.
+	Misses int `json:"misses"`
+	// Breaker is the transport circuit-breaker state for this peer.
+	Breaker string `json:"breaker"`
+}
+
+// peerBeat is the monitor's per-peer probe ledger.
+type peerBeat struct {
+	mu     sync.Mutex
+	lastOK time.Time
+	misses int
+	everOK bool
+}
+
+// heartbeatMonitor probes every peer's health endpoint on a fixed cadence
+// and drives the routing overlay from the results: Misses consecutive
+// failures mark the peer down (keys remap to ring successors), the next
+// success marks it back up (ring placement and any surviving handoff pins
+// snap back). This replaces operator-announced failure (POST
+// /api/cluster/down stays available for planned maintenance) as the only
+// path to `down`.
+type heartbeatMonitor struct {
+	n      *Node
+	cfg    HeartbeatConfig
+	client *http.Client
+
+	mu    sync.Mutex
+	beats map[string]*peerBeat
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// StartHeartbeats begins liveness probing of every peer (idempotent: a
+// second call while running is a no-op). Single-node "clusters" have no
+// peers to probe and get a no-op monitor.
+func (n *Node) StartHeartbeats(cfg HeartbeatConfig) {
+	cfg.fillDefaults()
+	n.hbMu.Lock()
+	defer n.hbMu.Unlock()
+	if n.hb != nil {
+		return
+	}
+	hb := &heartbeatMonitor{
+		n:   n,
+		cfg: cfg,
+		// A dedicated small client: probe sockets must not compete with
+		// forwarded-write pooling, and the per-probe deadline is the
+		// client timeout itself (satisfying the "no call can hang
+		// forever" audit for the probe path).
+		client: &http.Client{
+			Timeout: cfg.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 1,
+				IdleConnTimeout:     3 * cfg.Interval,
+			},
+		},
+		beats: make(map[string]*peerBeat),
+		stop:  make(chan struct{}),
+	}
+	for _, p := range n.peers {
+		if p.ID == n.self {
+			continue
+		}
+		b := &peerBeat{}
+		hb.beats[p.ID] = b
+		hb.wg.Add(1)
+		go hb.probeLoop(p, b)
+	}
+	n.hb = hb
+}
+
+// StopHeartbeats stops the monitor and waits for its probes to finish.
+func (n *Node) StopHeartbeats() {
+	n.hbMu.Lock()
+	hb := n.hb
+	n.hb = nil
+	n.hbMu.Unlock()
+	if hb == nil {
+		return
+	}
+	close(hb.stop)
+	hb.wg.Wait()
+	hb.client.CloseIdleConnections()
+}
+
+// probeLoop probes one peer until the monitor stops. Each peer gets its
+// own loop so one slow peer's timeout never delays detection of another.
+func (hb *heartbeatMonitor) probeLoop(p Peer, b *peerBeat) {
+	defer hb.wg.Done()
+	t := time.NewTicker(hb.cfg.Interval)
+	defer t.Stop()
+	url := "http://" + p.Addr + hb.cfg.Path
+	for {
+		select {
+		case <-hb.stop:
+			return
+		case <-t.C:
+		}
+		hb.probe(p, b, url)
+	}
+}
+
+func (hb *heartbeatMonitor) probe(p Peer, b *peerBeat, url string) {
+	resp, err := hb.client.Get(url)
+	ok := err == nil && resp.StatusCode >= 200 && resp.StatusCode < 300
+	if resp != nil {
+		resp.Body.Close()
+	}
+
+	b.mu.Lock()
+	if ok {
+		b.lastOK = time.Now()
+		b.misses = 0
+		b.everOK = true
+	} else {
+		b.misses++
+	}
+	misses := b.misses
+	b.mu.Unlock()
+
+	n := hb.n
+	switch {
+	case ok && n.Down(p.ID):
+		// The peer answered: un-down it. Ring keys snap back, and any
+		// handoff pin targeting it resumes winning in Resolve.
+		if err := n.SetDown(p.ID, false); err == nil {
+			log.Printf("cluster: heartbeat: peer %s is back, marked up", p.ID)
+		}
+	case !ok && misses >= hb.cfg.Misses && !n.Down(p.ID):
+		// The !Down guard makes the flip (and its log line) one-shot per
+		// outage while still re-downing a peer an operator un-downed too
+		// early.
+		if err := n.SetDown(p.ID, true); err == nil {
+			log.Printf("cluster: heartbeat: peer %s missed %d probes, marked down", p.ID, misses)
+		}
+	}
+}
+
+// snapshot returns the monitor's view of one peer, or nil if unknown.
+func (hb *heartbeatMonitor) snapshot(id string) (lastOK time.Time, misses int, everOK, ok bool) {
+	hb.mu.Lock()
+	b := hb.beats[id]
+	hb.mu.Unlock()
+	if b == nil {
+		return time.Time{}, 0, false, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastOK, b.misses, b.everOK, true
+}
+
+// PeerHealth returns the liveness detail for every peer except self,
+// sorted by id — the healthz "peers_health" payload. Without a running
+// heartbeat monitor the states degrade gracefully to what the routing
+// overlay knows: "down" for down-marked peers, "unknown" otherwise, with
+// no beat ages.
+func (n *Node) PeerHealth() []PeerHealth {
+	n.hbMu.Lock()
+	hb := n.hb
+	n.hbMu.Unlock()
+
+	out := make([]PeerHealth, 0, len(n.peers)-1)
+	for _, p := range n.peers {
+		if p.ID == n.self {
+			continue
+		}
+		ph := PeerHealth{
+			ID:         p.ID,
+			Addr:       p.Addr,
+			State:      "unknown",
+			LastBeatMs: -1,
+			Breaker:    n.Breaker(p.ID).State(),
+		}
+		var misses int
+		var lastOK time.Time
+		var everOK, tracked bool
+		if hb != nil {
+			lastOK, misses, everOK, tracked = hb.snapshot(p.ID)
+		}
+		ph.Misses = misses
+		if tracked && everOK {
+			ph.LastBeatMs = time.Since(lastOK).Milliseconds()
+		}
+		switch {
+		case n.Down(p.ID):
+			ph.State = "down"
+		case tracked && misses > 0:
+			ph.State = "suspect"
+		case tracked && everOK:
+			ph.State = "alive"
+		}
+		out = append(out, ph)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// HeartbeatsRunning reports whether the liveness monitor is active.
+func (n *Node) HeartbeatsRunning() bool {
+	n.hbMu.Lock()
+	defer n.hbMu.Unlock()
+	return n.hb != nil
+}
+
+// String implements fmt.Stringer for log lines like "n2 down (3 misses)".
+func (p PeerHealth) String() string {
+	return fmt.Sprintf("%s %s (misses=%d, breaker=%s)", p.ID, p.State, p.Misses, p.Breaker)
+}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// serveHealthz runs a minimal healthz responder on l until the returned
+// stop func is called.
+func serveHealthz(t *testing.T, l net.Listener) func() {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(l)
+	return func() { srv.Close() }
+}
+
+func waitFor(t *testing.T, deadline time.Duration, what string, cond func() bool) {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for time.Now().Before(stop) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestHeartbeatDownAndRecovery exercises the full liveness cycle against a
+// real listener: alive while the peer answers, down after the miss
+// threshold once it stops, and automatically un-downed (with the pin
+// snap-back behavior implied by SetDown(false)) when it returns on the
+// same address.
+func TestHeartbeatDownAndRecovery(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	stop := serveHealthz(t, l)
+
+	n, err := New("n1", []Peer{{ID: "n1", Addr: "127.0.0.1:1"}, {ID: "n2", Addr: addr}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.StartHeartbeats(HeartbeatConfig{Interval: 15 * time.Millisecond, Timeout: 200 * time.Millisecond, Misses: 3})
+	defer n.StopHeartbeats()
+	if !n.HeartbeatsRunning() {
+		t.Fatal("monitor not running")
+	}
+
+	waitFor(t, 5*time.Second, "n2 alive", func() bool {
+		for _, ph := range n.PeerHealth() {
+			if ph.ID == "n2" && ph.State == "alive" && ph.LastBeatMs >= 0 {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Kill the peer: suspect, then down, via heartbeats alone.
+	stop()
+	waitFor(t, 5*time.Second, "n2 down", func() bool { return n.Down("n2") })
+	found := false
+	for _, ph := range n.PeerHealth() {
+		if ph.ID == "n2" {
+			found = true
+			if ph.State != "down" || ph.Misses < 3 {
+				t.Fatalf("peer health after outage: %+v", ph)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("n2 missing from PeerHealth")
+	}
+
+	// Bring it back on the same address: automatic un-down.
+	l2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	stop2 := serveHealthz(t, l2)
+	defer stop2()
+	waitFor(t, 5*time.Second, "n2 back up", func() bool { return !n.Down("n2") })
+	waitFor(t, 5*time.Second, "n2 alive again", func() bool {
+		for _, ph := range n.PeerHealth() {
+			if ph.ID == "n2" && ph.State == "alive" {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// TestHeartbeatSuspectBeforeDown: a streak shorter than the threshold
+// reports suspect without flipping routing.
+func TestHeartbeatSuspectBeforeDown(t *testing.T) {
+	// No listener at all: every probe misses.
+	n, err := New("n1", []Peer{{ID: "n1", Addr: "127.0.0.1:1"}, {ID: "n2", Addr: "127.0.0.1:9"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.StartHeartbeats(HeartbeatConfig{Interval: 20 * time.Millisecond, Timeout: 50 * time.Millisecond, Misses: 1000})
+	defer n.StopHeartbeats()
+	waitFor(t, 5*time.Second, "n2 suspect", func() bool {
+		for _, ph := range n.PeerHealth() {
+			if ph.ID == "n2" && ph.State == "suspect" && ph.Misses > 0 {
+				return true
+			}
+		}
+		return false
+	})
+	if n.Down("n2") {
+		t.Fatal("suspect peer marked down before threshold")
+	}
+}
+
+// TestPeerHealthWithoutMonitor: the healthz detail degrades gracefully
+// when heartbeats are not running — overlay-only states, no beat ages.
+func TestPeerHealthWithoutMonitor(t *testing.T) {
+	n, err := New("n1", []Peer{{ID: "n1", Addr: "a:1"}, {ID: "n2", Addr: "a:2"}, {ID: "n3", Addr: "a:3"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetDown("n3", true); err != nil {
+		t.Fatal(err)
+	}
+	phs := n.PeerHealth()
+	if len(phs) != 2 {
+		t.Fatalf("PeerHealth len = %d, want 2 (self excluded)", len(phs))
+	}
+	for _, ph := range phs {
+		switch ph.ID {
+		case "n2":
+			if ph.State != "unknown" || ph.LastBeatMs != -1 || ph.Breaker != BreakerClosed {
+				t.Fatalf("n2 health: %+v", ph)
+			}
+		case "n3":
+			if ph.State != "down" {
+				t.Fatalf("n3 health: %+v", ph)
+			}
+		}
+	}
+}
+
+// TestStartHeartbeatsIdempotent: double start is a no-op; stop then start
+// builds a fresh monitor.
+func TestStartHeartbeatsIdempotent(t *testing.T) {
+	n, err := New("n1", []Peer{{ID: "n1", Addr: "a:1"}, {ID: "n2", Addr: "127.0.0.1:9"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := HeartbeatConfig{Interval: 10 * time.Millisecond, Misses: 2}
+	n.StartHeartbeats(cfg)
+	n.StartHeartbeats(cfg) // no-op
+	n.StopHeartbeats()
+	if n.HeartbeatsRunning() {
+		t.Fatal("monitor still running after stop")
+	}
+	n.StopHeartbeats() // no-op
+	n.StartHeartbeats(cfg)
+	n.StopHeartbeats()
+}

@@ -1,0 +1,360 @@
+// Package fault is a deterministic failpoint framework: named sites in
+// production code paths (WAL writes, fsync, cluster transport) that tests
+// and chaos drills can arm to inject errors, latency, or partial writes.
+//
+// Design constraints, in order:
+//
+//  1. Zero overhead when disarmed. A disarmed Hit() is a single atomic
+//     load and a branch — no map lookup, no lock, no allocation — so
+//     failpoints stay compiled into release builds without showing up in
+//     the benchmark gates.
+//  2. Deterministic. Probabilistic triggers use a per-site seeded PRNG and
+//     counting triggers use per-site call counters, so a drill armed with
+//     the same spec fires the same way every run.
+//  3. Armed only by explicit intent. Nothing arms implicitly; production
+//     processes arm exclusively through ArmFromEnv (the LIGHTOR_FAILPOINTS
+//     environment variable), and an armed process is expected to say so
+//     loudly (the server logs a warning and reports armed sites in
+//     /api/healthz).
+//
+// Spec grammar (one site):
+//
+//	action[@trigger]
+//
+//	action  = "err" | "err:<msg>"          injected error
+//	        | "sleep:<duration>"           injected latency (then succeeds)
+//	        | "partial:<bytes>"            allow only <bytes> of a write,
+//	                                       then fail (torn write)
+//	trigger = "always"                     every call fires (default)
+//	        | "after:<n>"                  first n calls pass, all later fire
+//	        | "nth:<n>"                    only the n-th call fires (1-based)
+//	        | "every:<n>"                  every n-th call fires
+//	        | "p:<prob>[:<seed>]"          per-call probability, seeded PRNG
+//
+// Environment form (ArmFromEnv), sites separated by ';':
+//
+//	LIGHTOR_FAILPOINTS="wal/sync=err@after:40;cluster/forward=err@p:0.25:7"
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar is the environment variable ArmFromEnv reads.
+const EnvVar = "LIGHTOR_FAILPOINTS"
+
+// ErrInjected is the sentinel all injected errors wrap; callers that need
+// to distinguish injected faults from real ones (tests, mostly) match it
+// with errors.Is.
+var ErrInjected = errors.New("fault: injected")
+
+// InjectedError is the concrete error returned by a fired failpoint.
+type InjectedError struct {
+	Site string
+	Msg  string
+}
+
+func (e *InjectedError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("fault: injected at %s: %s", e.Site, e.Msg)
+	}
+	return "fault: injected at " + e.Site
+}
+
+func (e *InjectedError) Unwrap() error { return ErrInjected }
+
+const (
+	actionErr = iota
+	actionSleep
+	actionPartial
+)
+
+const (
+	trigAlways = iota
+	trigAfter
+	trigNth
+	trigEvery
+	trigProb
+)
+
+type point struct {
+	site string
+
+	mu     sync.Mutex
+	action int
+	msg    string
+	dur    time.Duration
+	bytes  int
+	trig   int
+	n      uint64
+	prob   float64
+	rng    *rand.Rand
+	calls  uint64
+	fires  uint64
+}
+
+// fire decides whether this call trips the failpoint and, if so, performs
+// any latency action. It returns the injected error (nil for pure-latency
+// sites) and, for partial actions, the byte allowance.
+func (p *point) fire() (err error, partial int, fired bool) {
+	p.mu.Lock()
+	p.calls++
+	hit := false
+	switch p.trig {
+	case trigAlways:
+		hit = true
+	case trigAfter:
+		hit = p.calls > p.n
+	case trigNth:
+		hit = p.calls == p.n
+	case trigEvery:
+		hit = p.calls%p.n == 0
+	case trigProb:
+		hit = p.rng.Float64() < p.prob
+	}
+	if hit {
+		p.fires++
+	}
+	action, msg, dur, bytes := p.action, p.msg, p.dur, p.bytes
+	p.mu.Unlock()
+	if !hit {
+		return nil, 0, false
+	}
+	switch action {
+	case actionSleep:
+		time.Sleep(dur)
+		return nil, 0, true
+	case actionPartial:
+		return &InjectedError{Site: p.site, Msg: msg}, bytes, true
+	default:
+		return &InjectedError{Site: p.site, Msg: msg}, 0, true
+	}
+}
+
+var (
+	// armedCount gates the hot path: Hit/WriteLimit bail on a single
+	// atomic load while no site is armed.
+	armedCount atomic.Int64
+
+	regMu  sync.RWMutex
+	points = map[string]*point{}
+)
+
+// Enabled reports whether any failpoint is armed. Exported so callers can
+// hoist the check around fault-only work (staging a payload, formatting a
+// site name) — though Hit itself already performs it.
+func Enabled() bool { return armedCount.Load() > 0 }
+
+// Hit evaluates the failpoint at site. Disarmed sites (the normal case)
+// cost one atomic load. An armed error-action site returns the injected
+// error when its trigger fires; a latency site sleeps and returns nil; a
+// partial-write site returns the injected error (use WriteLimit at write
+// sites to honor the byte allowance).
+func Hit(site string) error {
+	if armedCount.Load() == 0 {
+		return nil
+	}
+	regMu.RLock()
+	p := points[site]
+	regMu.RUnlock()
+	if p == nil {
+		return nil
+	}
+	err, _, _ := p.fire()
+	return err
+}
+
+// WriteLimit evaluates the failpoint at a write site for an n-byte write.
+// It returns how many bytes the "device" accepts and the injected error,
+// if any. Disarmed or un-fired sites allow the full write. A fired
+// partial:<k> site allows min(k, n) bytes; a fired err site allows none.
+func WriteLimit(site string, n int) (int, error) {
+	if armedCount.Load() == 0 {
+		return n, nil
+	}
+	regMu.RLock()
+	p := points[site]
+	regMu.RUnlock()
+	if p == nil {
+		return n, nil
+	}
+	err, partial, fired := p.fire()
+	if !fired || err == nil {
+		return n, nil
+	}
+	if partial < n {
+		n = partial
+	}
+	return n, err
+}
+
+// Arm installs (or replaces) the failpoint at site from a spec string.
+// See the package doc for the grammar.
+func Arm(site, spec string) error {
+	p, err := parseSpec(site, spec)
+	if err != nil {
+		return err
+	}
+	regMu.Lock()
+	if _, exists := points[site]; !exists {
+		armedCount.Add(1)
+	}
+	points[site] = p
+	regMu.Unlock()
+	return nil
+}
+
+// Disarm removes the failpoint at site, if armed.
+func Disarm(site string) {
+	regMu.Lock()
+	if _, exists := points[site]; exists {
+		delete(points, site)
+		armedCount.Add(-1)
+	}
+	regMu.Unlock()
+}
+
+// DisarmAll removes every armed failpoint. Tests defer this.
+func DisarmAll() {
+	regMu.Lock()
+	armedCount.Add(-int64(len(points)))
+	points = map[string]*point{}
+	regMu.Unlock()
+}
+
+// Armed returns the sorted names of all armed sites.
+func Armed() []string {
+	regMu.RLock()
+	out := make([]string, 0, len(points))
+	for site := range points {
+		out = append(out, site)
+	}
+	regMu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Fires returns how many times the failpoint at site has fired since it
+// was armed. Zero for disarmed sites.
+func Fires(site string) uint64 {
+	regMu.RLock()
+	p := points[site]
+	regMu.RUnlock()
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fires
+}
+
+// ArmFromEnv arms every site listed in LIGHTOR_FAILPOINTS
+// ("site=spec;site=spec") and returns the armed site names. An unset or
+// empty variable arms nothing — failpoints are disarmed by default in
+// every build.
+func ArmFromEnv() ([]string, error) {
+	val := strings.TrimSpace(os.Getenv(EnvVar))
+	if val == "" {
+		return nil, nil
+	}
+	var sites []string
+	for _, entry := range strings.Split(val, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		site, spec, ok := strings.Cut(entry, "=")
+		if !ok {
+			return sites, fmt.Errorf("fault: %s: entry %q is not site=spec", EnvVar, entry)
+		}
+		if err := Arm(strings.TrimSpace(site), strings.TrimSpace(spec)); err != nil {
+			return sites, fmt.Errorf("fault: %s: %w", EnvVar, err)
+		}
+		sites = append(sites, strings.TrimSpace(site))
+	}
+	sort.Strings(sites)
+	return sites, nil
+}
+
+func parseSpec(site, spec string) (*point, error) {
+	if site == "" {
+		return nil, errors.New("fault: empty site name")
+	}
+	actionStr, trigStr, hasTrig := strings.Cut(spec, "@")
+	p := &point{site: site, trig: trigAlways}
+
+	switch {
+	case actionStr == "err":
+		p.action = actionErr
+	case strings.HasPrefix(actionStr, "err:"):
+		p.action = actionErr
+		p.msg = actionStr[len("err:"):]
+	case strings.HasPrefix(actionStr, "sleep:"):
+		d, err := time.ParseDuration(actionStr[len("sleep:"):])
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("fault: %s: bad sleep duration %q", site, actionStr)
+		}
+		p.action, p.dur = actionSleep, d
+	case strings.HasPrefix(actionStr, "partial:"):
+		n, err := strconv.Atoi(actionStr[len("partial:"):])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("fault: %s: bad partial byte count %q", site, actionStr)
+		}
+		p.action, p.bytes = actionPartial, n
+	default:
+		return nil, fmt.Errorf("fault: %s: unknown action %q", site, actionStr)
+	}
+
+	if hasTrig {
+		switch {
+		case trigStr == "always":
+			// default
+		case strings.HasPrefix(trigStr, "after:"):
+			n, err := strconv.ParseUint(trigStr[len("after:"):], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: %s: bad trigger %q", site, trigStr)
+			}
+			p.trig, p.n = trigAfter, n
+		case strings.HasPrefix(trigStr, "nth:"):
+			n, err := strconv.ParseUint(trigStr[len("nth:"):], 10, 64)
+			if err != nil || n == 0 {
+				return nil, fmt.Errorf("fault: %s: bad trigger %q", site, trigStr)
+			}
+			p.trig, p.n = trigNth, n
+		case strings.HasPrefix(trigStr, "every:"):
+			n, err := strconv.ParseUint(trigStr[len("every:"):], 10, 64)
+			if err != nil || n == 0 {
+				return nil, fmt.Errorf("fault: %s: bad trigger %q", site, trigStr)
+			}
+			p.trig, p.n = trigEvery, n
+		case strings.HasPrefix(trigStr, "p:"):
+			rest := trigStr[len("p:"):]
+			probStr, seedStr, hasSeed := strings.Cut(rest, ":")
+			prob, err := strconv.ParseFloat(probStr, 64)
+			if err != nil || prob < 0 || prob > 1 {
+				return nil, fmt.Errorf("fault: %s: bad probability %q", site, trigStr)
+			}
+			var seed int64 = 1
+			if hasSeed {
+				seed, err = strconv.ParseInt(seedStr, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("fault: %s: bad seed %q", site, trigStr)
+				}
+			}
+			p.trig, p.prob = trigProb, prob
+			p.rng = rand.New(rand.NewSource(seed))
+		default:
+			return nil, fmt.Errorf("fault: %s: unknown trigger %q", site, trigStr)
+		}
+	}
+	return p, nil
+}

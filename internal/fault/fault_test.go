@@ -1,0 +1,241 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestFailpointsDisarmedByDefault is the release-build smoke CI runs
+// explicitly: a process that never arms anything must see no armed sites,
+// no injected errors, and full write allowances. This is the contract
+// that lets failpoints stay compiled into production binaries.
+func TestFailpointsDisarmedByDefault(t *testing.T) {
+	if Enabled() {
+		t.Fatalf("failpoints enabled at process start: %v", Armed())
+	}
+	if got := Armed(); len(got) != 0 {
+		t.Fatalf("Armed() = %v, want empty", got)
+	}
+	if err := Hit("wal/sync"); err != nil {
+		t.Fatalf("disarmed Hit returned %v", err)
+	}
+	if n, err := WriteLimit("wal/write", 1024); n != 1024 || err != nil {
+		t.Fatalf("disarmed WriteLimit = (%d, %v), want (1024, nil)", n, err)
+	}
+}
+
+func TestArmDisarm(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	if err := Arm("a/b", "err:boom"); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("Enabled() false after Arm")
+	}
+	err := Hit("a/b")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Hit = %v, want ErrInjected", err)
+	}
+	var inj *InjectedError
+	if !errors.As(err, &inj) || inj.Site != "a/b" || inj.Msg != "boom" {
+		t.Fatalf("unexpected injected error: %#v", err)
+	}
+	if err := Hit("other/site"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	Disarm("a/b")
+	if Enabled() {
+		t.Fatal("Enabled() true after Disarm")
+	}
+	if err := Hit("a/b"); err != nil {
+		t.Fatalf("disarmed site fired: %v", err)
+	}
+}
+
+func TestTriggers(t *testing.T) {
+	t.Cleanup(DisarmAll)
+
+	// after:2 — calls 1..2 pass, 3+ fire.
+	if err := Arm("t/after", "err@after:2"); err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, false, true, true, true}
+	for i, w := range want {
+		got := Hit("t/after") != nil
+		if got != w {
+			t.Fatalf("after:2 call %d fired=%v, want %v", i+1, got, w)
+		}
+	}
+
+	// nth:3 — only call 3 fires.
+	if err := Arm("t/nth", "err@nth:3"); err != nil {
+		t.Fatal(err)
+	}
+	want = []bool{false, false, true, false, false}
+	for i, w := range want {
+		got := Hit("t/nth") != nil
+		if got != w {
+			t.Fatalf("nth:3 call %d fired=%v, want %v", i+1, got, w)
+		}
+	}
+
+	// every:2 — calls 2, 4, ... fire.
+	if err := Arm("t/every", "err@every:2"); err != nil {
+		t.Fatal(err)
+	}
+	want = []bool{false, true, false, true}
+	for i, w := range want {
+		got := Hit("t/every") != nil
+		if got != w {
+			t.Fatalf("every:2 call %d fired=%v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestProbabilisticDeterminism: the same seed fires the same call pattern
+// every time — the property chaos drills rely on for reproducibility.
+func TestProbabilisticDeterminism(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	pattern := func() []bool {
+		if err := Arm("t/prob", "err@p:0.3:42"); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = Hit("t/prob") != nil
+		}
+		return out
+	}
+	a, b := pattern(), pattern()
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded pattern diverged at call %d", i+1)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	// ~30% of 200 calls; generous bounds, determinism is the real assert.
+	if fires < 30 || fires > 90 {
+		t.Fatalf("p:0.3 fired %d/200 times, far from expectation", fires)
+	}
+}
+
+func TestPartialWrite(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	if err := Arm("t/partial", "partial:5@nth:2"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := WriteLimit("t/partial", 100); n != 100 || err != nil {
+		t.Fatalf("call 1: (%d, %v), want full pass", n, err)
+	}
+	n, err := WriteLimit("t/partial", 100)
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("call 2: (%d, %v), want (5, ErrInjected)", n, err)
+	}
+	// Allowance never exceeds the requested write.
+	if err := Arm("t/partial2", "partial:50"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := WriteLimit("t/partial2", 10); n != 10 {
+		t.Fatalf("partial:50 on 10-byte write allowed %d", n)
+	}
+	// Hit at a partial site still reports the fault as an error.
+	if err := Hit("t/partial2"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Hit at partial site = %v, want ErrInjected", err)
+	}
+}
+
+func TestSleepAction(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	if err := Arm("t/sleep", "sleep:30ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Hit("t/sleep"); err != nil {
+		t.Fatalf("sleep action returned error %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("sleep action returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	t.Setenv(EnvVar, "wal/sync=err@after:4; cluster/forward=err@p:0.25:7 ;t/lat=sleep:1ms")
+	sites, err := ArmFromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"cluster/forward", "t/lat", "wal/sync"}
+	if len(sites) != len(want) {
+		t.Fatalf("armed %v, want %v", sites, want)
+	}
+	for i := range want {
+		if sites[i] != want[i] {
+			t.Fatalf("armed %v, want %v", sites, want)
+		}
+	}
+	if got := Armed(); len(got) != 3 {
+		t.Fatalf("Armed() = %v", got)
+	}
+	if Fires("wal/sync") != 0 {
+		t.Fatal("fresh site has fires > 0")
+	}
+}
+
+func TestArmFromEnvErrors(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	for _, bad := range []string{
+		"no-equals-sign",
+		"s=unknownaction",
+		"s=err@unknowntrig",
+		"s=sleep:notadur",
+		"s=partial:-1",
+		"s=err@p:1.5",
+		"s=err@p:0.5:notanumber",
+		"s=err@nth:0",
+		"s=err@every:0",
+	} {
+		t.Setenv(EnvVar, bad)
+		if _, err := ArmFromEnv(); err == nil {
+			t.Fatalf("ArmFromEnv accepted %q", bad)
+		}
+		DisarmAll()
+	}
+	// Unset / empty arms nothing and is not an error.
+	t.Setenv(EnvVar, "")
+	sites, err := ArmFromEnv()
+	if err != nil || len(sites) != 0 {
+		t.Fatalf("empty env: (%v, %v)", sites, err)
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	if err := Arm("t/conc", "err@every:2"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int)
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		go func() {
+			fired := 0
+			for i := 0; i < per; i++ {
+				if Hit("t/conc") != nil {
+					fired++
+				}
+			}
+			done <- fired
+		}()
+	}
+	total := 0
+	for w := 0; w < workers; w++ {
+		total += <-done
+	}
+	if total != workers*per/2 {
+		t.Fatalf("every:2 fired %d/%d times across goroutines", total, workers*per)
+	}
+}

@@ -44,15 +44,29 @@ const (
 	inflightRetryAfterSeconds = "1"
 	handoffRetryAfterSeconds  = "1"
 	capacityRetryAfterSeconds = "5"
+	// forwardRetryAfterSeconds hints a fast retry after an exhausted
+	// forward: transient peer blips heal within the heartbeat window.
+	forwardRetryAfterSeconds = "1"
+	// degradedRetryAfterSeconds hints a slow retry: a fail-stopped disk
+	// does not heal without operator action (restart/failover).
+	degradedRetryAfterSeconds = "30"
 )
+
+// ShedReasonHeader names the shed cause on every shedError response —
+// machine-readable for clients (and the chaos drill) that must distinguish
+// a transient backlog 503 from a fail-stop degraded 503.
+const ShedReasonHeader = "X-Lightor-Shed-Reason"
 
 // shedError writes a load-shed/capacity rejection. Every shed response in
 // the service funnels through here so the contract is uniform: the status
-// is 429 (per-key budget) or 503 (node-wide condition), Retry-After is
-// always present, and Content-Type is set before WriteHeader.
-func shedError(w http.ResponseWriter, status int, retryAfterSeconds, msg string) {
+// is 429 (per-key budget), 503 (node-wide condition), or 502 (peer
+// unreachable); Retry-After is always present; the reason rides the
+// X-Lightor-Shed-Reason header using the same keys as the healthz shed
+// counters; and Content-Type is set before WriteHeader.
+func shedError(w http.ResponseWriter, status int, retryAfterSeconds, reason, msg string) {
 	h := w.Header()
 	h.Set("Retry-After", retryAfterSeconds)
+	h.Set(ShedReasonHeader, reason)
 	h.Set("Content-Type", "text/plain; charset=utf-8")
 	h.Set("X-Content-Type-Options", "nosniff")
 	w.WriteHeader(status)
@@ -68,10 +82,12 @@ type shedCounters struct {
 	subscribers    atomic.Uint64
 	draining       atomic.Uint64
 	handoff        atomic.Uint64
+	forwardFailed  atomic.Uint64
+	degraded       atomic.Uint64
 }
 
 // snapshot returns the counters keyed by cause. Keys are stable — they
-// are the healthz schema.
+// are the healthz schema (and the X-Lightor-Shed-Reason values).
 func (c *shedCounters) snapshot() map[string]uint64 {
 	return map[string]uint64{
 		"global_inflight": c.globalInflight.Load(),
@@ -81,6 +97,8 @@ func (c *shedCounters) snapshot() map[string]uint64 {
 		"subscribers":     c.subscribers.Load(),
 		"draining":        c.draining.Load(),
 		"handoff":         c.handoff.Load(),
+		"forward_failed":  c.forwardFailed.Load(),
+		"degraded":        c.degraded.Load(),
 	}
 }
 
@@ -108,8 +126,23 @@ func (s *Service) acquireWrite(w http.ResponseWriter) bool {
 	if s.inflightWrites.Add(1) > s.maxInflightWrites() {
 		s.inflightWrites.Add(-1)
 		s.shed.globalInflight.Add(1)
-		shedError(w, http.StatusServiceUnavailable, inflightRetryAfterSeconds,
+		shedError(w, http.StatusServiceUnavailable, inflightRetryAfterSeconds, "global_inflight",
 			fmt.Sprintf("write path saturated (%d requests in flight)", s.maxInflightWrites()))
+		return false
+	}
+	return true
+}
+
+// admitStore rejects a write when the durable backend has fail-stopped
+// into degraded read-only mode (disk fault): 503 + a slow Retry-After,
+// reason "degraded". Reads and SSE never consult it — degraded mode keeps
+// serving them from memory. Runs AFTER routing, so a degraded node still
+// forwards writes it does not own to healthy owners.
+func (s *Service) admitStore(w http.ResponseWriter) bool {
+	if deg, reason := s.Store.Degraded(); deg {
+		s.shed.degraded.Add(1)
+		shedError(w, http.StatusServiceUnavailable, degradedRetryAfterSeconds, "degraded",
+			"store degraded (read-only): "+reason)
 		return false
 	}
 	return true
@@ -135,7 +168,7 @@ func (s *Service) admitChannelWrite(w http.ResponseWriter, channel string) bool 
 	}
 	if limit := s.maxChannelBacklog(); sess.Pending() >= limit {
 		s.shed.channelBacklog.Add(1)
-		shedError(w, http.StatusTooManyRequests, backlogRetryAfterSeconds,
+		shedError(w, http.StatusTooManyRequests, backlogRetryAfterSeconds, "channel_backlog",
 			fmt.Sprintf("channel %q over backlog budget (%d batches queued)", channel, limit))
 		return false
 	}

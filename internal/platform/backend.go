@@ -73,6 +73,18 @@ type Backend interface {
 	Close() error
 }
 
+// DegradedBackend is the optional capability behind fail-stop degraded
+// mode: a durable backend that can permanently refuse writes after a disk
+// fault while still serving reads from memory. FileBackend implements it;
+// MemoryBackend (no disk to fault) does not. The Store facade and healthz
+// surface it; the admission layer sheds writes while it reports true.
+type DegradedBackend interface {
+	// Degraded reports whether the backend is in read-only degraded mode
+	// and, when it is, a human-readable cause. Must be cheap and
+	// lock-free: it runs on every write admission check.
+	Degraded() (bool, string)
+}
+
 // EventBatch is one video's slice of a multi-video interaction burst —
 // the unit of Backend.AppendEventsBatch.
 type EventBatch struct {

@@ -12,8 +12,11 @@ import (
 	"net/url"
 	"strconv"
 	"sync"
+	"time"
 
+	"lightor/internal/cluster"
 	"lightor/internal/engine"
+	"lightor/internal/fault"
 )
 
 // Cluster routing: the service half of channel-sharded scale-out.
@@ -75,7 +78,7 @@ func (s *Service) route(w http.ResponseWriter, r *http.Request, key string, acti
 	owner, moving := c.Resolve(key)
 	if moving {
 		s.shed.handoff.Add(1)
-		shedError(w, http.StatusServiceUnavailable, handoffRetryAfterSeconds,
+		shedError(w, http.StatusServiceUnavailable, handoffRetryAfterSeconds, "handoff",
 			fmt.Sprintf("channel %q is being handed off; retry", key))
 		return false
 	}
@@ -142,8 +145,19 @@ func (s *Service) requireClusterKey(h http.HandlerFunc) http.HandlerFunc {
 // forwardToOwner proxies the request to the owning peer over the pooled
 // keep-alive client and relays the response verbatim. The body is staged
 // through a pooled buffer (bodies are bounded request payloads — chat
-// batches, interaction batches) so retries and Content-Length are exact
-// and steady-state forwarding reuses both buffers and connections.
+// batches, interaction batches) so every retry sends byte-identical
+// content with an exact Content-Length, and steady-state forwarding
+// reuses both buffers and connections.
+//
+// The forward is self-healing: each attempt gets its own deadline
+// (Cluster.Timeout), transport failures are retried up to
+// Cluster.Attempts times with jittered exponential backoff, and the
+// peer's circuit breaker fails fast once the owner looks dead. Any HTTP
+// response — whatever its status — is authoritative and relayed without
+// retry: the owner handled the request, and replaying a handled write
+// (e.g. a 409 on an already-applied batch) would be wrong. Exhausted
+// retries surface as 502 + Retry-After through the shedding path so
+// producers treat it like any other backpressure signal.
 func (s *Service) forwardToOwner(w http.ResponseWriter, r *http.Request, owner, addr string) {
 	hops := 0
 	if hv := r.Header.Get(hopHeader); hv != "" {
@@ -176,19 +190,66 @@ func (s *Service) forwardToOwner(w http.ResponseWriter, r *http.Request, owner, 
 		return
 	}
 
-	req, err := http.NewRequestWithContext(r.Context(), r.Method,
-		"http://"+addr+r.URL.RequestURI(), bytes.NewReader(buf.Bytes()))
-	if err != nil {
-		http.Error(w, fmt.Sprintf("building forward request: %v", err), http.StatusInternalServerError)
+	c := s.Cluster
+	br := c.Breaker(owner)
+	if !br.Allow() {
+		s.shedForwardFailed(w, owner, fmt.Errorf("circuit breaker %s", br.State()))
 		return
+	}
+	var lastErr error
+	for attempt := 1; attempt <= c.Attempts(); attempt++ {
+		if attempt > 1 {
+			if !sleepOrDone(r.Context(), c.RetryDelay(attempt-1)) {
+				// The producer hung up; nothing to answer and nothing to
+				// retry for.
+				return
+			}
+			if !br.Allow() {
+				// A concurrent failure streak (or our own half-open probe
+				// failing) opened the breaker mid-loop; honor it rather
+				// than hammering a dead peer through its cooldown.
+				break
+			}
+		}
+		done, err := s.forwardOnce(w, r, addr, hops, buf.Bytes(), br)
+		if done {
+			return
+		}
+		lastErr = err
+	}
+	s.shedForwardFailed(w, owner, lastErr)
+}
+
+// forwardOnce performs one forwarding attempt under its own deadline.
+// done=true means the peer answered and the response was relayed (the
+// attempt loop must stop, whatever the status); done=false is a
+// transport-level failure worth retrying, already counted against the
+// breaker.
+func (s *Service) forwardOnce(w http.ResponseWriter, r *http.Request, addr string, hops int, body []byte, br *cluster.Breaker) (done bool, err error) {
+	if fault.Enabled() {
+		if ferr := fault.Hit(cluster.FailpointForward); ferr != nil {
+			br.Failure()
+			return false, ferr
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.Cluster.Timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, r.Method,
+		"http://"+addr+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		// Malformed request, not a peer problem: not a breaker failure,
+		// and retrying the same bytes cannot help.
+		http.Error(w, fmt.Sprintf("building forward request: %v", err), http.StatusInternalServerError)
+		return true, nil
 	}
 	req.Header = r.Header.Clone()
 	req.Header.Set(hopHeader, strconv.Itoa(hops+1))
 	resp, err := s.Cluster.Client().Do(req)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("forwarding to owner %s: %v", owner, err), http.StatusBadGateway)
-		return
+		br.Failure()
+		return false, err
 	}
+	br.Success()
 	defer resp.Body.Close()
 	h := w.Header()
 	for k, vv := range resp.Header {
@@ -202,6 +263,30 @@ func (s *Service) forwardToOwner(w http.ResponseWriter, r *http.Request, owner, 
 	_, _ = io.CopyBuffer(w, resp.Body, b)
 	if cp.Cap() <= maxPooledForwardBuf {
 		forwardBufPool.Put(cp)
+	}
+	return true, nil
+}
+
+// shedForwardFailed answers a forward whose every attempt failed at the
+// transport level: 502 + Retry-After through the shedding path, so
+// producers back off and re-send (bodies were never partially applied —
+// no attempt got an HTTP response).
+func (s *Service) shedForwardFailed(w http.ResponseWriter, owner string, cause error) {
+	s.shed.forwardFailed.Add(1)
+	shedError(w, http.StatusBadGateway, forwardRetryAfterSeconds, "forward_failed",
+		fmt.Sprintf("forwarding to owner %s failed: %v", owner, cause))
+}
+
+// sleepOrDone waits d or until ctx is done, reporting whether the full
+// wait elapsed.
+func sleepOrDone(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
 	}
 }
 
@@ -222,6 +307,19 @@ type HealthResponse struct {
 	// gates on — see admission.go.
 	Latency map[string]LatencySummary `json:"latency,omitempty"`
 	Shed    map[string]uint64         `json:"shed"`
+	// Degraded reports the fail-stop read-only mode: a disk fault poisoned
+	// the WAL, writes shed 503, reads serve from memory (see
+	// FileBackend.failStop). DegradedReason carries the root cause.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	// PeersHealth is the heartbeat monitor's per-peer liveness detail
+	// (alive/suspect/down, last-beat age, breaker state); omitted
+	// single-node.
+	PeersHealth []cluster.PeerHealth `json:"peers_health,omitempty"`
+	// Failpoints lists armed fault-injection sites. Empty in production —
+	// the fault framework is disarmed by default and only LIGHTOR_FAILPOINTS
+	// arms it — so any non-empty value is a loud signal.
+	Failpoints []string `json:"failpoints,omitempty"`
 }
 
 // handleHealthz reports this node's status. Always registered — a
@@ -240,9 +338,14 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if channels == nil {
 		resp.Channels = []string{}
 	}
+	resp.Degraded, resp.DegradedReason = s.Store.Degraded()
+	if fault.Enabled() {
+		resp.Failpoints = fault.Armed()
+	}
 	if c := s.Cluster; c != nil {
 		resp.Node = c.Self()
 		resp.Peers = len(c.Peers())
+		resp.PeersHealth = c.PeerHealth()
 		for _, ch := range channels {
 			if c.OwnsLocally(ch) {
 				resp.OwnedChannels++
@@ -338,14 +441,14 @@ func (s *Service) handleClusterHandoff(w http.ResponseWriter, r *http.Request) {
 	// each leg.
 	ctx := context.WithoutCancel(r.Context())
 	resumeURL := "http://" + addr + "/api/cluster/resume?channel=" + url.QueryEscape(channel)
-	resp, err := s.clusterDo(ctx, http.MethodPost, resumeURL, state)
+	resp, err := s.clusterDo(ctx, target, http.MethodPost, resumeURL, state)
 	if err != nil {
 		// Ambiguous failure: the target may have restored and pinned the
 		// channel before the error (a lost response, a broken connection
 		// after commit). Restoring locally on faith would put the channel
 		// live on BOTH nodes, each with a durable checkpoint — so ask the
 		// target whether it holds the channel before deciding.
-		if probed, perr := s.clusterDo(ctx, http.MethodGet,
+		if probed, perr := s.clusterDo(ctx, target, http.MethodGet,
 			"http://"+addr+"/api/cluster/owned?channel="+url.QueryEscape(channel), nil); perr == nil {
 			resp, err = probed, nil
 		}
@@ -380,7 +483,7 @@ func (s *Service) handleClusterHandoff(w http.ResponseWriter, r *http.Request) {
 		if p.ID == c.Self() || p.ID == target {
 			continue
 		}
-		if _, err := s.clusterDo(ctx, http.MethodPost,
+		if _, err := s.clusterDo(ctx, p.ID, http.MethodPost,
 			"http://"+p.Addr+"/api/cluster/route?channel="+url.QueryEscape(channel)+"&owner="+url.QueryEscape(target), nil); err != nil {
 			// Best-effort: an unnotified peer forwards/redirects through
 			// the ring owner (this node), which now pins to the target —
@@ -392,10 +495,57 @@ func (s *Service) handleClusterHandoff(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// errClusterTransport tags transport-level control-plane failures (no
+// HTTP response from the peer) so the retry loop can tell them apart
+// from authoritative answers like a 409 or a decode error.
+var errClusterTransport = errors.New("cluster transport failure")
+
 // clusterDo sends a control-plane request (with the shared cluster
-// secret attached) to a peer endpoint and decodes the HandoffResponse,
-// surfacing non-2xx answers as errors.
-func (s *Service) clusterDo(ctx context.Context, method, url string, body []byte) (HandoffResponse, error) {
+// secret attached) to peer's endpoint and decodes the HandoffResponse,
+// surfacing non-2xx answers as errors. Same resilience contract as
+// forwarding: per-attempt deadline layered over ctx (which may be a
+// context.WithoutCancel — the deadline still applies, so a detached
+// transfer can never hang forever), transport-only retries with jittered
+// backoff, per-peer breaker. A received HTTP response — success or not —
+// is authoritative and never retried: control-plane verbs like resume
+// are not idempotent-by-status the way forwarded writes are.
+func (s *Service) clusterDo(ctx context.Context, peer, method, url string, body []byte) (HandoffResponse, error) {
+	c := s.Cluster
+	br := c.Breaker(peer)
+	if !br.Allow() {
+		return HandoffResponse{}, fmt.Errorf("%s: peer %s circuit breaker %s", url, peer, br.State())
+	}
+	var lastErr error
+	for attempt := 1; attempt <= c.Attempts(); attempt++ {
+		if attempt > 1 {
+			if !sleepOrDone(ctx, c.RetryDelay(attempt-1)) {
+				return HandoffResponse{}, ctx.Err()
+			}
+			if !br.Allow() {
+				break
+			}
+		}
+		out, err := s.clusterDoOnce(ctx, method, url, body, br)
+		if err == nil || !errors.Is(err, errClusterTransport) {
+			return out, err
+		}
+		lastErr = err
+	}
+	return HandoffResponse{}, fmt.Errorf("%s: all %d attempts failed: %w", url, c.Attempts(), lastErr)
+}
+
+// clusterDoOnce performs one control-plane call attempt under its own
+// deadline. Errors wrapping errClusterTransport are retryable; anything
+// else (including non-2xx statuses) is the peer's authoritative answer.
+func (s *Service) clusterDoOnce(ctx context.Context, method, url string, body []byte, br *cluster.Breaker) (HandoffResponse, error) {
+	if fault.Enabled() {
+		if ferr := fault.Hit(cluster.FailpointControl); ferr != nil {
+			br.Failure()
+			return HandoffResponse{}, fmt.Errorf("%w: %w", errClusterTransport, ferr)
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.Cluster.Timeout())
+	defer cancel()
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -410,8 +560,10 @@ func (s *Service) clusterDo(ctx context.Context, method, url string, body []byte
 	}
 	resp, err := s.Cluster.Client().Do(req)
 	if err != nil {
-		return HandoffResponse{}, err
+		br.Failure()
+		return HandoffResponse{}, fmt.Errorf("%w: %w", errClusterTransport, err)
 	}
+	br.Success()
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
@@ -541,7 +693,7 @@ func (s *Service) retireOverride(r *http.Request, channel string) {
 		if p.ID == c.Self() {
 			continue
 		}
-		if _, err := s.clusterDo(ctx, http.MethodPost,
+		if _, err := s.clusterDo(ctx, p.ID, http.MethodPost,
 			"http://"+p.Addr+"/api/cluster/route?channel="+url.QueryEscape(channel)+"&owner=", nil); err != nil {
 			allAcked = false
 		}

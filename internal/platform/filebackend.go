@@ -2,17 +2,39 @@ package platform
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lightor/internal/chat"
 	"lightor/internal/core"
+	"lightor/internal/fault"
 	"lightor/internal/play"
 	"lightor/internal/wal"
 )
+
+// Failpoint sites (package fault) in the snapshot-compaction path; the WAL
+// itself defines wal/write and wal/sync.
+const (
+	// FailpointSnapshotWrite fires as the compaction snapshot temp file is
+	// written.
+	FailpointSnapshotWrite = "platform/snapshot-write"
+	// FailpointSnapshotRename fires in place of the atomic rename that
+	// publishes a compaction snapshot.
+	FailpointSnapshotRename = "platform/snapshot-rename"
+)
+
+// ErrDegraded is returned for every mutation once a durable backend has
+// fail-stopped after a disk fault: the WAL writer is poisoned, so nothing
+// can be made durable again, and rather than acknowledge writes it cannot
+// keep the backend rejects them while reads keep serving from memory.
+// Match with errors.Is; the HTTP layer maps it to a 503 shed response.
+var ErrDegraded = errors.New("platform: store degraded (disk fault): writes rejected, reads serve from memory")
 
 // FileConfig tunes a FileBackend.
 type FileConfig struct {
@@ -69,6 +91,12 @@ type FileBackend struct {
 	recs        int // records appended to the current log
 	nextCompact int // record count that triggers the next compaction attempt
 	closed      bool
+
+	// degraded flips (once, permanently for this process) when the WAL
+	// writer poisons: the backend turns read-only. Atomic so healthz and
+	// the admission path can check it without taking fb.mu.
+	degraded      atomic.Bool
+	degradedCause atomic.Value // error
 }
 
 // WAL record operations. The payload is JSON: small, self-describing, and
@@ -273,6 +301,10 @@ func (fb *FileBackend) mutate(rec walRecord, durable bool) error {
 		fb.mu.Unlock()
 		return fmt.Errorf("platform: file backend is closed")
 	}
+	if fb.degraded.Load() {
+		fb.mu.Unlock()
+		return fb.degradedError()
+	}
 	// Validate, append, apply — in that order. Validation errors (unknown
 	// video, bad record) must not pollute the log; and a mutation the log
 	// rejects must never reach the materialized state, or a later snapshot
@@ -284,7 +316,12 @@ func (fb *FileBackend) mutate(rec walRecord, durable bool) error {
 	}
 	seq, err := fb.w.Append(payload)
 	if err != nil {
+		poisoned := fb.w.Err() != nil
 		fb.mu.Unlock()
+		if poisoned {
+			fb.failStop(err)
+			return fb.degradedError()
+		}
 		return err
 	}
 	if err := applyWALRecord(fb.mem, rec); err != nil {
@@ -313,8 +350,15 @@ func (fb *FileBackend) mutate(rec walRecord, durable bool) error {
 
 	if durable {
 		// If a compaction just retired w, its Close already made every
-		// record durable and WaitDurable returns immediately.
-		return w.WaitDurable(seq)
+		// record durable and WaitDurable returns immediately. A wait
+		// failure means the group commit's fsync failed: the record was
+		// applied to memory but its durability is unknown, so NACK it and
+		// fail-stop — the poisoned writer guarantees it is never acked
+		// later either.
+		if err := w.WaitDurable(seq); err != nil {
+			fb.failStop(err)
+			return fb.degradedError()
+		}
 	}
 	return nil
 }
@@ -343,6 +387,10 @@ func (fb *FileBackend) mutateBatch(recs []walRecord, durable bool) error {
 		fb.mu.Unlock()
 		return fmt.Errorf("platform: file backend is closed")
 	}
+	if fb.degraded.Load() {
+		fb.mu.Unlock()
+		return fb.degradedError()
+	}
 	for i := range recs {
 		if err := fb.validateLocked(recs[i]); err != nil {
 			fb.mu.Unlock()
@@ -351,7 +399,12 @@ func (fb *FileBackend) mutateBatch(recs []walRecord, durable bool) error {
 	}
 	seq, err := fb.w.AppendBatch(payloads)
 	if err != nil {
+		poisoned := fb.w.Err() != nil
 		fb.mu.Unlock()
+		if poisoned {
+			fb.failStop(err)
+			return fb.degradedError()
+		}
 		return err
 	}
 	for i := range recs {
@@ -376,9 +429,47 @@ func (fb *FileBackend) mutateBatch(recs []walRecord, durable bool) error {
 	fb.mu.Unlock()
 
 	if durable {
-		return w.WaitDurable(seq)
+		// Same contract as mutate: a failed group commit NACKs the whole
+		// burst and fail-stops the backend.
+		if err := w.WaitDurable(seq); err != nil {
+			fb.failStop(err)
+			return fb.degradedError()
+		}
 	}
 	return nil
+}
+
+// failStop flips the backend into degraded read-only mode on the first
+// disk fault. One-way for the life of the process: the WAL writer behind
+// the fault is poisoned (see the wal package's fail-stop contract), so no
+// later write could be made durable anyway. Recovery is restart-shaped —
+// reopen the directory and replay the intact log.
+func (fb *FileBackend) failStop(cause error) {
+	if fb.degraded.CompareAndSwap(false, true) {
+		fb.degradedCause.Store(cause)
+		log.Printf("platform: file backend DEGRADED (read-only) after disk fault: %v", cause)
+	}
+}
+
+// degradedError returns the caller-visible mutation error while degraded;
+// it always matches errors.Is(err, ErrDegraded).
+func (fb *FileBackend) degradedError() error {
+	if cause, _ := fb.degradedCause.Load().(error); cause != nil {
+		return fmt.Errorf("%w (cause: %v)", ErrDegraded, cause)
+	}
+	return ErrDegraded
+}
+
+// Degraded reports whether the backend has fail-stopped into read-only
+// mode, and the cause. Lock-free; safe from healthz and admission paths.
+func (fb *FileBackend) Degraded() (bool, string) {
+	if !fb.degraded.Load() {
+		return false, ""
+	}
+	if cause, _ := fb.degradedCause.Load().(error); cause != nil {
+		return true, cause.Error()
+	}
+	return true, "disk fault"
 }
 
 // compactLocked (caller holds fb.mu) writes a full snapshot and swaps in a
@@ -412,11 +503,15 @@ func (fb *FileBackend) compactLocked() error {
 		os.Remove(newPath)
 		return err
 	}
-	if err := os.Rename(tmp, snapPath); err != nil {
+	renameErr := fault.Hit(FailpointSnapshotRename)
+	if renameErr == nil {
+		renameErr = os.Rename(tmp, snapPath)
+	}
+	if renameErr != nil {
 		nw.Close()
 		os.Remove(newPath)
 		os.Remove(tmp)
-		return err
+		return renameErr
 	}
 	// Best-effort directory sync so the rename itself is on disk.
 	if d, err := os.Open(fb.dir); err == nil {
@@ -432,6 +527,9 @@ func (fb *FileBackend) compactLocked() error {
 }
 
 func (fb *FileBackend) writeSnapshotFile(path string, snap storeSnapshot) error {
+	if err := fault.Hit(FailpointSnapshotWrite); err != nil {
+		return err
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -457,10 +555,18 @@ func (fb *FileBackend) Compact() error {
 	if fb.closed {
 		return fmt.Errorf("platform: file backend is closed")
 	}
+	if fb.degraded.Load() {
+		return fb.degradedError()
+	}
 	return fb.compactLocked()
 }
 
-// Close writes a final snapshot and releases the WAL.
+// Close writes a final snapshot and releases the WAL. A degraded backend
+// skips the snapshot: the memory state may include mutations whose ack
+// failed (applied, then the group commit NACKed), and persisting it would
+// promote un-acked writes to durable truth. The on-disk snapshot plus the
+// intact WAL prefix — exactly the acknowledged history — stay
+// authoritative for the restart.
 func (fb *FileBackend) Close() error {
 	fb.mu.Lock()
 	defer fb.mu.Unlock()
@@ -468,6 +574,10 @@ func (fb *FileBackend) Close() error {
 		return nil
 	}
 	fb.closed = true
+	if fb.degraded.Load() {
+		fb.w.Close()
+		return fb.degradedError()
+	}
 	err := fb.compactLocked()
 	if cerr := fb.w.Close(); err == nil {
 		err = cerr

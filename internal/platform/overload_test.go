@@ -29,7 +29,7 @@ import (
 // client that backs off politely must never have to guess.
 func TestShedResponsesCarryRetryAfter(t *testing.T) {
 	rec := httptest.NewRecorder()
-	shedError(rec, http.StatusTooManyRequests, "7", "busy")
+	shedError(rec, http.StatusTooManyRequests, "7", "test_reason", "busy")
 	if rec.Code != http.StatusTooManyRequests {
 		t.Errorf("shedError status = %d, want 429", rec.Code)
 	}

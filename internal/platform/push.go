@@ -610,11 +610,11 @@ func (s *Service) ServeLiveStream(w http.ResponseWriter, r *http.Request, channe
 		return
 	case errors.Is(err, ErrTooManySubscribers):
 		s.shed.subscribers.Add(1)
-		shedError(w, http.StatusServiceUnavailable, pushRetryAfterSeconds, err.Error())
+		shedError(w, http.StatusServiceUnavailable, pushRetryAfterSeconds, "subscribers", err.Error())
 		return
 	case errors.Is(err, ErrPushDraining):
 		s.shed.draining.Add(1)
-		shedError(w, http.StatusServiceUnavailable, drainRetryAfterSeconds, err.Error())
+		shedError(w, http.StatusServiceUnavailable, drainRetryAfterSeconds, "draining", err.Error())
 		return
 	case err != nil:
 		http.Error(w, err.Error(), http.StatusInternalServerError)

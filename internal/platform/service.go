@@ -366,6 +366,9 @@ func (s *Service) handleInteractions(w http.ResponseWriter, r *http.Request) {
 	if !s.route(w, r, id, routeForward) {
 		return
 	}
+	if !s.admitStore(w) {
+		return
+	}
 	if !s.acquireWrite(w) {
 		return
 	}
@@ -382,6 +385,13 @@ func (s *Service) handleInteractions(w http.ResponseWriter, r *http.Request) {
 	err = s.Store.LogEvents(id, events)
 	dec.release(&eventDecPool)
 	if err != nil {
+		if errors.Is(err, ErrDegraded) {
+			// The durable backend fail-stopped mid-request (or between the
+			// admission check and the append): shed, don't 404.
+			s.shed.degraded.Add(1)
+			shedError(w, http.StatusServiceUnavailable, degradedRetryAfterSeconds, "degraded", err.Error())
+			return
+		}
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
@@ -473,6 +483,9 @@ func (s *Service) handleRefine(w http.ResponseWriter, r *http.Request) {
 	if !s.route(w, r, id, routeForward) {
 		return
 	}
+	if !s.admitStore(w) {
+		return
+	}
 	if !s.acquireWrite(w) {
 		return
 	}
@@ -562,7 +575,11 @@ func (s *Service) handleLiveChat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Admission runs before the body decode: a shed request under overload
-	// costs two atomic checks, not a JSON parse.
+	// costs two atomic checks, not a JSON parse. admitStore runs after
+	// routing so a degraded node still forwards writes it does not own.
+	if !s.admitStore(w) {
+		return
+	}
 	if !s.acquireWrite(w) {
 		return
 	}
@@ -606,6 +623,9 @@ func (s *Service) handleLiveAdvance(w http.ResponseWriter, r *http.Request) {
 	if !s.route(w, r, channel, routeForward) {
 		return
 	}
+	if !s.admitStore(w) {
+		return
+	}
 	if !s.acquireWrite(w) {
 		return
 	}
@@ -641,6 +661,12 @@ func (s *Service) handleLiveClose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.route(w, r, channel, routeForward) {
+		return
+	}
+	// Degraded mode sheds close too: the closing flush advances state that
+	// could never be checkpointed, and the checkpoint delete could not be
+	// made durable — the whole mutation family is read-only until restart.
+	if !s.admitStore(w) {
 		return
 	}
 	dots, err := s.Engine.Sessions().CloseSession(r.Context(), channel)
@@ -750,16 +776,21 @@ func (s *Service) writeLiveError(w http.ResponseWriter, err error) {
 		http.Error(w, err.Error(), http.StatusConflict)
 	case errors.Is(err, engine.ErrClosed):
 		s.shed.draining.Add(1)
-		shedError(w, http.StatusServiceUnavailable, drainRetryAfterSeconds, "service is draining")
+		shedError(w, http.StatusServiceUnavailable, drainRetryAfterSeconds, "draining", "service is draining")
 	case errors.Is(err, engine.ErrHandoff):
 		s.shed.handoff.Add(1)
-		shedError(w, http.StatusServiceUnavailable, handoffRetryAfterSeconds, err.Error())
+		shedError(w, http.StatusServiceUnavailable, handoffRetryAfterSeconds, "handoff", err.Error())
 	case errors.Is(err, engine.ErrTooManySessions):
 		s.shed.sessionsCap.Add(1)
-		shedError(w, http.StatusTooManyRequests, capacityRetryAfterSeconds, err.Error())
+		shedError(w, http.StatusTooManyRequests, capacityRetryAfterSeconds, "sessions_cap", err.Error())
 	case errors.Is(err, engine.ErrRefineBusy):
 		s.shed.refineBusy.Add(1)
-		shedError(w, http.StatusTooManyRequests, capacityRetryAfterSeconds, err.Error())
+		shedError(w, http.StatusTooManyRequests, capacityRetryAfterSeconds, "refine_busy", err.Error())
+	case errors.Is(err, ErrDegraded):
+		// A store write surfaced through an engine path (blocking
+		// checkpoint, handoff detach) after the backend fail-stopped.
+		s.shed.degraded.Add(1)
+		shedError(w, http.StatusServiceUnavailable, degradedRetryAfterSeconds, "degraded", err.Error())
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}

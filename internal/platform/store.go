@@ -43,6 +43,10 @@ func (r VideoRecord) clone() VideoRecord {
 // so live sessions checkpoint through the same storage seam.
 type Store struct {
 	b Backend
+	// deg caches the backend's optional degraded-mode capability so the
+	// per-request admission check is a nil test + one atomic load, not a
+	// type assertion.
+	deg DegradedBackend
 
 	// revMu/revs track a per-video revision counter, bumped after every
 	// highlight-affecting mutation that flows through the facade
@@ -61,7 +65,21 @@ func NewStore() *Store {
 }
 
 // NewStoreWith wraps an explicit backend.
-func NewStoreWith(b Backend) *Store { return &Store{b: b, revs: make(map[string]uint64)} }
+func NewStoreWith(b Backend) *Store {
+	s := &Store{b: b, revs: make(map[string]uint64)}
+	s.deg, _ = b.(DegradedBackend)
+	return s
+}
+
+// Degraded reports whether the backend has fail-stopped into read-only
+// mode (see FileBackend.Degraded); backends without the capability are
+// never degraded.
+func (s *Store) Degraded() (bool, string) {
+	if s.deg == nil {
+		return false, ""
+	}
+	return s.deg.Degraded()
+}
 
 // Backend exposes the underlying storage backend.
 func (s *Store) Backend() Backend { return s.b }

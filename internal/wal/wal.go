@@ -49,6 +49,19 @@
 // unchanged: a crash mid-batch loses a suffix of the batch's records
 // exactly as it would for sequential appends (callers that need
 // all-or-nothing batches must encode the batch as one record).
+//
+// # Fail-stop contract
+//
+// The writer is fail-stop: the first failed write, flush, or fsync poisons
+// it permanently. A poisoned writer rejects further appends, never flushes
+// or fsyncs again, and fails every durability waiter with the original
+// error. In particular it never retries a failed fsync and then
+// acknowledges — after a failed fsync the kernel may have already dropped
+// the dirty pages, so a successful retry proves nothing about the data
+// ("fsyncgate"). Recovery is restart-shaped: reopen the log and replay;
+// only records whose group commit succeeded are guaranteed present, and a
+// record that was buffered or flushed but never fsynced may or may not
+// survive — which is exactly why its ack never went out.
 package wal
 
 import (
@@ -63,6 +76,20 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"lightor/internal/fault"
+)
+
+// Failpoint sites (package fault) wired into the write path. Disarmed they
+// cost one atomic load per append / group commit.
+const (
+	// FailpointWrite fires in Append/AppendBatch as the framed record is
+	// handed to the device; a partial:<n> action tears the record so
+	// recovery sees a torn tail.
+	FailpointWrite = "wal/write"
+	// FailpointSync fires in the group-commit flusher in place of fsync
+	// (it fires even under NoSync, so tests need no real disk stall).
+	FailpointSync = "wal/sync"
 )
 
 const (
@@ -384,9 +411,15 @@ func (w *Writer) appendBatch(payloads [][]byte) (uint64, error) {
 	} else {
 		w.batchBuf = nil
 	}
+	if fault.Enabled() {
+		if allowed, ferr := fault.WriteLimit(FailpointWrite, len(buf)); ferr != nil {
+			w.poisonTornLocked(nil, buf, allowed, ferr)
+			return 0, w.err
+		}
+	}
 	if _, err := w.bw.Write(buf); err != nil {
-		w.err = err
-		return 0, err
+		w.err = fmt.Errorf("wal: write failed (writer poisoned): %w", err)
+		return 0, w.err
 	}
 	w.seq += uint64(len(payloads))
 	return w.seq, nil
@@ -406,16 +439,40 @@ func (w *Writer) append(payload []byte) (uint64, error) {
 	}
 	binary.LittleEndian.PutUint32(w.frame[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(w.frame[4:8], crc32.ChecksumIEEE(payload))
+	if fault.Enabled() {
+		if allowed, ferr := fault.WriteLimit(FailpointWrite, frameSize+len(payload)); ferr != nil {
+			w.poisonTornLocked(w.frame[:], payload, allowed, ferr)
+			return 0, w.err
+		}
+	}
 	if _, err := w.bw.Write(w.frame[:]); err != nil {
-		w.err = err
-		return 0, err
+		w.err = fmt.Errorf("wal: write failed (writer poisoned): %w", err)
+		return 0, w.err
 	}
 	if _, err := w.bw.Write(payload); err != nil {
-		w.err = err
-		return 0, err
+		w.err = fmt.Errorf("wal: write failed (writer poisoned): %w", err)
+		return 0, w.err
 	}
 	w.seq++
 	return w.seq, nil
+}
+
+// poisonTornLocked emulates a failing device under an armed write
+// failpoint: the first `allowed` bytes of the framed record reach the file
+// (flushed, so a subsequent recovery scan sees a realistic torn tail), then
+// the writer poisons itself with the injected error. Caller holds w.mu.
+func (w *Writer) poisonTornLocked(frame, payload []byte, allowed int, cause error) {
+	full := make([]byte, 0, len(frame)+len(payload))
+	full = append(full, frame...)
+	full = append(full, payload...)
+	if allowed > len(full) {
+		allowed = len(full)
+	}
+	if allowed > 0 {
+		w.bw.Write(full[:allowed])
+	}
+	w.bw.Flush()
+	w.err = fmt.Errorf("wal: write failed (writer poisoned): %w", cause)
 }
 
 // nudge wakes the flusher without blocking (one pending wake suffices).
@@ -457,24 +514,42 @@ func (w *Writer) flushLoop() {
 }
 
 // flushAndSync makes every record appended so far durable and releases the
-// waiters covered by it.
+// waiters covered by it. It is the enforcement point of the fail-stop
+// contract: once the writer is poisoned (a prior write, flush, or fsync
+// failed) it never touches the file again — retrying fsync after a failure
+// and acknowledging on success would trust pages the kernel may already
+// have dropped — and instead fails every waiter with the original error.
 func (w *Writer) flushAndSync() {
 	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		w.failWaiters(err)
+		return
+	}
 	seq := w.seq
 	err := w.bw.Flush()
-	if err != nil && w.err == nil {
-		w.err = err
+	if err != nil {
+		w.err = fmt.Errorf("wal: flush failed (writer poisoned): %w", err)
+		err = w.err
 	}
 	f := w.f
 	w.mu.Unlock()
 
-	if err == nil && !w.noSync {
-		if serr := f.Sync(); serr != nil {
+	if err == nil {
+		var serr error
+		if fault.Enabled() {
+			serr = fault.Hit(FailpointSync)
+		}
+		if serr == nil && !w.noSync {
+			serr = f.Sync()
+		}
+		if serr != nil {
 			w.mu.Lock()
 			if w.err == nil {
-				w.err = serr
+				w.err = fmt.Errorf("wal: fsync failed (writer poisoned): %w", serr)
 			}
-			err = serr
+			err = w.err
 			w.mu.Unlock()
 		}
 	}
@@ -489,6 +564,25 @@ func (w *Writer) flushAndSync() {
 	}
 	w.cond.Broadcast()
 	w.cmu.Unlock()
+}
+
+// failWaiters releases every durability waiter with err (first error
+// sticks), without touching the file.
+func (w *Writer) failWaiters(err error) {
+	w.cmu.Lock()
+	if w.syncErr == nil {
+		w.syncErr = err
+	}
+	w.cond.Broadcast()
+	w.cmu.Unlock()
+}
+
+// Err returns the writer's sticky error: nil while healthy, the original
+// write/flush/fsync failure once poisoned.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
 }
 
 // Sync flushes and fsyncs everything appended so far, synchronously.
