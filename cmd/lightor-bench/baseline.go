@@ -27,7 +27,9 @@ import (
 //     pollers) and above the sanity floor everywhere (hot may never be
 //     slower than cold); and the cluster scale ratio (aggregate
 //     throughput at N nodes over 1 node, same run) must stay ≥
-//     minClusterScale for both the ingest and read fleets.
+//     minClusterScale for both the ingest and read fleets; and the
+//     checkpoint-replication on/off ingest ratio (same run) must stay ≥
+//     minReplicationIngestRatio.
 
 // minReadSanity is the universal hot-vs-cold floor: whatever the machine
 // or fan-in, the cached read lane must never lose to re-encoding.
@@ -63,6 +65,15 @@ const (
 	// push must beat 1 Hz conditional polling by at least this factor.
 	minPushWireRatio = 10.0
 )
+
+// minReplicationIngestRatio is the checkpoint-replication overhead
+// floor (PR 10): aggregate ingest throughput with every checkpoint
+// shipped to its ring successor must stay ≥ this fraction of the
+// replication-off run — a same-run ratio, so machine speed cancels.
+// Replication is designed to sit off the ack path (async ship loop,
+// coalesced per-channel queue), so a breach means shipping leaked into
+// the hot path.
+const minReplicationIngestRatio = 0.9
 
 // Tail-latency invariants (PR 8). Dispersion (p999/p50) and the flash
 // cold-read ratio are same-run ratios, so machine speed cancels; the
@@ -288,6 +299,25 @@ func checkBaseline(cur, base benchReport, tol, minSpeedup, minReadSpeedup, minCl
 	}
 	if len(cur.Results.ClusterScale) == 0 && len(base.Results.ClusterScale) > 0 {
 		v = append(v, "cluster_scale: missing from report")
+	}
+
+	// Checkpoint replication: relative-to-baseline throughput on both
+	// arms, plus the same-run on/off ratio — shipping every checkpoint
+	// to a standby may cost at most (1 − minReplicationIngestRatio) of
+	// aggregate ingest.
+	repl, baseRepl := cur.Results.ReplicationOverhead, base.Results.ReplicationOverhead
+	if repl.Nodes == 0 && baseRepl.Nodes > 0 {
+		v = append(v, "replication_overhead: missing from report")
+	}
+	if repl.Nodes > 0 {
+		throughput("replication_overhead.ingest_msgs_per_sec_replication_off",
+			repl.IngestOffMsgsPerSec, baseRepl.IngestOffMsgsPerSec)
+		throughput("replication_overhead.ingest_msgs_per_sec_replication_on",
+			repl.IngestOnMsgsPerSec, baseRepl.IngestOnMsgsPerSec)
+		if repl.IngestOnOverOff < minReplicationIngestRatio {
+			v = append(v, fmt.Sprintf("replication_overhead: ingest with replication on is %.2f× the replication-off run < required %.2f× (same run — shipping leaked into the hot path)",
+				repl.IngestOnOverOff, minReplicationIngestRatio))
+		}
 	}
 
 	// Tail-latency rows: same-run dispersion + Retry-After invariants on

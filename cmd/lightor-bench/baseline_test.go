@@ -60,6 +60,11 @@ func refReport() benchReport {
 		{Nodes: 3, Channels: 12, OpsPerSec: 4.2e5, OpsPerSecPerNode: 1.4e5},
 	}
 	r.Results.ClusterScale = []clusterScaleResult{{Nodes: 3, IngestScale: 1.1, ReadScale: 1.05}}
+	r.Results.ReplicationOverhead = replicationOverheadResult{
+		Nodes: 3, Replicas: 1, Channels: 12,
+		IngestOffMsgsPerSec: 1.0e6, IngestOnMsgsPerSec: 9.6e5, IngestOnOverOff: 0.96,
+		CheckpointOffNs: 9000, CheckpointOnNs: 9400,
+	}
 	r.Results.LatencyZipf = []latencyMixResult{
 		{Mix: "read-heavy", OpsPerSec: 5.5e4, P50Us: 2.6, P99Us: 65, P999Us: 156,
 			ColdP50Us: 2.5, ColdP99Us: 17, ColdP999Us: 60, ShedPct: 0.4, RetryAfterOK: true},
@@ -221,6 +226,47 @@ func TestCheckBaselineCatchesClusterRegressions(t *testing.T) {
 	flat.Results.ClusterScale[0].ReadScale = 0.9
 	if v := checkBaseline(flat, base, 1.5, 3.0, 5.0, 0.5, 2000, 50); len(v) != 0 {
 		t.Fatalf("flat single-core scaling wrongly flagged: %v", v)
+	}
+}
+
+func TestCheckBaselineCatchesReplicationRegressions(t *testing.T) {
+	base := refReport()
+
+	// Shipping leaked into the hot path: the same-run on/off ratio fell
+	// below the floor, and the on-arm throughput collapsed vs baseline.
+	cur := refReport()
+	cur.Results.ReplicationOverhead.IngestOnMsgsPerSec = 3.0e5
+	cur.Results.ReplicationOverhead.IngestOnOverOff = 0.3
+	v := checkBaseline(cur, base, 1.5, 3.0, 5.0, 0.5, 2000, 50)
+	if len(v) != 2 {
+		t.Fatalf("expected 2 violations, got %d: %v", len(v), v)
+	}
+	joined := strings.Join(v, "\n")
+	for _, want := range []string{
+		"replication_overhead.ingest_msgs_per_sec_replication_on",
+		"replication_overhead: ingest with replication on is 0.30",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("violations missing %q:\n%s", want, joined)
+		}
+	}
+
+	// The floor is same-run: a ratio just above it passes regardless of
+	// absolute speed.
+	edge := refReport()
+	edge.Results.ReplicationOverhead.IngestOffMsgsPerSec = 5.0e5
+	edge.Results.ReplicationOverhead.IngestOnMsgsPerSec = 4.6e5
+	edge.Results.ReplicationOverhead.IngestOnOverOff = 0.92
+	if v := checkBaseline(edge, base, 1.5, 3.0, 5.0, 0.5, 2000, 50); len(v) != 0 {
+		t.Fatalf("replication ratio above the floor wrongly flagged: %v", v)
+	}
+
+	// Dropping the row entirely must fail when the baseline has it.
+	missing := refReport()
+	missing.Results.ReplicationOverhead = replicationOverheadResult{}
+	if v := checkBaseline(missing, base, 1.5, 3.0, 5.0, 0.5, 2000, 50); len(v) != 1 ||
+		!strings.Contains(v[0], "replication_overhead: missing") {
+		t.Fatalf("missing replication row not flagged: %v", v)
 	}
 }
 

@@ -108,6 +108,15 @@ type benchResult struct {
 	// -min-cluster-scale floor: sharding a fixed fleet redistributes the
 	// work but must never collapse aggregate throughput.
 	ClusterScale []clusterScaleResult `json:"cluster_scale"`
+	// ReplicationOverhead is what checkpoint replication costs the hot
+	// path: the sharded ingest fleet on checkpointing nodes behind real
+	// listeners, run once with replication off and once with every
+	// checkpoint shipped to its ring successor, in the same process.
+	// The on/off ingest ratio is a same-run number (machine speed
+	// cancels) that the baseline gate holds ≥ its floor; the explicit
+	// checkpoint latencies both ways are the off-the-ack-path exhibit —
+	// shipping is asynchronous, so they should be near-identical.
+	ReplicationOverhead replicationOverheadResult `json:"replication_overhead"`
 	// LatencyZipf is per-request latency under mixed traffic with static
 	// Zipf(1.2) channel popularity — the platform's everyday shape — one
 	// row per canonical mix. The gate bounds p999/p50 dispersion (a
@@ -245,6 +254,21 @@ type clusterScaleResult struct {
 	Nodes       int     `json:"nodes"`
 	IngestScale float64 `json:"ingest_scale_vs_1"`
 	ReadScale   float64 `json:"read_scale_vs_1"`
+}
+
+// replicationOverheadResult is the replication on/off differential.
+// IngestOnOverOff is the gated headline; the checkpoint latencies are
+// recorded, not gated (disk-backed Put noise would make a tight ratio
+// flaky), and document that shipping stays off the checkpoint path.
+type replicationOverheadResult struct {
+	Nodes               int     `json:"nodes"`
+	Replicas            int     `json:"replicas"`
+	Channels            int     `json:"channels"`
+	IngestOffMsgsPerSec float64 `json:"ingest_msgs_per_sec_replication_off"`
+	IngestOnMsgsPerSec  float64 `json:"ingest_msgs_per_sec_replication_on"`
+	IngestOnOverOff     float64 `json:"ingest_on_over_off"`
+	CheckpointOffNs     float64 `json:"checkpoint_ns_replication_off"`
+	CheckpointOnNs      float64 `json:"checkpoint_ns_replication_on"`
 }
 
 // latencyMixResult is one Zipf mixed-traffic latency row. Quantiles are
@@ -640,6 +664,55 @@ func runBenchJSON(path string) error {
 				ReadScale:   rps / clusterRead1,
 			})
 		}
+	}
+
+	// Replication overhead: both arms of each differential run in the
+	// same process back to back, so the on/off ratio cancels machine
+	// speed. The on arms self-verify (a probe checkpoint must reach a
+	// standby's replica area, or the body fails) — a replicator that
+	// ships nothing cannot win the ratio by forfeit.
+	{
+		row := replicationOverheadResult{
+			Nodes:    perfcluster.ReplicationNodes,
+			Replicas: perfcluster.ReplicationReplicas,
+			Channels: perfcluster.ClusterChannels,
+		}
+		for _, replicated := range []bool{false, true} {
+			var sink perfengine.ErrSink
+			r := testing.Benchmark(perfcluster.ReplicatedClusterIngest(init, msgs, perfcluster.ReplicationNodes, replicated, &sink))
+			name := fmt.Sprintf("replication_ingest/replicated=%t", replicated)
+			if err := sink.Err(); err != nil {
+				return fmt.Errorf("bench-json: %s failed mid-run: %w", name, err)
+			}
+			if err := checkResult(name, r); err != nil {
+				return err
+			}
+			if replicated {
+				row.IngestOnMsgsPerSec = r.Extra["msgs/sec"]
+			} else {
+				row.IngestOffMsgsPerSec = r.Extra["msgs/sec"]
+			}
+		}
+		if row.IngestOffMsgsPerSec > 0 {
+			row.IngestOnOverOff = row.IngestOnMsgsPerSec / row.IngestOffMsgsPerSec
+		}
+		for _, replicated := range []bool{false, true} {
+			var sink perfengine.ErrSink
+			r := testing.Benchmark(perfcluster.ReplicatedCheckpointLatency(init, msgs, perfcluster.ReplicationNodes, replicated, &sink))
+			name := fmt.Sprintf("replication_checkpoint/replicated=%t", replicated)
+			if err := sink.Err(); err != nil {
+				return fmt.Errorf("bench-json: %s failed mid-run: %w", name, err)
+			}
+			if err := checkResult(name, r); err != nil {
+				return err
+			}
+			if replicated {
+				row.CheckpointOnNs = float64(r.NsPerOp())
+			} else {
+				row.CheckpointOffNs = float64(r.NsPerOp())
+			}
+		}
+		report.Results.ReplicationOverhead = row
 	}
 
 	// Tail-latency rows: mixed Zipf traffic per canonical mix, then the

@@ -30,8 +30,12 @@
 // and video id to its owner node, misrouted writes are forwarded to the
 // owner over pooled keep-alive connections, misrouted reads answer 307
 // so viewers stream straight from the owner, and the /api/cluster/*
-// endpoints (handoff, resume, route, down, owned) rebalance live
-// channels between nodes without ending their broadcasts. The control
+// endpoints (handoff, resume, route, down, owned, replica) rebalance live
+// channels between nodes without ending their broadcasts. With -data-dir
+// too, every checkpoint additionally ships to -replicas ring-successor
+// standbys, so when a node dies together with its disk the survivors
+// resume its channels from their local replica areas (healthz reports
+// them under "resumed_from"). The control
 // plane shares the public listener, so cluster mode requires
 // -cluster-secret (the same value on every node); /api/cluster/*
 // requests without the matching X-Lightor-Cluster-Key header are
@@ -68,6 +72,7 @@ import (
 	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof-addr
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -109,6 +114,8 @@ func main() {
 	heartbeatTimeout := flag.Duration("heartbeat-timeout", 0, "per-probe deadline (0 = -heartbeat-interval)")
 	clusterCallTimeout := flag.Duration("cluster-call-timeout", 10*time.Second, "per-attempt deadline on node-to-node calls (forwarded writes and control plane)")
 	clusterRetries := flag.Int("cluster-retries", 3, "attempts per node-to-node call; transport failures retry with jittered backoff, any HTTP response is final")
+	replicaCount := flag.Int("replicas", 1, "standby checkpoint replicas per channel in cluster mode with -data-dir: each checkpoint ships asynchronously to this many ring successors so a node's channels survive losing the node AND its disk (minimum 1)")
+	replicaDir := flag.String("replica-dir", "", "directory for OTHER nodes' replicated checkpoints (default <data-dir>/replicas); kept apart from -data-dir state so startup resume never adopts a standby copy")
 	flag.Parse()
 
 	// Fault injection is opt-in via LIGHTOR_FAILPOINTS and refuses to be
@@ -313,6 +320,34 @@ func main() {
 		log.Printf("WARNING: admission control disabled — queues are unbounded under overload")
 	}
 
+	// Checkpoint replication: cluster mode with a durable store ships every
+	// checkpoint to ring-successor standbys and resumes dead peers'
+	// channels from the local replica area. Needs both — without peers
+	// there is nowhere to ship, without checkpoints nothing to ship.
+	var replicator *platform.Replicator
+	if clusterNode != nil && durable {
+		rdir := *replicaDir
+		if rdir == "" {
+			rdir = filepath.Join(*dataDir, "replicas")
+		}
+		replicaStore, err := platform.OpenReplicaStore(rdir)
+		if err != nil {
+			log.Printf("replica store at %s (continuing with healthy replicas): %v", rdir, err)
+		}
+		if replicaStore != nil {
+			cadence := *heartbeatInterval
+			if cadence <= 0 {
+				cadence = time.Second
+			}
+			replicator = platform.NewReplicator(svc, replicaStore, *replicaCount, cadence)
+			replicator.Start()
+			log.Printf("checkpoint replication: %d standby(s) per channel, replica area %s, anti-entropy every %s",
+				*replicaCount, rdir, cadence)
+		}
+	} else if clusterNode != nil {
+		log.Printf("checkpoint replication disabled: requires -data-dir (no checkpoints to ship)")
+	}
+
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	go func() {
 		log.Printf("LIGHTOR service listening on %s", *addr)
@@ -343,6 +378,12 @@ func main() {
 	// snapshot so the next start replays nothing.
 	if err := eng.Close(ctx); err != nil {
 		log.Printf("engine drain: %v", err)
+	}
+	// Stop replication after the engine drain so the final per-session
+	// checkpoints get their chance to ship; anything still unsent is
+	// covered by the standbys' existing (at most one interval old) copies.
+	if replicator != nil {
+		replicator.Stop()
 	}
 	if durable {
 		if err := store.Close(); err != nil {

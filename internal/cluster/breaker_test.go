@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -107,5 +108,129 @@ func TestRetryDelayBounded(t *testing.T) {
 				t.Fatalf("RetryDelay(%d) = %v, exceeds bound", attempt, d)
 			}
 		}
+	}
+}
+
+// TestBreakerHalfOpenConcurrentProbe is the regression pin for the
+// probe-admission race: N forwards racing the moment the cooldown elapses
+// must admit EXACTLY one half-open probe — the losers fail fast instead of
+// piling onto a peer that is still getting back on its feet. It also pins
+// the re-open-after-failed-probe transition: the failed probe restarts the
+// cooldown from the failure, not from the original trip.
+func TestBreakerHalfOpenConcurrentProbe(t *testing.T) {
+	const cooldown = 50 * time.Millisecond
+	b := NewBreaker(1, cooldown)
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %s, want open", b.State())
+	}
+	time.Sleep(cooldown + 10*time.Millisecond)
+
+	const callers = 32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	admitted := make(chan bool, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			admitted <- b.Allow()
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(admitted)
+	wins := 0
+	for ok := range admitted {
+		if ok {
+			wins++
+		}
+	}
+	if wins != 1 {
+		t.Fatalf("%d concurrent callers admitted, want exactly 1", wins)
+	}
+
+	// The losing callers left no state behind: the single in-flight probe
+	// still owns the half-open slot.
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %s, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second probe admitted while the first is in flight")
+	}
+
+	// The probe fails: the breaker re-opens for a FULL fresh cooldown
+	// measured from the failure. Halfway through that window — which is
+	// well past the original openedAt + cooldown — calls must still be
+	// refused; only after the fresh cooldown does the next probe pass.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %s, want open", b.State())
+	}
+	time.Sleep(cooldown / 2)
+	if b.Allow() {
+		t.Fatal("breaker admitted a call before the re-opened cooldown elapsed")
+	}
+	time.Sleep(cooldown)
+	if !b.Allow() {
+		t.Fatal("probe refused after the re-opened cooldown")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %s, want closed", b.State())
+	}
+}
+
+// TestOnPeerDown: the up→down transition fires the registered observer
+// exactly once per outage, regardless of how many SetDown(true) calls race
+// the flip, and never fires on un-down.
+func TestOnPeerDown(t *testing.T) {
+	n, err := New("n1", []Peer{{ID: "n1", Addr: "a:1"}, {ID: "n2", Addr: "a:2"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := make(chan string, 16)
+	n.OnPeerDown(func(id string) { fired <- id })
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = n.SetDown("n2", true)
+		}()
+	}
+	wg.Wait()
+	select {
+	case id := <-fired:
+		if id != "n2" {
+			t.Fatalf("observer fired for %q, want n2", id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("observer never fired")
+	}
+	select {
+	case <-fired:
+		t.Fatal("observer fired more than once for one outage")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Un-down is not a transition the observer sees; the NEXT outage is.
+	if err := n.SetDown("n2", false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fired:
+		t.Fatal("observer fired on un-down")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := n.SetDown("n2", true); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("observer missed the second outage")
 	}
 }

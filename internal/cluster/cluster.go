@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lightor/internal/fault"
 )
 
 // Peer is one cluster member: a stable node id and the HTTP address the
@@ -84,13 +86,20 @@ const (
 // call, so an armed error behaves exactly like a transport failure —
 // retried, counted against the peer's breaker, surfaced as 502 when
 // exhausted.
-const (
+var (
 	// FailpointForward fires per forwarding attempt (misrouted writes
 	// relayed to their owner).
-	FailpointForward = "cluster/forward"
+	FailpointForward = fault.Register("cluster/forward")
 	// FailpointControl fires per control-plane call attempt (handoff,
 	// resume, route broadcast, owned probe).
-	FailpointControl = "cluster/control"
+	FailpointControl = fault.Register("cluster/control")
+	// FailpointReplicaSend fires on the owner as each checkpoint replica
+	// is about to ship to a ring successor; an armed error drops that
+	// delivery (anti-entropy re-ships it later).
+	FailpointReplicaSend = fault.Register("replica/send")
+	// FailpointReplicaApply fires on the receiver as a replica envelope
+	// is about to be stored; an armed error rejects the delivery.
+	FailpointReplicaApply = fault.Register("replica/apply")
 )
 
 // Node is one member's view of the cluster: the shared ring, its own
@@ -135,6 +144,9 @@ type Node struct {
 
 	hbMu sync.Mutex
 	hb   *heartbeatMonitor
+
+	downMu sync.Mutex
+	onDown func(id string) // up→down transition observer; see OnPeerDown
 }
 
 // New builds this process's cluster membership from its node id and the
@@ -260,14 +272,42 @@ func (n *Node) SetDown(id string, down bool) error {
 	if id == n.self && down {
 		return fmt.Errorf("cluster: refusing to mark self (%q) down", id)
 	}
+	var wentDown bool
 	n.mutate(func(st *routeState) {
 		if down {
+			// st is the pre-mutation copy at this point, so this reads the
+			// previous state under the same lock that serializes updates —
+			// concurrent SetDown calls yield exactly one transition.
+			wentDown = !st.down[id]
 			st.down[id] = true
 		} else {
 			delete(st.down, id)
 		}
 	})
+	if wentDown {
+		n.downMu.Lock()
+		fn := n.onDown
+		n.downMu.Unlock()
+		if fn != nil {
+			// Asynchronous: SetDown is called from the heartbeat probe loop,
+			// which must never block on failover work (resuming a dead
+			// node's channels makes cluster calls of its own).
+			go fn(id)
+		}
+	}
 	return nil
+}
+
+// OnPeerDown registers fn to run — in its own goroutine — each time a
+// member transitions from up to down, whether heartbeat-detected or
+// operator-announced (POST /api/cluster/down). At most one observer; a
+// later call replaces it, nil unregisters. The replica failover path hangs
+// off this: survivors resume a dead node's channels from their standby
+// replica envelopes the moment it is declared down.
+func (n *Node) OnPeerDown(fn func(id string)) {
+	n.downMu.Lock()
+	n.onDown = fn
+	n.downMu.Unlock()
 }
 
 // Down reports whether a member is currently marked down.

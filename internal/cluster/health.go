@@ -26,8 +26,9 @@ type HeartbeatConfig struct {
 	// (default 3). One miss makes the peer "suspect"; a single success at
 	// any point resets the streak and, if the peer was down, un-downs it.
 	Misses int
-	// Path is the endpoint probed on each peer (default /api/healthz —
-	// the public health endpoint, so probes need no cluster secret).
+	// Path is the endpoint probed on each peer (default /api/ping — a
+	// static liveness endpoint that needs no cluster secret and builds no
+	// per-request JSON; /api/healthz stays available for operators).
 	Path string
 }
 
@@ -42,7 +43,7 @@ func (c *HeartbeatConfig) fillDefaults() {
 		c.Misses = defaultHeartbeatMisses
 	}
 	if c.Path == "" {
-		c.Path = "/api/healthz"
+		c.Path = "/api/ping"
 	}
 }
 

@@ -7,14 +7,17 @@ import (
 	"time"
 )
 
-// serveHealthz runs a minimal healthz responder on l until the returned
-// stop func is called.
+// serveHealthz runs a minimal liveness responder on l until the returned
+// stop func is called. It answers both the ping path heartbeats probe by
+// default and the operator healthz path.
 func serveHealthz(t *testing.T, l net.Listener) func() {
 	t.Helper()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/api/healthz", func(w http.ResponseWriter, r *http.Request) {
+	ok := func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
-	})
+	}
+	mux.HandleFunc("/api/ping", ok)
+	mux.HandleFunc("/api/healthz", ok)
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(l)
 	return func() { srv.Close() }

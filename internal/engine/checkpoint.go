@@ -25,6 +25,28 @@ type CheckpointStore interface {
 	DeleteCheckpoint(channel string) error
 }
 
+// CheckpointListener observes the durable-checkpoint lifecycle of every
+// session in a manager — the engine-side hook checkpoint replication hangs
+// off: a cluster node registers a listener that ships each freshly written
+// checkpoint to the channel's ring successors.
+//
+// CheckpointSaved runs synchronously on the worker that owns the session's
+// mailbox (or the drain/restore path), immediately after the local
+// checkpoint store accepted the write. state is the serialized detector
+// snapshot and is only valid for the duration of the call — the encode
+// buffer is reused by the next checkpoint — so implementations must copy
+// anything they retain. watermark is the detector clock the snapshot
+// captures: the position a producer resumes from if this state is ever
+// restored. It must not block for long (it stalls that channel's mailbox).
+//
+// CheckpointDropped runs after a channel's checkpoint was removed from the
+// local store: the broadcast ended (CloseSession) or the channel's durable
+// home moved to another node (ForgetCheckpoint after a confirmed handoff).
+type CheckpointListener interface {
+	CheckpointSaved(channel string, state []byte, watermark float64)
+	CheckpointDropped(channel string)
+}
+
 // snapshotter is the optional session-backend capability behind
 // checkpointing. Live (online) backends implement it; replay backends do
 // not — a batch job has nothing worth resuming.
@@ -33,6 +55,15 @@ type snapshotter interface {
 }
 
 func (b onlineBackend) snapshotInto(dst []byte) []byte { return b.od.AppendSnapshot(dst) }
+
+// clocked exposes the detector clock captured by the latest snapshot. The
+// session watermark cannot stand in for it: the mailbox watermark advances
+// at enqueue time and may run ahead of the state a checkpoint serializes.
+type clocked interface {
+	now() float64
+}
+
+func (b onlineBackend) now() float64 { return b.od.Now() }
 
 // checkpointLocked serializes the session's detector into the store.
 // Caller holds s.detMu, so the snapshot is consistent with every envelope
@@ -47,7 +78,21 @@ func (s *Session) checkpointLocked() error {
 		return nil
 	}
 	s.snapBuf = snap.snapshotInto(s.snapBuf[:0])
-	return s.mgr.ckpt.PutCheckpoint(s.channel, s.snapBuf)
+	if err := s.mgr.ckpt.PutCheckpoint(s.channel, s.snapBuf); err != nil {
+		return err
+	}
+	// Replication hook — only after the local store accepted the write, so
+	// a replica never holds state the owner's own disk rejected (a degraded
+	// owner freezes its replicas at the last durable state, consistent with
+	// what a local restart would resume).
+	if lp := s.mgr.ckptListener.Load(); lp != nil {
+		var wm float64
+		if c, ok := s.det.(clocked); ok {
+			wm = c.now()
+		}
+		(*lp).CheckpointSaved(s.channel, s.snapBuf, wm)
+	}
+	return nil
 }
 
 // checkpointNow takes the detector lock and checkpoints immediately. Used

@@ -118,7 +118,13 @@ func (m *SessionManager) ForgetCheckpoint(channel string) error {
 	if m.ckpt == nil {
 		return nil
 	}
-	return m.ckpt.DeleteCheckpoint(channel)
+	if err := m.ckpt.DeleteCheckpoint(channel); err != nil {
+		return err
+	}
+	if lp := m.ckptListener.Load(); lp != nil {
+		(*lp).CheckpointDropped(channel)
+	}
+	return nil
 }
 
 // restoreFromState builds a session from serialized detector state and
@@ -163,7 +169,14 @@ func (m *SessionManager) RestoreSession(channel string, state []byte) (*Session,
 		// Best-effort: on failure the next emission or interval
 		// checkpoint retries; until then the transferred state lives in
 		// memory exactly as a freshly opened session's would.
-		_ = m.ckpt.PutCheckpoint(channel, state)
+		if err := m.ckpt.PutCheckpoint(channel, state); err == nil {
+			// The adopted channel is re-protected immediately: its new
+			// ring successors receive the transferred state without
+			// waiting for the next emission or interval checkpoint.
+			if lp := m.ckptListener.Load(); lp != nil {
+				(*lp).CheckpointSaved(channel, state, s.Watermark())
+			}
+		}
 	}
 	return s, nil
 }

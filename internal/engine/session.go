@@ -35,6 +35,11 @@ var (
 	// caller's messages. Retryable — the move settles in one transfer
 	// round trip.
 	ErrHandoff = errors.New("engine: channel handoff in progress")
+	// ErrSessionExists is returned by Open and RestoreSession when the
+	// channel is already live on this node. Callers racing to resume the
+	// same channel (replica failover vs. an operator-driven resume) treat
+	// it as "someone else won" and read the live session instead.
+	ErrSessionExists = errors.New("engine: session already open")
 )
 
 // sessionDetector is the per-session detection backend. Live sessions wrap
@@ -555,6 +560,12 @@ type SessionManager struct {
 	// cleanly unregisters.
 	listener atomic.Pointer[DotListener]
 
+	// ckptListener, when set, observes durable checkpoint writes and
+	// deletions — the hook checkpoint replication hangs off. Same atomic
+	// pointer-to-interface pattern as listener: read on every checkpoint
+	// by mailbox workers, nil store unregisters.
+	ckptListener atomic.Pointer[CheckpointListener]
+
 	mu       sync.Mutex
 	sessions map[string]*Session
 	// barred holds channels whose re-open is refused (ErrHandoff): their
@@ -630,7 +641,7 @@ func (m *SessionManager) GetOrOpen(channel string) (*Session, error) {
 	}
 	m.mu.Unlock()
 	s, err := m.open(channel, nil)
-	if errors.Is(err, errDuplicate) {
+	if errors.Is(err, ErrSessionExists) {
 		return m.GetOrOpen(channel)
 	}
 	return s, err
@@ -658,6 +669,20 @@ func (m *SessionManager) SetDotListener(l DotListener) {
 	m.listener.Store(&l)
 }
 
+// SetCheckpointListener registers l to observe checkpoint writes and
+// deletions across every channel (nil unregisters). At most one listener
+// is supported — a later call replaces the earlier registration. Register
+// before traffic flows; checkpoints that race the registration are healed
+// by whatever reconciliation the listener drives (anti-entropy), not by
+// replaying missed notifications.
+func (m *SessionManager) SetCheckpointListener(l CheckpointListener) {
+	if l == nil {
+		m.ckptListener.Store(nil)
+		return
+	}
+	m.ckptListener.Store(&l)
+}
+
 // Workers returns the size of the pool draining session mailboxes: the
 // Config.SessionWorkers override, or runtime.GOMAXPROCS(0) captured at
 // engine construction when unset.
@@ -673,8 +698,6 @@ func (m *SessionManager) Channels() []string {
 	}
 	return out
 }
-
-var errDuplicate = errors.New("engine: session already open")
 
 func (m *SessionManager) open(channel string, det sessionDetector) (*Session, error) {
 	s, err := m.prepare(channel, det)
@@ -734,7 +757,7 @@ func (m *SessionManager) registerWith(s *Session, liftBar bool) (*Session, error
 		return nil, fmt.Errorf("%w: %q", ErrHandoff, s.channel)
 	}
 	if _, ok := m.sessions[s.channel]; ok {
-		return nil, fmt.Errorf("%w: %q", errDuplicate, s.channel)
+		return nil, fmt.Errorf("%w: %q", ErrSessionExists, s.channel)
 	}
 	if len(m.sessions) >= m.maxSessions {
 		return nil, fmt.Errorf("%w (cap %d)", ErrTooManySessions, m.maxSessions)
@@ -765,6 +788,9 @@ func (m *SessionManager) CloseSession(ctx context.Context, channel string) ([]co
 		// channel at the next restart. Best-effort — a leftover checkpoint
 		// resumes a flushed (inert) session, which is harmless.
 		_ = m.ckpt.DeleteCheckpoint(channel)
+		if lp := m.ckptListener.Load(); lp != nil {
+			(*lp).CheckpointDropped(channel)
+		}
 	}
 	// Tell the listener the channel is gone so push subscribers receive a
 	// terminal event instead of hanging. After Remove: a concurrent

@@ -147,7 +147,37 @@ var (
 
 	regMu  sync.RWMutex
 	points = map[string]*point{}
+
+	// known is the registry of declared site names. Packages declare their
+	// sites with Register (typically in a var block next to the code that
+	// hits them), and Arm refuses names outside the registry — a typo'd
+	// LIGHTOR_FAILPOINTS entry fails the process at startup instead of
+	// silently arming a site that never fires.
+	known = map[string]struct{}{}
 )
+
+// Register declares a failpoint site name and returns it, so declarations
+// read `var FailpointX = fault.Register("pkg/x")`. Idempotent; the
+// registry only gates Arm — Hit and WriteLimit never consult it, so the
+// disarmed hot path stays a single atomic load.
+func Register(site string) string {
+	regMu.Lock()
+	known[site] = struct{}{}
+	regMu.Unlock()
+	return site
+}
+
+// Sites returns the sorted names of all registered sites (armed or not).
+func Sites() []string {
+	regMu.RLock()
+	out := make([]string, 0, len(known))
+	for site := range known {
+		out = append(out, site)
+	}
+	regMu.RUnlock()
+	sort.Strings(out)
+	return out
+}
 
 // Enabled reports whether any failpoint is armed. Exported so callers can
 // hoist the check around fault-only work (staging a payload, formatting a
@@ -198,18 +228,29 @@ func WriteLimit(site string, n int) (int, error) {
 }
 
 // Arm installs (or replaces) the failpoint at site from a spec string.
-// See the package doc for the grammar.
+// See the package doc for the grammar. The site must have been declared
+// with Register; arming an unknown name is an error, so a chaos drill
+// with a misspelled site fails loudly instead of running fault-free.
 func Arm(site, spec string) error {
 	p, err := parseSpec(site, spec)
 	if err != nil {
 		return err
 	}
 	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := known[site]; !ok {
+		names := make([]string, 0, len(known))
+		for s := range known {
+			names = append(names, s)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("fault: unknown site %q (registered sites: %s)",
+			site, strings.Join(names, ", "))
+	}
 	if _, exists := points[site]; !exists {
 		armedCount.Add(1)
 	}
 	points[site] = p
-	regMu.Unlock()
 	return nil
 }
 

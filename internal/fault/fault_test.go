@@ -2,9 +2,24 @@ package fault
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 )
+
+// Test sites must be registered like real ones — Arm refuses names it has
+// never seen (see TestArmRejectsUnknownSite). The production names used in
+// TestArmFromEnv are declared by packages wal and cluster, which this test
+// binary does not link, so they are registered here as well.
+func init() {
+	for _, site := range []string{
+		"a/b", "t/after", "t/nth", "t/every", "t/prob",
+		"t/partial", "t/partial2", "t/sleep", "t/conc", "t/lat", "s",
+		"wal/write", "wal/sync", "cluster/forward",
+	} {
+		Register(site)
+	}
+}
 
 // TestFailpointsDisarmedByDefault is the release-build smoke CI runs
 // explicitly: a process that never arms anything must see no armed sites,
@@ -210,6 +225,47 @@ func TestArmFromEnvErrors(t *testing.T) {
 	sites, err := ArmFromEnv()
 	if err != nil || len(sites) != 0 {
 		t.Fatalf("empty env: (%v, %v)", sites, err)
+	}
+}
+
+// TestArmRejectsUnknownSite: a typo'd site name is a startup error, not a
+// silently inert failpoint — chaos drills must fail loudly when their spec
+// names a site that will never fire.
+func TestArmRejectsUnknownSite(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	err := Arm("no/such-site", "err")
+	if err == nil {
+		t.Fatal("Arm accepted an unregistered site")
+	}
+	if !strings.Contains(err.Error(), "no/such-site") {
+		t.Fatalf("error does not name the offending site: %v", err)
+	}
+	if !strings.Contains(err.Error(), "wal/sync") {
+		t.Fatalf("error does not list registered sites: %v", err)
+	}
+	if Enabled() {
+		t.Fatal("rejected Arm left failpoints enabled")
+	}
+	t.Setenv(EnvVar, "no/such-site=err")
+	if _, err := ArmFromEnv(); err == nil {
+		t.Fatal("ArmFromEnv accepted an unregistered site")
+	}
+	// A malformed spec on a registered site is still a spec error, so the
+	// parse diagnostics stay first in line.
+	if err := Arm("a/b", "unknownaction"); err == nil ||
+		strings.Contains(err.Error(), "unknown site") {
+		t.Fatalf("spec error misreported: %v", err)
+	}
+	// Sites() includes both package-declared and test-registered names.
+	sites := Sites()
+	found := map[string]bool{}
+	for _, s := range sites {
+		found[s] = true
+	}
+	for _, want := range []string{"wal/write", "wal/sync", "a/b"} {
+		if !found[want] {
+			t.Fatalf("Sites() = %v, missing %q", sites, want)
+		}
 	}
 }
 

@@ -320,6 +320,22 @@ type HealthResponse struct {
 	// the fault framework is disarmed by default and only LIGHTOR_FAILPOINTS
 	// arms it — so any non-empty value is a loud signal.
 	Failpoints []string `json:"failpoints,omitempty"`
+	// ResumedFrom maps channels this node adopted through failover to the
+	// source of their state ("replica": resumed from the local standby
+	// replica area after the previous owner died). Omitted when empty or
+	// when replication is off.
+	ResumedFrom map[string]string `json:"resumed_from,omitempty"`
+}
+
+// pingBody is the whole of GET /api/ping. Static on purpose: heartbeat
+// probes hit this once per second per peer, and the liveness signal they
+// need is "the listener accepts and the mux answers" — no session walks,
+// no latency digests, no allocation.
+var pingBody = []byte("pong\n")
+
+func handlePing(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(pingBody)
 }
 
 // handleHealthz reports this node's status. Always registered — a
@@ -341,6 +357,9 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp.Degraded, resp.DegradedReason = s.Store.Degraded()
 	if fault.Enabled() {
 		resp.Failpoints = fault.Armed()
+	}
+	if s.Replication != nil {
+		resp.ResumedFrom = s.Replication.ResumedFrom()
 	}
 	if c := s.Cluster; c != nil {
 		resp.Node = c.Self()
@@ -602,6 +621,29 @@ func (s *Service) handleClusterResume(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess, err := s.Engine.Sessions().RestoreSession(channel, state)
+	if errors.Is(err, engine.ErrSessionExists) {
+		// Idempotent adoption: the channel is already live here — an
+		// earlier resume whose response was lost, or the replica failover
+		// racing an operator-driven resume for the same dead node. The
+		// live session wins (it may have accepted messages the caller's
+		// snapshot predates); answer with ITS resume point, exactly as the
+		// original restore would have.
+		if live, ok := s.Engine.Sessions().Get(channel); ok {
+			_ = s.Cluster.SetOverride(channel, s.Cluster.Self())
+			_, cursor, _ := live.DotsPage(0)
+			writeJSON(w, HandoffResponse{
+				Channel:   channel,
+				Owner:     s.Cluster.Self(),
+				Watermark: live.Watermark(),
+				Cursor:    cursor,
+			})
+			return
+		}
+		// Closed between the restore attempt and the lookup; report the
+		// conflict rather than inventing a resume point.
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
 	if err != nil {
 		s.writeLiveError(w, err)
 		return
@@ -620,15 +662,41 @@ func (s *Service) handleClusterResume(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleClusterOwned reports whether this node currently holds a live
-// session for a channel, with its resume point. The handoff's
-// ambiguous-failure probe: a source whose transfer leg errored asks the
-// target this before restoring locally, so a lost response cannot turn
-// a completed transfer into a channel live on two nodes at once.
+// OwnedResponse is the payload of GET /api/cluster/owned without a
+// channel parameter: this node's live sessions and stored replica
+// watermarks, keyed by channel. The anti-entropy reconciler compares
+// Replicas against its own latest checkpoints to find successors that are
+// missing or behind.
+type OwnedResponse struct {
+	Node string `json:"node"`
+	// Owned maps each live resident session to its watermark.
+	Owned map[string]float64 `json:"owned"`
+	// Replicas maps each channel in the local replica area to the
+	// watermark its envelope was stored under; omitted when replication
+	// is off.
+	Replicas map[string]float64 `json:"replicas,omitempty"`
+}
+
+// handleClusterOwned reports, with a channel parameter, whether this node
+// currently holds a live session for that channel with its resume point —
+// the handoff's ambiguous-failure probe: a source whose transfer leg
+// errored asks the target this before restoring locally, so a lost
+// response cannot turn a completed transfer into a channel live on two
+// nodes at once. Without a channel parameter it is the anti-entropy
+// report: every live session's watermark plus every stored replica's.
 func (s *Service) handleClusterOwned(w http.ResponseWriter, r *http.Request) {
 	channel := r.URL.Query().Get("channel")
 	if channel == "" {
-		http.Error(w, "missing channel parameter", http.StatusBadRequest)
+		resp := OwnedResponse{Node: s.Cluster.Self(), Owned: map[string]float64{}}
+		for _, ch := range s.Engine.Sessions().Channels() {
+			if sess, ok := s.Engine.Sessions().Get(ch); ok {
+				resp.Owned[ch] = sess.Watermark()
+			}
+		}
+		if s.Replication != nil {
+			resp.Replicas = s.Replication.Store().Watermarks()
+		}
+		writeJSON(w, resp)
 		return
 	}
 	sess, ok := s.Engine.Sessions().Get(channel)
@@ -643,6 +711,56 @@ func (s *Service) handleClusterOwned(w http.ResponseWriter, r *http.Request) {
 		Watermark: sess.Watermark(),
 		Cursor:    cursor,
 	})
+}
+
+// handleClusterReplica is the receiver end of checkpoint replication:
+// POST stores a checkpoint envelope in this node's replica area, DELETE
+// tombstones it (the broadcast closed on the owner). Deliveries are
+// idempotent and monotone — the store drops anything at or below the
+// watermark it already holds — so the sender can retry or duplicate
+// freely and late reordered ships cannot roll a replica back.
+func (s *Service) handleClusterReplica(w http.ResponseWriter, r *http.Request) {
+	if s.Replication == nil {
+		http.Error(w, "replication is not enabled on this node", http.StatusServiceUnavailable)
+		return
+	}
+	channel := r.URL.Query().Get("channel")
+	if channel == "" {
+		http.Error(w, "missing channel parameter", http.StatusBadRequest)
+		return
+	}
+	if ferr := fault.Hit(cluster.FailpointReplicaApply); ferr != nil {
+		http.Error(w, ferr.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	store := s.Replication.Store()
+	if r.Method == http.MethodDelete {
+		if err := store.Delete(channel); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, HandoffResponse{Channel: channel, Owner: s.Cluster.Self()})
+		return
+	}
+	watermark, err := strconv.ParseFloat(r.URL.Query().Get("watermark"), 64)
+	if err != nil {
+		http.Error(w, "missing or malformed watermark parameter", http.StatusBadRequest)
+		return
+	}
+	state, err := io.ReadAll(io.LimitReader(r.Body, maxReplicaState+1))
+	if err != nil {
+		http.Error(w, "reading replica state: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(state) > maxReplicaState {
+		http.Error(w, fmt.Sprintf("replica state exceeds %d bytes", maxReplicaState), http.StatusRequestEntityTooLarge)
+		return
+	}
+	if _, err := store.Put(channel, watermark, state); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, HandoffResponse{Channel: channel, Owner: s.Cluster.Self(), Watermark: watermark})
 }
 
 // handleClusterRoute pins (or clears, with owner="") a channel's owner on

@@ -20,13 +20,13 @@ import (
 
 // Failpoint sites (package fault) in the snapshot-compaction path; the WAL
 // itself defines wal/write and wal/sync.
-const (
+var (
 	// FailpointSnapshotWrite fires as the compaction snapshot temp file is
 	// written.
-	FailpointSnapshotWrite = "platform/snapshot-write"
+	FailpointSnapshotWrite = fault.Register("platform/snapshot-write")
 	// FailpointSnapshotRename fires in place of the atomic rename that
 	// publishes a compaction snapshot.
-	FailpointSnapshotRename = "platform/snapshot-rename"
+	FailpointSnapshotRename = fault.Register("platform/snapshot-rename")
 )
 
 // ErrDegraded is returned for every mutation once a durable backend has

@@ -1,0 +1,242 @@
+package platform
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"lightor/internal/wal"
+)
+
+// Standby checkpoint replicas: the receiver half of cross-node checkpoint
+// replication (see replicator.go for the sender half).
+//
+// A ReplicaStore holds OTHER nodes' checkpoint envelopes — one file per
+// channel under a dedicated replica area of the data-dir — so that when a
+// node dies together with its disk, the survivors that were its ring
+// successors can resume its channels from these local copies alone. The
+// store is deliberately not the CheckpointStore: replicas must never be
+// picked up by this node's own startup resume (ResumeSessions), only by
+// the explicit failover path, so they live in their own directory with
+// their own file format.
+
+// replicaFormat is the wal envelope format name for replica files. The
+// payload is 8 bytes of big-endian float64 watermark followed by the
+// checkpoint state exactly as the owner's store accepted it.
+const (
+	replicaFormat  = "lightor-replica"
+	replicaVersion = 1
+	replicaExt     = ".rep"
+)
+
+// maxReplicaState mirrors maxResumeState: a replica envelope carries the
+// same detector snapshot a resume does.
+const maxReplicaState = maxResumeState
+
+// ReplicaStore is the durable per-channel replica area. All operations are
+// safe for concurrent use. Watermarks are monotone per channel: a delivery
+// at or below the stored watermark is dropped (idempotent, duplicate- and
+// reorder-proof), and a deleted channel leaves an in-memory tombstone so a
+// late in-flight delivery cannot resurrect a closed broadcast within this
+// process's lifetime.
+type ReplicaStore struct {
+	dir string
+
+	mu sync.Mutex
+	// wm is the stored watermark per channel; +Inf marks a tombstone
+	// (deleted this process lifetime — nothing at or below +Inf applies,
+	// which is everything).
+	wm map[string]float64
+}
+
+// OpenReplicaStore opens (creating if needed) the replica area at dir and
+// indexes the envelopes already present. Corrupt files are skipped — and
+// reported joined into the returned error alongside a usable store —
+// mirroring ResumeSessions: one torn replica must not take down the
+// healthy ones next to it.
+func OpenReplicaStore(dir string) (*ReplicaStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("platform: creating replica dir: %w", err)
+	}
+	rs := &ReplicaStore{dir: dir, wm: make(map[string]float64)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("platform: reading replica dir: %w", err)
+	}
+	var errs []error
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, replicaExt) {
+			continue
+		}
+		channel, derr := decodeReplicaName(name)
+		if derr != nil {
+			errs = append(errs, fmt.Errorf("platform: replica file %q: %w", name, derr))
+			continue
+		}
+		wm, _, rerr := readReplicaFile(filepath.Join(dir, name))
+		if rerr != nil {
+			errs = append(errs, fmt.Errorf("platform: replica %q: %w", channel, rerr))
+			continue
+		}
+		rs.wm[channel] = wm
+	}
+	return rs, errors.Join(errs...)
+}
+
+// Dir returns the replica area's directory.
+func (rs *ReplicaStore) Dir() string { return rs.dir }
+
+// path maps a channel id to its replica file. Hex-encoding the id keeps
+// arbitrary channel names (slashes, dots, unicode) out of the filesystem
+// namespace.
+func (rs *ReplicaStore) path(channel string) string {
+	return filepath.Join(rs.dir, hex.EncodeToString([]byte(channel))+replicaExt)
+}
+
+func decodeReplicaName(name string) (string, error) {
+	raw, err := hex.DecodeString(strings.TrimSuffix(name, replicaExt))
+	if err != nil {
+		return "", fmt.Errorf("undecodable name: %w", err)
+	}
+	return string(raw), nil
+}
+
+// Put stores a replica delivery if it advances the channel's watermark,
+// reporting whether it was applied. Stale or duplicate deliveries
+// (watermark at or below the stored one, including the +Inf tombstone a
+// Delete leaves) return (false, nil) — dropped, not an error. The write is
+// atomic: temp file, fsync, rename, so a crash mid-write leaves the
+// previous envelope intact.
+func (rs *ReplicaStore) Put(channel string, watermark float64, state []byte) (bool, error) {
+	if len(state) > maxReplicaState {
+		return false, fmt.Errorf("platform: replica state for %q exceeds %d bytes", channel, maxReplicaState)
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if stored, ok := rs.wm[channel]; ok && watermark <= stored {
+		return false, nil
+	}
+	payload := make([]byte, 8+len(state))
+	binary.BigEndian.PutUint64(payload, math.Float64bits(watermark))
+	copy(payload[8:], state)
+
+	path := rs.path(channel)
+	tmp := path + ".tmp"
+	if err := writeReplicaFile(tmp, payload); err != nil {
+		os.Remove(tmp)
+		return false, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return false, fmt.Errorf("platform: publishing replica for %q: %w", channel, err)
+	}
+	if d, err := os.Open(rs.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	rs.wm[channel] = watermark
+	return true, nil
+}
+
+func writeReplicaFile(path string, payload []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := wal.WriteEnvelope(f, replicaFormat, replicaVersion, payload); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readReplicaFile(path string) (wm float64, state []byte, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	_, payload, err := wal.ReadEnvelope(f, replicaFormat, replicaVersion)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(payload) < 8 {
+		return 0, nil, fmt.Errorf("%w: replica payload shorter than its watermark", wal.ErrCorrupt)
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(payload)), payload[8:], nil
+}
+
+// Get reads a channel's replica envelope back: the checkpoint state and
+// the watermark it was stored under. ok is false for unknown or
+// tombstoned channels, and for a file that fails validation on read.
+func (rs *ReplicaStore) Get(channel string) (state []byte, watermark float64, ok bool) {
+	rs.mu.Lock()
+	wm, known := rs.wm[channel]
+	rs.mu.Unlock()
+	if !known || math.IsInf(wm, 1) {
+		return nil, 0, false
+	}
+	fwm, state, err := readReplicaFile(rs.path(channel))
+	if err != nil {
+		return nil, 0, false
+	}
+	return state, fwm, true
+}
+
+// Delete removes a channel's replica and tombstones it: the broadcast
+// ended (or the replica moved elsewhere), and a late in-flight delivery
+// must not resurrect it. The tombstone is in-memory only — after a
+// restart the owner no longer lists the channel, so anti-entropy never
+// re-ships it.
+func (rs *ReplicaStore) Delete(channel string) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	err := os.Remove(rs.path(channel))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	rs.wm[channel] = math.Inf(1)
+	return nil
+}
+
+// Watermarks returns the stored watermark per live (non-tombstoned)
+// channel — the receiver's half of the anti-entropy comparison.
+func (rs *ReplicaStore) Watermarks() map[string]float64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make(map[string]float64, len(rs.wm))
+	for ch, wm := range rs.wm {
+		if math.IsInf(wm, 1) {
+			continue
+		}
+		out[ch] = wm
+	}
+	return out
+}
+
+// Channels returns the live (non-tombstoned) replicated channels, sorted.
+func (rs *ReplicaStore) Channels() []string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make([]string, 0, len(rs.wm))
+	for ch, wm := range rs.wm {
+		if math.IsInf(wm, 1) {
+			continue
+		}
+		out = append(out, ch)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -62,6 +62,12 @@ type Service struct {
 	// nil field, so the hot paths keep their zero-allocation contracts.
 	// See cluster.go.
 	Cluster *cluster.Node
+	// Replication, when set (NewReplicator sets it), enables checkpoint
+	// replication to ring successors and replica-backed failover: the
+	// /api/cluster/replica endpoints store peers' envelopes in the local
+	// replica area, and healthz reports channels resumed from replicas.
+	// Requires Cluster. See replicator.go.
+	Replication *Replicator
 	// DefaultK is the number of red dots served when the request does not
 	// specify k (default 5).
 	DefaultK int
@@ -163,6 +169,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	// The heartbeat probe target: a static body with no JSON assembly or
+	// state walks, cheap enough to answer once per second per peer times
+	// the whole cluster. Operators and dashboards keep /api/healthz.
+	mux.HandleFunc("GET /api/ping", handlePing)
 	// Every request-scoped endpoint is timed into its own histogram
 	// (surfaced on /api/healthz); /api/live/stream is not — an SSE
 	// request's duration is its subscription lifetime, not a latency.
@@ -187,6 +197,8 @@ func (s *Service) Handler() http.Handler {
 		mux.HandleFunc("POST /api/cluster/route", s.requireClusterKey(s.handleClusterRoute))
 		mux.HandleFunc("POST /api/cluster/down", s.requireClusterKey(s.handleClusterDown))
 		mux.HandleFunc("GET /api/cluster/owned", s.requireClusterKey(s.handleClusterOwned))
+		mux.HandleFunc("POST /api/cluster/replica", s.requireClusterKey(s.handleClusterReplica))
+		mux.HandleFunc("DELETE /api/cluster/replica", s.requireClusterKey(s.handleClusterReplica))
 	}
 	s.initPush()
 	return mux

@@ -82,14 +82,14 @@ import (
 
 // Failpoint sites (package fault) wired into the write path. Disarmed they
 // cost one atomic load per append / group commit.
-const (
+var (
 	// FailpointWrite fires in Append/AppendBatch as the framed record is
 	// handed to the device; a partial:<n> action tears the record so
 	// recovery sees a torn tail.
-	FailpointWrite = "wal/write"
+	FailpointWrite = fault.Register("wal/write")
 	// FailpointSync fires in the group-commit flusher in place of fsync
 	// (it fires even under NoSync, so tests need no real disk stall).
-	FailpointSync = "wal/sync"
+	FailpointSync = fault.Register("wal/sync")
 )
 
 const (
